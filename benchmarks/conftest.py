@@ -1,0 +1,51 @@
+"""Benchmark fixtures: full-scale datasets (the public subset's shape).
+
+Datasets are session-scoped — they are pure functions of their config,
+and several benches share them.  Every bench writes its rendered table /
+figure to ``benchmarks/output/<name>.txt`` so results survive pytest's
+stdout capture (run with ``-s`` to also see them inline).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.telemetry.metrics import TABLE3_METRICS
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def paper_dataset():
+    """The paper's configuration: 11 apps, 10 repetitions, 1 metric."""
+    config = DatasetConfig(
+        metrics=("nr_mapped_vmstat",), repetitions=10, seed=2021
+    )
+    return TaxonomistDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def table3_dataset():
+    """All thirteen Table 3 metrics at full repetition count."""
+    config = DatasetConfig(
+        metrics=tuple(TABLE3_METRICS), repetitions=10, seed=2021
+    )
+    return TaxonomistDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Writer for bench reports: save_report(name, text)."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

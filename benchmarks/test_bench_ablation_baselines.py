@@ -1,0 +1,73 @@
+"""Ablation — dictionary lookup vs distance-based matching.
+
+    "Computing distance measures for every example introduces unnecessary
+    computational steps."  (§3, Pruning)
+
+Compares the EFD against nearest-centroid and 1-NN recognizers that use
+the *same* feature (per-node [60:120] interval means, unrounded).
+Expected: comparable accuracy on the normal fold — the paper's point is
+not that hashing is more accurate, but that it is simpler and O(1) —
+while per-prediction latency favours the dictionary as the training set
+grows.
+"""
+
+import time
+
+import numpy as np
+
+from repro._util.tables import TextTable
+from repro.baselines.nearest import NearestCentroidRecognizer, OneNNRecognizer
+from repro.core.recognizer import EFDRecognizer
+from repro.data.splits import kfold_splits
+from repro.ml.metrics import f1_score
+
+
+def _evaluate(dataset, factory, k=3):
+    scores = []
+    predict_seconds = 0.0
+    n_predictions = 0
+    for split in kfold_splits(dataset, k, 0):
+        recognizer = factory()
+        recognizer.fit(dataset.subset(list(split.train_indices)))
+        test = dataset.subset(list(split.test_indices))
+        start = time.perf_counter()
+        y_pred = [recognizer.predict_one(r) for r in test]
+        predict_seconds += time.perf_counter() - start
+        n_predictions += len(test)
+        scores.append(
+            f1_score(list(split.expected), y_pred,
+                     labels=sorted(set(split.expected)), average="macro")
+        )
+    return float(np.mean(scores)), predict_seconds / n_predictions
+
+
+def test_bench_ablation_baselines(benchmark, paper_dataset, save_report):
+    def sweep():
+        return {
+            "EFD (dictionary)": _evaluate(
+                paper_dataset, lambda: EFDRecognizer(depth=3)
+            ),
+            "nearest centroid": _evaluate(
+                paper_dataset, lambda: NearestCentroidRecognizer(rel_threshold=0.05)
+            ),
+            "1-NN": _evaluate(
+                paper_dataset, lambda: OneNNRecognizer(rel_threshold=0.05)
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    efd_f, _ = results["EFD (dictionary)"]
+    # The EFD gives up little or no accuracy against distance matching.
+    for name, (f, _) in results.items():
+        assert efd_f > f - 0.05, (name, f, efd_f)
+    assert efd_f > 0.95
+
+    table = TextTable(
+        ["Recognizer", "Normal-Fold F", "Prediction latency"],
+        title="Ablation: dictionary lookup vs distance-based matching "
+              "(same interval-mean feature)",
+    )
+    for name, (f, latency) in results.items():
+        table.add_row([name, f"{f:.3f}", f"{latency * 1e6:.0f} us"])
+    save_report("ablation_baselines", table.render())

@@ -1,0 +1,71 @@
+"""Ablation — data budget: what does each system need to see?
+
+The paper's efficiency claim is about *inputs*, not accuracy: Taxonomist
+consumes hundreds of metrics over the whole execution, the EFD one
+metric for two minutes.  This bench holds accuracy fixed and varies the
+budget: the ML baseline on the full window, the ML baseline restricted
+to the EFD's [60:120] window, and the EFD itself — plus the raw number
+of samples each consumed per execution.
+"""
+
+from repro._util.tables import TextTable
+from repro.baselines.taxonomist import TaxonomistClassifier
+from repro.data.splits import UNKNOWN_LABEL
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.experiments.protocol import evaluate_splits, make_efd_factory, splits_for
+
+METRICS = (
+    "nr_mapped_vmstat",
+    "Committed_AS_meminfo",
+    "AMO_PKTS_metric_set_nic",
+)
+
+
+def _taxonomist_factory(window):
+    def factory():
+        return TaxonomistClassifier(
+            window=window, n_estimators=30, unknown_label=UNKNOWN_LABEL,
+            random_state=0,
+        )
+    return factory
+
+
+def test_bench_ablation_databudget(benchmark, save_report):
+    config = DatasetConfig(metrics=METRICS, repetitions=6, seed=2021)
+    dataset = TaxonomistDatasetGenerator(config).generate()
+    splits = splits_for("normal_fold", dataset, k=3)
+    mean_duration = sum(r.duration for r in dataset) / len(dataset)
+
+    def sweep():
+        return {
+            "Taxonomist, full window": (
+                evaluate_splits(dataset, splits,
+                                _taxonomist_factory((0.0, None))).fscore,
+                len(METRICS) * 4 * mean_duration,
+            ),
+            "Taxonomist, [60:120]": (
+                evaluate_splits(dataset, splits,
+                                _taxonomist_factory((60.0, 120.0))).fscore,
+                len(METRICS) * 4 * 60,
+            ),
+            "EFD, 1 metric, [60:120]": (
+                evaluate_splits(dataset, splits, make_efd_factory()).fscore,
+                1 * 4 * 60,
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    efd_f, efd_samples = results["EFD, 1 metric, [60:120]"]
+    full_f, full_samples = results["Taxonomist, full window"]
+    # The headline: comparable F with a fraction of the data.
+    assert efd_f > full_f - 0.05
+    assert efd_samples < full_samples / 10
+
+    table = TextTable(
+        ["System", "Normal-Fold F", "Samples/execution"],
+        title="Ablation: recognition accuracy vs monitoring data budget",
+    )
+    for name, (f, samples) in results.items():
+        table.add_row([name, f"{f:.3f}", f"{samples:,.0f}"])
+    save_report("ablation_databudget", table.render())

@@ -1,0 +1,65 @@
+"""Ablation — combinatorial fingerprints (the paper's future work, §5/§6).
+
+    "Going forward, we can make fingerprints more exclusive by combining
+    multiple system metrics..."
+
+Compares one-metric EFD, multi-metric voting, and combinatorial
+(tuple-key) fingerprints on the hard-unknown experiment — the setting
+the paper says needs more exclusiveness.  Expected: combinatorial keys
+reject unknown applications better than the single metric.
+"""
+
+import numpy as np
+
+from repro._util.tables import TextTable
+from repro.core.multimetric import MultiMetricRecognizer
+from repro.data.splits import UNKNOWN_LABEL
+from repro.experiments.protocol import evaluate_splits, make_efd_factory, splits_for
+
+METRICS = [
+    "nr_mapped_vmstat",
+    "Committed_AS_meminfo",
+    "nr_active_anon_vmstat",
+]
+
+
+def _multi_factory(mode):
+    def factory():
+        return MultiMetricRecognizer(
+            METRICS, depth=3, mode=mode, unknown_label=UNKNOWN_LABEL
+        )
+    return factory
+
+
+def test_bench_ablation_multimetric(benchmark, table3_dataset, save_report):
+    splits = splits_for("hard_unknown", table3_dataset)
+    normal_splits = splits_for("normal_fold", table3_dataset, k=3)
+
+    def sweep():
+        out = {}
+        for name, factory in (
+            ("EFD (1 metric)", make_efd_factory(depth=3)),
+            ("multi-metric vote", _multi_factory("vote")),
+            ("combinatorial", _multi_factory("combine")),
+        ):
+            hard = evaluate_splits(table3_dataset, splits, factory).fscore
+            normal = evaluate_splits(
+                table3_dataset, normal_splits, factory
+            ).fscore
+            out[name] = (normal, hard)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Combinatorial fingerprints are the most exclusive: best hard-unknown.
+    assert results["combinatorial"][1] >= results["EFD (1 metric)"][1]
+    # ... without giving up normal-fold recognition.
+    assert results["combinatorial"][0] > 0.9
+
+    table = TextTable(
+        ["Fingerprint scheme", "Normal Fold F", "Hard Unknown F"],
+        title="Ablation: fingerprint exclusiveness (paper's future work)",
+    )
+    for name, (normal, hard) in results.items():
+        table.add_row([name, f"{normal:.3f}", f"{hard:.3f}"])
+    save_report("ablation_multimetric", table.render())

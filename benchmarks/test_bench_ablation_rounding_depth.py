@@ -1,0 +1,62 @@
+"""Ablation — rounding depth (the EFD's only tunable parameter).
+
+Sweeps depths 1-5 on the normal fold and reports F-score plus dictionary
+size.  Expected shape (paper §3/§5): an interior optimum — depth 1
+over-prunes (generic fingerprints, cross-application collisions such as
+ft/mg sharing the 6000 bucket), large depths under-prune (precise
+fingerprints that never repeat), and the optimum sits at depth 2-3 where
+the SP/BT collision resolves.
+"""
+
+from repro._util.tables import TextTable
+from repro.core.fingerprint import build_fingerprints
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.experiments.protocol import make_efd_factory, run_experiment
+
+
+def _dictionary_size(dataset, depth):
+    efd = ExecutionFingerprintDictionary()
+    for record in dataset:
+        efd.add_many(
+            build_fingerprints(record, "nr_mapped_vmstat", depth), record.label
+        )
+    return efd.stats()
+
+
+def test_bench_ablation_rounding_depth(benchmark, paper_dataset, save_report):
+    depths = (1, 2, 3, 4, 5)
+
+    def sweep():
+        scores = {}
+        for depth in depths:
+            result = run_experiment(
+                "normal_fold", paper_dataset,
+                make_efd_factory(depth=depth), k=5,
+            )
+            scores[depth] = result.fscore
+        return scores
+
+    scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Interior optimum: the best depth is neither the coarsest nor the
+    # finest candidate.
+    best = max(scores, key=scores.get)
+    assert best in (2, 3)
+    assert scores[best] > scores[1] + 0.2
+    assert scores[best] > scores[5] + 0.2
+    # Depth 3 must beat depth 2: it resolves the SP/BT collision
+    # ("Rounding depth 3 avoids this collision and also recognizes BT").
+    assert scores[3] > scores[2]
+
+    table = TextTable(
+        ["Rounding Depth", "Normal-Fold F", "Dict Keys", "Pruning Ratio",
+         "Colliding Keys"],
+        title="Ablation: rounding depth vs recognition and dictionary size",
+    )
+    for depth in depths:
+        stats = _dictionary_size(paper_dataset, depth)
+        table.add_row(
+            [depth, f"{scores[depth]:.3f}", stats.n_keys,
+             f"{stats.pruning_ratio:.2f}", stats.n_colliding_keys]
+        )
+    save_report("ablation_rounding_depth", table.render())

@@ -1,0 +1,62 @@
+"""Scaling — dictionary lookup stays O(1) as the EFD grows.
+
+The production pitch of the EFD is MODA-friendly latency: recognition is
+a handful of hash lookups regardless of how many applications the
+dictionary has accumulated.  This bench grows the dictionary by two
+orders of magnitude and checks the lookup latency stays flat.
+"""
+
+import time
+
+import numpy as np
+
+from repro._util.tables import TextTable
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint
+from repro.core.matcher import match_fingerprints
+
+
+def _grown_dictionary(n_keys: int) -> ExecutionFingerprintDictionary:
+    rng = np.random.default_rng(0)
+    efd = ExecutionFingerprintDictionary()
+    values = rng.integers(10, 10_000_000, size=n_keys)
+    for i, value in enumerate(values.tolist()):
+        efd.add(
+            Fingerprint("nr_mapped_vmstat", i % 4, (60.0, 120.0), float(value)),
+            f"app{i % 500}_X",
+        )
+    return efd
+
+
+def _lookup_latency(efd, probes=2000):
+    rng = np.random.default_rng(1)
+    fingerprints = [
+        Fingerprint("nr_mapped_vmstat", int(n), (60.0, 120.0),
+                    float(rng.integers(10, 10_000_000)))
+        for n in rng.integers(0, 4, probes)
+    ]
+    start = time.perf_counter()
+    for fp in fingerprints:
+        match_fingerprints(efd, [fp])
+    return (time.perf_counter() - start) / probes
+
+
+def test_bench_scaling_lookup(benchmark, save_report):
+    sizes = (1_000, 10_000, 100_000)
+
+    def sweep():
+        return {n: _lookup_latency(_grown_dictionary(n)) for n in sizes}
+
+    latencies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # O(1): a 100x larger dictionary must not cost anywhere near 100x —
+    # allow a generous 5x envelope for cache effects.
+    assert latencies[100_000] < 5 * latencies[1_000] + 1e-6
+
+    table = TextTable(
+        ["Dictionary keys", "Lookup+vote latency"],
+        title="Scaling: recognition latency vs dictionary size (O(1) claim)",
+    )
+    for n in sizes:
+        table.add_row([f"{n:,}", f"{latencies[n] * 1e6:.1f} us"])
+    save_report("scaling_lookup", table.render())

@@ -1,0 +1,25 @@
+"""Table 1 — the rounding-depth mechanism.
+
+Regenerates the paper's rounding showcase and benchmarks the vectorized
+rounding kernel (it sits on the per-fingerprint hot path).
+"""
+
+import numpy as np
+
+from repro.core.rounding import round_depth, round_depth_array
+from repro.experiments.tables import render_table1, table1_rows
+
+
+def test_bench_table1_rounding(benchmark, save_report):
+    values = np.abs(np.random.default_rng(0).normal(0, 1e4, 100_000)) + 1e-3
+
+    result = benchmark(round_depth_array, values, 2)
+
+    assert result.shape == values.shape
+    # Regenerate the paper's exact rows.
+    rows = table1_rows()
+    assert rows[0] == ["1358", "-", "1358", "1360", "1400", "1000"]
+    assert rows[1] == ["5.28", "-", "-", "5.28", "5.3", "5"]
+    assert rows[2] == ["0.038", "-", "-", "-", "0.038", "0.04"]
+    assert round_depth(1358.0, 2) == 1400.0  # the canonical cell
+    save_report("table1_rounding", render_table1())

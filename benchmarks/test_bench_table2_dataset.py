@@ -1,0 +1,28 @@
+"""Table 2 — dataset composition.
+
+Regenerates the evaluation dataset's composition table and benchmarks
+synthetic dataset generation (the substrate's throughput).
+"""
+
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.experiments.tables import render_table2
+
+
+def test_bench_table2_dataset(benchmark, paper_dataset, save_report):
+    # Benchmark a reduced generation run (1 repetition) to keep the
+    # benchmark loop affordable; the report uses the full fixture.
+    config = DatasetConfig(metrics=("nr_mapped_vmstat",), repetitions=1, seed=1)
+
+    dataset = benchmark.pedantic(
+        lambda: TaxonomistDatasetGenerator(config).generate(),
+        rounds=3, iterations=1,
+    )
+
+    assert len(dataset) == 37
+    summary = paper_dataset.summary()
+    # Table 2's shape: 11 applications, X/Y/Z (+L subset), 4 nodes.
+    assert len(summary["applications"]) == 11
+    assert summary["node_count"] == 4
+    assert summary["pairs"] == 37
+    assert summary["repetitions"] == [10]
+    save_report("table2_dataset", render_table2(paper_dataset))

@@ -1,0 +1,37 @@
+"""Table 3 — per-metric normal-fold F-scores.
+
+Runs the normal-fold experiment once per Table 3 metric and prints
+measured vs paper-reported F-scores.  The shape to reproduce: the four
+memory-footprint metrics at the top reach F = 1.0, the remaining memory
+metrics sit just below, and the NIC counters trail at ~0.95.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import render_table3, table3_scores
+from repro.telemetry.metrics import TABLE3_METRICS
+
+
+def test_bench_table3_metric_fscores(benchmark, table3_dataset, save_report):
+    scores = benchmark.pedantic(
+        lambda: table3_scores(table3_dataset, k=5, seed=0),
+        rounds=1, iterations=1,
+    )
+
+    assert set(scores) == set(TABLE3_METRICS)
+    # The paper's headline metric is perfect on the normal fold.
+    assert scores["nr_mapped_vmstat"] == 1.0
+    # Every Table 3 metric achieves the paper's ">95 percent" claim band
+    # (allowing a small tolerance for the synthetic substrate).
+    for metric, value in scores.items():
+        assert value > 0.85, (metric, value)
+    # Shape: the four 1.0-metrics outrank the 0.95-band NIC metrics.
+    top4 = [m for m, paper_f in TABLE3_METRICS.items() if paper_f == 1.0]
+    nic = [m for m in TABLE3_METRICS if m.endswith("_metric_set_nic")]
+    assert np.mean([scores[m] for m in top4]) >= \
+        np.mean([scores[m] for m in nic]) - 1e-9
+    # Measured deviates from the paper's numbers by at most a few points.
+    for metric, paper_f in TABLE3_METRICS.items():
+        assert abs(scores[metric] - paper_f) < 0.08, (metric, scores[metric])
+
+    save_report("table3_metric_fscores", render_table3(scores))

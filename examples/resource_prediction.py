@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Resource-usage prediction by using the dictionary in reverse (§6).
+
+    "Populating the dictionary with different time intervals could enable
+    resource usage prediction, by using the dictionary in reverse."
+
+This example populates an EFD with three consecutive intervals, then:
+
+1. recognizes a fresh execution from its FIRST two minutes,
+2. looks the recognized application up in reverse to forecast its
+   metric levels in the LATER intervals,
+3. compares the forecast against what the execution actually did.
+
+Useful for energy-aware scheduling: knowing two minutes in what a job
+will consume for the rest of its run.
+
+Run:  python examples/resource_prediction.py
+"""
+
+from repro import generate_dataset
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import build_fingerprints
+from repro.core.inverse import UsagePredictor
+from repro.core.matcher import match_fingerprints
+
+INTERVALS = [(60.0, 120.0), (120.0, 180.0), (180.0, 240.0)]
+METRIC = "nr_mapped_vmstat"
+DEPTH = 3
+
+
+def main() -> None:
+    print("=== Build a multi-interval EFD from historic executions ===")
+    history = generate_dataset(repetitions=6, seed=5)
+    efd = ExecutionFingerprintDictionary()
+    for record in history:
+        for interval in INTERVALS:
+            efd.add_many(
+                build_fingerprints(record, METRIC, DEPTH, interval),
+                record.label,
+            )
+    stats = efd.stats()
+    print(
+        f"dictionary: {stats.n_keys} keys across {len(INTERVALS)} intervals "
+        f"({stats.n_insertions} fingerprints inserted)\n"
+    )
+
+    print("=== A fresh execution arrives; recognize it at the 2-minute mark ===")
+    fresh = generate_dataset(repetitions=1, seed=999).filter(apps=["lu"])[0]
+    first = build_fingerprints(fresh, METRIC, DEPTH, INTERVALS[0])
+    verdict = match_fingerprints(efd, first)
+    app = verdict.prediction or "unknown"
+    print(f"recognized: {app} (votes: {dict(verdict.votes)})\n")
+
+    print("=== Reverse lookup: forecast the rest of the execution ===")
+    predictor = UsagePredictor(efd)
+    print(f"{'interval':>12s} {'node':>4s} {'forecast':>10s} "
+          f"{'actual':>10s} {'error':>7s}")
+    for interval, expected in predictor.forecast_profile(app, METRIC, node=0):
+        actual = fresh.interval_mean(METRIC, 0, *interval)
+        err = abs(expected - actual) / actual
+        print(
+            f"[{interval[0]:4.0f}:{interval[1]:4.0f}] {0:>4d} "
+            f"{expected:>10.0f} {actual:>10.0f} {err:>6.1%}"
+        )
+
+    print("\nforecast spread per node (min..max of stored fingerprints):")
+    for forecast in predictor.forecast(app, metric=METRIC):
+        if forecast.interval == INTERVALS[1]:
+            print(
+                f"  node {forecast.node}: {forecast.low:.0f}.."
+                f"{forecast.high:.0f} "
+                f"(from {forecast.observations} observations)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Internal utilities shared across :mod:`repro` subpackages.
+
+Nothing in this package is part of the public API; downstream code should
+import from :mod:`repro` or its documented subpackages instead.
+"""
+
+from repro._util.hashing import stable_hash, stable_uniform, stable_choice
+from repro._util.rng import derive_rng, spawn_rngs
+from repro._util.tables import TextTable, format_float
+from repro._util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_array_1d,
+)
+
+__all__ = [
+    "stable_hash",
+    "stable_uniform",
+    "stable_choice",
+    "derive_rng",
+    "spawn_rngs",
+    "TextTable",
+    "format_float",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_array_1d",
+]

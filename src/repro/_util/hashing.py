@@ -1,0 +1,51 @@
+"""Deterministic, process-independent hashing.
+
+Workload models derive per-(application, input, metric) behaviour
+parameters from stable hashes so that the synthetic dataset is fully
+reproducible across runs, machines, and Python versions (``hash()`` is
+salted per process and therefore unusable here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(*parts: object) -> int:
+    """Return a deterministic 64-bit hash of ``parts``.
+
+    Parts are joined with an unambiguous separator and hashed with
+    BLAKE2b.  Equal inputs hash equally in every process; distinct inputs
+    collide with probability ~2**-64.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        token = f"{type(part).__name__}:{part!r}"
+        h.update(token.encode("utf-8"))
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest(), "big") & _MASK64
+
+
+def stable_uniform(*parts: object, low: float = 0.0, high: float = 1.0) -> float:
+    """Deterministically map ``parts`` to a float uniform in ``[low, high)``."""
+    if not high > low:
+        raise ValueError(f"require high > low, got low={low}, high={high}")
+    unit = stable_hash(*parts) / float(1 << 64)
+    return low + (high - low) * unit
+
+
+def stable_choice(options: Sequence, *parts: object):
+    """Deterministically pick one element of ``options`` from ``parts``."""
+    if len(options) == 0:
+        raise ValueError("options must be non-empty")
+    return options[stable_hash(*parts) % len(options)]
+
+
+def stable_seed_sequence(*parts: object) -> np.random.SeedSequence:
+    """Build a :class:`numpy.random.SeedSequence` from a stable hash."""
+    return np.random.SeedSequence(stable_hash(*parts))

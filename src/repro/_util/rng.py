@@ -1,0 +1,56 @@
+"""Random-number-generator plumbing.
+
+All stochastic components accept either an integer seed or a
+:class:`numpy.random.Generator`; these helpers normalize that and derive
+statistically independent child generators for sub-components.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro._util.hashing import stable_hash
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def derive_rng(rng: RngLike = None, *salt: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` derived from ``rng``.
+
+    ``salt`` parts decorrelate child streams: two calls with the same base
+    seed but different salts produce independent generators, and the same
+    (seed, salt) pair always produces the same stream.
+    """
+    if isinstance(rng, np.random.Generator):
+        if salt:
+            # Fold the salt into a fresh child stream without disturbing
+            # the parent generator's state.  Integer entropy (the normal
+            # case: generators made by this module) hashes directly;
+            # list/None entropy falls back to a state snapshot.
+            seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+            entropy = getattr(seed_seq, "entropy", None)
+            if isinstance(entropy, int):
+                return np.random.default_rng(stable_hash(entropy, *salt))
+            snapshot = repr(rng.bit_generator.state)
+            return np.random.default_rng(stable_hash(snapshot, *salt))
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        entropy = rng.entropy
+        base = entropy if isinstance(entropy, int) else repr(entropy)
+        return np.random.default_rng(stable_hash(base, *salt) if salt else rng)
+    if rng is None:
+        base = 0
+    else:
+        base = int(rng)
+    if salt:
+        return np.random.default_rng(stable_hash(base, *salt))
+    return np.random.default_rng(base)
+
+
+def spawn_rngs(rng: RngLike, n: int, *salt: object) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return [derive_rng(rng, *salt, i) for i in range(n)]

@@ -1,0 +1,116 @@
+"""Plain-text table rendering for benchmark and experiment reports.
+
+The benchmarks must print the same rows the paper's tables report; this
+module provides a small, dependency-free fixed-width table renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format ``value`` compactly (paper-style: ``1.0`` not ``1.00``)."""
+    if value != value:  # NaN
+        return "-"
+    text = f"{value:.{digits}f}"
+    # Trim trailing zeros but keep at least one decimal ("1.0", "0.95").
+    if "." in text:
+        text = text.rstrip("0")
+        if text.endswith("."):
+            text += "0"
+    return text
+
+
+class TextTable:
+    """Fixed-width text table with a header row.
+
+    Example
+    -------
+    >>> t = TextTable(["metric", "F-score"])
+    >>> t.add_row(["nr_mapped_vmstat", "1.0"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        if not headers:
+            raise ValueError("headers must be non-empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[object]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+        sep = "+".join("-" * (w + 2) for w in widths)
+        sep = f"+{sep}+"
+
+        def fmt(cells: Sequence[str]) -> str:
+            inner = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+            return f"| {inner} |"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(fmt(self.headers))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(fmt(row))
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    series: Sequence[tuple],
+    width: int = 40,
+    vmax: float = 1.0,
+    title: Optional[str] = None,
+) -> str:
+    """Render grouped horizontal bars (ASCII stand-in for Figure 2).
+
+    Parameters
+    ----------
+    labels:
+        Group labels (e.g. experiment names).
+    series:
+        Sequence of ``(series_name, values)`` where ``values[i]`` aligns
+        with ``labels[i]``; ``None`` values render as "n/a".
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_w = max((len(n) for n, _ in series), default=0)
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series:
+            v = values[i]
+            if v is None or v != v:
+                lines.append(f"  {name.ljust(name_w)} | n/a")
+                continue
+            filled = int(round(max(0.0, min(v, vmax)) / vmax * width))
+            bar = "#" * filled + "." * (width - filled)
+            lines.append(f"  {name.ljust(name_w)} | {bar} {v:.3f}")
+    return "\n".join(lines)

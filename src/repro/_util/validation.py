@@ -1,0 +1,73 @@
+"""Argument validation helpers.
+
+These raise early, descriptive errors so that user mistakes surface at the
+public API boundary rather than deep inside vectorized NumPy code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+def check_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__} ({value!r})"
+        )
+    return value
+
+
+def check_positive(value: Number, name: str) -> Number:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: Number, name: str) -> Number:
+    """Raise ``ValueError`` unless ``value`` is >= 0 and finite."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: Number,
+    name: str,
+    low: Optional[Number] = None,
+    high: Optional[Number] = None,
+    inclusive: bool = True,
+) -> Number:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    ok = True
+    if low is not None:
+        ok = ok and (value >= low if inclusive else value > low)
+    if high is not None:
+        ok = ok and (value <= high if inclusive else value < high)
+    if not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_array_1d(
+    values: Sequence, name: str, dtype: Optional[type] = float, min_len: int = 0
+) -> np.ndarray:
+    """Coerce ``values`` to a 1-D NumPy array, validating shape and length."""
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.shape[0] < min_len:
+        raise ValueError(
+            f"{name} must have at least {min_len} elements, got {arr.shape[0]}"
+        )
+    return arr

@@ -1,0 +1,18 @@
+"""Comparison systems.
+
+- :mod:`repro.baselines.taxonomist` — the Taxonomist-style classifier
+  the paper compares against in Figure 2 (per-node statistical features
+  over the full window + random forest + confidence thresholding).
+- :mod:`repro.baselines.nearest` — distance-based recognizers over the
+  same interval means the EFD uses, quantifying what the dictionary's
+  O(1) lookup gives up (or does not) versus nearest-neighbour matching.
+"""
+
+from repro.baselines.taxonomist import TaxonomistClassifier
+from repro.baselines.nearest import NearestCentroidRecognizer, OneNNRecognizer
+
+__all__ = [
+    "TaxonomistClassifier",
+    "NearestCentroidRecognizer",
+    "OneNNRecognizer",
+]

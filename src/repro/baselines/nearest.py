@@ -1,0 +1,157 @@
+"""Distance-based recognizers over EFD-style interval means.
+
+The paper argues dictionary lookup beats distance computation on
+simplicity ("Computing distance measures for every example introduces
+unnecessary computational steps").  These two recognizers quantify the
+comparison: same feature (per-node interval means, *unrounded*), but
+nearest-centroid / 1-NN matching with a relative-distance threshold for
+unknowns.  The ablation bench contrasts their accuracy and lookup cost
+with the EFD's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.fingerprint import DEFAULT_INTERVAL
+from repro.data.dataset import ExecutionDataset, ExecutionRecord
+
+
+def _interval_vector(
+    record: ExecutionRecord, metric: str, interval: Tuple[float, float]
+) -> np.ndarray:
+    """Per-node interval means as a feature vector (NaN -> node dropped)."""
+    start, end = interval
+    return np.array(
+        [
+            record.interval_mean(metric, node, start, end)
+            for node in range(record.n_nodes)
+        ]
+    )
+
+
+class NearestCentroidRecognizer:
+    """Per-label centroid matching with a relative distance threshold."""
+
+    def __init__(
+        self,
+        metric: str = "nr_mapped_vmstat",
+        interval: Tuple[float, float] = DEFAULT_INTERVAL,
+        rel_threshold: float = 0.05,
+        unknown_label: str = "unknown",
+    ):
+        if rel_threshold <= 0:
+            raise ValueError(f"rel_threshold must be > 0, got {rel_threshold}")
+        self.metric = metric
+        self.interval = interval
+        self.rel_threshold = rel_threshold
+        self.unknown_label = unknown_label
+
+    def fit(self, data: Union[ExecutionDataset, Sequence[ExecutionRecord]]) -> "NearestCentroidRecognizer":
+        records = list(data)
+        if not records:
+            raise ValueError("cannot fit on zero records")
+        sums: Dict[str, np.ndarray] = {}
+        counts: Dict[str, int] = {}
+        self._apps: Dict[str, str] = {}
+        for record in records:
+            vec = _interval_vector(record, self.metric, self.interval)
+            if np.isnan(vec).any():
+                continue
+            key = record.label
+            if key in sums:
+                sums[key] = sums[key] + vec
+                counts[key] += 1
+            else:
+                sums[key] = vec.copy()
+                counts[key] = 1
+            self._apps[key] = record.app_name
+        if not sums:
+            raise ValueError("no usable training records (all intervals NaN)")
+        self.centroids_ = {k: sums[k] / counts[k] for k in sums}
+        return self
+
+    def predict_one(self, record: ExecutionRecord) -> str:
+        self._check_fitted()
+        vec = _interval_vector(record, self.metric, self.interval)
+        if np.isnan(vec).any():
+            return self.unknown_label
+        best_label: Optional[str] = None
+        best_dist = np.inf
+        for label, centroid in self.centroids_.items():
+            if len(centroid) != len(vec):
+                continue
+            dist = float(np.linalg.norm(vec - centroid))
+            if dist < best_dist:
+                best_dist = dist
+                best_label = label
+        if best_label is None:
+            return self.unknown_label
+        scale = float(np.linalg.norm(self.centroids_[best_label])) or 1.0
+        if best_dist / scale > self.rel_threshold:
+            return self.unknown_label
+        return self._apps[best_label]
+
+    def predict(self, data) -> Union[str, List[str]]:
+        if isinstance(data, ExecutionRecord):
+            return self.predict_one(data)
+        return [self.predict_one(r) for r in data]
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "centroids_"):
+            raise RuntimeError(
+                "NearestCentroidRecognizer is not fitted; call fit() first"
+            )
+
+
+class OneNNRecognizer:
+    """1-nearest-neighbour over stored execution vectors."""
+
+    def __init__(
+        self,
+        metric: str = "nr_mapped_vmstat",
+        interval: Tuple[float, float] = DEFAULT_INTERVAL,
+        rel_threshold: float = 0.05,
+        unknown_label: str = "unknown",
+    ):
+        if rel_threshold <= 0:
+            raise ValueError(f"rel_threshold must be > 0, got {rel_threshold}")
+        self.metric = metric
+        self.interval = interval
+        self.rel_threshold = rel_threshold
+        self.unknown_label = unknown_label
+
+    def fit(self, data: Union[ExecutionDataset, Sequence[ExecutionRecord]]) -> "OneNNRecognizer":
+        vectors: List[np.ndarray] = []
+        apps: List[str] = []
+        for record in data:
+            vec = _interval_vector(record, self.metric, self.interval)
+            if np.isnan(vec).any():
+                continue
+            vectors.append(vec)
+            apps.append(record.app_name)
+        if not vectors:
+            raise ValueError("no usable training records (all intervals NaN)")
+        self._X = np.vstack(vectors)
+        self._apps = apps
+        return self
+
+    def predict_one(self, record: ExecutionRecord) -> str:
+        if not hasattr(self, "_X"):
+            raise RuntimeError("OneNNRecognizer is not fitted; call fit() first")
+        vec = _interval_vector(record, self.metric, self.interval)
+        if np.isnan(vec).any() or len(vec) != self._X.shape[1]:
+            return self.unknown_label
+        dists = np.linalg.norm(self._X - vec, axis=1)
+        best = int(np.argmin(dists))
+        scale = float(np.linalg.norm(self._X[best])) or 1.0
+        if dists[best] / scale > self.rel_threshold:
+            return self.unknown_label
+        return self._apps[best]
+
+    def predict(self, data) -> Union[str, List[str]]:
+        if isinstance(data, ExecutionRecord):
+            return self.predict_one(data)
+        return [self.predict_one(r) for r in data]

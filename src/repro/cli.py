@@ -1,0 +1,248 @@
+"""Command-line interface: ``efd`` (or ``python -m repro``).
+
+Subcommands
+-----------
+- ``efd generate --out data.npz`` — build a synthetic Taxonomist-style
+  dataset.
+- ``efd fit --data data.npz --out efd.json`` — learn a dictionary.
+- ``efd recognize --efd efd.json --data data.npz`` — recognize
+  executions.
+- ``efd experiment --name normal_fold`` — run one of the paper's five
+  experiments end to end.
+- ``efd tables`` — render the paper's Tables 1/2/4.
+- ``efd info`` — registry and configuration overview.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--metrics", nargs="+", default=["nr_mapped_vmstat"])
+    p.add_argument("--repetitions", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--duration-cap", type=float, default=None)
+
+
+def _add_fit(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("fit", help="learn an EFD from a dataset")
+    p.add_argument("--data", required=True, help="dataset .npz path")
+    p.add_argument("--out", required=True, help="output dictionary JSON path")
+    p.add_argument("--metric", default="nr_mapped_vmstat")
+    p.add_argument("--depth", type=int, default=None,
+                   help="fixed rounding depth (default: tuned by CV)")
+    p.add_argument("--interval", nargs=2, type=float, default=[60.0, 120.0])
+
+
+def _add_recognize(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("recognize", help="recognize executions with an EFD")
+    p.add_argument("--efd", required=True, help="dictionary JSON path")
+    p.add_argument("--data", required=True, help="dataset .npz path")
+    p.add_argument("--metric", default="nr_mapped_vmstat")
+    p.add_argument("--depth", type=int, required=True,
+                   help="rounding depth the dictionary was built with")
+    p.add_argument("--interval", nargs=2, type=float, default=[60.0, 120.0])
+
+
+def _add_experiment(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("experiment", help="run one of the paper's experiments")
+    p.add_argument(
+        "--name",
+        required=True,
+        choices=["normal_fold", "soft_input", "soft_unknown",
+                 "hard_input", "hard_unknown", "figure2"],
+    )
+    p.add_argument("--repetitions", type=int, default=6)
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--metric", default="nr_mapped_vmstat")
+    p.add_argument("--folds", type=int, default=5)
+
+
+def _add_tables(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("tables", help="render the paper's tables")
+    p.add_argument("--which", nargs="+", default=["1", "2", "4"],
+                   choices=["1", "2", "4"])
+    p.add_argument("--repetitions", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2021)
+
+
+def _add_info(sub: argparse._SubParsersAction) -> None:
+    sub.add_parser("info", help="registry and configuration overview")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="efd",
+        description="Execution Fingerprint Dictionary for HPC application "
+                    "recognition (CLUSTER 2021 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_fit(sub)
+    _add_recognize(sub)
+    _add_experiment(sub)
+    _add_tables(sub)
+    _add_info(sub)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations (imports deferred so `--help` stays snappy)
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.io import save_dataset
+    from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+
+    config = DatasetConfig(
+        metrics=tuple(args.metrics),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        duration_cap=args.duration_cap,
+    )
+    dataset = TaxonomistDatasetGenerator(config).generate()
+    save_dataset(dataset, args.out)
+    summary = dataset.summary()
+    print(
+        f"wrote {summary['executions']} executions "
+        f"({summary['pairs']} app-input pairs x {args.repetitions} reps, "
+        f"{summary['metrics']} metric(s)) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.core.recognizer import EFDRecognizer
+    from repro.core.serialization import save_dictionary
+    from repro.data.io import load_dataset
+
+    dataset = load_dataset(args.data)
+    recognizer = EFDRecognizer(
+        metric=args.metric,
+        interval=(args.interval[0], args.interval[1]),
+        depth=args.depth,
+    ).fit(dataset)
+    save_dictionary(recognizer.dictionary_, args.out)
+    stats = recognizer.stats()
+    print(
+        f"learned EFD: depth={recognizer.depth_}, keys={stats.n_keys}, "
+        f"insertions={stats.n_insertions}, "
+        f"pruning_ratio={stats.pruning_ratio:.2f} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_recognize(args: argparse.Namespace) -> int:
+    from repro.core.fingerprint import build_fingerprints
+    from repro.core.matcher import match_fingerprints
+    from repro.core.serialization import load_dictionary
+    from repro.data.io import load_dataset
+
+    efd = load_dictionary(args.efd)
+    dataset = load_dataset(args.data)
+    interval = (args.interval[0], args.interval[1])
+    correct = 0
+    for record in dataset:
+        fps = build_fingerprints(record, args.metric, args.depth, interval)
+        result = match_fingerprints(efd, fps)
+        prediction = result.prediction or "unknown"
+        marker = "OK " if prediction == record.app_name else "MISS"
+        if prediction == record.app_name:
+            correct += 1
+        print(
+            f"{marker} record {record.record_id:4d} true={record.label:14s} "
+            f"predicted={prediction:12s} votes={dict(result.votes)}"
+        )
+    total = len(dataset)
+    print(f"accuracy: {correct}/{total} = {correct / total:.3f}" if total else
+          "empty dataset")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+    from repro.experiments.figures import figure2_series, render_figure2
+    from repro.experiments.protocol import make_efd_factory, run_experiment
+
+    config = DatasetConfig(
+        metrics=(args.metric,), repetitions=args.repetitions, seed=args.seed
+    )
+    dataset = TaxonomistDatasetGenerator(config).generate()
+    if args.name == "figure2":
+        series = figure2_series(dataset, efd_metric=args.metric, k=args.folds,
+                                seed=args.seed)
+        print(render_figure2(series))
+        return 0
+    result = run_experiment(
+        args.name, dataset, make_efd_factory(metric=args.metric, seed=args.seed),
+        k=args.folds, seed=args.seed,
+    )
+    print(result)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+    from repro.experiments.tables import (
+        example_efd,
+        render_table1,
+        render_table2,
+        render_table4,
+    )
+
+    if "1" in args.which:
+        print(render_table1())
+        print()
+    if "2" in args.which or "4" in args.which:
+        config = DatasetConfig(repetitions=args.repetitions, seed=args.seed)
+        dataset = TaxonomistDatasetGenerator(config).generate()
+        if "2" in args.which:
+            print(render_table2(dataset))
+            print()
+        if "4" in args.which:
+            from repro.experiments.tables import render_table4 as _render4
+
+            print(_render4(example_efd(dataset)))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.telemetry.metrics import default_registry, TABLE3_METRICS
+    from repro.workloads.registry import APP_NAMES, STARRED_APPS, default_workloads
+
+    registry = default_registry()
+    workloads = default_workloads()
+    print(f"repro {__version__} — EFD reproduction (CLUSTER 2021)")
+    print(f"metric registry : {len(registry)} metrics in groups {registry.groups()}")
+    print(f"paper metrics   : {list(TABLE3_METRICS)[:4]} ...")
+    print(f"applications    : {APP_NAMES}")
+    print(f"with input L    : {STARRED_APPS}")
+    print(f"app-input pairs : {len(workloads.app_input_pairs())}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "fit": _cmd_fit,
+    "recognize": _cmd_recognize,
+    "experiment": _cmd_experiment,
+    "tables": _cmd_tables,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Simulated HPC system.
+
+Provides the execution substrate the recognition pipeline runs against:
+nodes (:mod:`repro.cluster.node`), a cluster with allocation
+(:mod:`repro.cluster.system`), jobs (:mod:`repro.cluster.job`), an
+execution engine that runs a workload model and produces LDMS telemetry
+(:mod:`repro.cluster.execution`), and a small FCFS/backfill scheduler
+(:mod:`repro.cluster.scheduler`) used by the streaming examples.
+"""
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.system import Cluster, AllocationError
+from repro.cluster.job import Job, JobStatus
+from repro.cluster.execution import ExecutionEngine, ExecutionResult
+from repro.cluster.scheduler import Scheduler, SchedulerPolicy, ScheduledJob
+
+__all__ = [
+    "Node",
+    "NodeSpec",
+    "Cluster",
+    "AllocationError",
+    "Job",
+    "JobStatus",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "Scheduler",
+    "SchedulerPolicy",
+    "ScheduledJob",
+]

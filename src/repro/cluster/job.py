@@ -1,0 +1,68 @@
+"""Job descriptor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.base import AppModel
+
+
+class JobStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One batch job: an application, an input size, and a node request.
+
+    The ``app`` the job *actually runs* is intentionally separate from
+    any user-declared metadata — recognition exists precisely because job
+    scripts can lie about what they execute.
+    """
+
+    job_id: int
+    app: AppModel
+    input_size: str
+    n_nodes: int = 4
+    submit_time: float = 0.0
+    status: JobStatus = JobStatus.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    node_ids: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError(f"job_id must be >= 0, got {self.job_id}")
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.submit_time < 0:
+            raise ValueError(f"submit_time must be >= 0, got {self.submit_time}")
+
+    @property
+    def duration(self) -> float:
+        """Modelled execution duration in seconds."""
+        return self.app.duration(self.input_size)
+
+    def mark_running(self, start_time: float, node_ids: List[int]) -> None:
+        if self.status is not JobStatus.PENDING:
+            raise RuntimeError(f"job {self.job_id} is {self.status.value}, not pending")
+        if len(node_ids) != self.n_nodes:
+            raise ValueError(
+                f"job {self.job_id} requested {self.n_nodes} nodes, got {len(node_ids)}"
+            )
+        self.status = JobStatus.RUNNING
+        self.start_time = float(start_time)
+        self.node_ids = list(node_ids)
+
+    def mark_completed(self, end_time: float) -> None:
+        if self.status is not JobStatus.RUNNING:
+            raise RuntimeError(f"job {self.job_id} is {self.status.value}, not running")
+        if self.start_time is not None and end_time < self.start_time:
+            raise ValueError("end_time precedes start_time")
+        self.status = JobStatus.COMPLETED
+        self.end_time = float(end_time)

@@ -1,0 +1,51 @@
+"""Compute-node model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description shared by a homogeneous partition."""
+
+    cores: int = 32
+    mem_gb: int = 128
+    nic: str = "aries"
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.mem_gb < 1:
+            raise ValueError(f"mem_gb must be >= 1, got {self.mem_gb}")
+
+
+@dataclass
+class Node:
+    """One compute node with allocation state."""
+
+    node_id: int
+    spec: NodeSpec = field(default_factory=NodeSpec)
+    allocated_to: int = -1  # job id, or -1 when free
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+
+    @property
+    def is_free(self) -> bool:
+        return self.allocated_to < 0
+
+    def allocate(self, job_id: int) -> None:
+        if not self.is_free:
+            raise RuntimeError(
+                f"node {self.node_id} already allocated to job {self.allocated_to}"
+            )
+        if job_id < 0:
+            raise ValueError(f"job_id must be >= 0, got {job_id}")
+        self.allocated_to = job_id
+
+    def release(self) -> None:
+        if self.is_free:
+            raise RuntimeError(f"node {self.node_id} is not allocated")
+        self.allocated_to = -1

@@ -1,0 +1,64 @@
+"""Cluster: a set of nodes with contiguous-free allocation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.node import Node, NodeSpec
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation request cannot be satisfied."""
+
+
+class Cluster:
+    """A homogeneous partition of compute nodes."""
+
+    def __init__(self, n_nodes: int, spec: Optional[NodeSpec] = None):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        spec = spec or NodeSpec()
+        self.nodes: List[Node] = [Node(i, spec) for i in range(n_nodes)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def free_count(self) -> int:
+        return sum(1 for n in self.nodes if n.is_free)
+
+    def free_nodes(self) -> List[int]:
+        return [n.node_id for n in self.nodes if n.is_free]
+
+    def allocate(self, job_id: int, count: int) -> List[int]:
+        """Allocate ``count`` free nodes to ``job_id``; returns node ids."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        free = self.free_nodes()
+        if len(free) < count:
+            raise AllocationError(
+                f"job {job_id} needs {count} nodes, only {len(free)} free"
+            )
+        chosen = free[:count]
+        for nid in chosen:
+            self.nodes[nid].allocate(job_id)
+        return chosen
+
+    def release(self, job_id: int) -> List[int]:
+        """Release every node held by ``job_id``; returns the node ids."""
+        released = []
+        for node in self.nodes:
+            if node.allocated_to == job_id:
+                node.release()
+                released.append(node.node_id)
+        if not released:
+            raise AllocationError(f"job {job_id} holds no nodes")
+        return released
+
+    def allocation_map(self) -> Dict[int, List[int]]:
+        """``{job_id: [node ids]}`` for currently running jobs."""
+        out: Dict[int, List[int]] = {}
+        for node in self.nodes:
+            if not node.is_free:
+                out.setdefault(node.allocated_to, []).append(node.node_id)
+        return out

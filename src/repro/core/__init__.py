@@ -1,0 +1,79 @@
+"""The Execution Fingerprint Dictionary (EFD) — the paper's contribution.
+
+Learning stores key-value pairs mapping *execution fingerprints* (metric
+name, node id, time interval, rounded interval mean) to application +
+input-size labels; testing looks up the fingerprints of an unlabeled
+execution and returns the most-matched application.  Rounding depth — the
+position of the significant digit the mean is rounded to — is the only
+tunable parameter and is selected by cross-validation inside the
+training set.
+
+Modules
+-------
+- :mod:`repro.core.rounding` — the rounding-depth mechanism (Table 1).
+- :mod:`repro.core.fingerprint` — fingerprint keys and construction.
+- :mod:`repro.core.dictionary` — the key-value store itself (Table 4).
+- :mod:`repro.core.matcher` — lookup, node voting, ties, unknowns.
+- :mod:`repro.core.tuning` — rounding-depth selection via in-training CV.
+- :mod:`repro.core.recognizer` — the high-level fit/predict API.
+- :mod:`repro.core.multimetric` / :mod:`repro.core.temporal` — the
+  paper's future-work extensions (combinatorial and multi-interval
+  fingerprints).
+- :mod:`repro.core.inverse` — dictionary-in-reverse resource-usage
+  prediction (§6).
+- :mod:`repro.core.serialization` — JSON round-trip.
+"""
+
+from repro.core.rounding import round_depth, round_depth_array, bucket_width
+from repro.core.fingerprint import Fingerprint, build_fingerprints, DEFAULT_INTERVAL
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.matcher import MatchResult, match_fingerprints, vote
+from repro.core.tuning import select_rounding_depth, depth_scores
+from repro.core.recognizer import EFDRecognizer
+from repro.core.multimetric import MultiMetricRecognizer
+from repro.core.temporal import MultiIntervalRecognizer, align_and_match
+from repro.core.inverse import UsagePredictor
+from repro.core.streaming import StreamingRecognizer, StreamSession
+from repro.core.anomaly import DeviationDetector, DeviationReport, NodeDeviation
+from repro.core.maintenance import (
+    cap_keys_per_app,
+    diff,
+    evict_apps,
+    evict_labels,
+    federate,
+    prune_rare_keys,
+)
+from repro.core.serialization import dictionary_to_json, dictionary_from_json
+
+__all__ = [
+    "round_depth",
+    "round_depth_array",
+    "bucket_width",
+    "Fingerprint",
+    "build_fingerprints",
+    "DEFAULT_INTERVAL",
+    "ExecutionFingerprintDictionary",
+    "MatchResult",
+    "match_fingerprints",
+    "vote",
+    "select_rounding_depth",
+    "depth_scores",
+    "EFDRecognizer",
+    "MultiMetricRecognizer",
+    "MultiIntervalRecognizer",
+    "align_and_match",
+    "UsagePredictor",
+    "StreamingRecognizer",
+    "StreamSession",
+    "DeviationDetector",
+    "DeviationReport",
+    "NodeDeviation",
+    "evict_labels",
+    "evict_apps",
+    "prune_rare_keys",
+    "cap_keys_per_app",
+    "federate",
+    "diff",
+    "dictionary_to_json",
+    "dictionary_from_json",
+]

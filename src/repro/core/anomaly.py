@@ -1,0 +1,157 @@
+"""Deviation detection against learned fingerprints (paper §1, use (b)).
+
+    "If we ... recognize that a job executes a known application, we can
+    ... (b) detect deviations from past resource usage (indicating
+    anomalies and potential errors)."
+
+Given an execution *claimed or recognized* to be application A, compare
+its per-node interval means against A's stored fingerprints.  Distance
+is measured in **bucket units** (multiples of the rounding bucket width
+at the dictionary's depth), which normalizes across metrics of very
+different magnitudes: a node sitting 0-1 buckets from a stored key is
+business as usual; several buckets away means the job is not behaving
+like past executions of A — degraded node, wrong input deck, or not A
+at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dictionary import ExecutionFingerprintDictionary, app_of_label
+from repro.core.fingerprint import DEFAULT_INTERVAL
+from repro.core.rounding import bucket_width
+from repro.data.dataset import ExecutionRecord
+
+
+@dataclass(frozen=True)
+class NodeDeviation:
+    """Deviation of one node from the application's stored fingerprints."""
+
+    node: int
+    observed_mean: float
+    nearest_key: Optional[float]   # closest stored fingerprint value
+    distance_buckets: float        # |observed - nearest| / bucket width
+
+    @property
+    def has_reference(self) -> bool:
+        return self.nearest_key is not None
+
+
+@dataclass(frozen=True)
+class DeviationReport:
+    """Whole-execution deviation verdict."""
+
+    app: str
+    metric: str
+    interval: Tuple[float, float]
+    nodes: Tuple[NodeDeviation, ...]
+    threshold_buckets: float
+
+    @property
+    def max_distance(self) -> float:
+        scored = [n.distance_buckets for n in self.nodes if n.has_reference]
+        return max(scored) if scored else float("inf")
+
+    @property
+    def is_anomalous(self) -> bool:
+        """True when any node strays beyond the threshold (or has no
+        reference at all while others do)."""
+        if not self.nodes:
+            return True
+        return self.max_distance > self.threshold_buckets
+
+    def anomalous_nodes(self) -> List[int]:
+        return [
+            n.node
+            for n in self.nodes
+            if not n.has_reference or n.distance_buckets > self.threshold_buckets
+        ]
+
+    def __str__(self) -> str:
+        status = "ANOMALOUS" if self.is_anomalous else "normal"
+        return (
+            f"DeviationReport(app={self.app}, {status}, "
+            f"max={self.max_distance:.1f} buckets, "
+            f"threshold={self.threshold_buckets:g})"
+        )
+
+
+class DeviationDetector:
+    """Compares executions against one application's learned fingerprints."""
+
+    def __init__(
+        self,
+        dictionary: ExecutionFingerprintDictionary,
+        metric: str = "nr_mapped_vmstat",
+        depth: int = 3,
+        interval: Tuple[float, float] = DEFAULT_INTERVAL,
+        threshold_buckets: float = 2.0,
+    ):
+        if len(dictionary) == 0:
+            raise ValueError("cannot detect deviations against an empty dictionary")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if threshold_buckets <= 0:
+            raise ValueError(
+                f"threshold_buckets must be > 0, got {threshold_buckets}"
+            )
+        self.dictionary = dictionary
+        self.metric = metric
+        self.depth = int(depth)
+        self.interval = (float(interval[0]), float(interval[1]))
+        self.threshold_buckets = float(threshold_buckets)
+
+    def _stored_values(self, app: str, node: int) -> List[float]:
+        """Stored fingerprint values of ``app`` for logical ``node``."""
+        values = []
+        for fp, labels in self.dictionary.entries():
+            if fp.metric != self.metric or fp.node != node:
+                continue
+            if fp.interval != self.interval:
+                continue
+            if any(app_of_label(label) == app for label in labels):
+                values.append(fp.value)
+        return values
+
+    def check(self, record: ExecutionRecord, app: Optional[str] = None) -> DeviationReport:
+        """Score ``record`` against ``app``'s fingerprints.
+
+        ``app`` defaults to the record's own label — the common flow is
+        "job claims to be A; does it behave like past A executions?".
+        """
+        target = app if app is not None else record.app_name
+        known_apps = set(self.dictionary.app_names())
+        if target not in known_apps:
+            raise KeyError(
+                f"application {target!r} has no fingerprints in the "
+                f"dictionary; known: {sorted(known_apps)}"
+            )
+        start, end = self.interval
+        nodes: List[NodeDeviation] = []
+        for node in range(record.n_nodes):
+            observed = record.interval_mean(self.metric, node, start, end)
+            if observed != observed:  # NaN: no telemetry in window
+                nodes.append(
+                    NodeDeviation(node, float("nan"), None, float("inf"))
+                )
+                continue
+            stored = self._stored_values(target, node)
+            if not stored:
+                nodes.append(NodeDeviation(node, observed, None, float("inf")))
+                continue
+            stored_arr = np.asarray(stored)
+            nearest = float(stored_arr[np.argmin(np.abs(stored_arr - observed))])
+            width = bucket_width(nearest if nearest != 0 else observed, self.depth)
+            distance = abs(observed - nearest) / width if width > 0 else 0.0
+            nodes.append(NodeDeviation(node, observed, nearest, float(distance)))
+        return DeviationReport(
+            app=target,
+            metric=self.metric,
+            interval=self.interval,
+            nodes=tuple(nodes),
+            threshold_buckets=self.threshold_buckets,
+        )

@@ -1,0 +1,191 @@
+"""The Execution Fingerprint Dictionary store (paper §3, Table 4).
+
+A mapping from :class:`~repro.core.fingerprint.Fingerprint` keys to
+application + input-size labels.  Three properties matter:
+
+- **Keys are unique**; rounding ("pruning") collapses similar
+  measurements onto one key, which is what keeps the dictionary small.
+- **Values preserve first-seen order** and repetition counts.  The paper
+  returns an *array* of application names on ties and evaluates the
+  first entry; first-seen order makes that deterministic and
+  reproducible (Table 4 lists "sp X, ..., bt X" — the insertion order of
+  the learning phase).
+- **Lookups are O(1)** — "a straightforward mechanism of recognition";
+  no distance computations at test time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class DictionaryStats:
+    """Size/selectivity summary of an EFD."""
+
+    n_keys: int
+    n_insertions: int
+    n_labels: int
+    n_colliding_keys: int  # keys whose labels span >1 application
+    max_labels_per_key: int
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of insertions absorbed by existing keys."""
+        if self.n_insertions == 0:
+            return 0.0
+        return 1.0 - self.n_keys / self.n_insertions
+
+
+def app_of_label(label: str) -> str:
+    """Application name of an ``app_input`` label (input is the suffix)."""
+    if "_" not in label:
+        return label
+    return label.rsplit("_", 1)[0]
+
+
+class ExecutionFingerprintDictionary:
+    """Key-value store of execution fingerprints."""
+
+    def __init__(self) -> None:
+        # fingerprint -> {label: repetition count}, both insertion-ordered.
+        self._store: Dict[Fingerprint, Dict[str, int]] = {}
+        self._insertions = 0
+        # First-seen orders, maintained incrementally so that lookups and
+        # tie-breaking stay O(1) in the dictionary size.
+        self._label_order: Dict[str, None] = {}
+        self._app_order: Dict[str, None] = {}
+
+    # -- writing -----------------------------------------------------------
+    def add(self, fingerprint: Fingerprint, label: str) -> None:
+        """Insert one (fingerprint, label) observation."""
+        if not label:
+            raise ValueError("label must be non-empty")
+        labels = self._store.setdefault(fingerprint, {})
+        labels[label] = labels.get(label, 0) + 1
+        self._insertions += 1
+        self.register_label(label)
+
+    def register_label(self, label: str) -> None:
+        """Record ``label`` in the first-seen orders without an insertion.
+
+        Used by deserialization to restore the global learning order that
+        tie-breaking depends on; harmless if the label is already known.
+        """
+        if not label:
+            raise ValueError("label must be non-empty")
+        self._label_order.setdefault(label, None)
+        self._app_order.setdefault(app_of_label(label), None)
+
+    def add_many(
+        self, fingerprints: Sequence[Optional[Fingerprint]], label: str
+    ) -> int:
+        """Insert all non-``None`` fingerprints; returns how many."""
+        n = 0
+        for fp in fingerprints:
+            if fp is not None:
+                self.add(fp, label)
+                n += 1
+        return n
+
+    def merge(self, other: "ExecutionFingerprintDictionary") -> None:
+        """Fold another dictionary's observations into this one."""
+        for fp, labels in other._store.items():
+            for label, count in labels.items():
+                mine = self._store.setdefault(fp, {})
+                mine[label] = mine.get(label, 0) + count
+                self._insertions += count
+                self._label_order.setdefault(label, None)
+                self._app_order.setdefault(app_of_label(label), None)
+
+    # -- reading ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint in self._store
+
+    def lookup(self, fingerprint: Optional[Fingerprint]) -> List[str]:
+        """Labels linked to ``fingerprint``, first-seen order; [] if absent."""
+        if fingerprint is None:
+            return []
+        labels = self._store.get(fingerprint)
+        return list(labels) if labels else []
+
+    def lookup_counts(self, fingerprint: Optional[Fingerprint]) -> Dict[str, int]:
+        """Labels with repetition counts; {} if absent."""
+        if fingerprint is None:
+            return {}
+        return dict(self._store.get(fingerprint, {}))
+
+    def entries(self) -> Iterator[Tuple[Fingerprint, List[str]]]:
+        """All (key, labels) pairs in insertion order (Table 4 layout)."""
+        for fp, labels in self._store.items():
+            yield fp, list(labels)
+
+    def labels(self) -> List[str]:
+        """Every distinct stored label, first-seen order."""
+        return list(self._label_order)
+
+    def app_names(self) -> List[str]:
+        """Every distinct application name, first-seen order."""
+        return list(self._app_order)
+
+    def metrics(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for fp in self._store:
+            seen.setdefault(fp.metric, None)
+        return list(seen)
+
+    def intervals(self) -> List[Tuple[float, float]]:
+        seen: Dict[Tuple[float, float], None] = {}
+        for fp in self._store:
+            seen.setdefault(fp.interval, None)
+        return list(seen)
+
+    # -- analysis -------------------------------------------------------------
+    def stats(self) -> DictionaryStats:
+        colliding = 0
+        max_labels = 0
+        all_labels: Dict[str, None] = {}
+        for labels in self._store.values():
+            apps = {app_of_label(l) for l in labels}
+            if len(apps) > 1:
+                colliding += 1
+            max_labels = max(max_labels, len(labels))
+            for label in labels:
+                all_labels.setdefault(label, None)
+        return DictionaryStats(
+            n_keys=len(self._store),
+            n_insertions=self._insertions,
+            n_labels=len(all_labels),
+            n_colliding_keys=colliding,
+            max_labels_per_key=max_labels,
+        )
+
+    def collisions(self) -> List[Tuple[Fingerprint, List[str]]]:
+        """Keys whose labels span more than one application (e.g. SP/BT)."""
+        out = []
+        for fp, labels in self._store.items():
+            apps = {app_of_label(l) for l in labels}
+            if len(apps) > 1:
+                out.append((fp, list(labels)))
+        return out
+
+    def fingerprints_for(self, label_prefix: str) -> List[Fingerprint]:
+        """Keys whose labels include any label starting with ``label_prefix``.
+
+        Supports both exact ``app_input`` labels and bare application
+        names (used by the reverse-lookup predictor).
+        """
+        out = []
+        for fp, labels in self._store.items():
+            for label in labels:
+                if label == label_prefix or label.startswith(label_prefix + "_") \
+                        or app_of_label(label) == label_prefix:
+                    out.append(fp)
+                    break
+        return out

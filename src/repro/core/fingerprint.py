@@ -1,0 +1,88 @@
+"""Execution fingerprints (paper §3).
+
+    "Fingerprints consist of: (a) metric name, (b) node ID, (c) time
+    interval, and (d) rounded mean.  An example fingerprint might look
+    like this: [nr_mapped_vmstat, 0, [60:120], 6000.0]."
+
+A fingerprint is the *key* of the EFD; the linked value is application +
+input-size information.  Keys from different metrics and different time
+intervals can co-exist in one dictionary because metric name and
+interval are part of the key (paper §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.rounding import round_depth
+from repro.data.dataset import ExecutionRecord
+
+#: The paper's fingerprint interval: [60 s, 120 s] after execution start,
+#: chosen "to avoid the perturbations in the initialization phase while
+#: still reporting results relatively early during an execution".
+DEFAULT_INTERVAL: Tuple[float, float] = (60.0, 120.0)
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """One execution fingerprint (a dictionary key)."""
+
+    metric: str
+    node: int
+    interval: Tuple[float, float]
+    value: float
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ValueError("metric name must be non-empty")
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+        start, end = self.interval
+        if end <= start:
+            raise ValueError(
+                f"interval end must exceed start, got [{start}:{end}]"
+            )
+        if self.value != self.value:
+            raise ValueError("fingerprint value must not be NaN")
+
+    def __str__(self) -> str:
+        start, end = self.interval
+        return (
+            f"[{self.metric}, {self.node}, [{start:g}:{end:g}], {self.value:g}]"
+        )
+
+
+def build_fingerprints(
+    record: ExecutionRecord,
+    metric: str,
+    depth: int,
+    interval: Tuple[float, float] = DEFAULT_INTERVAL,
+) -> List[Optional[Fingerprint]]:
+    """Fingerprints of one execution, one entry per node.
+
+    A node whose interval mean is unavailable (sampler produced no valid
+    samples in the window) yields ``None`` — recognition simply has one
+    fewer vote, mirroring how a production pipeline degrades.
+    """
+    if metric not in {m for m, _ in record.telemetry}:
+        raise KeyError(
+            f"record {record.record_id} ({record.label}) has no telemetry "
+            f"for metric {metric!r}"
+        )
+    start, end = interval
+    out: List[Optional[Fingerprint]] = []
+    for node in range(record.n_nodes):
+        mean = record.interval_mean(metric, node, start, end)
+        if mean != mean:  # NaN — no valid samples in the interval
+            out.append(None)
+            continue
+        out.append(
+            Fingerprint(
+                metric=metric,
+                node=node,
+                interval=(float(start), float(end)),
+                value=round_depth(mean, depth),
+            )
+        )
+    return out

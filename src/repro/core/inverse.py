@@ -1,0 +1,110 @@
+"""Dictionary-in-reverse resource-usage prediction (paper §6).
+
+    "Populating the dictionary with different time intervals could
+    enable resource usage prediction, by using the dictionary in
+    reverse, namely by looking up applications to report potential
+    future resource usage based on resource usage in the past."
+
+Given a recognized application (typically recognized from the *first*
+interval), :class:`UsagePredictor` reports the expected metric levels in
+*later* intervals from the fingerprints past executions left behind —
+repetition-count-weighted means with spread, per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dictionary import ExecutionFingerprintDictionary, app_of_label
+
+
+@dataclass(frozen=True)
+class UsageForecast:
+    """Expected usage of one (metric, interval, node) for an application."""
+
+    metric: str
+    interval: Tuple[float, float]
+    node: int
+    expected: float     # repetition-weighted mean of stored key values
+    low: float          # min stored key value
+    high: float         # max stored key value
+    observations: int   # total repetitions behind the estimate
+
+
+class UsagePredictor:
+    """Reverse lookup over an EFD populated with one or more intervals."""
+
+    def __init__(self, dictionary: ExecutionFingerprintDictionary):
+        if len(dictionary) == 0:
+            raise ValueError("cannot build a predictor over an empty dictionary")
+        self.dictionary = dictionary
+
+    def known_applications(self) -> List[str]:
+        return self.dictionary.app_names()
+
+    def forecast(
+        self,
+        app: str,
+        metric: Optional[str] = None,
+        input_size: Optional[str] = None,
+    ) -> List[UsageForecast]:
+        """All usage forecasts for ``app`` (optionally one input size).
+
+        Forecasts are grouped per (metric, interval, node) and sorted by
+        interval start, then node — i.e. chronological expected usage.
+        """
+        if app not in self.dictionary.app_names():
+            raise KeyError(
+                f"application {app!r} not in dictionary; known: "
+                f"{self.dictionary.app_names()}"
+            )
+        wanted_label = f"{app}_{input_size}" if input_size is not None else None
+        # (metric, interval, node) -> list of (value, repetitions)
+        groups: Dict[Tuple[str, Tuple[float, float], int], List[Tuple[float, int]]] = {}
+        for fp, _ in self.dictionary.entries():
+            if metric is not None and fp.metric != metric:
+                continue
+            counts = self.dictionary.lookup_counts(fp)
+            reps = 0
+            for label, count in counts.items():
+                if wanted_label is not None:
+                    if label == wanted_label:
+                        reps += count
+                elif app_of_label(label) == app:
+                    reps += count
+            if reps == 0:
+                continue
+            groups.setdefault((fp.metric, fp.interval, fp.node), []).append(
+                (fp.value, reps)
+            )
+        out: List[UsageForecast] = []
+        for (m, interval, node), observations in groups.items():
+            values = np.array([v for v, _ in observations])
+            weights = np.array([r for _, r in observations], dtype=float)
+            expected = float(np.average(values, weights=weights))
+            out.append(
+                UsageForecast(
+                    metric=m,
+                    interval=interval,
+                    node=node,
+                    expected=expected,
+                    low=float(values.min()),
+                    high=float(values.max()),
+                    observations=int(weights.sum()),
+                )
+            )
+        out.sort(key=lambda f: (f.metric, f.interval[0], f.node))
+        return out
+
+    def forecast_profile(
+        self, app: str, metric: str, node: int = 0
+    ) -> List[Tuple[Tuple[float, float], float]]:
+        """Chronological (interval, expected value) profile for one node."""
+        return [
+            (f.interval, f.expected)
+            for f in self.forecast(app, metric=metric)
+            if f.node == node
+        ]

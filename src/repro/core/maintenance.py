@@ -1,0 +1,174 @@
+"""Dictionary maintenance for long-lived deployments.
+
+A production EFD accumulates fingerprints for months: applications get
+recompiled (old fingerprints go stale), rare one-off jobs pollute the
+key space, and multi-cluster sites want to federate dictionaries.  The
+paper's mechanism makes all of this trivial — keys are self-describing
+and values are label/count maps — but a real deployment still needs the
+operations spelled out:
+
+- :func:`evict_labels` / :func:`evict_apps` — forget applications or
+  specific app_input pairs (retraining after a recompile).
+- :func:`prune_rare_keys` — drop keys observed fewer than N times
+  (one-off noise artifacts; §5's "measurement variation" keys with a
+  single observation).
+- :func:`cap_keys_per_app` — bound each application's key budget,
+  keeping its most-repeated fingerprints.
+- :func:`federate` — merge dictionaries from several clusters/partitions
+  into one (counts add; first-seen order follows argument order).
+- :func:`diff` — compare two dictionaries (keys added/removed/changed),
+  for auditing dictionary drift between maintenance windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.dictionary import ExecutionFingerprintDictionary, app_of_label
+from repro.core.fingerprint import Fingerprint
+
+
+def _rebuild(
+    source: ExecutionFingerprintDictionary,
+    keep,
+) -> ExecutionFingerprintDictionary:
+    """Copy ``source`` keeping only (fingerprint, label) pairs where
+    ``keep(fingerprint, label, count)`` is true; preserves order/counts."""
+    out = ExecutionFingerprintDictionary()
+    for label in source.labels():
+        # Pre-register so first-seen label order (tie-breaking!) survives
+        # even when a label's earliest key is dropped.
+        out.register_label(label)
+    for fp, _ in source.entries():
+        for label, count in source.lookup_counts(fp).items():
+            if keep(fp, label, count):
+                for _ in range(count):
+                    out.add(fp, label)
+    return out
+
+
+def evict_labels(
+    efd: ExecutionFingerprintDictionary, labels: Iterable[str]
+) -> ExecutionFingerprintDictionary:
+    """Return a dictionary without the given ``app_input`` labels."""
+    doomed = set(labels)
+    if not doomed:
+        raise ValueError("labels must be non-empty")
+    out = ExecutionFingerprintDictionary()
+    for fp, _ in efd.entries():
+        for label, count in efd.lookup_counts(fp).items():
+            if label not in doomed:
+                for _ in range(count):
+                    out.add(fp, label)
+    return out
+
+
+def evict_apps(
+    efd: ExecutionFingerprintDictionary, apps: Iterable[str]
+) -> ExecutionFingerprintDictionary:
+    """Return a dictionary without any label of the given applications."""
+    doomed = set(apps)
+    if not doomed:
+        raise ValueError("apps must be non-empty")
+    victims = [l for l in efd.labels() if app_of_label(l) in doomed]
+    if not victims:
+        return evict_labels(efd, ["\x00no-such-label"])  # copy unchanged
+    return evict_labels(efd, victims)
+
+
+def prune_rare_keys(
+    efd: ExecutionFingerprintDictionary, min_count: int = 2
+) -> ExecutionFingerprintDictionary:
+    """Drop (key, label) observations repeated fewer than ``min_count`` times.
+
+    One-shot fingerprints are usually measurement-variation artifacts; a
+    key that never repeated cannot help recognize a *repeated* execution.
+    """
+    if min_count < 1:
+        raise ValueError(f"min_count must be >= 1, got {min_count}")
+    return _rebuild(efd, lambda fp, label, count: count >= min_count)
+
+
+def cap_keys_per_app(
+    efd: ExecutionFingerprintDictionary, max_keys: int
+) -> ExecutionFingerprintDictionary:
+    """Bound each application's footprint to its ``max_keys`` strongest keys.
+
+    Strength is total repetition count (ties: earlier insertion wins).
+    Controls dictionary growth for applications with high measurement
+    variation (the paper's miniAMR_Z case generalized).
+    """
+    if max_keys < 1:
+        raise ValueError(f"max_keys must be >= 1, got {max_keys}")
+    # Rank each app's keys by accumulated count.
+    strength: Dict[str, List[Tuple[int, int, Fingerprint]]] = {}
+    for order, (fp, _) in enumerate(efd.entries()):
+        for label, count in efd.lookup_counts(fp).items():
+            app = app_of_label(label)
+            strength.setdefault(app, []).append((count, order, fp))
+    allowed: Dict[str, Set[Fingerprint]] = {}
+    for app, ranked in strength.items():
+        # Aggregate per fingerprint (an app may reach a key via several
+        # input labels).
+        per_fp: Dict[Fingerprint, Tuple[int, int]] = {}
+        for count, order, fp in ranked:
+            total, first = per_fp.get(fp, (0, order))
+            per_fp[fp] = (total + count, min(first, order))
+        top = sorted(per_fp.items(), key=lambda kv: (-kv[1][0], kv[1][1]))
+        allowed[app] = {fp for fp, _ in top[:max_keys]}
+    return _rebuild(
+        efd,
+        lambda fp, label, count: fp in allowed.get(app_of_label(label), ()),
+    )
+
+
+def federate(
+    dictionaries: Sequence[ExecutionFingerprintDictionary],
+) -> ExecutionFingerprintDictionary:
+    """Merge dictionaries from several clusters into one.
+
+    Counts add up; first-seen orders follow the argument order, so the
+    first cluster's learning history wins tie-breaks.
+    """
+    if not dictionaries:
+        raise ValueError("need at least one dictionary to federate")
+    out = ExecutionFingerprintDictionary()
+    for efd in dictionaries:
+        out.merge(efd)
+    return out
+
+
+@dataclass(frozen=True)
+class DictionaryDiff:
+    """Key-level difference between two dictionaries."""
+
+    added: Tuple[Fingerprint, ...]      # in new, not in old
+    removed: Tuple[Fingerprint, ...]    # in old, not in new
+    relabeled: Tuple[Fingerprint, ...]  # in both, label sets differ
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.relabeled)
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added)} keys, -{len(self.removed)} keys, "
+            f"~{len(self.relabeled)} relabeled"
+        )
+
+
+def diff(
+    old: ExecutionFingerprintDictionary,
+    new: ExecutionFingerprintDictionary,
+) -> DictionaryDiff:
+    """Audit how a dictionary changed between maintenance windows."""
+    old_keys = {fp: set(labels) for fp, labels in old.entries()}
+    new_keys = {fp: set(labels) for fp, labels in new.entries()}
+    added = tuple(fp for fp in new_keys if fp not in old_keys)
+    removed = tuple(fp for fp in old_keys if fp not in new_keys)
+    relabeled = tuple(
+        fp for fp in old_keys
+        if fp in new_keys and old_keys[fp] != new_keys[fp]
+    )
+    return DictionaryDiff(added=added, removed=removed, relabeled=relabeled)

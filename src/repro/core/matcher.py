@@ -1,0 +1,109 @@
+"""Fingerprint matching and node voting (paper §3, Testing).
+
+    "Fingerprints of each node are looked up in the dictionary, and the
+    most matched application name is returned.  If multiple applications
+    have the same number of matches (potentially caused by key
+    collisions) the EFD cannot distinguish between them and will return
+    an array of these application names."
+
+Votes are counted at the application level (recognition is judged on the
+application name; input size is carried along as detail).  Each node
+fingerprint contributes one vote to every application present in the
+matched key's label list.  Zero total matches means the execution is
+unknown — the paper's built-in safeguard against unknown applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dictionary import ExecutionFingerprintDictionary, app_of_label
+from repro.core.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one execution against an EFD."""
+
+    ranked: Tuple[str, ...]          # tied-or-winning application names
+    votes: Dict[str, int]            # application -> matched node count
+    matched_labels: Dict[str, int]   # app_input label -> match count
+    n_fingerprints: int              # fingerprints looked up
+    n_missing: int                   # nodes without a usable fingerprint
+
+    @property
+    def is_unknown(self) -> bool:
+        """True when no fingerprint matched anything."""
+        return len(self.ranked) == 0
+
+    @property
+    def prediction(self) -> Optional[str]:
+        """First application of the returned array (evaluation rule)."""
+        return self.ranked[0] if self.ranked else None
+
+    @property
+    def is_tie(self) -> bool:
+        return len(self.ranked) > 1
+
+    def confidence(self) -> float:
+        """Fraction of usable fingerprints that voted for the winner."""
+        if not self.ranked or self.n_fingerprints == 0:
+            return 0.0
+        return self.votes[self.ranked[0]] / self.n_fingerprints
+
+
+def vote(
+    lookups: Sequence[Sequence[str]],
+    app_order: Optional[Sequence[str]] = None,
+) -> Tuple[Tuple[str, ...], Dict[str, int]]:
+    """Aggregate per-node label lookups into an application ranking.
+
+    ``lookups[i]`` is the label list matched by node i's fingerprint.
+    Returns ``(ranked_apps, votes)`` where ``ranked_apps`` contains every
+    application with the maximal vote count, ordered by ``app_order``
+    (first-seen order of the dictionary) — the paper's returned "array".
+    """
+    votes: Dict[str, int] = {}
+    for labels in lookups:
+        apps_this_node: Dict[str, None] = {}
+        for label in labels:
+            apps_this_node.setdefault(app_of_label(label), None)
+        for app in apps_this_node:
+            votes[app] = votes.get(app, 0) + 1
+    if not votes:
+        return (), {}
+    top = max(votes.values())
+    tied = [app for app, count in votes.items() if count == top]
+    if app_order is not None:
+        position = {app: i for i, app in enumerate(app_order)}
+        tied.sort(key=lambda a: position.get(a, len(position)))
+    return tuple(tied), votes
+
+
+def match_fingerprints(
+    efd: ExecutionFingerprintDictionary,
+    fingerprints: Sequence[Optional[Fingerprint]],
+) -> MatchResult:
+    """Look up an execution's node fingerprints and form the verdict."""
+    lookups: List[List[str]] = []
+    matched_labels: Dict[str, int] = {}
+    n_missing = 0
+    n_fingerprints = 0
+    for fp in fingerprints:
+        if fp is None:
+            n_missing += 1
+            continue
+        n_fingerprints += 1
+        labels = efd.lookup(fp)
+        lookups.append(labels)
+        for label in labels:
+            matched_labels[label] = matched_labels.get(label, 0) + 1
+    ranked, votes = vote(lookups, app_order=efd.app_names())
+    return MatchResult(
+        ranked=ranked,
+        votes=votes,
+        matched_labels=matched_labels,
+        n_fingerprints=n_fingerprints,
+        n_missing=n_missing,
+    )

@@ -1,0 +1,153 @@
+"""Combinatorial multi-metric fingerprints (paper §5/§6 future work).
+
+    "Going forward, we can make fingerprints more exclusive by combining
+    multiple system metrics and / or multiple time intervals from the
+    execution time window."
+
+Two composition modes:
+
+- ``mode="vote"`` — one EFD per metric; an execution's votes are summed
+  over all metrics and nodes.  Robust: a single noisy metric cannot veto
+  recognition.
+- ``mode="combine"`` — a node's fingerprint is the *tuple* of its
+  per-metric rounded means, encoded into a single synthetic key.  Far
+  more exclusive (the Shazam-combinatorial analogue): unknown
+  applications almost never collide on every metric simultaneously,
+  which is exactly what the hard-unknown experiment rewards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._util.rng import RngLike
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import DEFAULT_INTERVAL, Fingerprint, build_fingerprints
+from repro.core.matcher import MatchResult, match_fingerprints
+from repro.core.recognizer import EFDRecognizer, RecordsLike, _as_records
+from repro.core.rounding import round_depth
+from repro.core.tuning import DEFAULT_DEPTH_CANDIDATES, select_rounding_depth
+from repro.data.dataset import ExecutionRecord
+
+
+class MultiMetricRecognizer:
+    """EFD over several system metrics at once."""
+
+    def __init__(
+        self,
+        metrics: Sequence[str],
+        interval: Tuple[float, float] = DEFAULT_INTERVAL,
+        depth: Optional[int] = None,
+        mode: str = "vote",
+        depth_candidates: Sequence[int] = DEFAULT_DEPTH_CANDIDATES,
+        tuning_folds: int = 3,
+        seed: RngLike = 0,
+        unknown_label: str = "unknown",
+    ):
+        if not metrics:
+            raise ValueError("metrics must be non-empty")
+        if len(set(metrics)) != len(metrics):
+            raise ValueError("metrics must be unique")
+        if mode not in ("vote", "combine"):
+            raise ValueError(f"mode must be 'vote' or 'combine', got {mode!r}")
+        self.metrics = list(metrics)
+        self.interval = (float(interval[0]), float(interval[1]))
+        if self.interval[1] <= self.interval[0]:
+            raise ValueError(f"interval end must exceed start, got {interval}")
+        self.depth = depth
+        self.mode = mode
+        self.depth_candidates = tuple(depth_candidates)
+        self.tuning_folds = tuning_folds
+        self.seed = seed
+        self.unknown_label = unknown_label
+
+    # -- learning ----------------------------------------------------------
+    def fit(self, data: RecordsLike) -> "MultiMetricRecognizer":
+        records = _as_records(data)
+        if not records:
+            raise ValueError("cannot fit on zero records")
+        self.depths_: Dict[str, int] = {}
+        for metric in self.metrics:
+            if self.depth is not None:
+                self.depths_[metric] = int(self.depth)
+            else:
+                self.depths_[metric] = select_rounding_depth(
+                    records,
+                    metric,
+                    candidates=self.depth_candidates,
+                    interval=self.interval,
+                    k=min(self.tuning_folds, len(records)),
+                    seed=self.seed,
+                    unknown_label=self.unknown_label,
+                )
+        self.dictionary_ = ExecutionFingerprintDictionary()
+        for record in records:
+            for fp in self._fingerprints(record):
+                if fp is not None:
+                    self.dictionary_.add(fp, record.label)
+        return self
+
+    # -- fingerprint construction ----------------------------------------------
+    def _fingerprints(self, record: ExecutionRecord) -> List[Optional[Fingerprint]]:
+        if self.mode == "vote":
+            out: List[Optional[Fingerprint]] = []
+            for metric in self.metrics:
+                out.extend(
+                    build_fingerprints(
+                        record, metric, self.depths_[metric], self.interval
+                    )
+                )
+            return out
+        # mode == "combine": one synthetic key per node whose "metric"
+        # encodes the metric set and whose value encodes the tuple of
+        # rounded means.  A node missing any component mean yields None —
+        # combinatorial keys are all-or-nothing by design.
+        start, end = self.interval
+        combined_name = "+".join(self.metrics)
+        out = []
+        for node in range(record.n_nodes):
+            parts: List[str] = []
+            ok = True
+            for metric in self.metrics:
+                mean = record.interval_mean(record_metric(metric), node, start, end)
+                if mean != mean:
+                    ok = False
+                    break
+                parts.append(repr(round_depth(mean, self.depths_[metric])))
+            if not ok:
+                out.append(None)
+                continue
+            out.append(
+                Fingerprint(
+                    metric=f"{combined_name}|{'|'.join(parts)}",
+                    node=node,
+                    interval=self.interval,
+                    value=0.0,
+                )
+            )
+        return out
+
+    # -- inference ------------------------------------------------------------
+    def predict_detail(self, record: ExecutionRecord) -> MatchResult:
+        self._check_fitted()
+        return match_fingerprints(self.dictionary_, self._fingerprints(record))
+
+    def predict_one(self, record: ExecutionRecord) -> str:
+        result = self.predict_detail(record)
+        return result.prediction if result.prediction else self.unknown_label
+
+    def predict(self, data: Union[ExecutionRecord, RecordsLike]):
+        if isinstance(data, ExecutionRecord):
+            return self.predict_one(data)
+        return [self.predict_one(r) for r in _as_records(data)]
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "dictionary_"):
+            raise RuntimeError(
+                "MultiMetricRecognizer is not fitted; call fit() first"
+            )
+
+
+def record_metric(metric: str) -> str:
+    """Identity hook kept for symmetry/testing of combined-key encoding."""
+    return metric

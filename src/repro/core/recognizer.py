@@ -1,0 +1,171 @@
+"""High-level EFD recognizer: the library's primary public API.
+
+Wraps the dictionary, fingerprint construction, rounding-depth tuning,
+and the voting matcher behind a scikit-learn-style ``fit``/``predict``
+pair operating on :class:`~repro.data.dataset.ExecutionRecord` objects:
+
+>>> from repro import EFDRecognizer, generate_dataset
+>>> ds = generate_dataset(repetitions=4)              # doctest: +SKIP
+>>> rec = EFDRecognizer().fit(ds)                     # doctest: +SKIP
+>>> rec.predict(ds[0])                                # doctest: +SKIP
+'ft'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro._util.rng import RngLike
+from repro.core.dictionary import DictionaryStats, ExecutionFingerprintDictionary
+from repro.core.fingerprint import DEFAULT_INTERVAL, Fingerprint, build_fingerprints
+from repro.core.matcher import MatchResult, match_fingerprints
+from repro.core.tuning import DEFAULT_DEPTH_CANDIDATES, select_rounding_depth
+from repro.data.dataset import ExecutionDataset, ExecutionRecord
+
+RecordsLike = Union[ExecutionDataset, Sequence[ExecutionRecord]]
+
+
+def _as_records(data: RecordsLike) -> List[ExecutionRecord]:
+    if isinstance(data, ExecutionDataset):
+        return list(data.records)
+    return list(data)
+
+
+class EFDRecognizer:
+    """Execution-Fingerprint-Dictionary application recognizer.
+
+    Parameters
+    ----------
+    metric:
+        The single system metric to fingerprint (paper default:
+        ``nr_mapped_vmstat``).
+    interval:
+        Fingerprint time window in seconds after execution start
+        (paper default: ``(60, 120)``).
+    depth:
+        Rounding depth.  ``None`` (default) selects it by cross-fold
+        validation within the training set at ``fit`` time — the paper's
+        procedure.  An integer fixes it (Table 4 uses a fixed depth 2 for
+        illustration).
+    depth_candidates / tuning_folds / seed:
+        Depth-selection knobs.
+    unknown_label:
+        Label returned for executions with zero matching fingerprints.
+    """
+
+    def __init__(
+        self,
+        metric: str = "nr_mapped_vmstat",
+        interval: Tuple[float, float] = DEFAULT_INTERVAL,
+        depth: Optional[int] = None,
+        depth_candidates: Sequence[int] = DEFAULT_DEPTH_CANDIDATES,
+        tuning_folds: int = 3,
+        seed: RngLike = 0,
+        unknown_label: str = "unknown",
+    ):
+        if not metric:
+            raise ValueError("metric must be non-empty")
+        start, end = interval
+        if end <= start:
+            raise ValueError(f"interval end must exceed start, got {interval}")
+        if depth is not None and depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if tuning_folds < 2:
+            raise ValueError(f"tuning_folds must be >= 2, got {tuning_folds}")
+        self.metric = metric
+        self.interval = (float(start), float(end))
+        self.depth = depth
+        self.depth_candidates = tuple(depth_candidates)
+        self.tuning_folds = tuning_folds
+        self.seed = seed
+        self.unknown_label = unknown_label
+
+    # -- learning ----------------------------------------------------------
+    def fit(self, data: RecordsLike) -> "EFDRecognizer":
+        """Learn the dictionary from labeled executions."""
+        records = _as_records(data)
+        if not records:
+            raise ValueError("cannot fit on zero records")
+        if self.depth is not None:
+            self.depth_ = int(self.depth)
+        else:
+            self.depth_ = select_rounding_depth(
+                records,
+                self.metric,
+                candidates=self.depth_candidates,
+                interval=self.interval,
+                k=min(self.tuning_folds, len(records)),
+                seed=self.seed,
+                unknown_label=self.unknown_label,
+            )
+        self.dictionary_ = ExecutionFingerprintDictionary()
+        for record in records:
+            self.dictionary_.add_many(self._fingerprints(record), record.label)
+        return self
+
+    def partial_fit(self, record: ExecutionRecord, label: Optional[str] = None) -> "EFDRecognizer":
+        """Add one labeled execution to an already-fitted dictionary.
+
+        "Learning new applications is as simple as adding new keys to the
+        dictionary" (§6).  ``label`` defaults to the record's own label.
+        """
+        self._check_fitted()
+        self.dictionary_.add_many(
+            self._fingerprints(record), label if label is not None else record.label
+        )
+        return self
+
+    # -- inference ------------------------------------------------------------
+    def predict_detail(self, record: ExecutionRecord) -> MatchResult:
+        """Full matching detail (votes, ties, matched labels) for one record."""
+        self._check_fitted()
+        return match_fingerprints(self.dictionary_, self._fingerprints(record))
+
+    def predict_one(self, record: ExecutionRecord) -> str:
+        """Application name for one record (first of the tie array)."""
+        result = self.predict_detail(record)
+        return result.prediction if result.prediction else self.unknown_label
+
+    def predict(self, data: Union[ExecutionRecord, RecordsLike]) -> Union[str, List[str]]:
+        """Predict one record (returns ``str``) or many (returns ``list``)."""
+        if isinstance(data, ExecutionRecord):
+            return self.predict_one(data)
+        return [self.predict_one(r) for r in _as_records(data)]
+
+    def score(self, data: RecordsLike, expected: Optional[Sequence[str]] = None) -> float:
+        """Application-level accuracy against ``expected`` (or true labels)."""
+        records = _as_records(data)
+        if expected is None:
+            expected = [r.app_name for r in records]
+        if len(expected) != len(records):
+            raise ValueError(
+                f"{len(expected)} expected labels for {len(records)} records"
+            )
+        if not records:
+            raise ValueError("cannot score zero records")
+        hits = sum(
+            1 for r, e in zip(records, expected) if self.predict_one(r) == e
+        )
+        return hits / len(records)
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> DictionaryStats:
+        """Size/selectivity summary of the learned dictionary."""
+        self._check_fitted()
+        return self.dictionary_.stats()
+
+    def _fingerprints(self, record: ExecutionRecord) -> List[Optional[Fingerprint]]:
+        return build_fingerprints(record, self.metric, self.depth_, self.interval)
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "dictionary_"):
+            raise RuntimeError("EFDRecognizer is not fitted; call fit() first")
+
+    def __repr__(self) -> str:
+        fitted = hasattr(self, "dictionary_")
+        depth = getattr(self, "depth_", self.depth)
+        extra = f", keys={len(self.dictionary_)}" if fitted else " (unfitted)"
+        return (
+            f"EFDRecognizer(metric={self.metric!r}, interval={self.interval}, "
+            f"depth={depth}{extra})"
+        )

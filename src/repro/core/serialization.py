@@ -1,0 +1,92 @@
+"""JSON round-trip for dictionaries.
+
+A production EFD is long-lived operational state — it accumulates
+fingerprints across months of cluster operation — so it must survive
+process restarts.  The format is plain JSON: human-inspectable,
+diff-able, and dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint
+
+_FORMAT_VERSION = 1
+
+
+def dictionary_to_json(efd: ExecutionFingerprintDictionary) -> str:
+    """Serialize ``efd`` to a JSON string (insertion order preserved)."""
+    entries = []
+    for fp, _ in efd.entries():
+        entries.append(
+            {
+                "metric": fp.metric,
+                "node": fp.node,
+                "interval": [fp.interval[0], fp.interval[1]],
+                "value": fp.value,
+                "labels": efd.lookup_counts(fp),
+            }
+        )
+    return json.dumps(
+        {
+            "format_version": _FORMAT_VERSION,
+            # Global first-seen label order drives tie-breaking ("return
+            # the first application of the array"); per-entry label lists
+            # alone cannot reconstruct it.
+            "label_order": efd.labels(),
+            "entries": entries,
+        },
+        indent=2,
+    )
+
+
+def dictionary_from_json(text: str) -> ExecutionFingerprintDictionary:
+    """Rebuild a dictionary serialized by :func:`dictionary_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError("not an EFD JSON document (missing 'entries')")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported EFD format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    efd = ExecutionFingerprintDictionary()
+    for label in payload.get("label_order", []):
+        efd.register_label(label)
+    for entry in payload["entries"]:
+        fp = Fingerprint(
+            metric=entry["metric"],
+            node=int(entry["node"]),
+            interval=(float(entry["interval"][0]), float(entry["interval"][1])),
+            value=float(entry["value"]),
+        )
+        labels = entry["labels"]
+        if not isinstance(labels, dict) or not labels:
+            raise ValueError(f"entry for {fp} has no labels")
+        for label, count in labels.items():
+            if int(count) < 1:
+                raise ValueError(f"label {label!r} has non-positive count {count}")
+            for _ in range(int(count)):
+                efd.add(fp, label)
+    return efd
+
+
+def save_dictionary(efd: ExecutionFingerprintDictionary, path: str) -> None:
+    """Write ``efd`` to ``path`` as JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dictionary_to_json(efd))
+
+
+def load_dictionary(path: str) -> ExecutionFingerprintDictionary:
+    """Load a dictionary written by :func:`save_dictionary`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return dictionary_from_json(fh.read())

@@ -1,0 +1,190 @@
+"""Online (streaming) recognition.
+
+MODA pipelines receive telemetry sample by sample; waiting for a post-hoc
+pass over stored series would forfeit the EFD's low-latency advantage.
+:class:`StreamingRecognizer` consumes per-node samples as they arrive,
+maintains O(1) running interval sums, and emits a verdict the moment the
+fingerprint interval [60 s, 120 s] has passed on every node — i.e. two
+minutes into the job, while it is still running.
+
+>>> session = streaming.open_session(n_nodes=4)      # doctest: +SKIP
+>>> for t, node, value in live_feed:                 # doctest: +SKIP
+...     session.ingest(node, t, value)
+...     if session.ready:
+...         print(session.verdict().prediction)
+...         break
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import DEFAULT_INTERVAL, Fingerprint
+from repro.core.matcher import MatchResult, match_fingerprints
+from repro.core.rounding import round_depth
+
+
+class StreamSession:
+    """Running interval means for one job's nodes.
+
+    Memory is O(nodes): only a sum, a count, and a high-water timestamp
+    per node — never the raw series.
+    """
+
+    def __init__(
+        self,
+        dictionary: ExecutionFingerprintDictionary,
+        metric: str,
+        depth: int,
+        interval: Tuple[float, float],
+        n_nodes: int,
+        unknown_label: str = "unknown",
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        start, end = interval
+        if end <= start:
+            raise ValueError(f"interval end must exceed start, got {interval}")
+        self.dictionary = dictionary
+        self.metric = metric
+        self.depth = int(depth)
+        self.interval = (float(start), float(end))
+        self.n_nodes = int(n_nodes)
+        self.unknown_label = unknown_label
+        self._sums = np.zeros(n_nodes)
+        self._counts = np.zeros(n_nodes, dtype=int)
+        self._latest = np.full(n_nodes, -np.inf)
+        self._verdict: Optional[MatchResult] = None
+
+    # -- feeding ------------------------------------------------------------
+    def ingest(self, node: int, timestamp: float, value: float) -> None:
+        """Consume one sample (seconds since job start, metric value).
+
+        Samples outside the fingerprint interval only advance the node's
+        clock; NaN samples (dropout) are skipped entirely.
+        """
+        if node < 0 or node >= self.n_nodes:
+            raise ValueError(f"node {node} outside [0, {self.n_nodes})")
+        if self._verdict is not None:
+            raise RuntimeError("session already concluded; open a new one")
+        if timestamp > self._latest[node]:
+            self._latest[node] = timestamp
+        if value != value:  # NaN — dropped sample
+            return
+        start, end = self.interval
+        if start <= timestamp < end:
+            self._sums[node] += value
+            self._counts[node] += 1
+
+    def ingest_many(self, node: int, timestamps, values) -> None:
+        """Vectorized ingest of one node's sample batch."""
+        timestamps = np.asarray(timestamps, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if timestamps.shape != values.shape:
+            raise ValueError("timestamps and values must align")
+        if node < 0 or node >= self.n_nodes:
+            raise ValueError(f"node {node} outside [0, {self.n_nodes})")
+        if self._verdict is not None:
+            raise RuntimeError("session already concluded; open a new one")
+        if timestamps.size:
+            self._latest[node] = max(self._latest[node], float(timestamps.max()))
+        start, end = self.interval
+        mask = (timestamps >= start) & (timestamps < end) & ~np.isnan(values)
+        self._sums[node] += float(values[mask].sum())
+        self._counts[node] += int(mask.sum())
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """True when every node's clock has passed the interval end."""
+        return bool((self._latest >= self.interval[1]).all())
+
+    def progress(self) -> float:
+        """Fraction of nodes whose interval window has fully elapsed."""
+        return float((self._latest >= self.interval[1]).mean())
+
+    def fingerprints(self) -> List[Optional[Fingerprint]]:
+        """Current fingerprints (None for nodes with zero valid samples)."""
+        out: List[Optional[Fingerprint]] = []
+        for node in range(self.n_nodes):
+            if self._counts[node] == 0:
+                out.append(None)
+                continue
+            mean = self._sums[node] / self._counts[node]
+            out.append(
+                Fingerprint(
+                    metric=self.metric,
+                    node=node,
+                    interval=self.interval,
+                    value=round_depth(mean, self.depth),
+                )
+            )
+        return out
+
+    # -- verdict -----------------------------------------------------------------
+    def verdict(self, force: bool = False) -> MatchResult:
+        """Match the accumulated fingerprints; concludes the session.
+
+        Raises unless the interval has elapsed on all nodes — pass
+        ``force=True`` to decide early (e.g. the job ended prematurely).
+        """
+        if self._verdict is not None:
+            return self._verdict
+        if not self.ready and not force:
+            raise RuntimeError(
+                f"interval {self.interval} not yet complete on all nodes "
+                f"({self.progress():.0%}); pass force=True to decide early"
+            )
+        self._verdict = match_fingerprints(self.dictionary, self.fingerprints())
+        return self._verdict
+
+    def prediction(self, force: bool = False) -> str:
+        result = self.verdict(force=force)
+        return result.prediction if result.prediction else self.unknown_label
+
+
+class StreamingRecognizer:
+    """Factory for :class:`StreamSession` bound to one learned EFD."""
+
+    def __init__(
+        self,
+        dictionary: ExecutionFingerprintDictionary,
+        metric: str = "nr_mapped_vmstat",
+        depth: int = 3,
+        interval: Tuple[float, float] = DEFAULT_INTERVAL,
+        unknown_label: str = "unknown",
+    ):
+        if len(dictionary) == 0:
+            raise ValueError("cannot stream against an empty dictionary")
+        self.dictionary = dictionary
+        self.metric = metric
+        self.depth = depth
+        self.interval = interval
+        self.unknown_label = unknown_label
+
+    @classmethod
+    def from_recognizer(cls, recognizer) -> "StreamingRecognizer":
+        """Bind to a fitted :class:`~repro.core.recognizer.EFDRecognizer`."""
+        recognizer._check_fitted()
+        return cls(
+            dictionary=recognizer.dictionary_,
+            metric=recognizer.metric,
+            depth=recognizer.depth_,
+            interval=recognizer.interval,
+            unknown_label=recognizer.unknown_label,
+        )
+
+    def open_session(self, n_nodes: int = 4) -> StreamSession:
+        return StreamSession(
+            dictionary=self.dictionary,
+            metric=self.metric,
+            depth=self.depth,
+            interval=self.interval,
+            n_nodes=n_nodes,
+            unknown_label=self.unknown_label,
+        )

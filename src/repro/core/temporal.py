@@ -1,0 +1,178 @@
+"""Multi-interval fingerprints and temporal alignment (paper §6).
+
+    "The way application execution fingerprints are built allows the
+    co-existence of fingerprints for different system metrics and time
+    intervals within the same dictionary."
+
+Two extensions live here:
+
+- :class:`MultiIntervalRecognizer` — fingerprints several windows of the
+  execution (e.g. [60:120], [120:180], [180:240]) into one dictionary;
+  recognition votes across intervals × nodes.  More exclusive than a
+  single window and the stepping stone to Shazam-style temporal
+  fingerprinting.
+- :func:`align_and_match` — recognition when the observation's clock
+  offset relative to job start is *unknown* (e.g. monitoring attached
+  mid-run): slide the window over candidate offsets and keep the
+  best-supported vote, the temporal-alignment aspect of Shazam the paper
+  leaves to future work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._util.rng import RngLike
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint, build_fingerprints
+from repro.core.matcher import MatchResult, match_fingerprints
+from repro.core.recognizer import RecordsLike, _as_records
+from repro.core.rounding import round_depth
+from repro.core.tuning import DEFAULT_DEPTH_CANDIDATES, select_rounding_depth
+from repro.data.dataset import ExecutionRecord
+
+
+def default_intervals(
+    n: int = 3, width: float = 60.0, start: float = 60.0
+) -> List[Tuple[float, float]]:
+    """``n`` consecutive windows of ``width`` seconds from ``start``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if width <= 0:
+        raise ValueError(f"width must be > 0, got {width}")
+    return [(start + i * width, start + (i + 1) * width) for i in range(n)]
+
+
+class MultiIntervalRecognizer:
+    """EFD whose keys span several time intervals of the execution."""
+
+    def __init__(
+        self,
+        metric: str = "nr_mapped_vmstat",
+        intervals: Optional[Sequence[Tuple[float, float]]] = None,
+        depth: Optional[int] = None,
+        depth_candidates: Sequence[int] = DEFAULT_DEPTH_CANDIDATES,
+        tuning_folds: int = 3,
+        seed: RngLike = 0,
+        unknown_label: str = "unknown",
+    ):
+        self.metric = metric
+        self.intervals = [
+            (float(s), float(e)) for s, e in (intervals or default_intervals())
+        ]
+        for s, e in self.intervals:
+            if e <= s:
+                raise ValueError(f"interval end must exceed start, got [{s}:{e}]")
+        if len(set(self.intervals)) != len(self.intervals):
+            raise ValueError("intervals must be unique")
+        self.depth = depth
+        self.depth_candidates = tuple(depth_candidates)
+        self.tuning_folds = tuning_folds
+        self.seed = seed
+        self.unknown_label = unknown_label
+
+    def fit(self, data: RecordsLike) -> "MultiIntervalRecognizer":
+        records = _as_records(data)
+        if not records:
+            raise ValueError("cannot fit on zero records")
+        if self.depth is not None:
+            self.depth_ = int(self.depth)
+        else:
+            # Tune on the first interval; the rounding rule is
+            # significant-digit based, so one depth serves all windows.
+            self.depth_ = select_rounding_depth(
+                records,
+                self.metric,
+                candidates=self.depth_candidates,
+                interval=self.intervals[0],
+                k=min(self.tuning_folds, len(records)),
+                seed=self.seed,
+                unknown_label=self.unknown_label,
+            )
+        self.dictionary_ = ExecutionFingerprintDictionary()
+        for record in records:
+            for fp in self._fingerprints(record):
+                if fp is not None:
+                    self.dictionary_.add(fp, record.label)
+        return self
+
+    def _fingerprints(self, record: ExecutionRecord) -> List[Optional[Fingerprint]]:
+        out: List[Optional[Fingerprint]] = []
+        for interval in self.intervals:
+            out.extend(
+                build_fingerprints(record, self.metric, self.depth_, interval)
+            )
+        return out
+
+    def predict_detail(self, record: ExecutionRecord) -> MatchResult:
+        self._check_fitted()
+        return match_fingerprints(self.dictionary_, self._fingerprints(record))
+
+    def predict_one(self, record: ExecutionRecord) -> str:
+        result = self.predict_detail(record)
+        return result.prediction if result.prediction else self.unknown_label
+
+    def predict(self, data: Union[ExecutionRecord, RecordsLike]):
+        if isinstance(data, ExecutionRecord):
+            return self.predict_one(data)
+        return [self.predict_one(r) for r in _as_records(data)]
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "dictionary_"):
+            raise RuntimeError(
+                "MultiIntervalRecognizer is not fitted; call fit() first"
+            )
+
+
+def align_and_match(
+    efd: ExecutionFingerprintDictionary,
+    record: ExecutionRecord,
+    metric: str,
+    depth: int,
+    interval: Tuple[float, float],
+    max_offset: float = 120.0,
+    step: float = 10.0,
+) -> Tuple[MatchResult, float]:
+    """Recognize a record whose clock offset from job start is unknown.
+
+    Slides the fingerprint window by candidate offsets in
+    ``[0, max_offset]`` and returns the (result, offset) whose winning
+    application collected the most votes — a minimal form of Shazam's
+    temporal alignment.  Offsets are applied to the *observation* window
+    while the key's interval stays the dictionary's nominal one (keys
+    must line up to match at all).
+    """
+    if max_offset < 0:
+        raise ValueError(f"max_offset must be >= 0, got {max_offset}")
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step}")
+    start, end = interval
+    best: Optional[MatchResult] = None
+    best_offset = 0.0
+    offset = 0.0
+    while offset <= max_offset + 1e-9:
+        fingerprints: List[Optional[Fingerprint]] = []
+        for node in range(record.n_nodes):
+            mean = record.interval_mean(
+                metric, node, start + offset, end + offset
+            )
+            if mean != mean:
+                fingerprints.append(None)
+                continue
+            fingerprints.append(
+                Fingerprint(
+                    metric=metric,
+                    node=node,
+                    interval=(float(start), float(end)),
+                    value=round_depth(mean, depth),
+                )
+            )
+        result = match_fingerprints(efd, fingerprints)
+        top_votes = result.votes.get(result.prediction, 0) if result.prediction else 0
+        best_top = best.votes.get(best.prediction, 0) if best and best.prediction else -1
+        if best is None or top_votes > best_top:
+            best = result
+            best_offset = offset
+        offset += step
+    assert best is not None  # loop runs at least once (offset 0)
+    return best, best_offset

@@ -1,0 +1,132 @@
+"""Rounding-depth selection (paper §3, Pruning).
+
+    "Rounding depth is the only tunable parameter in the EFD.  During
+    the learning phase we find the optimal rounding depth through
+    cross-fold validation within the training set."
+
+Too little pruning (large depth) leaves precise fingerprints that never
+repeat; too much pruning (depth 1) merges distinct applications.  The
+selector fits a candidate-depth EFD on inner-fold training data, scores
+macro-F on the inner validation fold, and returns the depth with the
+best mean score (ties go to the *smaller* depth — more pruning, smaller
+dictionary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import RngLike, derive_rng
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import DEFAULT_INTERVAL, build_fingerprints
+from repro.core.matcher import match_fingerprints
+from repro.data.dataset import ExecutionRecord
+from repro.ml.metrics import f1_score
+
+DEFAULT_DEPTH_CANDIDATES: Tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+def _evaluate_depth(
+    train_records: Sequence[ExecutionRecord],
+    val_records: Sequence[ExecutionRecord],
+    depth: int,
+    metric: str,
+    interval: Tuple[float, float],
+    unknown_label: str,
+) -> float:
+    """Macro-F of a depth-``depth`` EFD trained/validated on the given sets."""
+    efd = ExecutionFingerprintDictionary()
+    for record in train_records:
+        efd.add_many(build_fingerprints(record, metric, depth, interval), record.label)
+    y_true: List[str] = []
+    y_pred: List[str] = []
+    for record in val_records:
+        result = match_fingerprints(
+            efd, build_fingerprints(record, metric, depth, interval)
+        )
+        y_true.append(record.app_name)
+        y_pred.append(result.prediction if result.prediction else unknown_label)
+    return f1_score(y_true, y_pred, average="macro")
+
+
+def _inner_folds(
+    records: Sequence[ExecutionRecord], k: int, rng: RngLike
+) -> List[Tuple[List[int], List[int]]]:
+    """Stratified (by app_input label) inner folds over record positions."""
+    generator = derive_rng(rng, "tuning")
+    by_label: Dict[str, List[int]] = {}
+    for i, r in enumerate(records):
+        by_label.setdefault(r.label, []).append(i)
+    folds: List[List[int]] = [[] for _ in range(k)]
+    offset = 0
+    for label in sorted(by_label):
+        idx = np.array(by_label[label])
+        generator.shuffle(idx)
+        for j, i in enumerate(idx):
+            folds[(j + offset) % k].append(int(i))
+        offset += len(idx) % k
+    out = []
+    for f in range(k):
+        val = sorted(folds[f])
+        val_set = set(val)
+        train = [i for i in range(len(records)) if i not in val_set]
+        if val and train:
+            out.append((train, val))
+    if not out:
+        raise ValueError(
+            f"cannot build inner folds from {len(records)} training records"
+        )
+    return out
+
+
+def depth_scores(
+    records: Sequence[ExecutionRecord],
+    metric: str,
+    candidates: Sequence[int] = DEFAULT_DEPTH_CANDIDATES,
+    interval: Tuple[float, float] = DEFAULT_INTERVAL,
+    k: int = 3,
+    seed: RngLike = 0,
+    unknown_label: str = "unknown",
+) -> Dict[int, float]:
+    """Mean inner-CV macro-F per candidate rounding depth."""
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    if len(records) < k:
+        raise ValueError(f"need at least k={k} records, got {len(records)}")
+    folds = _inner_folds(records, k, seed)
+    scores: Dict[int, float] = {}
+    for depth in candidates:
+        fold_scores = []
+        for train_idx, val_idx in folds:
+            fold_scores.append(
+                _evaluate_depth(
+                    [records[i] for i in train_idx],
+                    [records[i] for i in val_idx],
+                    depth,
+                    metric,
+                    interval,
+                    unknown_label,
+                )
+            )
+        scores[int(depth)] = float(np.mean(fold_scores))
+    return scores
+
+
+def select_rounding_depth(
+    records: Sequence[ExecutionRecord],
+    metric: str,
+    candidates: Sequence[int] = DEFAULT_DEPTH_CANDIDATES,
+    interval: Tuple[float, float] = DEFAULT_INTERVAL,
+    k: int = 3,
+    seed: RngLike = 0,
+    unknown_label: str = "unknown",
+) -> int:
+    """The optimal rounding depth for ``records`` (in-training CV)."""
+    scores = depth_scores(
+        records, metric, candidates, interval, k, seed, unknown_label
+    )
+    # Best score wins; ties go to the smaller depth (more pruning).
+    best_depth = min(scores, key=lambda d: (-scores[d], d))
+    return best_depth

@@ -1,0 +1,44 @@
+"""Dataset substrate.
+
+Reconstructs the public Taxonomist dataset's *shape* (Table 2): labeled
+repeated executions of eleven applications with inputs X/Y/Z (plus L for
+a subset) on four nodes, with 562 LDMS metrics at 1 Hz.  See DESIGN.md
+for the calibration rationale.
+"""
+
+from repro.data.dataset import ExecutionRecord, ExecutionDataset
+from repro.data.taxonomist import (
+    DatasetConfig,
+    TaxonomistDatasetGenerator,
+    generate_dataset,
+)
+from repro.data.splits import (
+    Split,
+    kfold_splits,
+    soft_input_splits,
+    soft_unknown_splits,
+    hard_input_splits,
+    hard_unknown_splits,
+    UNKNOWN_LABEL,
+)
+from repro.data.features import FeatureExtractor, FEATURE_NAMES
+from repro.data.io import save_dataset, load_dataset
+
+__all__ = [
+    "ExecutionRecord",
+    "ExecutionDataset",
+    "DatasetConfig",
+    "TaxonomistDatasetGenerator",
+    "generate_dataset",
+    "Split",
+    "kfold_splits",
+    "soft_input_splits",
+    "soft_unknown_splits",
+    "hard_input_splits",
+    "hard_unknown_splits",
+    "UNKNOWN_LABEL",
+    "FeatureExtractor",
+    "FEATURE_NAMES",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,197 @@
+"""Execution dataset containers.
+
+An :class:`ExecutionRecord` is one labeled execution: application name,
+input size, and per-(metric, node) telemetry.  An
+:class:`ExecutionDataset` is an ordered collection of records with the
+query helpers the experiment protocols need (filtering along the two
+identifying dimensions — application and input — is exactly how the
+paper's five experiments differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.execution import ExecutionResult
+from repro.telemetry.timeseries import TimeSeries
+
+
+@dataclass
+class ExecutionRecord:
+    """One labeled execution."""
+
+    record_id: int
+    app_name: str
+    input_size: str
+    n_nodes: int
+    duration: float
+    telemetry: Dict[Tuple[str, int], TimeSeries]
+    rep_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.record_id < 0:
+            raise ValueError(f"record_id must be >= 0, got {self.record_id}")
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        for (metric, node), series in self.telemetry.items():
+            if not isinstance(series, TimeSeries):
+                raise TypeError(
+                    f"telemetry[{metric!r}, {node}] must be TimeSeries, "
+                    f"got {type(series).__name__}"
+                )
+            if node < 0 or node >= self.n_nodes:
+                raise ValueError(
+                    f"telemetry node {node} outside [0, {self.n_nodes})"
+                )
+
+    @classmethod
+    def from_result(
+        cls, result: ExecutionResult, record_id: int, rep_index: int = 0
+    ) -> "ExecutionRecord":
+        return cls(
+            record_id=record_id,
+            app_name=result.app_name,
+            input_size=result.input_size,
+            n_nodes=result.n_nodes,
+            duration=result.duration,
+            telemetry=dict(result.telemetry),
+            rep_index=rep_index,
+        )
+
+    @property
+    def label(self) -> str:
+        """``app_input`` label (e.g. ``"miniAMR_Z"``)."""
+        return f"{self.app_name}_{self.input_size}"
+
+    def metrics(self) -> List[str]:
+        return sorted({m for m, _ in self.telemetry})
+
+    def series(self, metric: str, node: int) -> TimeSeries:
+        try:
+            return self.telemetry[(metric, node)]
+        except KeyError:
+            raise KeyError(
+                f"record {self.record_id} ({self.label}) has no series for "
+                f"metric={metric!r} node={node}"
+            ) from None
+
+    def interval_mean(self, metric: str, node: int, start: float, end: float) -> float:
+        """Mean of ``metric`` on ``node`` over ``[start, end)`` seconds."""
+        return self.series(metric, node).interval_mean(start, end)
+
+
+class ExecutionDataset:
+    """Ordered collection of :class:`ExecutionRecord`."""
+
+    def __init__(self, records: Sequence[ExecutionRecord], metrics: Sequence[str]):
+        self.records: List[ExecutionRecord] = list(records)
+        self.metrics: List[str] = list(metrics)
+        ids = [r.record_id for r in self.records]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate record_id in dataset")
+
+    # -- protocol -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ExecutionRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> ExecutionRecord:
+        return self.records[index]
+
+    # -- label queries --------------------------------------------------------
+    def labels(self) -> List[str]:
+        """``app_input`` label per record, dataset order."""
+        return [r.label for r in self.records]
+
+    def app_labels(self) -> List[str]:
+        """Application name per record, dataset order."""
+        return [r.app_name for r in self.records]
+
+    def app_names(self) -> List[str]:
+        """Distinct application names, first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.app_name, None)
+        return list(seen)
+
+    def input_sizes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.input_size, None)
+        return list(seen)
+
+    def app_input_pairs(self) -> List[Tuple[str, str]]:
+        seen: Dict[Tuple[str, str], None] = {}
+        for r in self.records:
+            seen.setdefault((r.app_name, r.input_size), None)
+        return list(seen)
+
+    # -- selection --------------------------------------------------------------
+    def indices_where(self, predicate: Callable[[ExecutionRecord], bool]) -> List[int]:
+        return [i for i, r in enumerate(self.records) if predicate(r)]
+
+    def subset(self, indices: Sequence[int]) -> "ExecutionDataset":
+        """New dataset holding ``records[i] for i in indices`` (shared records)."""
+        n = len(self.records)
+        for i in indices:
+            if i < 0 or i >= n:
+                raise IndexError(f"index {i} outside [0, {n})")
+        return ExecutionDataset([self.records[i] for i in indices], self.metrics)
+
+    def filter(
+        self,
+        apps: Optional[Sequence[str]] = None,
+        inputs: Optional[Sequence[str]] = None,
+        exclude_apps: Optional[Sequence[str]] = None,
+        exclude_inputs: Optional[Sequence[str]] = None,
+    ) -> "ExecutionDataset":
+        """Filtered view along the two identifying dimensions."""
+        apps_set = set(apps) if apps is not None else None
+        inputs_set = set(inputs) if inputs is not None else None
+        ex_apps = set(exclude_apps or ())
+        ex_inputs = set(exclude_inputs or ())
+
+        def keep(r: ExecutionRecord) -> bool:
+            if apps_set is not None and r.app_name not in apps_set:
+                return False
+            if inputs_set is not None and r.input_size not in inputs_set:
+                return False
+            if r.app_name in ex_apps or r.input_size in ex_inputs:
+                return False
+            return True
+
+        return ExecutionDataset([r for r in self.records if keep(r)], self.metrics)
+
+    # -- summaries -----------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Dataset composition in Table 2 terms."""
+        reps: Dict[Tuple[str, str], int] = {}
+        for r in self.records:
+            key = (r.app_name, r.input_size)
+            reps[key] = reps.get(key, 0) + 1
+        rep_counts = sorted(set(reps.values()))
+        return {
+            "applications": self.app_names(),
+            "input_sizes": sorted(self.input_sizes()),
+            "node_count": self.records[0].n_nodes if self.records else 0,
+            "pairs": len(reps),
+            "repetitions": rep_counts,
+            "executions": len(self.records),
+            "metrics": len(self.metrics),
+        }
+
+    def check_consistent(self) -> None:
+        """Validate that every record carries every dataset metric."""
+        for r in self.records:
+            have = set(r.metrics())
+            missing = [m for m in self.metrics if m not in have]
+            if missing:
+                raise ValueError(
+                    f"record {r.record_id} ({r.label}) is missing metrics "
+                    f"{missing[:5]}"
+                )

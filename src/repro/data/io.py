@@ -1,0 +1,100 @@
+"""Dataset persistence.
+
+Datasets round-trip through a single compressed ``.npz`` archive: one
+array per (record, metric, node) series plus a JSON metadata blob.  This
+keeps the on-disk format dependency-free and the load path exact
+(bit-identical values, NaN dropout markers preserved).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ExecutionDataset, ExecutionRecord
+from repro.telemetry.timeseries import TimeSeries
+
+_META_KEY = "__meta__"
+_FORMAT_VERSION = 1
+
+
+def _series_key(record_id: int, metric: str, node: int) -> str:
+    return f"r{record_id}|{metric}|{node}"
+
+
+def save_dataset(dataset: ExecutionDataset, path: str) -> None:
+    """Write ``dataset`` to ``path`` (``.npz``, compressed)."""
+    arrays: Dict[str, np.ndarray] = {}
+    meta_records: List[dict] = []
+    for record in dataset:
+        series_meta = []
+        for (metric, node), series in sorted(record.telemetry.items()):
+            key = _series_key(record.record_id, metric, node)
+            arrays[key] = series.values
+            series_meta.append(
+                {"metric": metric, "node": node, "period": series.period,
+                 "t0": series.t0, "key": key}
+            )
+        meta_records.append(
+            {
+                "record_id": record.record_id,
+                "app_name": record.app_name,
+                "input_size": record.input_size,
+                "n_nodes": record.n_nodes,
+                "duration": record.duration,
+                "rep_index": record.rep_index,
+                "series": series_meta,
+            }
+        )
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "metrics": dataset.metrics,
+        "records": meta_records,
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str) -> ExecutionDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path}: not a repro dataset archive (missing metadata)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        version = meta.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported dataset format version {version!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        records: List[ExecutionRecord] = []
+        for rmeta in meta["records"]:
+            telemetry: Dict[Tuple[str, int], TimeSeries] = {}
+            for smeta in rmeta["series"]:
+                values = archive[smeta["key"]]
+                telemetry[(smeta["metric"], int(smeta["node"]))] = TimeSeries(
+                    values, period=smeta["period"], t0=smeta["t0"]
+                )
+            records.append(
+                ExecutionRecord(
+                    record_id=rmeta["record_id"],
+                    app_name=rmeta["app_name"],
+                    input_size=rmeta["input_size"],
+                    n_nodes=rmeta["n_nodes"],
+                    duration=rmeta["duration"],
+                    telemetry=telemetry,
+                    rep_index=rmeta.get("rep_index", 0),
+                )
+            )
+    dataset = ExecutionDataset(records, meta["metrics"])
+    dataset.check_consistent()
+    return dataset

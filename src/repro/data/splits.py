@@ -1,0 +1,204 @@
+"""Learning/testing splits for the paper's five experiments (§4).
+
+Executions have two identifying dimensions — application name and input
+size — and the experiments differ only in how the learning and testing
+sets are split along them:
+
+1. **normal fold** — stratified 5-fold cross-validation over everything.
+2. **soft input** — normal folds, but each input size is removed from the
+   *learning* side once; testing sets stay the same.
+3. **soft unknown** — normal folds, but each application is removed from
+   the learning side once; testing sets stay the same (the removed app's
+   correct answer becomes "unknown").
+4. **hard input** — learn on 3 of 4 input sizes, test *only* the 4th.
+5. **hard unknown** — learn on 10 of 11 applications, test *only* the
+   11th (correct answer: "unknown").
+
+Correctness is judged at the application-name level ("returning FT_X for
+FT_Y is considered correct").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import RngLike, derive_rng
+from repro.data.dataset import ExecutionDataset
+
+#: Ground-truth label assigned to executions the dictionary should *not*
+#: recognize.
+UNKNOWN_LABEL = "unknown"
+
+
+@dataclass(frozen=True)
+class Split:
+    """One learning/testing split with ground truth for the test side."""
+
+    name: str
+    train_indices: Tuple[int, ...]
+    test_indices: Tuple[int, ...]
+    expected: Tuple[str, ...]  # app-level ground truth per test index
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.test_indices) != len(self.expected):
+            raise ValueError(
+                f"split {self.name!r}: {len(self.test_indices)} test indices "
+                f"but {len(self.expected)} expected labels"
+            )
+        overlap = set(self.train_indices) & set(self.test_indices)
+        if overlap:
+            raise ValueError(
+                f"split {self.name!r}: train/test overlap on indices "
+                f"{sorted(overlap)[:5]}"
+            )
+
+
+def _stratified_folds(
+    labels: Sequence[str], k: int, rng: RngLike = None
+) -> List[np.ndarray]:
+    """Partition indices into ``k`` folds, stratified by label."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    labels = list(labels)
+    if len(labels) < k:
+        raise ValueError(f"cannot make {k} folds from {len(labels)} examples")
+    generator = derive_rng(rng, "folds")
+    by_label: Dict[str, List[int]] = {}
+    for i, lab in enumerate(labels):
+        by_label.setdefault(lab, []).append(i)
+    folds: List[List[int]] = [[] for _ in range(k)]
+    offset = 0
+    for lab in sorted(by_label):
+        idx = np.array(by_label[lab])
+        generator.shuffle(idx)
+        for j, i in enumerate(idx):
+            folds[(j + offset) % k].append(int(i))
+        # Rotate the starting fold per label so small classes spread out.
+        offset += len(idx) % k
+    return [np.array(sorted(f), dtype=int) for f in folds]
+
+
+def kfold_splits(
+    dataset: ExecutionDataset, k: int = 5, seed: RngLike = 0
+) -> List[Split]:
+    """Experiment 1 — stratified k-fold CV on the full dataset."""
+    labels = dataset.labels()
+    apps = dataset.app_labels()
+    folds = _stratified_folds(labels, k, seed)
+    splits = []
+    for fi, test_idx in enumerate(folds):
+        test_set = set(test_idx.tolist())
+        train_idx = tuple(i for i in range(len(dataset)) if i not in test_set)
+        expected = tuple(apps[i] for i in test_idx)
+        splits.append(
+            Split(
+                name=f"normal_fold[{fi}]",
+                train_indices=train_idx,
+                test_indices=tuple(int(i) for i in test_idx),
+                expected=expected,
+                detail=f"fold {fi + 1}/{k}",
+            )
+        )
+    return splits
+
+
+def soft_input_splits(
+    dataset: ExecutionDataset, k: int = 5, seed: RngLike = 0
+) -> List[Split]:
+    """Experiment 2 — normal folds minus one input size on the learn side."""
+    base = kfold_splits(dataset, k, seed)
+    records = dataset.records
+    splits = []
+    for removed in sorted(dataset.input_sizes()):
+        for split in base:
+            train = tuple(
+                i for i in split.train_indices if records[i].input_size != removed
+            )
+            splits.append(
+                Split(
+                    name=f"soft_input[-{removed}]{split.name[len('normal_fold'):]}",
+                    train_indices=train,
+                    test_indices=split.test_indices,
+                    expected=split.expected,
+                    detail=f"input {removed} removed from learning",
+                )
+            )
+    return splits
+
+
+def soft_unknown_splits(
+    dataset: ExecutionDataset, k: int = 5, seed: RngLike = 0
+) -> List[Split]:
+    """Experiment 3 — normal folds minus one application on the learn side.
+
+    Ground truth for the removed application becomes ``UNKNOWN_LABEL``:
+    the dictionary is *correct* when it finds no match for it.
+    """
+    base = kfold_splits(dataset, k, seed)
+    records = dataset.records
+    splits = []
+    for removed in dataset.app_names():
+        for split in base:
+            train = tuple(
+                i for i in split.train_indices if records[i].app_name != removed
+            )
+            expected = tuple(
+                UNKNOWN_LABEL if records[i].app_name == removed else records[i].app_name
+                for i in split.test_indices
+            )
+            splits.append(
+                Split(
+                    name=f"soft_unknown[-{removed}]{split.name[len('normal_fold'):]}",
+                    train_indices=train,
+                    test_indices=split.test_indices,
+                    expected=expected,
+                    detail=f"application {removed} removed from learning",
+                )
+            )
+    return splits
+
+
+def hard_input_splits(dataset: ExecutionDataset) -> List[Split]:
+    """Experiment 4 — learn 3 of 4 inputs, test exclusively the 4th."""
+    records = dataset.records
+    splits = []
+    for held_out in sorted(dataset.input_sizes()):
+        train = tuple(
+            i for i, r in enumerate(records) if r.input_size != held_out
+        )
+        test = tuple(i for i, r in enumerate(records) if r.input_size == held_out)
+        expected = tuple(records[i].app_name for i in test)
+        splits.append(
+            Split(
+                name=f"hard_input[{held_out}]",
+                train_indices=train,
+                test_indices=test,
+                expected=expected,
+                detail=f"testing exclusively input {held_out}",
+            )
+        )
+    return splits
+
+
+def hard_unknown_splits(dataset: ExecutionDataset) -> List[Split]:
+    """Experiment 5 — learn 10 of 11 applications, test exclusively the 11th."""
+    records = dataset.records
+    splits = []
+    for held_out in dataset.app_names():
+        train = tuple(i for i, r in enumerate(records) if r.app_name != held_out)
+        test = tuple(i for i, r in enumerate(records) if r.app_name == held_out)
+        expected = tuple(UNKNOWN_LABEL for _ in test)
+        splits.append(
+            Split(
+                name=f"hard_unknown[{held_out}]",
+                train_indices=train,
+                test_indices=test,
+                expected=expected,
+                detail=f"testing exclusively unknown application {held_out}",
+            )
+        )
+    return splits

@@ -1,0 +1,50 @@
+"""Evaluation harness for the paper's experiments (§4).
+
+- :mod:`repro.experiments.protocol` — the five experiments and the
+  F-score evaluation rules.
+- :mod:`repro.experiments.runner` — end-to-end suite execution.
+- :mod:`repro.experiments.tables` — renderers for Tables 1-4.
+- :mod:`repro.experiments.figures` — the Figure 2 comparison series.
+- :mod:`repro.experiments.reporting` — text rendering (tables, bars,
+  the Figure 1 mechanism diagram).
+"""
+
+from repro.experiments.protocol import (
+    EXPERIMENT_NAMES,
+    ExperimentResult,
+    evaluate_splits,
+    run_experiment,
+    make_efd_factory,
+    make_taxonomist_factory,
+)
+from repro.experiments.runner import ExperimentSuite, SuiteResult
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    table3_scores,
+    example_efd,
+)
+from repro.experiments.figures import figure2_series, render_figure2
+from repro.experiments.reporting import render_mechanism_diagram
+
+__all__ = [
+    "EXPERIMENT_NAMES",
+    "ExperimentResult",
+    "evaluate_splits",
+    "run_experiment",
+    "make_efd_factory",
+    "make_taxonomist_factory",
+    "ExperimentSuite",
+    "SuiteResult",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "table3_scores",
+    "example_efd",
+    "figure2_series",
+    "render_figure2",
+    "render_mechanism_diagram",
+]

@@ -1,0 +1,93 @@
+"""Figure 2 — EFD vs Taxonomist across the five experiments.
+
+    "Comparison between Taxonomist (using 721 system metrics and the
+    entire execution time window) and EFD (using only 1 system metric
+    nr_mapped_vmstat and only the first 2 minutes of the execution time
+    window).  The 'hard input' and 'hard unknown' experiments were not
+    conducted in the Taxonomist."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util.rng import RngLike
+from repro._util.tables import render_bar_chart
+from repro.data.dataset import ExecutionDataset
+from repro.experiments.protocol import (
+    EXPERIMENT_NAMES,
+    make_efd_factory,
+    make_taxonomist_factory,
+)
+from repro.experiments.runner import ExperimentSuite
+
+#: Experiments the original Taxonomist evaluation covers.
+TAXONOMIST_EXPERIMENTS: Tuple[str, ...] = (
+    "normal_fold",
+    "soft_input",
+    "soft_unknown",
+)
+
+#: Pretty x-axis labels.
+EXPERIMENT_LABELS: Dict[str, str] = {
+    "normal_fold": "Normal fold",
+    "soft_input": "Soft input",
+    "soft_unknown": "Soft unknown",
+    "hard_input": "Hard input",
+    "hard_unknown": "Hard unknown",
+}
+
+
+def figure2_series(
+    dataset: ExecutionDataset,
+    efd_metric: str = "nr_mapped_vmstat",
+    taxonomist_metrics: Optional[Sequence[str]] = None,
+    k: int = 5,
+    seed: RngLike = 0,
+    backend: str = "serial",
+    n_workers: Optional[int] = None,
+) -> Dict[str, List[Optional[float]]]:
+    """Compute both bar series of Figure 2.
+
+    Returns ``{"EFD": [...], "Taxonomist": [...]}`` aligned with
+    :data:`~repro.experiments.protocol.EXPERIMENT_NAMES`; the
+    Taxonomist's hard-experiment entries are ``None`` (not conducted in
+    the original paper).
+
+    ``taxonomist_metrics`` defaults to every metric the dataset carries —
+    give the baseline the richest monitoring available, as the original
+    did with 721 metrics.
+    """
+    suite = ExperimentSuite(
+        dataset, k=k, seed=seed, backend=backend, n_workers=n_workers
+    )
+    efd = suite.run(
+        make_efd_factory(metric=efd_metric, seed=seed),
+        recognizer_name="EFD",
+    )
+    taxo = suite.run(
+        make_taxonomist_factory(metrics=taxonomist_metrics, seed=seed),
+        recognizer_name="Taxonomist",
+        experiments=TAXONOMIST_EXPERIMENTS,
+    )
+    return {
+        "EFD": efd.series(EXPERIMENT_NAMES),
+        "Taxonomist": taxo.series(EXPERIMENT_NAMES),
+    }
+
+
+def render_figure2(series: Dict[str, List[Optional[float]]]) -> str:
+    """ASCII rendering of the Figure 2 grouped bars."""
+    labels = [EXPERIMENT_LABELS[e] for e in EXPERIMENT_NAMES]
+    pairs = [(name, values) for name, values in series.items()]
+    chart = render_bar_chart(
+        labels,
+        pairs,
+        width=40,
+        vmax=1.0,
+        title=(
+            "Figure 2: EFD (1 metric, first 2 minutes) vs Taxonomist "
+            "(all collected metrics, full window)"
+        ),
+    )
+    return chart + "\n(n/a = experiment not conducted for this system, as in the paper)"

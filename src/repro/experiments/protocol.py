@@ -1,0 +1,213 @@
+"""The five evaluation experiments (paper §4).
+
+Each experiment is a set of learning/testing splits
+(:mod:`repro.data.splits`) plus an evaluation rule:
+
+- Correctness is judged at the **application-name** level ("returning
+  FT_X for FT_Y is considered correct").
+- For unknown-application experiments, "finding no matching fingerprints
+  [is] a correct prediction for unknown applications" — ground truth is
+  the reserved label ``unknown``.
+- The score is the macro-averaged F-score over the labels present in the
+  split's ground truth, computed per split and averaged over the
+  experiment's splits ("Each input size is removed once and results are
+  averaged").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import RngLike
+from repro.baselines.taxonomist import TaxonomistClassifier
+from repro.core.recognizer import EFDRecognizer
+from repro.data.dataset import ExecutionDataset
+from repro.data.splits import (
+    Split,
+    UNKNOWN_LABEL,
+    hard_input_splits,
+    hard_unknown_splits,
+    kfold_splits,
+    soft_input_splits,
+    soft_unknown_splits,
+)
+from repro.ml.metrics import f1_score
+from repro.parallel.pool import parallel_map
+
+#: Canonical experiment order (matches Figure 2's x-axis).
+EXPERIMENT_NAMES: Tuple[str, ...] = (
+    "normal_fold",
+    "soft_input",
+    "soft_unknown",
+    "hard_input",
+    "hard_unknown",
+)
+
+#: ``factory() -> object with fit(ExecutionDataset) and predict(dataset) -> List[str]``
+RecognizerFactory = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregated outcome of one experiment."""
+
+    experiment: str
+    fscore: float                      # mean macro-F over splits
+    split_scores: Tuple[float, ...]    # per-split macro-F
+    split_names: Tuple[str, ...]
+    n_train: int                       # total train examples over splits
+    n_test: int
+
+    @property
+    def fscore_std(self) -> float:
+        if len(self.split_scores) < 2:
+            return 0.0
+        return float(np.std(self.split_scores))
+
+    def __str__(self) -> str:
+        return (
+            f"{self.experiment}: F={self.fscore:.3f} "
+            f"(±{self.fscore_std:.3f} over {len(self.split_scores)} splits)"
+        )
+
+
+def evaluate_split(
+    dataset: ExecutionDataset,
+    split: Split,
+    factory: RecognizerFactory,
+) -> float:
+    """Macro-F of a freshly trained recognizer on one split."""
+    train = dataset.subset(list(split.train_indices))
+    test = dataset.subset(list(split.test_indices))
+    recognizer = factory()
+    recognizer.fit(train)  # type: ignore[attr-defined]
+    predictions = recognizer.predict(test)  # type: ignore[attr-defined]
+    if isinstance(predictions, str):  # single-record edge
+        predictions = [predictions]
+    y_true = list(split.expected)
+    y_pred = list(predictions)
+    if len(y_pred) != len(y_true):
+        raise RuntimeError(
+            f"recognizer returned {len(y_pred)} predictions for "
+            f"{len(y_true)} test records"
+        )
+    # Score over the ground-truth label set only (scikit-learn's default
+    # with labels=unique(y_true)): a prediction outside it — e.g. a
+    # spurious "unknown" — costs recall on the true class without
+    # inventing a phantom class whose F-score would be 0 by construction.
+    labels = sorted(set(y_true))
+    return f1_score(y_true, y_pred, labels=labels, average="macro")
+
+
+def evaluate_splits(
+    dataset: ExecutionDataset,
+    splits: Sequence[Split],
+    factory: RecognizerFactory,
+    experiment: str = "custom",
+    backend: str = "serial",
+    n_workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Run ``factory`` over every split and aggregate."""
+    if not splits:
+        raise ValueError("splits must be non-empty")
+    scores = parallel_map(
+        lambda s: evaluate_split(dataset, s, factory),
+        list(splits),
+        backend=backend,
+        n_workers=n_workers,
+    )
+    return ExperimentResult(
+        experiment=experiment,
+        fscore=float(np.mean(scores)),
+        split_scores=tuple(float(s) for s in scores),
+        split_names=tuple(s.name for s in splits),
+        n_train=sum(len(s.train_indices) for s in splits),
+        n_test=sum(len(s.test_indices) for s in splits),
+    )
+
+
+def splits_for(
+    experiment: str,
+    dataset: ExecutionDataset,
+    k: int = 5,
+    seed: RngLike = 0,
+) -> List[Split]:
+    """Build the splits of a named experiment."""
+    if experiment == "normal_fold":
+        return kfold_splits(dataset, k, seed)
+    if experiment == "soft_input":
+        return soft_input_splits(dataset, k, seed)
+    if experiment == "soft_unknown":
+        return soft_unknown_splits(dataset, k, seed)
+    if experiment == "hard_input":
+        return hard_input_splits(dataset)
+    if experiment == "hard_unknown":
+        return hard_unknown_splits(dataset)
+    raise ValueError(
+        f"unknown experiment {experiment!r}; known: {EXPERIMENT_NAMES}"
+    )
+
+
+def run_experiment(
+    experiment: str,
+    dataset: ExecutionDataset,
+    factory: RecognizerFactory,
+    k: int = 5,
+    seed: RngLike = 0,
+    backend: str = "serial",
+    n_workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Build the experiment's splits and evaluate ``factory`` on them."""
+    splits = splits_for(experiment, dataset, k=k, seed=seed)
+    return evaluate_splits(
+        dataset, splits, factory, experiment=experiment,
+        backend=backend, n_workers=n_workers,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Standard factories
+# ---------------------------------------------------------------------------
+
+def make_efd_factory(
+    metric: str = "nr_mapped_vmstat",
+    interval: Tuple[float, float] = (60.0, 120.0),
+    depth: Optional[int] = None,
+    seed: RngLike = 0,
+) -> RecognizerFactory:
+    """Factory for the paper's EFD configuration (1 metric, 2 minutes)."""
+
+    def factory() -> EFDRecognizer:
+        return EFDRecognizer(
+            metric=metric,
+            interval=interval,
+            depth=depth,
+            seed=seed,
+            unknown_label=UNKNOWN_LABEL,
+        )
+
+    return factory
+
+
+def make_taxonomist_factory(
+    metrics: Optional[Sequence[str]] = None,
+    n_estimators: int = 40,
+    confidence_threshold: float = 0.55,
+    seed: RngLike = 0,
+) -> RecognizerFactory:
+    """Factory for the Taxonomist baseline (many metrics, full window)."""
+
+    def factory() -> TaxonomistClassifier:
+        return TaxonomistClassifier(
+            metrics=list(metrics) if metrics is not None else None,
+            window=(0.0, None),
+            n_estimators=n_estimators,
+            confidence_threshold=confidence_threshold,
+            unknown_label=UNKNOWN_LABEL,
+            random_state=seed,
+        )
+
+    return factory

@@ -1,0 +1,61 @@
+"""Plain-text reporting helpers (including the Figure 1 diagram)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro._util.tables import TextTable
+from repro.experiments.protocol import EXPERIMENT_NAMES, ExperimentResult
+
+
+def render_mechanism_diagram() -> str:
+    """ASCII rendition of Figure 1 (the EFD mechanism overview)."""
+    return "\n".join(
+        [
+            "Figure 1: Execution-fingerprint-dictionary application recognition",
+            "",
+            "  labeled executions                       unlabeled execution",
+            "  (app + input known)                      (app unknown)",
+            "        |                                        |",
+            "        v                                        v",
+            "  per-node interval means                 per-node interval means",
+            "  (metric, node, [60:120])                (metric, node, [60:120])",
+            "        |                                        |",
+            "   (1) round to depth d  ('pruning')        round to depth d",
+            "        |                                        |",
+            "        v                                        v",
+            "  +------------------- Execution Fingerprint Dictionary ---------+",
+            "  | key: [metric, node, [60:120], mean]  ->  value: app_input(s) |",
+            "  +---------------------------------------------------------------+",
+            "        ^                                        |",
+            "        |                                   (2) lookup",
+            "   add key-value pairs                           |",
+            "                                                 v",
+            "                                    (3) most-matched application",
+            "                                        (array on ties; none -> unknown)",
+        ]
+    )
+
+
+def render_suite_comparison(results: Dict[str, Dict[str, ExperimentResult]]) -> str:
+    """Tabulate {recognizer: {experiment: result}} F-scores."""
+    table = TextTable(["Experiment"] + list(results))
+    for experiment in EXPERIMENT_NAMES:
+        row: List[str] = [experiment]
+        for recognizer in results:
+            result = results[recognizer].get(experiment)
+            row.append(f"{result.fscore:.3f}" if result else "n/a")
+        table.add_row(row)
+    return table.render()
+
+
+def render_experiment_detail(result: ExperimentResult) -> str:
+    """Per-split breakdown of one experiment."""
+    table = TextTable(
+        ["Split", "Macro F-score"],
+        title=f"{result.experiment}: mean F={result.fscore:.3f} "
+              f"(± {result.fscore_std:.3f})",
+    )
+    for name, score in zip(result.split_names, result.split_scores):
+        table.add_row([name, f"{score:.3f}"])
+    return table.render()

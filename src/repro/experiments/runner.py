@@ -1,0 +1,85 @@
+"""Experiment suite runner: the full Figure 2 pipeline in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util.rng import RngLike
+from repro.data.dataset import ExecutionDataset
+from repro.experiments.protocol import (
+    EXPERIMENT_NAMES,
+    ExperimentResult,
+    RecognizerFactory,
+    run_experiment,
+)
+
+
+@dataclass
+class SuiteResult:
+    """Results of one recognizer across the five experiments."""
+
+    recognizer_name: str
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def fscore(self, experiment: str) -> Optional[float]:
+        result = self.results.get(experiment)
+        return result.fscore if result is not None else None
+
+    def series(self, experiments: Sequence[str] = EXPERIMENT_NAMES) -> List[Optional[float]]:
+        """F-scores aligned with ``experiments`` (None = not conducted)."""
+        return [self.fscore(e) for e in experiments]
+
+    def __str__(self) -> str:
+        lines = [f"{self.recognizer_name}:"]
+        for name in EXPERIMENT_NAMES:
+            result = self.results.get(name)
+            lines.append(
+                f"  {name:13s} "
+                + (f"F={result.fscore:.3f}" if result else "not conducted")
+            )
+        return "\n".join(lines)
+
+
+class ExperimentSuite:
+    """Runs a recognizer factory through (a subset of) the experiments.
+
+    The paper's Figure 2 runs the EFD through all five experiments and
+    Taxonomist through the first three ("The 'hard input' and 'hard
+    unknown' experiments were not conducted in the Taxonomist").
+    """
+
+    def __init__(
+        self,
+        dataset: ExecutionDataset,
+        k: int = 5,
+        seed: RngLike = 0,
+        backend: str = "serial",
+        n_workers: Optional[int] = None,
+    ):
+        if len(dataset) == 0:
+            raise ValueError("dataset must be non-empty")
+        self.dataset = dataset
+        self.k = k
+        self.seed = seed
+        self.backend = backend
+        self.n_workers = n_workers
+
+    def run(
+        self,
+        factory: RecognizerFactory,
+        recognizer_name: str,
+        experiments: Sequence[str] = EXPERIMENT_NAMES,
+    ) -> SuiteResult:
+        suite = SuiteResult(recognizer_name=recognizer_name)
+        for experiment in experiments:
+            suite.results[experiment] = run_experiment(
+                experiment,
+                self.dataset,
+                factory,
+                k=self.k,
+                seed=self.seed,
+                backend=self.backend,
+                n_workers=self.n_workers,
+            )
+        return suite

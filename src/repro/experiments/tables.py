@@ -1,0 +1,180 @@
+"""Renderers reproducing the paper's Tables 1-4."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util.rng import RngLike
+from repro._util.tables import TextTable, format_float
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import DEFAULT_INTERVAL, build_fingerprints
+from repro.core.rounding import round_depth, significant_digits
+from repro.data.dataset import ExecutionDataset
+from repro.experiments.protocol import make_efd_factory, run_experiment
+from repro.telemetry.metrics import TABLE3_METRICS
+
+# ---------------------------------------------------------------------------
+# Table 1 — rounding depth showcase
+# ---------------------------------------------------------------------------
+
+TABLE1_VALUES: Tuple[float, ...] = (1358.0, 5.28, 0.038)
+TABLE1_DEPTHS: Tuple[int, ...] = (5, 4, 3, 2, 1)
+
+
+def table1_rows(
+    values: Sequence[float] = TABLE1_VALUES,
+    depths: Sequence[int] = TABLE1_DEPTHS,
+) -> List[List[str]]:
+    """Rows of Table 1; depths beyond a value's precision render as '-'."""
+    rows = []
+    for value in values:
+        row = [f"{value:g}"]
+        precision = significant_digits(value)
+        for depth in depths:
+            if depth > precision:
+                row.append("-")
+            else:
+                row.append(f"{round_depth(value, depth):g}")
+        rows.append(row)
+    return rows
+
+
+def render_table1() -> str:
+    table = TextTable(
+        ["Original Value"] + [str(d) for d in TABLE1_DEPTHS],
+        title="Table 1: Rounding Depth for Measurements",
+    )
+    table.add_rows(table1_rows())
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — dataset composition
+# ---------------------------------------------------------------------------
+
+def render_table2(dataset: ExecutionDataset) -> str:
+    summary = dataset.summary()
+    table = TextTable(
+        ["Applications", "Input Sizes", "Node Count", "Repeated Executions"],
+        title="Table 2: Dataset used for Evaluation",
+    )
+    reps = summary["repetitions"]
+    table.add_row(
+        [
+            ", ".join(summary["applications"]),
+            ", ".join(summary["input_sizes"]),
+            summary["node_count"],
+            "/".join(str(r) for r in reps),
+        ]
+    )
+    footer = (
+        f"({summary['executions']} executions over {summary['pairs']} "
+        f"application-input pairs; {summary['metrics']} metric(s) collected)"
+    )
+    return table.render() + "\n" + footer
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — per-metric F-scores (normal fold)
+# ---------------------------------------------------------------------------
+
+def table3_scores(
+    dataset: ExecutionDataset,
+    metrics: Optional[Sequence[str]] = None,
+    k: int = 5,
+    seed: RngLike = 0,
+) -> Dict[str, float]:
+    """Normal-fold macro-F per metric (the dataset must carry them all)."""
+    metric_list = list(metrics) if metrics is not None else list(dataset.metrics)
+    missing = [m for m in metric_list if m not in dataset.metrics]
+    if missing:
+        raise KeyError(
+            f"dataset lacks metrics {missing[:5]}; regenerate with "
+            f"DatasetConfig(metrics=...)"
+        )
+    scores: Dict[str, float] = {}
+    for metric in metric_list:
+        result = run_experiment(
+            "normal_fold", dataset, make_efd_factory(metric=metric, seed=seed),
+            k=k, seed=seed,
+        )
+        scores[metric] = result.fscore
+    return scores
+
+
+def render_table3(
+    scores: Dict[str, float],
+    paper_scores: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render measured (and optionally paper-reported) per-metric F-scores."""
+    if paper_scores is None:
+        paper_scores = TABLE3_METRICS
+    headers = ["System Metric Name", "F-score Normal Fold (measured)"]
+    include_paper = any(m in paper_scores for m in scores)
+    if include_paper:
+        headers.append("(paper)")
+    table = TextTable(
+        headers, title="Table 3: Excerpt of Individual System Metric Results"
+    )
+    for metric, score in sorted(scores.items(), key=lambda kv: -kv[1]):
+        row = [metric, format_float(score, 2)]
+        if include_paper:
+            paper = paper_scores.get(metric)
+            row.append(format_float(paper, 2) if paper is not None else "-")
+        table.add_row(row)
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — example EFD
+# ---------------------------------------------------------------------------
+
+#: The application subset shown in the paper's example dictionary.
+TABLE4_APPS: Tuple[str, ...] = ("ft", "mg", "sp", "bt", "lu", "miniGhost", "miniAMR")
+TABLE4_DEPTH = 2
+
+
+def example_efd(
+    dataset: ExecutionDataset,
+    metric: str = "nr_mapped_vmstat",
+    depth: int = TABLE4_DEPTH,
+    apps: Sequence[str] = TABLE4_APPS,
+    interval: Tuple[float, float] = DEFAULT_INTERVAL,
+) -> ExecutionFingerprintDictionary:
+    """Build the Table 4 example: subset of apps, fixed rounding depth."""
+    subset = dataset.filter(apps=list(apps))
+    if len(subset) == 0:
+        raise ValueError(f"dataset has no executions for apps {list(apps)}")
+    efd = ExecutionFingerprintDictionary()
+    for record in subset:
+        efd.add_many(build_fingerprints(record, metric, depth, interval), record.label)
+    return efd
+
+
+def render_table4(efd: ExecutionFingerprintDictionary) -> str:
+    table = TextTable(
+        ["Metric Name", "Node", "Interval", "Mean", "Application + Input Size"],
+        title="Table 4: Example Execution Fingerprint Dictionary "
+              f"(rounding depth fixed to {TABLE4_DEPTH})",
+    )
+    # Group rows by application order of first appearance, then value,
+    # mirroring the paper's layout (one block per application).
+    entries = list(efd.entries())
+
+    def sort_key(item):
+        fp, labels = item
+        first_label = labels[0]
+        return (efd.labels().index(first_label), fp.value, fp.node)
+
+    for fp, labels in sorted(entries, key=sort_key):
+        start, end = fp.interval
+        table.add_row(
+            [
+                fp.metric,
+                fp.node,
+                f"[{start:g}:{end:g}]",
+                f"{fp.value:g}",
+                ", ".join(labels),
+            ]
+        )
+    return table.render()

@@ -1,0 +1,59 @@
+"""From-scratch machine-learning substrate.
+
+The paper implements F-score and cross-fold validation with scikit-learn
+and compares against Taxonomist's supervised classifier.  scikit-learn is
+not available in this environment, so this subpackage provides NumPy
+implementations of everything the reproduction needs:
+
+- :mod:`repro.ml.metrics` — confusion matrices, precision/recall/F-score
+  with binary/macro/micro/weighted averaging, classification reports.
+- :mod:`repro.ml.model_selection` — K-fold and stratified K-fold
+  iterators, ``cross_val_score``, ``train_test_split``.
+- :mod:`repro.ml.preprocessing` — label encoding and standardization.
+- :mod:`repro.ml.tree` / :mod:`repro.ml.forest` — CART decision trees and
+  random forests (the Taxonomist baseline's classifier family).
+- :mod:`repro.ml.knn`, :mod:`repro.ml.naive_bayes` — simple alternative
+  classifiers for the baseline ablation.
+
+The API deliberately mirrors scikit-learn (``fit``/``predict``/
+``predict_proba``) so readers can map code to the paper directly.
+"""
+
+from repro.ml.base import BaseClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    precision_recall_fscore,
+    f1_score,
+    classification_report,
+)
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNB
+
+__all__ = [
+    "BaseClassifier",
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_recall_fscore",
+    "f1_score",
+    "classification_report",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "train_test_split",
+    "LabelEncoder",
+    "StandardScaler",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "GaussianNB",
+]

@@ -1,0 +1,81 @@
+"""Estimator base classes (scikit-learn-compatible surface)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class BaseClassifier:
+    """Minimal classifier contract: ``fit``, ``predict``, ``score``.
+
+    Subclasses must set ``self.classes_`` (sorted unique labels) during
+    ``fit`` and implement ``predict``; ``predict_proba`` is optional.
+    """
+
+    classes_: np.ndarray
+
+    def fit(self, X, y) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict_proba(self, X) -> np.ndarray:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement predict_proba"
+        )
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y)
+        pred = self.predict(X)
+        if len(y) == 0:
+            raise ValueError("cannot score an empty test set")
+        return float((pred == y).mean())
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    def get_params(self) -> Dict[str, Any]:
+        """Constructor parameters (attributes without trailing underscore)."""
+        return {
+            k: v
+            for k, v in vars(self).items()
+            if not k.endswith("_") and not k.startswith("_")
+        }
+
+
+def check_X_y(X, y) -> tuple:
+    """Validate and coerce a training pair."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty training set")
+    if np.isnan(X).any():
+        raise ValueError("X contains NaN; impute or drop before fitting")
+    return X, y
+
+
+def check_X(X, n_features: Optional[int] = None) -> np.ndarray:
+    """Validate and coerce a prediction matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if n_features is not None and X.shape[1] != n_features:
+        raise ValueError(
+            f"X has {X.shape[1]} features, model was fitted with {n_features}"
+        )
+    return X

@@ -1,0 +1,90 @@
+"""Random-forest classifier (bagged CART trees).
+
+Taxonomist's published results use ensembles of decision trees over
+statistical features; this is the comparison classifier for Figure 2.
+``predict_proba`` averages tree class distributions, which also provides
+the confidence score Taxonomist thresholds to flag unknown applications.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro._util.rng import RngLike, derive_rng
+from repro.ml.base import BaseClassifier, check_X, check_X_y
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bootstrap-aggregated decision trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[None, int, float, str] = "sqrt",
+        bootstrap: bool = True,
+        random_state: RngLike = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y_raw = check_X_y(X, y)
+        self.classes_ = np.unique(y_raw)
+        self.n_features_ = X.shape[1]
+        class_index = {c: i for i, c in enumerate(self.classes_.tolist())}
+        y_enc = np.array([class_index[v] for v in y_raw.tolist()], dtype=int)
+        n = X.shape[0]
+        self.estimators_: List[DecisionTreeClassifier] = []
+        for t in range(self.n_estimators):
+            rng = derive_rng(self.random_state, "forest", t)
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=derive_rng(self.random_state, "tree-seed", t),
+            )
+            tree.fit(X[idx], y_enc[idx])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X, self.n_features_)
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            # Trees may have seen only a subset of classes in their
+            # bootstrap sample; scatter their columns into the full space.
+            for local, cls_code in enumerate(tree.classes_.tolist()):
+                out[:, int(cls_code)] += proba[:, local]
+        out /= len(self.estimators_)
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def confidence(self, X) -> np.ndarray:
+        """Max class probability per row (Taxonomist's unknown signal)."""
+        return self.predict_proba(X).max(axis=1)

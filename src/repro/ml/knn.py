@@ -1,0 +1,63 @@
+"""Brute-force k-nearest-neighbours classifier."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_X_y
+
+
+class KNeighborsClassifier(BaseClassifier):
+    """Majority vote among the k closest training rows (L2 distance)."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y_raw = check_X_y(X, y)
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds {X.shape[0]} "
+                f"training samples"
+            )
+        self.classes_, self._y = np.unique(y_raw, return_inverse=True)
+        self._X = X
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X, self._X.shape[1])
+        # Pairwise squared distances via the expansion trick — one matmul
+        # instead of a Python loop.
+        d2 = (
+            (X ** 2).sum(axis=1, keepdims=True)
+            - 2.0 * X @ self._X.T
+            + (self._X ** 2).sum(axis=1)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        k = self.n_neighbors
+        nn = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        for i in range(X.shape[0]):
+            neighbours = nn[i]
+            if self.weights == "distance":
+                dist = np.sqrt(d2[i, neighbours])
+                w = 1.0 / np.maximum(dist, 1e-12)
+            else:
+                w = np.ones(k)
+            np.add.at(out[i], self._y[neighbours], w)
+        out /= out.sum(axis=1, keepdims=True)
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

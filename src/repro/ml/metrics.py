@@ -1,0 +1,174 @@
+"""Classification metrics.
+
+The paper evaluates with the F-score ("harmonic mean of precision and
+recall") computed by scikit-learn; these are drop-in equivalents with
+explicit averaging semantics.  ``zero_division`` follows scikit-learn's
+convention: an undefined ratio (no predicted / no true samples for a
+class) contributes the given value, default 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.tables import TextTable
+
+
+def _resolve_labels(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: Optional[Sequence] = None
+) -> np.ndarray:
+    if labels is not None:
+        out = np.asarray(list(labels))
+        if len(set(out.tolist())) != len(out):
+            raise ValueError("labels must be unique")
+        return out
+    return np.unique(np.concatenate([np.unique(y_true), np.unique(y_pred)]))
+
+
+def confusion_matrix(
+    y_true, y_pred, labels: Optional[Sequence] = None
+) -> np.ndarray:
+    """``C[i, j]`` = number of samples with true label i predicted as j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} differ in shape"
+        )
+    label_arr = _resolve_labels(y_true, y_pred, labels)
+    index = {lab: i for i, lab in enumerate(label_arr.tolist())}
+    n = len(label_arr)
+    out = np.zeros((n, n), dtype=int)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        ti = index.get(t)
+        pi = index.get(p)
+        if ti is None or pi is None:
+            # Labels outside the requested set are ignored, matching
+            # scikit-learn's behaviour with an explicit `labels=` list.
+            continue
+        out[ti, pi] += 1
+    return out
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between y_true and y_pred")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float((y_true == y_pred).mean())
+
+
+def precision_recall_fscore(
+    y_true,
+    y_pred,
+    labels: Optional[Sequence] = None,
+    average: Optional[str] = None,
+    zero_division: float = 0.0,
+) -> Tuple:
+    """Per-class or averaged (precision, recall, F1, support).
+
+    ``average`` is ``None`` (per-class arrays), ``"macro"``, ``"micro"``
+    or ``"weighted"``.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between y_true and y_pred")
+    label_arr = _resolve_labels(y_true, y_pred, labels)
+    # Counts are computed directly (not via the label-restricted confusion
+    # matrix): a prediction outside `labels` must still count against its
+    # true class's recall — exactly scikit-learn's semantics.
+    k = len(label_arr)
+    tp = np.zeros(k)
+    pred_count = np.zeros(k)
+    true_count = np.zeros(k)
+    for i, lab in enumerate(label_arr.tolist()):
+        true_mask = y_true == lab
+        pred_mask = y_pred == lab
+        tp[i] = float(np.count_nonzero(true_mask & pred_mask))
+        pred_count[i] = float(np.count_nonzero(pred_mask))
+        true_count[i] = float(np.count_nonzero(true_mask))
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(pred_count > 0, tp / pred_count, zero_division)
+        recall = np.where(true_count > 0, tp / true_count, zero_division)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    support = true_count.astype(int)
+
+    if average is None:
+        return precision, recall, f1, support
+    if average == "macro":
+        return (
+            float(precision.mean()),
+            float(recall.mean()),
+            float(f1.mean()),
+            int(support.sum()),
+        )
+    if average == "micro":
+        tp_total = tp.sum()
+        p = tp_total / pred_count.sum() if pred_count.sum() > 0 else zero_division
+        r = tp_total / true_count.sum() if true_count.sum() > 0 else zero_division
+        f = 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+        return float(p), float(r), float(f), int(support.sum())
+    if average == "weighted":
+        total = support.sum()
+        if total == 0:
+            raise ValueError("no samples to compute weighted average over")
+        w = support / total
+        return (
+            float((precision * w).sum()),
+            float((recall * w).sum()),
+            float((f1 * w).sum()),
+            int(total),
+        )
+    raise ValueError(
+        f"average must be None, 'macro', 'micro' or 'weighted', got {average!r}"
+    )
+
+
+def f1_score(
+    y_true,
+    y_pred,
+    labels: Optional[Sequence] = None,
+    average: str = "macro",
+    zero_division: float = 0.0,
+) -> float:
+    """Averaged F1 (the paper's headline number uses macro averaging)."""
+    _, _, f1, _ = precision_recall_fscore(
+        y_true, y_pred, labels=labels, average=average, zero_division=zero_division
+    )
+    return float(f1)
+
+
+def classification_report(
+    y_true, y_pred, labels: Optional[Sequence] = None, digits: int = 3
+) -> str:
+    """Human-readable per-class report (plus macro/weighted summaries)."""
+    label_arr = _resolve_labels(np.asarray(y_true), np.asarray(y_pred), labels)
+    precision, recall, f1, support = precision_recall_fscore(
+        y_true, y_pred, labels=label_arr
+    )
+    table = TextTable(["class", "precision", "recall", "f1", "support"])
+    for i, lab in enumerate(label_arr.tolist()):
+        table.add_row(
+            [
+                lab,
+                f"{precision[i]:.{digits}f}",
+                f"{recall[i]:.{digits}f}",
+                f"{f1[i]:.{digits}f}",
+                support[i],
+            ]
+        )
+    for avg in ("macro", "weighted"):
+        p, r, f, s = precision_recall_fscore(
+            y_true, y_pred, labels=label_arr, average=avg
+        )
+        table.add_row(
+            [f"({avg} avg)", f"{p:.{digits}f}", f"{r:.{digits}f}", f"{f:.{digits}f}", s]
+        )
+    return table.render()

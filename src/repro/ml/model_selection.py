@@ -1,0 +1,145 @@
+"""Cross-validation iterators and helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.rng import RngLike, derive_rng
+
+
+class KFold:
+    """K consecutive (optionally shuffled) folds."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state: RngLike = None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            derive_rng(self.random_state, "kfold").shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield np.sort(train), np.sort(test)
+            start += size
+
+
+class StratifiedKFold:
+    """K folds preserving per-class proportions."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: RngLike = None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n = len(y)
+        if len(X) != n:
+            raise ValueError(f"X has {len(X)} rows but y has {n}")
+        rng = derive_rng(self.random_state, "stratified")
+        folds: List[List[int]] = [[] for _ in range(self.n_splits)]
+        offset = 0
+        for lab in np.unique(y):
+            idx = np.where(y == lab)[0]
+            if self.shuffle:
+                rng.shuffle(idx)
+            for j, i in enumerate(idx):
+                folds[(j + offset) % self.n_splits].append(int(i))
+            offset += len(idx) % self.n_splits
+        for k in range(self.n_splits):
+            test = np.array(sorted(folds[k]), dtype=int)
+            if len(test) == 0:
+                raise ValueError(
+                    f"fold {k} is empty; reduce n_splits={self.n_splits}"
+                )
+            test_set = set(test.tolist())
+            train = np.array(
+                [i for i in range(n) if i not in test_set], dtype=int
+            )
+            yield train, test
+
+
+def cross_val_score(
+    estimator_factory: Callable[[], object],
+    X,
+    y,
+    cv: Optional[object] = None,
+    scoring: Optional[Callable] = None,
+) -> np.ndarray:
+    """Scores of a freshly constructed estimator over CV folds.
+
+    ``estimator_factory`` builds a new, unfitted estimator per fold
+    (avoids state leaking between folds — a real hazard with mutable
+    estimators).  ``scoring(fitted, X_test, y_test)`` defaults to the
+    estimator's own ``score``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    splitter = cv if cv is not None else StratifiedKFold(5, shuffle=True, random_state=0)
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        est = estimator_factory()
+        est.fit(X[train_idx], y[train_idx])
+        if scoring is None:
+            scores.append(est.score(X[test_idx], y[test_idx]))
+        else:
+            scores.append(scoring(est, X[test_idx], y[test_idx]))
+    return np.asarray(scores, dtype=float)
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.25,
+    random_state: RngLike = None,
+    stratify=None,
+):
+    """Split arrays into random train/test subsets."""
+    if not arrays:
+        raise ValueError("at least one array required")
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("all arrays must share the same length")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    rng = derive_rng(random_state, "tts")
+    n_test = max(int(round(n * test_size)), 1)
+    if stratify is not None:
+        strat = np.asarray(stratify)
+        if len(strat) != n:
+            raise ValueError("stratify must align with the arrays")
+        test_idx: List[int] = []
+        for lab in np.unique(strat):
+            idx = np.where(strat == lab)[0]
+            rng.shuffle(idx)
+            k = max(int(round(len(idx) * test_size)), 1)
+            test_idx.extend(idx[:k].tolist())
+        test = np.array(sorted(test_idx), dtype=int)
+    else:
+        perm = rng.permutation(n)
+        test = np.sort(perm[:n_test])
+    test_set = set(test.tolist())
+    train = np.array([i for i in range(n) if i not in test_set], dtype=int)
+    out = []
+    for a in arrays:
+        arr = np.asarray(a)
+        out.append(arr[train])
+        out.append(arr[test])
+    return tuple(out)

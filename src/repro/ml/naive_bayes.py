@@ -1,0 +1,58 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_X_y
+
+
+class GaussianNB(BaseClassifier):
+    """Per-class independent Gaussians with smoothed variances."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise ValueError(f"var_smoothing must be >= 0, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y) -> "GaussianNB":
+        X, y_raw = check_X_y(X, y)
+        self.classes_, y_enc = np.unique(y_raw, return_inverse=True)
+        k = len(self.classes_)
+        d = X.shape[1]
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        self.class_prior_ = np.zeros(k)
+        for c in range(k):
+            rows = X[y_enc == c]
+            self.theta_[c] = rows.mean(axis=0)
+            self.var_[c] = rows.var(axis=0)
+            self.class_prior_[c] = len(rows) / X.shape[0]
+        # Smooth with a fraction of the largest feature variance so that
+        # constant features do not produce zero-variance likelihoods.
+        eps = self.var_smoothing * max(X.var(axis=0).max(), 1e-12)
+        self.var_ += eps
+        self.n_features_ = d
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            diff = X - self.theta_[c]
+            log_pdf = -0.5 * (
+                np.log(2.0 * np.pi * self.var_[c]) + diff ** 2 / self.var_[c]
+            ).sum(axis=1)
+            out[:, c] = np.log(self.class_prior_[c]) + log_pdf
+        return out
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_X(X, self.n_features_)
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        proba = np.exp(jll)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,91 @@
+"""Label encoding and feature standardization."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class LabelEncoder:
+    """Maps arbitrary hashable labels to contiguous integers."""
+
+    def fit(self, y) -> "LabelEncoder":
+        y = np.asarray(y)
+        if y.size == 0:
+            raise ValueError("cannot fit LabelEncoder on empty input")
+        self.classes_ = np.unique(y)
+        self._index = {lab: i for i, lab in enumerate(self.classes_.tolist())}
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        self._check_fitted()
+        out = np.empty(len(y), dtype=int)
+        for i, lab in enumerate(np.asarray(y).tolist()):
+            try:
+                out[i] = self._index[lab]
+            except KeyError:
+                raise ValueError(
+                    f"unseen label {lab!r}; known: {self.classes_.tolist()[:10]}"
+                ) from None
+        return out
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        self._check_fitted()
+        codes = np.asarray(codes, dtype=int)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
+            raise ValueError(
+                f"codes outside [0, {len(self.classes_)}): "
+                f"[{codes.min()}, {codes.max()}]"
+            )
+        return self.classes_[codes]
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted; call fit() first")
+
+
+class StandardScaler:
+    """Removes per-feature mean and scales to unit variance."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit StandardScaler on empty input")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            # Constant features scale by 1 so they pass through unchanged.
+            self.scale_ = np.where(std > 0, std, 1.0)
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != len(self.mean_):
+            raise ValueError(
+                f"X shape {X.shape} incompatible with fitted "
+                f"({len(self.mean_)} features)"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        return X * self.scale_ + self.mean_

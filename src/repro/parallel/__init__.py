@@ -1,0 +1,12 @@
+"""Parallel execution helpers.
+
+Fold/split evaluation in the experiment runner is embarrassingly
+parallel; these helpers provide a backend-agnostic chunked map
+(serial / threads / processes) per the hpc-parallel guide's advice to
+parallelize at the outermost loop.
+"""
+
+from repro.parallel.partition import chunk_evenly, split_indices
+from repro.parallel.pool import parallel_map
+
+__all__ = ["parallel_map", "chunk_evenly", "split_indices"]

@@ -1,0 +1,50 @@
+"""Work partitioning utilities."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def chunk_evenly(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into ``n_chunks`` near-equal contiguous chunks.
+
+    Sizes differ by at most one; empty chunks are dropped (when
+    ``n_chunks`` exceeds ``len(items)``).
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    n = len(items)
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    base = n // n_chunks
+    extra = n % n_chunks
+    out: List[List[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def split_indices(n: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Half-open index ranges covering ``range(n)`` in near-equal parts."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    base = n // n_chunks
+    extra = n % n_chunks
+    out = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out

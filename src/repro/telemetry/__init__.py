@@ -1,0 +1,59 @@
+"""LDMS-like monitoring substrate.
+
+The paper's dataset was collected with LDMS (Lightweight Distributed
+Metric Service, Agelastos et al. SC'14): per-node samplers read kernel
+and NIC counter sets (vmstat, meminfo, procstat, Cray NIC metrics, ...)
+once per second and ship them to an aggregator.  This subpackage
+simulates that stack:
+
+- :mod:`repro.telemetry.metrics` — a 562-metric registry mirroring the
+  public Taxonomist dataset's column families, including every metric the
+  paper's Tables 3 and 4 name.
+- :mod:`repro.telemetry.timeseries` — NumPy-backed series containers with
+  interval statistics (the EFD consumes ``interval_mean``).
+- :mod:`repro.telemetry.noise` — composable noise processes (white noise,
+  drift, spikes, init-phase perturbation).
+- :mod:`repro.telemetry.sampler` — a 1 Hz sampler with jitter and
+  dropout.
+- :mod:`repro.telemetry.ldms` — per-node sampler daemons plus an
+  aggregator, the end-to-end collection pipeline.
+"""
+
+from repro.telemetry.metrics import (
+    MetricSpec,
+    MetricRegistry,
+    default_registry,
+    TABLE3_METRICS,
+    PAPER_METRIC,
+)
+from repro.telemetry.timeseries import TimeSeries, interval_mean
+from repro.telemetry.noise import (
+    NoiseModel,
+    WhiteNoise,
+    DriftNoise,
+    SpikeNoise,
+    InitPhasePerturbation,
+    CompositeNoise,
+)
+from repro.telemetry.sampler import Sampler, SamplerConfig
+from repro.telemetry.ldms import LDMSDaemon, LDMSAggregator
+
+__all__ = [
+    "MetricSpec",
+    "MetricRegistry",
+    "default_registry",
+    "TABLE3_METRICS",
+    "PAPER_METRIC",
+    "TimeSeries",
+    "interval_mean",
+    "NoiseModel",
+    "WhiteNoise",
+    "DriftNoise",
+    "SpikeNoise",
+    "InitPhasePerturbation",
+    "CompositeNoise",
+    "Sampler",
+    "SamplerConfig",
+    "LDMSDaemon",
+    "LDMSAggregator",
+]

@@ -1,0 +1,106 @@
+"""Simulated LDMS collection pipeline.
+
+Two roles, mirroring the real LDMS architecture the paper's dataset was
+collected with:
+
+- :class:`LDMSDaemon` — runs "on" one node; owns a :class:`Sampler` and
+  samples any number of metric signals for that node.
+- :class:`LDMSAggregator` — collects per-node series into the
+  ``(metric, node) -> TimeSeries`` mapping that the dataset layer stores.
+
+The split is deliberately faithful: per-node daemons sample with
+*independent* jitter/dropout streams, so node series are realistically
+decorrelated even for identical signals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro._util.rng import RngLike, derive_rng
+from repro.telemetry.sampler import Sampler, SamplerConfig, SignalFn
+from repro.telemetry.timeseries import TimeSeries
+
+
+class LDMSDaemon:
+    """Per-node sampling daemon."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: Optional[SamplerConfig] = None,
+        rng: RngLike = None,
+    ):
+        if node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {node_id}")
+        self.node_id = int(node_id)
+        self.sampler = Sampler(config)
+        self._rng_base = rng
+
+    def collect(
+        self,
+        signals: Mapping[str, SignalFn],
+        duration: float,
+    ) -> Dict[str, TimeSeries]:
+        """Sample every metric signal for this node.
+
+        Each metric gets an independent noise stream derived from the
+        daemon's base seed, the node id, and the metric name, so repeated
+        collection runs are reproducible.
+        """
+        out: Dict[str, TimeSeries] = {}
+        for metric_name, signal in signals.items():
+            rng = derive_rng(self._rng_base, "ldmsd", self.node_id, metric_name)
+            out[metric_name] = self.sampler.sample(signal, duration, rng)
+        return out
+
+
+class LDMSAggregator:
+    """Gathers per-node daemon output into one execution-wide mapping."""
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[str, int], TimeSeries] = {}
+
+    def ingest(self, node_id: int, series_by_metric: Mapping[str, TimeSeries]) -> None:
+        for metric_name, series in series_by_metric.items():
+            key = (metric_name, int(node_id))
+            if key in self._store:
+                raise ValueError(
+                    f"duplicate ingest for metric={metric_name!r} node={node_id}"
+                )
+            self._store[key] = series
+
+    def collect_all(
+        self,
+        daemons: Iterable[LDMSDaemon],
+        signals_per_node: Mapping[int, Mapping[str, SignalFn]],
+        duration: float,
+    ) -> Dict[Tuple[str, int], TimeSeries]:
+        """Run every daemon and aggregate the results."""
+        for daemon in daemons:
+            node_signals = signals_per_node.get(daemon.node_id)
+            if node_signals is None:
+                raise KeyError(f"no signals registered for node {daemon.node_id}")
+            self.ingest(daemon.node_id, daemon.collect(node_signals, duration))
+        return dict(self._store)
+
+    @property
+    def store(self) -> Dict[Tuple[str, int], TimeSeries]:
+        return dict(self._store)
+
+    def metrics(self) -> List[str]:
+        return sorted({m for m, _ in self._store})
+
+    def nodes(self) -> List[int]:
+        return sorted({n for _, n in self._store})
+
+    def get(self, metric: str, node: int) -> TimeSeries:
+        try:
+            return self._store[(metric, node)]
+        except KeyError:
+            raise KeyError(
+                f"no series for metric={metric!r} node={node}; "
+                f"have {len(self._store)} series"
+            ) from None

@@ -1,0 +1,91 @@
+"""1 Hz metric sampler with jitter and dropout.
+
+LDMS samples each metric set on a fixed cadence; in practice samples
+arrive with small timing jitter and are occasionally lost (aggregator
+back-pressure, node hiccups).  The EFD must be robust to both, so the
+simulation includes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro._util.rng import RngLike, derive_rng
+from repro._util.validation import check_in_range, check_positive
+from repro.telemetry.timeseries import TimeSeries
+
+SignalFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Sampling behaviour knobs.
+
+    Parameters
+    ----------
+    period:
+        Nominal sampling period in seconds (LDMS default 1.0).
+    jitter_std:
+        Std of per-sample timing jitter in seconds.  Jitter shifts *when*
+        the signal is observed, not the timestamps recorded (LDMS stamps
+        nominal times).
+    dropout_prob:
+        Probability that an individual sample is lost (recorded as NaN).
+    quantize:
+        If True, floor sampled values at zero and round to integers —
+        kernel counters are non-negative integers.
+    """
+
+    period: float = 1.0
+    jitter_std: float = 0.05
+    dropout_prob: float = 0.001
+    quantize: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.period, "period")
+        check_in_range(self.jitter_std, "jitter_std", low=0.0)
+        check_in_range(self.dropout_prob, "dropout_prob", low=0.0, high=1.0)
+
+
+class Sampler:
+    """Samples a continuous signal on the LDMS cadence."""
+
+    def __init__(self, config: Optional[SamplerConfig] = None):
+        self.config = config or SamplerConfig()
+
+    def sample(
+        self,
+        signal: SignalFn,
+        duration: float,
+        rng: RngLike = None,
+    ) -> TimeSeries:
+        """Sample ``signal`` over ``[0, duration)``.
+
+        ``signal`` must be vectorized: it receives an array of observation
+        times and returns the metric value at each.
+        """
+        check_positive(duration, "duration")
+        cfg = self.config
+        generator = derive_rng(rng)
+        n = int(np.floor(duration / cfg.period))
+        nominal = np.arange(n, dtype=float) * cfg.period
+        if cfg.jitter_std > 0:
+            observed = nominal + generator.normal(0.0, cfg.jitter_std, size=n)
+            observed = np.clip(observed, 0.0, max(duration - 1e-9, 0.0))
+        else:
+            observed = nominal
+        values = np.asarray(signal(observed), dtype=float)
+        if values.shape != nominal.shape:
+            raise ValueError(
+                f"signal returned shape {values.shape}, expected {nominal.shape}"
+            )
+        if cfg.quantize:
+            values = np.round(np.maximum(values, 0.0))
+        if cfg.dropout_prob > 0:
+            lost = generator.random(n) < cfg.dropout_prob
+            values = values.copy()
+            values[lost] = np.nan
+        return TimeSeries(values, period=cfg.period, t0=0.0)

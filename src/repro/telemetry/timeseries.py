@@ -1,0 +1,188 @@
+"""NumPy-backed time-series containers.
+
+The EFD consumes exactly one statistic — the mean of a metric over a time
+interval at the beginning of an execution — so :class:`TimeSeries` keeps
+its representation minimal: a start time, a fixed sampling period, and a
+1-D value array.  All statistics are computed on views, never copies
+(see the hpc-parallel guide on memory traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._util.validation import check_array_1d, check_positive
+
+
+def interval_mean(
+    values: np.ndarray,
+    start: float,
+    end: float,
+    period: float = 1.0,
+    t0: float = 0.0,
+) -> float:
+    """Mean of ``values`` over wall-clock interval ``[start, end)``.
+
+    ``values[i]`` is the sample at time ``t0 + i * period``.  Samples with
+    NaN (dropped by the sampler) are excluded.  Returns ``nan`` when the
+    interval contains no valid samples — callers decide how to handle
+    missing fingerprints.
+    """
+    if end <= start:
+        raise ValueError(f"interval end must exceed start, got [{start}, {end})")
+    check_positive(period, "period")
+    lo = int(np.ceil((start - t0) / period))
+    hi = int(np.ceil((end - t0) / period))
+    lo = max(lo, 0)
+    hi = min(hi, len(values))
+    if hi <= lo:
+        return float("nan")
+    window = values[lo:hi]  # view, not copy
+    if np.isnan(window).any():
+        window = window[~np.isnan(window)]
+        if window.size == 0:
+            return float("nan")
+    return float(window.mean())
+
+
+class TimeSeries:
+    """A regularly-sampled scalar series.
+
+    Parameters
+    ----------
+    values:
+        1-D array of samples; NaN marks dropped samples.
+    period:
+        Sampling period in seconds (LDMS default: 1.0).
+    t0:
+        Time of the first sample relative to job start, in seconds.
+    """
+
+    __slots__ = ("values", "period", "t0")
+
+    def __init__(self, values, period: float = 1.0, t0: float = 0.0):
+        self.values = check_array_1d(values, "values", dtype=float)
+        self.period = float(check_positive(period, "period"))
+        self.t0 = float(t0)
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            self.period == other.period
+            and self.t0 == other.t0
+            and np.array_equal(self.values, other.values, equal_nan=True)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeries(n={len(self.values)}, period={self.period}, "
+            f"t0={self.t0}, span={self.duration:.1f}s)"
+        )
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Covered wall-clock span in seconds."""
+        return len(self.values) * self.period
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps (seconds since job start)."""
+        return self.t0 + np.arange(len(self.values)) * self.period
+
+    def is_complete(self) -> bool:
+        """True when no samples were dropped."""
+        return not np.isnan(self.values).any()
+
+    def dropout_fraction(self) -> float:
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.isnan(self.values).mean())
+
+    # -- statistics -----------------------------------------------------------
+    def interval_mean(self, start: float, end: float) -> float:
+        """Mean over wall-clock interval ``[start, end)`` (the EFD feature)."""
+        return interval_mean(self.values, start, end, self.period, self.t0)
+
+    def interval_stats(self, start: float, end: float) -> Tuple[float, float]:
+        """(mean, std) over ``[start, end)``; NaN-aware."""
+        if end <= start:
+            raise ValueError(f"interval end must exceed start, got [{start}, {end})")
+        lo = max(int(np.ceil((start - self.t0) / self.period)), 0)
+        hi = min(int(np.ceil((end - self.t0) / self.period)), len(self.values))
+        if hi <= lo:
+            return float("nan"), float("nan")
+        window = self.values[lo:hi]
+        valid = window[~np.isnan(window)]
+        if valid.size == 0:
+            return float("nan"), float("nan")
+        return float(valid.mean()), float(valid.std())
+
+    def slice(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series covering ``[start, end)`` (shares memory with self)."""
+        if end <= start:
+            raise ValueError(f"interval end must exceed start, got [{start}, {end})")
+        lo = max(int(np.ceil((start - self.t0) / self.period)), 0)
+        hi = min(int(np.ceil((end - self.t0) / self.period)), len(self.values))
+        hi = max(hi, lo)
+        return TimeSeries(
+            self.values[lo:hi], period=self.period, t0=self.t0 + lo * self.period
+        )
+
+    def downsample(self, factor: int) -> "TimeSeries":
+        """Average every ``factor`` consecutive samples (NaN-aware)."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if factor == 1:
+            return TimeSeries(self.values.copy(), self.period, self.t0)
+        n = (len(self.values) // factor) * factor
+        if n == 0:
+            return TimeSeries(
+                np.empty(0, dtype=float), self.period * factor, self.t0
+            )
+        blocks = self.values[:n].reshape(-1, factor)
+        with np.errstate(invalid="ignore"):
+            means = np.nanmean(blocks, axis=1)
+        return TimeSeries(means, self.period * factor, self.t0)
+
+    def fill_dropout(self, method: str = "previous") -> "TimeSeries":
+        """Return a copy with NaN samples imputed.
+
+        ``method`` is ``"previous"`` (last observation carried forward,
+        what a production collector would report) or ``"mean"``.
+        """
+        if method not in ("previous", "mean"):
+            raise ValueError(f"unknown fill method {method!r}")
+        values = self.values.copy()
+        nan_mask = np.isnan(values)
+        if not nan_mask.any():
+            return TimeSeries(values, self.period, self.t0)
+        if method == "mean":
+            if nan_mask.all():
+                raise ValueError("cannot mean-fill a series with no valid samples")
+            values[nan_mask] = values[~nan_mask].mean()
+        elif method == "previous":
+            idx = np.where(~nan_mask, np.arange(len(values)), -1)
+            np.maximum.accumulate(idx, out=idx)
+            missing_head = idx < 0
+            safe_idx = np.where(missing_head, 0, idx)
+            values = values[safe_idx]
+            if missing_head.any():
+                # No earlier observation exists: backfill from the first
+                # valid sample.
+                first_valid = np.argmax(~nan_mask)
+                if nan_mask.all():
+                    raise ValueError(
+                        "cannot forward-fill a series with no valid samples"
+                    )
+                values[missing_head] = self.values[first_valid]
+        else:
+            raise ValueError(f"unknown fill method {method!r}")
+        return TimeSeries(values, self.period, self.t0)

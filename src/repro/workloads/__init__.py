@@ -1,0 +1,47 @@
+"""Application behaviour models.
+
+The paper's dataset contains repeated executions of eleven HPC
+applications: six NAS Parallel Benchmarks (FT, MG, SP, LU, BT, CG) and
+five proxy/mini applications (CoMD, miniGhost, miniAMR, miniMD, Kripke).
+This subpackage models how each of them drives the monitored system
+metrics: per-metric base levels (calibrated against the paper's example
+EFD in Table 4), initialization phases, compute-phase temporal shapes,
+per-node asymmetries (e.g. the rank-0 effects visible for SP/BT/LU), and
+per-execution measurement variation.
+
+The models produce *signal functions* that the LDMS sampler simulation
+(:mod:`repro.telemetry`) observes; they never fabricate fingerprints
+directly, so the whole recognition pipeline is exercised end to end.
+"""
+
+from repro.workloads.base import AppModel, ExecutionBehavior, MetricBehavior
+from repro.workloads.inputs import InputSize, INPUT_SIZES, input_scale
+from repro.workloads.nas import NAS_APPS, make_nas_app
+from repro.workloads.proxies import PROXY_APPS, make_proxy_app
+from repro.workloads.registry import (
+    WorkloadRegistry,
+    default_workloads,
+    APP_NAMES,
+    STARRED_APPS,
+)
+from repro.workloads.unknown import make_unknown_app
+from repro.workloads.cryptominer import make_cryptominer
+
+__all__ = [
+    "AppModel",
+    "ExecutionBehavior",
+    "MetricBehavior",
+    "InputSize",
+    "INPUT_SIZES",
+    "input_scale",
+    "NAS_APPS",
+    "make_nas_app",
+    "PROXY_APPS",
+    "make_proxy_app",
+    "WorkloadRegistry",
+    "default_workloads",
+    "APP_NAMES",
+    "STARRED_APPS",
+    "make_unknown_app",
+    "make_cryptominer",
+]

@@ -1,0 +1,119 @@
+"""Temporal shape archetypes for metric signals.
+
+Every metric's compute-phase signal is its base level multiplied by a
+shape archetype.  Shapes are multiplicative modulations around 1.0 so
+that the *interval mean* stays close to the base level (the EFD's
+feature), while the full-window series keeps realistic texture for the
+Taxonomist baseline's richer statistical features.
+
+All functions are vectorized over the time grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+ShapeFn = Callable[[np.ndarray], np.ndarray]
+
+
+def plateau(times: np.ndarray, *, amp: float, period: float, phase: float) -> np.ndarray:
+    """Nearly flat level with a faint slow oscillation.
+
+    Memory-footprint metrics (nr_mapped, Committed_AS, ...) settle onto a
+    stable plateau once the working set is allocated — the property the
+    EFD exploits.
+    """
+    return 1.0 + amp * np.sin(2.0 * np.pi * times / period + phase)
+
+
+def periodic(times: np.ndarray, *, amp: float, period: float, phase: float) -> np.ndarray:
+    """Pronounced iteration-driven oscillation (communication counters)."""
+    base = np.sin(2.0 * np.pi * times / period + phase)
+    second = 0.35 * np.sin(4.0 * np.pi * times / period + 2.1 * phase)
+    return 1.0 + amp * (base + second)
+
+
+def bursty(times: np.ndarray, *, amp: float, period: float, phase: float) -> np.ndarray:
+    """On/off burst pattern (I/O flushes, halo exchanges).
+
+    A smoothed square wave: value sits near ``1 - amp/2`` between bursts
+    and ``1 + amp/2`` during bursts, preserving a mean near 1.
+    """
+    carrier = np.sin(2.0 * np.pi * times / period + phase)
+    square = np.tanh(6.0 * carrier)
+    return 1.0 + 0.5 * amp * square
+
+
+def ramp(times: np.ndarray, *, amp: float, period: float, phase: float) -> np.ndarray:
+    """Slow monotone growth (e.g. page-cache fill, AMR refinement).
+
+    Normalized so the modulation passes 1.0 mid-window of ``period``.
+    """
+    frac = np.clip(times / max(period * 8.0, 1e-9), 0.0, 1.0)
+    return 1.0 + amp * (frac - 0.5)
+
+
+def noisy_flat(times: np.ndarray, *, amp: float, period: float, phase: float) -> np.ndarray:
+    """Flat with deterministic high-frequency texture (CPU-time rates)."""
+    fast = np.sin(2.0 * np.pi * times / max(period / 7.0, 1.0) + phase)
+    slow = np.sin(2.0 * np.pi * times / (period * 3.0) + 0.7 * phase)
+    return 1.0 + amp * (0.6 * fast + 0.4 * slow)
+
+
+SHAPES: Dict[str, ShapeFn] = {
+    "plateau": plateau,
+    "periodic": periodic,
+    "bursty": bursty,
+    "ramp": ramp,
+    "noisy_flat": noisy_flat,
+}
+
+#: Default modulation amplitude per archetype.  Plateau metrics stay
+#: within a fraction of a percent of their level; communication counters
+#: swing by tens of percent.
+DEFAULT_AMPLITUDE: Dict[str, float] = {
+    "plateau": 0.004,
+    "periodic": 0.10,
+    "bursty": 0.30,
+    "ramp": 0.05,
+    "noisy_flat": 0.10,
+}
+
+#: Per-archetype modulation period ranges in seconds.  Periodic
+#: (iteration-driven) counters oscillate fast enough that a 60 s interval
+#: mean averages the cycle out — the property that keeps NIC fingerprints
+#: repeatable in Table 3; slower shapes may wander over tens of seconds.
+PERIOD_RANGE: Dict[str, tuple] = {
+    "plateau": (20.0, 60.0),
+    "periodic": (6.0, 16.0),
+    "bursty": (10.0, 30.0),
+    "ramp": (20.0, 60.0),
+    "noisy_flat": (10.0, 40.0),
+}
+
+
+def make_shape(
+    archetype: str,
+    *,
+    amp: float,
+    period: float,
+    phase: float,
+) -> ShapeFn:
+    """Bind an archetype's parameters into a unary time function."""
+    try:
+        fn = SHAPES[archetype]
+    except KeyError:
+        raise ValueError(
+            f"unknown archetype {archetype!r}; known: {sorted(SHAPES)}"
+        ) from None
+    if amp < 0:
+        raise ValueError(f"amp must be >= 0, got {amp}")
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+
+    def shape(times: np.ndarray) -> np.ndarray:
+        return fn(times, amp=amp, period=period, phase=phase)
+
+    return shape

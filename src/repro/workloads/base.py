@@ -1,0 +1,338 @@
+"""Application behaviour model base classes.
+
+An :class:`AppModel` answers one question for the telemetry substrate:
+*what does metric m look like on node i when application a runs input s?*
+The answer has three deterministic layers plus one stochastic layer:
+
+1. **Base level** — a stable per-(app, input, metric, node) value.  For
+   the paper-calibrated metrics (``nr_mapped_vmstat`` etc.) the levels
+   are hand-set from the published example EFD (Table 4); for the other
+   ~550 metrics they are derived from a collision-aware lattice so that
+   highly discriminative metrics separate all applications while weaker
+   metrics merge similar applications onto the same level.
+2. **Phase envelope** — a startup ramp over ``init_duration`` seconds
+   (the perturbation the paper avoids by fingerprinting [60 s, 120 s]),
+   then a steady compute phase, then a short teardown.
+3. **Shape archetype** — the compute-phase temporal texture
+   (:mod:`repro.workloads.archetypes`).
+4. **Execution variation** — a per-execution, per-node level offset
+   ("measurement variation, potentially caused by system perturbations
+   and noise", §5) sampled from the execution's RNG; this is what makes
+   distinct executions of one application produce one *or several*
+   nearby fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util.hashing import stable_hash, stable_uniform
+from repro._util.rng import RngLike, derive_rng
+from repro.telemetry.metrics import MetricSpec
+from repro.telemetry.noise import NoiseModel, default_noise
+from repro.workloads.archetypes import DEFAULT_AMPLITUDE, PERIOD_RANGE, make_shape
+from repro.workloads.inputs import get_input
+
+SignalFn = Callable[[np.ndarray], np.ndarray]
+
+#: Canonical global application order; the level lattice hangs off it.
+CANONICAL_APP_ORDER: List[str] = [
+    "ft", "mg", "sp", "lu", "bt", "cg",
+    "CoMD", "miniGhost", "miniAMR", "miniMD", "kripke",
+]
+
+#: Pairs of applications with genuinely similar behaviour, and the
+#: strength of that similarity.  SP and BT share a fingerprint at coarse
+#: rounding depths in the paper (Table 4); LU is a weaker relative.
+SIMILARITY_PAIRS: List[Tuple[str, str, float]] = [
+    ("sp", "bt", 0.9),
+    ("sp", "lu", 0.25),
+    ("bt", "lu", 0.25),
+    ("CoMD", "miniMD", 0.35),
+    ("mg", "miniGhost", 0.2),
+]
+
+
+@dataclass(frozen=True)
+class MetricBehavior:
+    """Fully resolved behaviour of one metric for one execution/node."""
+
+    level: float          # per-execution level (base + execution offset)
+    base_level: float     # deterministic base level
+    amp: float            # shape modulation amplitude
+    period: float         # shape modulation period (seconds)
+    phase: float          # shape phase offset (radians)
+    archetype: str
+    init_duration: float  # seconds of startup ramp
+    init_floor: float     # relative level at t=0
+    noise_scale: float    # absolute scale handed to the noise stack
+
+
+@dataclass(frozen=True)
+class ExecutionBehavior:
+    """Behaviour of a whole execution: duration + per-(metric,node) signals."""
+
+    app: str
+    input_size: str
+    n_nodes: int
+    duration: float
+    behaviors: Mapping[Tuple[str, int], MetricBehavior]
+
+
+class AppModel:
+    """Behaviour model for one application.
+
+    Parameters
+    ----------
+    name:
+        Application name as it appears in dataset labels (e.g. ``"ft"``).
+    calibrated_levels:
+        ``{metric_name: {input_name_or_'*': [level_node0, ...]}}`` —
+        explicit per-node levels for paper-calibrated metrics.  The key
+        ``'*'`` marks input-independent levels.
+    input_coupling:
+        Application-wide tendency of metric levels to scale with problem
+        size, in [0, 1].  Actual per-metric coupling is the product of
+        this and the metric's ``input_sensitivity``.
+    exec_sigma_overrides:
+        ``{(metric_name, input_name): rel_sigma}`` — larger per-execution
+        level variation for specific metric/input pairs (e.g. the paper's
+        miniAMR_Z double fingerprint).
+    init_duration / base_duration:
+        Startup-phase length and input-X execution duration in seconds.
+    node0_bias:
+        Relative level bias of node 0 (MPI rank 0 effects) applied to
+        derived (non-calibrated) levels.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        calibrated_levels: Optional[Mapping[str, Mapping[str, Sequence[float]]]] = None,
+        input_coupling: float = 0.3,
+        exec_sigma_overrides: Optional[Mapping[Tuple[str, str], float]] = None,
+        init_duration: float = 40.0,
+        base_duration: float = 260.0,
+        node0_bias: float = 0.0,
+        node_correlation: float = 0.5,
+    ):
+        if not name:
+            raise ValueError("application name must be non-empty")
+        if not 0.0 <= input_coupling <= 1.0:
+            raise ValueError("input_coupling must be in [0, 1]")
+        if init_duration <= 0 or base_duration <= init_duration:
+            raise ValueError(
+                "require 0 < init_duration < base_duration, got "
+                f"init={init_duration}, base={base_duration}"
+            )
+        if not 0.0 <= node_correlation <= 1.0:
+            raise ValueError("node_correlation must be in [0, 1]")
+        self.name = name
+        self.calibrated_levels = {
+            m: {k: list(v) for k, v in per_input.items()}
+            for m, per_input in (calibrated_levels or {}).items()
+        }
+        self.input_coupling = float(input_coupling)
+        self.exec_sigma_overrides = dict(exec_sigma_overrides or {})
+        self.init_duration = float(init_duration)
+        self.base_duration = float(base_duration)
+        self.node0_bias = float(node0_bias)
+        self.node_correlation = float(node_correlation)
+
+    def __repr__(self) -> str:
+        return f"AppModel({self.name!r})"
+
+    # ------------------------------------------------------------------
+    # Level derivation
+    # ------------------------------------------------------------------
+    def _collision_partner(self, metric: MetricSpec) -> Optional[str]:
+        """The application this app merges with on ``metric``, if any."""
+        for a, b, strength in SIMILARITY_PAIRS:
+            if self.name not in (a, b):
+                continue
+            p_collide = strength * (1.0 - metric.discriminative)
+            if stable_uniform(metric.name, "collide", a, b) < p_collide:
+                return a if self.name == b else b
+        return None
+
+    def _lattice_level(self, metric: MetricSpec, app_key: str) -> float:
+        """Deterministic well-separated level from the global app lattice.
+
+        Applications occupy permuted slots of an 11-point lattice spanning
+        [0.4, 1.6] x magnitude, guaranteeing ~11 % relative separation
+        between non-colliding applications — comfortably more than one
+        rounding bucket at the paper's operating depths.
+        """
+        n = len(CANONICAL_APP_ORDER)
+        try:
+            rank = CANONICAL_APP_ORDER.index(app_key)
+        except ValueError:
+            # Applications outside the canonical set (unknown apps,
+            # cryptominers) draw a uniform level in the same range.
+            u = stable_uniform(metric.name, "level-unknown", app_key)
+            return metric.magnitude * (0.4 + 1.2 * u)
+        # Affine permutation of lattice slots; 11 is prime so any
+        # multiplier in [1, 10] is a bijection.
+        a = 1 + stable_hash(metric.name, "perm-a") % (n - 1)
+        b = stable_hash(metric.name, "perm-b") % n
+        slot = (rank * a + b) % n
+        jitter = stable_uniform(metric.name, "jit", app_key, low=-0.25, high=0.25)
+        frac = (slot + 0.5 + jitter) / n
+        return metric.magnitude * (0.4 + 1.2 * frac)
+
+    def base_level(
+        self,
+        metric: MetricSpec,
+        input_name: str,
+        node: int,
+        n_nodes: int,
+    ) -> float:
+        """Deterministic base level for ``metric`` on logical ``node``."""
+        if node < 0 or node >= n_nodes:
+            raise ValueError(f"node {node} outside [0, {n_nodes})")
+        calibrated = self.calibrated_levels.get(metric.name)
+        if calibrated is not None:
+            per_input = calibrated.get(input_name, calibrated.get("*"))
+            if per_input is None:
+                raise KeyError(
+                    f"{self.name}: no calibrated {metric.name} level for input "
+                    f"{input_name!r} and no '*' default"
+                )
+            return float(per_input[node % len(per_input)])
+
+        if metric.discriminative == 0.0:
+            # Application-independent metrics (MemTotal, ...) sit at a
+            # fixed system level.
+            return metric.magnitude
+
+        partner = self._collision_partner(metric)
+        app_key = self.name if partner is None else min(self.name, partner)
+        level = self._lattice_level(metric, app_key)
+
+        coupling = metric.input_sensitivity * self.input_coupling
+        level *= get_input(input_name).scale ** coupling
+
+        if node == 0 and self.node0_bias != 0.0:
+            level *= 1.0 + self.node0_bias
+        # Mild deterministic per-node imbalance for non-rank-0 nodes.
+        wiggle = stable_uniform(metric.name, self.name, "node", node,
+                                low=-0.002, high=0.002)
+        return level * (1.0 + wiggle)
+
+    # ------------------------------------------------------------------
+    # Execution-time behaviour
+    # ------------------------------------------------------------------
+    def duration(self, input_name: str) -> float:
+        """Execution duration in seconds for ``input_name``."""
+        return self.base_duration * get_input(input_name).runtime_factor
+
+    def exec_sigma(self, metric: MetricSpec, input_name: str) -> float:
+        """Relative per-execution level variation for ``metric``."""
+        return self.exec_sigma_overrides.get(
+            (metric.name, input_name), metric.noise_rel
+        )
+
+    def execution_behavior(
+        self,
+        metrics: Sequence[MetricSpec],
+        input_name: str,
+        n_nodes: int,
+        rng: RngLike = None,
+    ) -> ExecutionBehavior:
+        """Sample one execution's behaviour for all ``metrics`` and nodes."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        generator = derive_rng(rng)
+        get_input(input_name)  # validate early
+        # Startup length varies between executions (filesystem load, MPI
+        # wire-up, node health): the reason early fingerprint windows are
+        # unreliable and the paper's interval starts at 60 s.
+        init_duration = self.init_duration * float(generator.uniform(0.85, 1.2))
+        behaviors: Dict[Tuple[str, int], MetricBehavior] = {}
+        for metric in metrics:
+            sigma_rel = self.exec_sigma(metric, input_name)
+            # Common (whole-job) wander plus per-node independent wander:
+            # rho controls how correlated node fingerprints are within one
+            # execution (Table 4's miniAMR_Z rows show partial coupling).
+            rho = self.node_correlation
+            common = generator.normal(0.0, 1.0)
+            # Whole-execution outlier perturbations (noisy neighbours,
+            # degraded nodes): the less discriminative a metric, the more
+            # often an execution's level shifts wholesale.  This is the
+            # mechanism behind the sub-1.0 entries of Table 3.
+            out_factor = 1.0
+            p_out = 0.6 * (1.0 - metric.discriminative)
+            if p_out > 0.0 and generator.random() < min(p_out, 0.35):
+                magnitude = generator.uniform(0.04, 0.15)
+                sign = 1.0 if generator.random() < 0.5 else -1.0
+                out_factor = 1.0 + sign * magnitude
+            amp = DEFAULT_AMPLITUDE[metric.archetype]
+            period_lo, period_hi = PERIOD_RANGE[metric.archetype]
+            period = float(
+                period_lo
+                + (period_hi - period_lo)
+                * stable_uniform(metric.name, self.name, "period")
+            )
+            for node in range(n_nodes):
+                base = self.base_level(metric, input_name, node, n_nodes)
+                own = generator.normal(0.0, 1.0)
+                eps = (rho * common + (1.0 - rho) * own) * sigma_rel * base
+                level = max((base + eps) * out_factor, 0.0)
+                behaviors[(metric.name, node)] = MetricBehavior(
+                    level=level,
+                    base_level=base,
+                    amp=amp,
+                    period=period,
+                    phase=float(generator.uniform(0.0, 2.0 * np.pi)),
+                    archetype=metric.archetype,
+                    init_duration=init_duration,
+                    init_floor=0.25,
+                    noise_scale=metric.noise_rel * max(base, 1e-12),
+                )
+        return ExecutionBehavior(
+            app=self.name,
+            input_size=input_name,
+            n_nodes=n_nodes,
+            duration=self.duration(input_name),
+            behaviors=behaviors,
+        )
+
+
+def make_signal(
+    behavior: MetricBehavior,
+    noise: Optional[NoiseModel] = None,
+    rng: RngLike = None,
+) -> SignalFn:
+    """Build the vectorized signal function for one (metric, node) series.
+
+    The returned function evaluates ``envelope * level * shape + noise``
+    at arbitrary observation times.  The noise stream is drawn from
+    ``rng`` at call time; the LDMS sampler calls the signal exactly once
+    per series, so reproducibility is governed by the sampler's seed
+    discipline.
+    """
+    noise_model = noise if noise is not None else default_noise(behavior.init_duration)
+    generator = derive_rng(rng)
+    shape = make_shape(
+        behavior.archetype,
+        amp=behavior.amp,
+        period=behavior.period,
+        phase=behavior.phase,
+    )
+    init = behavior.init_duration
+    floor = behavior.init_floor
+
+    def signal(times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        # Startup ramp: smoothstep from `floor` to 1.0 over the init phase.
+        x = np.clip(times / init, 0.0, 1.0)
+        envelope = floor + (1.0 - floor) * (x * x * (3.0 - 2.0 * x))
+        values = envelope * behavior.level * shape(times)
+        values = values + noise_model.sample(times, behavior.noise_scale, generator)
+        return np.maximum(values, 0.0)
+
+    return signal

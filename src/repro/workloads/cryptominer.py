@@ -1,0 +1,33 @@
+"""Cryptocurrency-miner workload model.
+
+The paper motivates application recognition partly by allocation abuse:
+"deviate from allocation purpose (e.g. cryptocurrency mining)".  This
+model lets examples and tests exercise that scenario: a miner has an
+unusually small, extremely stable memory footprint, saturated CPU, and
+near-zero interconnect traffic — a fingerprint far from any of the
+legitimate HPC applications, so an EFD trained on the production mix
+flags it as unknown, while an EFD that has *learned* the miner's
+fingerprint recognizes recurring abuse immediately.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import AppModel
+
+
+def make_cryptominer(name: str = "xmr_miner") -> AppModel:
+    """Model of a CPU cryptocurrency miner (e.g. RandomX-style)."""
+    return AppModel(
+        name,
+        calibrated_levels={
+            # Tiny, rock-steady resident footprint: miners allocate a
+            # fixed scratchpad and never grow it.
+            "nr_mapped_vmstat": {"*": [2140.0, 2140.0, 2140.0, 2140.0]},
+            # No MPI traffic: NIC counters idle at protocol noise level.
+            "AMO_PKTS_metric_set_nic": {"*": [180.0, 180.0, 180.0, 180.0]},
+        },
+        input_coupling=0.0,  # miners ignore "problem size"
+        exec_sigma_overrides={("nr_mapped_vmstat", "X"): 0.001},
+        init_duration=10.0,  # near-instant start, no MPI_Init phase
+        base_duration=300.0,
+    )

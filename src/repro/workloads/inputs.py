@@ -1,0 +1,56 @@
+"""Input size definitions.
+
+The dataset uses abstract input sizes X, Y, Z for every application plus
+a larger L available only for a subset (Table 2).  Models treat an input
+size as a problem-scale factor; whether a given metric's level actually
+*moves* with that factor is controlled per (application, metric) — the
+paper's §5 observes that some applications (e.g. miniAMR) have strongly
+input-dependent fingerprints while others (e.g. FT under nr_mapped)
+repeat the same fingerprint across inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class InputSize:
+    """One named problem size."""
+
+    name: str
+    scale: float  # relative problem-size factor (X == 1.0)
+    runtime_factor: float  # relative execution-duration factor
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("input size name must be non-empty")
+        if self.scale <= 0 or self.runtime_factor <= 0:
+            raise ValueError("scale and runtime_factor must be positive")
+
+
+#: The four input sizes of the evaluation dataset.
+INPUT_SIZES: Dict[str, InputSize] = {
+    "X": InputSize("X", scale=1.0, runtime_factor=1.0),
+    "Y": InputSize("Y", scale=1.7, runtime_factor=1.15),
+    "Z": InputSize("Z", scale=2.9, runtime_factor=1.3),
+    "L": InputSize("L", scale=5.2, runtime_factor=1.5),
+}
+
+BASE_INPUTS: List[str] = ["X", "Y", "Z"]
+EXTENDED_INPUTS: List[str] = ["X", "Y", "Z", "L"]
+
+
+def get_input(name: str) -> InputSize:
+    try:
+        return INPUT_SIZES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown input size {name!r}; known: {sorted(INPUT_SIZES)}"
+        ) from None
+
+
+def input_scale(name: str) -> float:
+    """Problem-scale factor of a named input size."""
+    return get_input(name).scale

@@ -1,0 +1,98 @@
+"""NAS Parallel Benchmark application models: FT, MG, SP, LU, BT, CG.
+
+The ``nr_mapped_vmstat`` levels are calibrated directly against the
+paper's published example EFD (Table 4):
+
+- ft  -> 6000 on all nodes, identical across inputs,
+- mg  -> 6100 on all nodes,
+- sp/bt -> the famous depth-2 collision: node 0 near 7600, nodes 1-2 near
+  7500, node 3 near 7100, with SP and BT only ~80 pages apart so that
+  rounding depth 3 separates them ("Rounding depth 3 avoids this
+  collision and also recognizes BT", §5),
+- lu  -> node 0 near 8400, remaining nodes near 8300.
+
+All six use their ``nr_mapped`` footprint independently of input size
+(Table 4 lists every input per key), which is what makes the paper's
+soft/hard *input* experiments partially succeed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.base import AppModel
+
+_FOUR = 4  # dataset node count
+
+
+def _flat(level: float) -> Dict[str, list]:
+    return {"*": [level] * _FOUR}
+
+
+def make_nas_app(name: str) -> AppModel:
+    """Build the model for one NAS benchmark by short name."""
+    name = name.lower()
+    if name == "ft":
+        return AppModel(
+            "ft",
+            calibrated_levels={"nr_mapped_vmstat": _flat(6000.0)},
+            input_coupling=0.10,
+            init_duration=38.0,
+            base_duration=240.0,
+        )
+    if name == "mg":
+        return AppModel(
+            "mg",
+            calibrated_levels={"nr_mapped_vmstat": _flat(6110.0)},
+            input_coupling=0.15,
+            init_duration=36.0,
+            base_duration=230.0,
+        )
+    if name == "cg":
+        return AppModel(
+            "cg",
+            calibrated_levels={"nr_mapped_vmstat": _flat(6810.0)},
+            input_coupling=0.40,
+            init_duration=34.0,
+            base_duration=220.0,
+        )
+    if name == "sp":
+        return AppModel(
+            "sp",
+            calibrated_levels={
+                "nr_mapped_vmstat": {"*": [7590.0, 7540.0, 7540.0, 7120.0]}
+            },
+            input_coupling=0.20,
+            init_duration=42.0,
+            base_duration=300.0,
+            node0_bias=0.007,
+        )
+    if name == "bt":
+        return AppModel(
+            "bt",
+            calibrated_levels={
+                "nr_mapped_vmstat": {"*": [7620.0, 7460.0, 7460.0, 7080.0]}
+            },
+            input_coupling=0.20,
+            init_duration=42.0,
+            base_duration=310.0,
+            node0_bias=0.010,
+        )
+    if name == "lu":
+        return AppModel(
+            "lu",
+            calibrated_levels={
+                "nr_mapped_vmstat": {"*": [8370.0, 8330.0, 8330.0, 8330.0]}
+            },
+            input_coupling=0.20,
+            init_duration=40.0,
+            base_duration=320.0,
+            node0_bias=0.005,
+        )
+    raise ValueError(f"unknown NAS benchmark {name!r}; known: ft mg cg sp bt lu")
+
+
+#: The six NAS models keyed by name.
+NAS_APPS: Dict[str, AppModel] = {
+    n: make_nas_app(n) for n in ("ft", "mg", "sp", "lu", "bt", "cg")
+}

@@ -1,0 +1,101 @@
+"""Proxy / mini-application models: CoMD, miniGhost, miniAMR, miniMD, Kripke.
+
+Calibration highlights (all against the paper's Table 4 and §5
+discussion):
+
+- **miniAMR** is the paper's canonical *input-dependent* application: its
+  ``nr_mapped`` footprint moves with input size (7800 / 8000 / ~10 600)
+  and input Z additionally shows large per-execution variation — Table 4
+  records both a 11000 and a 10000 fingerprint for miniAMR_Z.  We model
+  that with an enlarged per-execution sigma on (nr_mapped, Z).
+- **miniMD** and **Kripke** are also input-dependent (they, like miniAMR
+  and miniGhost, have the extra L input in Table 2); their per-input
+  levels are distinct so that the *hard input* experiment degrades, as
+  the paper reports.
+- **CoMD** and **miniGhost** keep input-independent footprints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.base import AppModel
+
+_FOUR = 4
+
+
+def _flat(level: float) -> Dict[str, list]:
+    return {"*": [level] * _FOUR}
+
+
+def _per_input(levels: Dict[str, float]) -> Dict[str, list]:
+    return {k: [v] * _FOUR for k, v in levels.items()}
+
+
+def make_proxy_app(name: str) -> AppModel:
+    """Build the model for one proxy application by canonical name."""
+    if name == "CoMD":
+        return AppModel(
+            "CoMD",
+            calibrated_levels={"nr_mapped_vmstat": _flat(8810.0)},
+            input_coupling=0.35,
+            init_duration=40.0,
+            base_duration=280.0,
+        )
+    if name == "miniGhost":
+        return AppModel(
+            "miniGhost",
+            calibrated_levels={"nr_mapped_vmstat": _flat(7890.0)},
+            input_coupling=0.25,
+            init_duration=38.0,
+            base_duration=260.0,
+        )
+    if name == "miniAMR":
+        return AppModel(
+            "miniAMR",
+            calibrated_levels={
+                "nr_mapped_vmstat": _per_input(
+                    {"X": 7790.0, "Y": 8010.0, "Z": 10600.0, "L": 12600.0}
+                )
+            },
+            input_coupling=0.90,
+            exec_sigma_overrides={("nr_mapped_vmstat", "Z"): 0.020},
+            init_duration=44.0,
+            base_duration=340.0,
+            node_correlation=0.45,
+        )
+    if name == "miniMD":
+        return AppModel(
+            "miniMD",
+            calibrated_levels={
+                "nr_mapped_vmstat": _per_input(
+                    {"X": 9310.0, "Y": 9460.0, "Z": 9720.0, "L": 9880.0}
+                )
+            },
+            input_coupling=0.50,
+            init_duration=36.0,
+            base_duration=270.0,
+        )
+    if name == "kripke":
+        return AppModel(
+            "kripke",
+            calibrated_levels={
+                "nr_mapped_vmstat": _per_input(
+                    {"X": 5610.0, "Y": 5760.0, "Z": 6310.0, "L": 6560.0}
+                )
+            },
+            input_coupling=0.60,
+            init_duration=36.0,
+            base_duration=250.0,
+        )
+    raise ValueError(
+        f"unknown proxy application {name!r}; known: CoMD miniGhost miniAMR "
+        f"miniMD kripke"
+    )
+
+
+#: The five proxy models keyed by canonical name.
+PROXY_APPS: Dict[str, AppModel] = {
+    n: make_proxy_app(n)
+    for n in ("CoMD", "miniGhost", "miniAMR", "miniMD", "kripke")
+}

@@ -1,0 +1,90 @@
+"""Workload registry: the dataset's eleven applications in one place."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.workloads.base import AppModel, CANONICAL_APP_ORDER
+from repro.workloads.inputs import BASE_INPUTS, EXTENDED_INPUTS
+from repro.workloads.nas import make_nas_app
+from repro.workloads.proxies import make_proxy_app
+
+#: All eleven application names, in the paper's Table 2 order.
+APP_NAMES: List[str] = [
+    "ft", "mg", "sp", "lu", "bt", "cg",
+    "CoMD", "miniGhost", "miniAMR", "miniMD", "kripke",
+]
+
+#: Applications for which the extra input size L exists (the starred
+#: entries of Table 2).
+STARRED_APPS: List[str] = ["miniGhost", "miniAMR", "miniMD", "kripke"]
+
+assert APP_NAMES == CANONICAL_APP_ORDER  # keep lattice + registry aligned
+
+
+class WorkloadRegistry:
+    """Name-indexed collection of :class:`AppModel`."""
+
+    def __init__(self, models: Mapping[str, AppModel]):
+        for name, model in models.items():
+            if name != model.name:
+                raise ValueError(
+                    f"registry key {name!r} != model name {model.name!r}"
+                )
+        self._models: Dict[str, AppModel] = dict(models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[AppModel]:
+        return iter(self._models.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def names(self) -> List[str]:
+        return list(self._models)
+
+    def get(self, name: str) -> AppModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown application {name!r}; known: {list(self._models)}"
+            ) from None
+
+    def inputs_for(self, name: str) -> List[str]:
+        """Input sizes available for application ``name`` (Table 2)."""
+        self.get(name)
+        return list(EXTENDED_INPUTS if name in STARRED_APPS else BASE_INPUTS)
+
+    def app_input_pairs(self) -> List[tuple]:
+        """All (application, input) pairs of the dataset."""
+        pairs = []
+        for name in self._models:
+            for inp in self.inputs_for(name):
+                pairs.append((name, inp))
+        return pairs
+
+    def with_apps(self, names) -> "WorkloadRegistry":
+        """Sub-registry restricted to ``names`` (order preserved)."""
+        return WorkloadRegistry({n: self.get(n) for n in names})
+
+    def extended(self, model: AppModel) -> "WorkloadRegistry":
+        """Registry with one extra model appended (e.g. an unknown app)."""
+        if model.name in self._models:
+            raise ValueError(f"application {model.name!r} already registered")
+        merged = dict(self._models)
+        merged[model.name] = model
+        return WorkloadRegistry(merged)
+
+
+def default_workloads() -> WorkloadRegistry:
+    """The eleven evaluation applications of Table 2."""
+    models: Dict[str, AppModel] = {}
+    for name in APP_NAMES:
+        if name in ("ft", "mg", "sp", "lu", "bt", "cg"):
+            models[name] = make_nas_app(name)
+        else:
+            models[name] = make_proxy_app(name)
+    return WorkloadRegistry(models)

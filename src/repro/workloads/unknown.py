@@ -1,0 +1,62 @@
+"""Unknown-application generator.
+
+The paper's soft/hard *unknown* experiments test whether the EFD
+wrongfully recognizes applications it has never seen.  Beyond the
+leave-one-out protocol on the eleven dataset applications, this module
+can synthesize arbitrary never-seen applications whose metric levels are
+drawn from the same ranges as real workloads — the honest adversary for
+robustness studies (used by ``examples/unknown_detection.py`` and the
+robustness benches).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._util.hashing import stable_uniform
+from repro.workloads.base import AppModel
+
+
+def make_unknown_app(
+    name: str,
+    *,
+    seed_salt: object = 0,
+    near_app_level: Optional[float] = None,
+) -> AppModel:
+    """Create a synthetic application outside the canonical set.
+
+    Parameters
+    ----------
+    name:
+        Label for the new application (must not collide with the dataset
+        applications to keep experiments honest).
+    seed_salt:
+        Extra entropy so multiple distinct unknowns can share a name
+        prefix.
+    near_app_level:
+        If given, pins the ``nr_mapped_vmstat`` level close to this value
+        — used to construct *adversarial* unknowns that sit on top of a
+        known application's fingerprint.
+    """
+    if not name:
+        raise ValueError("name must be non-empty")
+    calibrated = {}
+    if near_app_level is not None:
+        if near_app_level <= 0:
+            raise ValueError("near_app_level must be positive")
+        calibrated["nr_mapped_vmstat"] = {"*": [float(near_app_level)] * 4}
+    else:
+        # Draw a stable level in the same range the real workloads span,
+        # so collisions with known fingerprints occur at a realistic rate.
+        level = stable_uniform(name, seed_salt, "unk-level", low=3000.0, high=13000.0)
+        calibrated["nr_mapped_vmstat"] = {"*": [level] * 4}
+    coupling = stable_uniform(name, seed_salt, "unk-coupling", low=0.1, high=0.9)
+    duration = stable_uniform(name, seed_salt, "unk-dur", low=220.0, high=360.0)
+    init = stable_uniform(name, seed_salt, "unk-init", low=30.0, high=50.0)
+    return AppModel(
+        name,
+        calibrated_levels=calibrated,
+        input_coupling=coupling,
+        init_duration=init,
+        base_duration=duration,
+    )

@@ -1,0 +1,54 @@
+"""Shared fixtures.
+
+Session-scoped datasets keep the suite fast: generation is deterministic,
+so sharing records across tests cannot leak state (records are treated as
+immutable by the library).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """All 11 applications, 3 repetitions, single paper metric."""
+    config = DatasetConfig(
+        metrics=("nr_mapped_vmstat",),
+        repetitions=3,
+        seed=99,
+        duration_cap=160.0,
+    )
+    return TaxonomistDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Four well-separated applications, 3 reps — fast focused checks."""
+    config = DatasetConfig(
+        metrics=("nr_mapped_vmstat",),
+        repetitions=3,
+        seed=7,
+        duration_cap=150.0,
+        apps=("ft", "mg", "lu", "CoMD"),
+    )
+    return TaxonomistDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def multimetric_dataset():
+    """Three metrics x five applications for multi-metric / baseline tests."""
+    config = DatasetConfig(
+        metrics=(
+            "nr_mapped_vmstat",
+            "Committed_AS_meminfo",
+            "AMO_PKTS_metric_set_nic",
+        ),
+        repetitions=3,
+        seed=13,
+        duration_cap=150.0,
+        apps=("ft", "mg", "sp", "bt", "miniAMR"),
+    )
+    return TaxonomistDatasetGenerator(config).generate()

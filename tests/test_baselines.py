@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.baselines.nearest import NearestCentroidRecognizer, OneNNRecognizer
+from repro.baselines.taxonomist import TaxonomistClassifier, _majority
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        assert _majority(["ft", "ft", "mg"], "unknown") == "ft"
+
+    def test_known_beats_unknown_on_tie(self):
+        assert _majority(["ft", "ft", "unknown", "unknown"], "unknown") == "ft"
+
+    def test_empty_is_unknown(self):
+        assert _majority([], "unknown") == "unknown"
+
+
+class TestTaxonomistClassifier:
+    def test_fit_predict_on_training_data(self, multimetric_dataset):
+        clf = TaxonomistClassifier(n_estimators=15, random_state=0).fit(
+            multimetric_dataset
+        )
+        predictions = clf.predict(multimetric_dataset)
+        accuracy = np.mean(
+            [p == r.app_name for p, r in zip(predictions, multimetric_dataset)]
+        )
+        assert accuracy > 0.9
+
+    def test_predict_nodes_granularity(self, multimetric_dataset):
+        clf = TaxonomistClassifier(n_estimators=10, random_state=0).fit(
+            multimetric_dataset
+        )
+        node_labels = clf.predict_nodes(multimetric_dataset)
+        assert len(node_labels) == len(multimetric_dataset) * 4
+
+    def test_unknown_app_flagged_by_confidence(self, multimetric_dataset):
+        train = multimetric_dataset.filter(exclude_apps=["miniAMR"])
+        test = multimetric_dataset.filter(apps=["miniAMR"])
+        clf = TaxonomistClassifier(
+            n_estimators=20, confidence_threshold=0.8, random_state=0
+        ).fit(train)
+        predictions = clf.predict(test)
+        assert predictions.count("unknown") >= len(test) // 2
+
+    def test_threshold_zero_never_unknown(self, multimetric_dataset):
+        clf = TaxonomistClassifier(
+            n_estimators=10, confidence_threshold=0.0, random_state=0
+        ).fit(multimetric_dataset)
+        assert "unknown" not in clf.predict(multimetric_dataset)
+
+    def test_single_record_predict(self, multimetric_dataset):
+        clf = TaxonomistClassifier(n_estimators=10, random_state=0).fit(
+            multimetric_dataset
+        )
+        assert isinstance(clf.predict(multimetric_dataset[0]), str)
+
+    def test_metric_subset(self, multimetric_dataset):
+        clf = TaxonomistClassifier(
+            metrics=["nr_mapped_vmstat"], n_estimators=10, random_state=0
+        ).fit(multimetric_dataset)
+        assert clf.predict_one(multimetric_dataset[0]) in (
+            multimetric_dataset[0].app_name, "unknown"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaxonomistClassifier(confidence_threshold=1.5)
+        with pytest.raises(RuntimeError):
+            TaxonomistClassifier().predict_nodes([])
+
+
+class TestNearestBaselines:
+    @pytest.mark.parametrize("cls", [NearestCentroidRecognizer, OneNNRecognizer])
+    def test_recognizes_training_apps(self, cls, tiny_dataset):
+        recognizer = cls().fit(tiny_dataset)
+        predictions = recognizer.predict(tiny_dataset)
+        accuracy = np.mean(
+            [p == r.app_name for p, r in zip(predictions, tiny_dataset)]
+        )
+        assert accuracy == 1.0
+
+    @pytest.mark.parametrize("cls", [NearestCentroidRecognizer, OneNNRecognizer])
+    def test_flags_far_unknowns(self, cls, tiny_dataset, small_dataset):
+        recognizer = cls(rel_threshold=0.02).fit(tiny_dataset)
+        kripke = [r for r in small_dataset if r.label == "kripke_X"][0]
+        assert recognizer.predict_one(kripke) == "unknown"
+
+    @pytest.mark.parametrize("cls", [NearestCentroidRecognizer, OneNNRecognizer])
+    def test_single_record_api(self, cls, tiny_dataset):
+        recognizer = cls().fit(tiny_dataset)
+        assert isinstance(recognizer.predict(tiny_dataset[0]), str)
+
+    @pytest.mark.parametrize("cls", [NearestCentroidRecognizer, OneNNRecognizer])
+    def test_validation(self, cls):
+        with pytest.raises(ValueError):
+            cls(rel_threshold=0.0)
+        with pytest.raises((RuntimeError, ValueError)):
+            cls().fit([])

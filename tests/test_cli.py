@@ -1,0 +1,76 @@
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        args = parser.parse_args(["info"])
+        assert args.command == "info"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--name", "bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "562 metrics" in out
+        assert "miniAMR" in out
+
+    def test_tables_1(self, capsys):
+        assert main(["tables", "--which", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Rounding Depth" in out
+
+    def test_generate_fit_recognize_round_trip(self, tmp_path, capsys):
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        assert main([
+            "generate", "--out", data, "--repetitions", "2",
+            "--duration-cap", "150", "--seed", "11",
+        ]) == 0
+        assert os.path.exists(data)
+
+        assert main([
+            "fit", "--data", data, "--out", efd, "--depth", "2",
+        ]) == 0
+        assert os.path.exists(efd)
+        payload = json.loads(open(efd).read())
+        assert payload["entries"]
+
+        assert main([
+            "recognize", "--efd", efd, "--data", data, "--depth", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out
+        accuracy = float(out.strip().rsplit("= ", 1)[1])
+        assert accuracy > 0.9
+
+    def test_fit_reports_tuned_depth(self, tmp_path, capsys):
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        main(["generate", "--out", data, "--repetitions", "3",
+              "--duration-cap", "150", "--seed", "12"])
+        capsys.readouterr()
+        assert main(["fit", "--data", data, "--out", efd]) == 0
+        out = capsys.readouterr().out
+        assert "depth=" in out and "pruning_ratio=" in out
+
+    def test_experiment_command(self, capsys):
+        assert main([
+            "experiment", "--name", "normal_fold",
+            "--repetitions", "2", "--folds", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "normal_fold" in out and "F=" in out

@@ -1,0 +1,207 @@
+import numpy as np
+import pytest
+
+from repro.cluster.execution import ExecutionEngine
+from repro.cluster.job import Job, JobStatus
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import Scheduler, SchedulerPolicy
+from repro.cluster.system import AllocationError, Cluster
+from repro.telemetry.sampler import SamplerConfig
+from repro.workloads.nas import make_nas_app
+from repro.workloads.proxies import make_proxy_app
+
+
+class TestNode:
+    def test_allocate_release_cycle(self):
+        node = Node(0)
+        assert node.is_free
+        node.allocate(7)
+        assert not node.is_free and node.allocated_to == 7
+        node.release()
+        assert node.is_free
+
+    def test_double_allocate_rejected(self):
+        node = Node(0)
+        node.allocate(1)
+        with pytest.raises(RuntimeError):
+            node.allocate(2)
+
+    def test_release_free_rejected(self):
+        with pytest.raises(RuntimeError):
+            Node(0).release()
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Node(-1)
+
+
+class TestCluster:
+    def test_allocation_tracks_ownership(self):
+        cluster = Cluster(8)
+        nodes = cluster.allocate(1, 4)
+        assert len(nodes) == 4
+        assert cluster.free_count == 4
+        assert cluster.allocation_map() == {1: nodes}
+
+    def test_overallocation_raises(self):
+        cluster = Cluster(4)
+        cluster.allocate(1, 3)
+        with pytest.raises(AllocationError):
+            cluster.allocate(2, 2)
+
+    def test_release_returns_nodes(self):
+        cluster = Cluster(4)
+        nodes = cluster.allocate(9, 2)
+        assert sorted(cluster.release(9)) == sorted(nodes)
+        assert cluster.free_count == 4
+
+    def test_release_unknown_job_raises(self):
+        with pytest.raises(AllocationError):
+            Cluster(2).release(5)
+
+
+class TestJob:
+    def test_lifecycle(self):
+        job = Job(0, make_nas_app("ft"), "X", n_nodes=4)
+        assert job.status is JobStatus.PENDING
+        job.mark_running(10.0, [0, 1, 2, 3])
+        assert job.status is JobStatus.RUNNING
+        job.mark_completed(10.0 + job.duration)
+        assert job.status is JobStatus.COMPLETED
+
+    def test_node_count_must_match(self):
+        job = Job(0, make_nas_app("ft"), "X", n_nodes=4)
+        with pytest.raises(ValueError):
+            job.mark_running(0.0, [0, 1])
+
+    def test_cannot_complete_pending(self):
+        job = Job(0, make_nas_app("ft"), "X")
+        with pytest.raises(RuntimeError):
+            job.mark_completed(5.0)
+
+    def test_duration_comes_from_model(self):
+        job = Job(0, make_nas_app("ft"), "Z")
+        assert job.duration == make_nas_app("ft").duration("Z")
+
+
+class TestExecutionEngine:
+    def test_produces_full_telemetry(self):
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        result = engine.run(make_nas_app("ft"), "X", n_nodes=4, rng=0,
+                            duration=150.0)
+        assert set(result.telemetry) == {("nr_mapped_vmstat", n) for n in range(4)}
+        assert result.label == "ft_X"
+        assert result.metrics() == ["nr_mapped_vmstat"]
+        assert result.nodes() == [0, 1, 2, 3]
+
+    def test_interval_mean_near_calibrated_level(self):
+        engine = ExecutionEngine(
+            metrics=["nr_mapped_vmstat"],
+            sampler_config=SamplerConfig(dropout_prob=0.0),
+        )
+        result = engine.run(make_nas_app("ft"), "X", n_nodes=4, rng=1,
+                            duration=150.0)
+        mean = result.series("nr_mapped_vmstat", 0).interval_mean(60, 120)
+        assert abs(mean - 6000.0) / 6000.0 < 0.02
+
+    def test_reproducible(self):
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        a = engine.run(make_nas_app("mg"), "Y", rng=5, duration=140.0)
+        b = engine.run(make_nas_app("mg"), "Y", rng=5, duration=140.0)
+        assert a.series("nr_mapped_vmstat", 1) == b.series("nr_mapped_vmstat", 1)
+
+    def test_unknown_metric_rejected_early(self):
+        with pytest.raises(KeyError):
+            ExecutionEngine(metrics=["not_a_metric"])
+
+    def test_missing_series_error_is_helpful(self):
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        result = engine.run(make_nas_app("ft"), "X", rng=0, duration=130.0)
+        with pytest.raises(KeyError, match="collected metrics"):
+            result.series("Active_meminfo", 0)
+
+    def test_duration_override(self):
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        result = engine.run(make_nas_app("ft"), "X", rng=0, duration=130.0)
+        assert result.duration == 130.0
+        assert len(result.series("nr_mapped_vmstat", 0)) == 130
+
+
+class TestScheduler:
+    def _jobs(self, n, n_nodes=4, app="ft"):
+        return [
+            Job(i, make_nas_app(app), "X", n_nodes=n_nodes, submit_time=float(i))
+            for i in range(n)
+        ]
+
+    def test_fcfs_serializes_when_cluster_full(self):
+        cluster = Cluster(4)
+        schedule = Scheduler(cluster).run(self._jobs(3))
+        assert len(schedule) == 3
+        starts = [s.start_time for s in schedule]
+        assert starts == sorted(starts)
+        # One job at a time on a 4-node cluster with 4-node jobs.
+        for earlier, later in zip(schedule, schedule[1:]):
+            assert later.start_time >= earlier.end_time
+
+    def test_parallel_when_room(self):
+        cluster = Cluster(8)
+        schedule = Scheduler(cluster).run(self._jobs(2))
+        assert schedule[0].start_time == 0.0
+        assert schedule[1].start_time == 1.0  # starts at its own arrival
+
+    def test_all_nodes_released_at_end(self):
+        cluster = Cluster(8)
+        Scheduler(cluster).run(self._jobs(5))
+        assert cluster.free_count == 8
+
+    def test_backfill_lets_small_job_jump(self):
+        cluster = Cluster(4)
+        long_app = make_proxy_app("miniAMR")   # 340 s base
+        short_app = make_nas_app("cg")          # 220 s base
+        jobs = [
+            Job(0, long_app, "X", n_nodes=4, submit_time=0.0),
+            Job(1, long_app, "X", n_nodes=4, submit_time=1.0),  # queue head
+            Job(2, short_app, "X", n_nodes=2, submit_time=2.0),
+        ]
+        # FCFS: job 2 waits behind job 1 even though nodes are busy anyway.
+        fcfs = {s.job_id: s for s in Scheduler(Cluster(4)).run(
+            [Job(j.job_id, j.app, j.input_size, j.n_nodes, j.submit_time)
+             for j in jobs]
+        )}
+        backfill = {s.job_id: s for s in Scheduler(
+            cluster, SchedulerPolicy.EASY_BACKFILL
+        ).run(jobs)}
+        # Under EASY backfill the 2-node short job cannot start earlier than
+        # FCFS would start it *only if* it would delay the head; here the
+        # head needs all 4 nodes, so nothing can backfill — both equal.
+        assert backfill[2].start_time <= fcfs[2].start_time
+
+    def test_backfill_uses_idle_nodes(self):
+        # 6-node cluster: a 4-node job runs, the head needs 6 nodes, a
+        # 2-node short job can use the 2 idle nodes without delaying it.
+        cluster = Cluster(6)
+        jobs = [
+            Job(0, make_proxy_app("miniAMR"), "Z", n_nodes=4, submit_time=0.0),
+            Job(1, make_proxy_app("miniAMR"), "Z", n_nodes=6, submit_time=1.0),
+            Job(2, make_nas_app("cg"), "X", n_nodes=2, submit_time=2.0),
+        ]
+        schedule = {s.job_id: s for s in Scheduler(
+            cluster, SchedulerPolicy.EASY_BACKFILL
+        ).run(jobs)}
+        assert schedule[2].start_time == 2.0  # backfilled immediately
+        assert schedule[1].start_time >= schedule[0].end_time
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError, match="requests"):
+            Scheduler(Cluster(2)).run(self._jobs(1, n_nodes=4))
+
+    def test_non_pending_job_rejected(self):
+        job = Job(0, make_nas_app("ft"), "X", n_nodes=1)
+        job.mark_running(0.0, [0])
+        with pytest.raises(ValueError):
+            Scheduler(Cluster(2)).run([job])

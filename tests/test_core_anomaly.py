@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.core.anomaly import DeviationDetector
+from repro.core.recognizer import EFDRecognizer
+from repro.data.dataset import ExecutionRecord
+from repro.telemetry.timeseries import TimeSeries
+
+
+def _detector(dataset, threshold=2.0, depth=2):
+    recognizer = EFDRecognizer(depth=depth).fit(dataset)
+    return DeviationDetector(
+        recognizer.dictionary_, depth=depth, threshold_buckets=threshold
+    )
+
+
+def _synthetic_record(level, app="ft", inp="X", n=150, n_nodes=4):
+    telemetry = {
+        ("nr_mapped_vmstat", node): TimeSeries(np.full(n, float(level)))
+        for node in range(n_nodes)
+    }
+    return ExecutionRecord(12345, app, inp, n_nodes, float(n), telemetry)
+
+
+class TestDeviationDetector:
+    def test_normal_executions_pass(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        for record in list(tiny_dataset)[:8]:
+            report = detector.check(record)
+            assert not report.is_anomalous, str(report)
+            assert report.max_distance < 2.0
+
+    def test_shifted_execution_flagged(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        # A "ft" run whose footprint is 3x the learned level: leaking
+        # memory, wrong deck, or not actually ft.
+        rogue = _synthetic_record(18000.0, app="ft")
+        report = detector.check(rogue)
+        assert report.is_anomalous
+        assert set(report.anomalous_nodes()) == {0, 1, 2, 3}
+
+    def test_single_degraded_node_flagged(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        record = list(tiny_dataset)[0]
+        telemetry = dict(record.telemetry)
+        # Node 2 runs 40% hot; other nodes are untouched references.
+        hot = telemetry[("nr_mapped_vmstat", 2)].values * 1.4
+        telemetry[("nr_mapped_vmstat", 2)] = TimeSeries(hot)
+        degraded = ExecutionRecord(
+            777, record.app_name, record.input_size, record.n_nodes,
+            record.duration, telemetry,
+        )
+        report = detector.check(degraded)
+        assert report.is_anomalous
+        assert report.anomalous_nodes() == [2]
+
+    def test_distance_in_bucket_units(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        # ft learned near 6000; a 6300 run is 3 depth-2 buckets away.
+        report = detector.check(_synthetic_record(6300.0, app="ft"))
+        assert report.max_distance == pytest.approx(3.0, abs=0.6)
+
+    def test_check_against_declared_app(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        # An execution labeled CoMD (learned near 8810) but fed ft-level
+        # telemetry: checking against the declared app must flag it.
+        liar = _synthetic_record(6000.0, app="CoMD")
+        report = detector.check(liar, app="CoMD")
+        assert report.is_anomalous
+        # ... while checking against ft passes.
+        assert not detector.check(liar, app="ft").is_anomalous
+
+    def test_unknown_app_rejected(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        with pytest.raises(KeyError, match="no fingerprints"):
+            detector.check(_synthetic_record(1.0, app="hpl"))
+
+    def test_missing_telemetry_window_is_anomalous(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        short = _synthetic_record(6000.0, app="ft", n=50)  # ends before 60 s
+        report = detector.check(short)
+        assert report.is_anomalous
+        assert all(not n.has_reference for n in report.nodes)
+
+    def test_validation(self, tiny_dataset):
+        from repro.core.dictionary import ExecutionFingerprintDictionary
+
+        with pytest.raises(ValueError):
+            DeviationDetector(ExecutionFingerprintDictionary())
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        with pytest.raises(ValueError):
+            DeviationDetector(recognizer.dictionary_, threshold_buckets=0.0)
+        with pytest.raises(ValueError):
+            DeviationDetector(recognizer.dictionary_, depth=0)
+
+    def test_report_str(self, tiny_dataset):
+        detector = _detector(tiny_dataset)
+        report = detector.check(list(tiny_dataset)[0])
+        assert "normal" in str(report)
+        rogue = detector.check(_synthetic_record(18000.0, app="ft"))
+        assert "ANOMALOUS" in str(rogue)

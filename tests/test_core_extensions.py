@@ -1,0 +1,222 @@
+"""Tests for the paper's future-work extensions: multi-metric and
+multi-interval fingerprints, temporal alignment, and reverse lookup."""
+
+import numpy as np
+import pytest
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import build_fingerprints
+from repro.core.inverse import UsagePredictor
+from repro.core.multimetric import MultiMetricRecognizer
+from repro.core.temporal import (
+    MultiIntervalRecognizer,
+    align_and_match,
+    default_intervals,
+)
+
+METRICS = ["nr_mapped_vmstat", "Committed_AS_meminfo", "AMO_PKTS_metric_set_nic"]
+
+
+class TestMultiMetricVote:
+    def test_fit_predict(self, multimetric_dataset):
+        recognizer = MultiMetricRecognizer(METRICS, depth=2).fit(multimetric_dataset)
+        predictions = recognizer.predict(multimetric_dataset)
+        accuracy = np.mean(
+            [p == r.app_name for p, r in zip(predictions, multimetric_dataset)]
+        )
+        assert accuracy >= 0.9
+
+    def test_resolves_sp_bt_better_than_single_metric(self, multimetric_dataset):
+        # nr_mapped alone collides sp/bt at depth 2; adding the other
+        # metrics' votes must recover bt on at least some executions.
+        from repro.core.recognizer import EFDRecognizer
+
+        single = EFDRecognizer(depth=2).fit(multimetric_dataset)
+        multi = MultiMetricRecognizer(METRICS, depth=2).fit(multimetric_dataset)
+        bt_records = [r for r in multimetric_dataset if r.app_name == "bt"]
+        single_hits = sum(single.predict_one(r) == "bt" for r in bt_records)
+        multi_hits = sum(multi.predict_one(r) == "bt" for r in bt_records)
+        assert multi_hits > single_hits
+
+    def test_per_metric_depths_tuned(self, multimetric_dataset):
+        recognizer = MultiMetricRecognizer(METRICS).fit(multimetric_dataset)
+        assert set(recognizer.depths_) == set(METRICS)
+        assert all(d >= 1 for d in recognizer.depths_.values())
+
+    def test_single_record_predict(self, multimetric_dataset):
+        recognizer = MultiMetricRecognizer(METRICS, depth=2).fit(multimetric_dataset)
+        assert isinstance(recognizer.predict(multimetric_dataset[0]), str)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiMetricRecognizer([])
+        with pytest.raises(ValueError):
+            MultiMetricRecognizer(["m", "m"])
+        with pytest.raises(ValueError):
+            MultiMetricRecognizer(["m"], mode="stack")
+        with pytest.raises(RuntimeError):
+            MultiMetricRecognizer(["m"]).predict_detail(None)
+
+
+class TestMultiMetricCombine:
+    def test_combinatorial_keys_recognize(self, multimetric_dataset):
+        recognizer = MultiMetricRecognizer(
+            METRICS, depth=2, mode="combine"
+        ).fit(multimetric_dataset)
+        predictions = recognizer.predict(multimetric_dataset)
+        accuracy = np.mean(
+            [p == r.app_name for p, r in zip(predictions, multimetric_dataset)]
+        )
+        assert accuracy >= 0.8
+
+    def test_combined_more_exclusive_on_unknowns(self, multimetric_dataset):
+        # Train without miniAMR; the combined key should (almost) never
+        # fire for it, while single-metric voting may cross-match.
+        train = multimetric_dataset.filter(exclude_apps=["miniAMR"])
+        test = multimetric_dataset.filter(apps=["miniAMR"])
+        combined = MultiMetricRecognizer(METRICS, depth=1, mode="combine").fit(train)
+        voting = MultiMetricRecognizer(METRICS, depth=1, mode="vote").fit(train)
+        combined_unknown = sum(
+            combined.predict_one(r) == "unknown" for r in test
+        )
+        voting_unknown = sum(voting.predict_one(r) == "unknown" for r in test)
+        assert combined_unknown >= voting_unknown
+
+
+class TestMultiInterval:
+    def test_default_intervals(self):
+        assert default_intervals(3, 60.0, 60.0) == [
+            (60.0, 120.0), (120.0, 180.0), (180.0, 240.0)
+        ]
+        with pytest.raises(ValueError):
+            default_intervals(0)
+
+    def test_fit_predict_with_capped_duration(self, multimetric_dataset):
+        # Fixture caps durations at 150 s: only the first interval has
+        # data; later windows produce missing fingerprints gracefully.
+        recognizer = MultiIntervalRecognizer(
+            intervals=[(60.0, 120.0), (120.0, 150.0)], depth=3
+        ).fit(multimetric_dataset)
+        predictions = recognizer.predict(multimetric_dataset)
+        accuracy = np.mean(
+            [p == r.app_name for p, r in zip(predictions, multimetric_dataset)]
+        )
+        assert accuracy >= 0.9
+
+    def test_intervals_coexist_in_one_dictionary(self, multimetric_dataset):
+        recognizer = MultiIntervalRecognizer(
+            intervals=[(60.0, 120.0), (120.0, 150.0)], depth=2
+        ).fit(multimetric_dataset)
+        assert len(recognizer.dictionary_.intervals()) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiIntervalRecognizer(intervals=[(120.0, 60.0)])
+        with pytest.raises(ValueError):
+            MultiIntervalRecognizer(intervals=[(0.0, 60.0), (0.0, 60.0)])
+
+
+class TestAlignAndMatch:
+    def test_recovers_offset_execution(self, tiny_dataset):
+        efd = ExecutionFingerprintDictionary()
+        for record in tiny_dataset:
+            efd.add_many(
+                build_fingerprints(record, "nr_mapped_vmstat", 3, (60.0, 120.0)),
+                record.label,
+            )
+        # Simulate a job whose start was delayed by 40 s relative to the
+        # monitoring clock: 40 s of idle readings precede the execution.
+        from repro.data.dataset import ExecutionRecord
+        from repro.telemetry.timeseries import TimeSeries
+
+        original = tiny_dataset[0]
+        delayed_telemetry = {
+            key: TimeSeries(
+                np.concatenate([np.full(40, 5.0), series.values]),
+                period=series.period,
+            )
+            for key, series in original.telemetry.items()
+        }
+        delayed = ExecutionRecord(
+            999, original.app_name, original.input_size, original.n_nodes,
+            original.duration + 40.0, delayed_telemetry,
+        )
+        # Without alignment (offset forced to 0) the window catches idle +
+        # init samples and cannot match.
+        baseline, _ = align_and_match(
+            efd, delayed, "nr_mapped_vmstat", depth=3,
+            interval=(60.0, 120.0), max_offset=0.0, step=10.0,
+        )
+        assert baseline.prediction != delayed.app_name
+        result, offset = align_and_match(
+            efd, delayed, "nr_mapped_vmstat", depth=3,
+            interval=(60.0, 120.0), max_offset=90.0, step=10.0,
+        )
+        assert result.prediction == delayed.app_name
+        # Plateau signals are time-invariant once settled, so recovery is
+        # only sharp up to the plateau edge: any offset whose window
+        # clears the 40 s idle prefix plus the ~38 s init ramp is valid
+        # (window start 60 + offset >= 78 -> offset >= 18: first step 20).
+        assert 20.0 <= offset <= 60.0
+
+    def test_validation(self, tiny_dataset):
+        efd = ExecutionFingerprintDictionary()
+        efd.add_many(
+            build_fingerprints(tiny_dataset[0], "nr_mapped_vmstat", 2),
+            "ft_X",
+        )
+        with pytest.raises(ValueError):
+            align_and_match(efd, tiny_dataset[0], "nr_mapped_vmstat", 2,
+                            (60.0, 120.0), max_offset=-1.0)
+        with pytest.raises(ValueError):
+            align_and_match(efd, tiny_dataset[0], "nr_mapped_vmstat", 2,
+                            (60.0, 120.0), step=0.0)
+
+
+class TestUsagePredictor:
+    def _predictor(self, dataset):
+        efd = ExecutionFingerprintDictionary()
+        for record in dataset:
+            for interval in [(60.0, 120.0), (120.0, 150.0)]:
+                efd.add_many(
+                    build_fingerprints(record, "nr_mapped_vmstat", 2, interval),
+                    record.label,
+                )
+        return UsagePredictor(efd)
+
+    def test_forecast_matches_calibrated_level(self, tiny_dataset):
+        predictor = self._predictor(tiny_dataset)
+        forecasts = predictor.forecast("ft", metric="nr_mapped_vmstat")
+        assert forecasts, "expected at least one forecast"
+        for forecast in forecasts:
+            assert abs(forecast.expected - 6000.0) / 6000.0 < 0.05
+            assert forecast.low <= forecast.expected <= forecast.high
+            assert forecast.observations >= 1
+
+    def test_profile_is_chronological(self, tiny_dataset):
+        predictor = self._predictor(tiny_dataset)
+        profile = predictor.forecast_profile("ft", "nr_mapped_vmstat", node=0)
+        starts = [interval[0] for interval, _ in profile]
+        assert starts == sorted(starts)
+        assert len(profile) == 2  # both intervals represented
+
+    def test_input_size_filter(self, tiny_dataset):
+        predictor = self._predictor(tiny_dataset)
+        all_inputs = predictor.forecast("CoMD", metric="nr_mapped_vmstat")
+        only_x = predictor.forecast("CoMD", metric="nr_mapped_vmstat",
+                                    input_size="X")
+        assert sum(f.observations for f in only_x) < \
+            sum(f.observations for f in all_inputs)
+
+    def test_unknown_app_rejected(self, tiny_dataset):
+        predictor = self._predictor(tiny_dataset)
+        with pytest.raises(KeyError):
+            predictor.forecast("hpl")
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            UsagePredictor(ExecutionFingerprintDictionary())
+
+    def test_known_applications(self, tiny_dataset):
+        predictor = self._predictor(tiny_dataset)
+        assert set(predictor.known_applications()) == {"ft", "mg", "lu", "CoMD"}

@@ -1,0 +1,181 @@
+import numpy as np
+import pytest
+
+from repro.core.dictionary import (
+    DictionaryStats,
+    ExecutionFingerprintDictionary,
+    app_of_label,
+)
+from repro.core.fingerprint import DEFAULT_INTERVAL, Fingerprint, build_fingerprints
+from repro.data.dataset import ExecutionRecord
+from repro.telemetry.timeseries import TimeSeries
+
+
+def _fp(value, node=0, metric="nr_mapped_vmstat", interval=(60.0, 120.0)):
+    return Fingerprint(metric=metric, node=node, interval=interval, value=value)
+
+
+def _record(level=6000.0, n=150, n_nodes=4):
+    telemetry = {
+        ("nr_mapped_vmstat", node): TimeSeries(np.full(n, level))
+        for node in range(n_nodes)
+    }
+    return ExecutionRecord(0, "ft", "X", n_nodes, float(n), telemetry)
+
+
+class TestFingerprint:
+    def test_paper_example_format(self):
+        fp = _fp(6000.0)
+        assert str(fp) == "[nr_mapped_vmstat, 0, [60:120], 6000]"
+
+    def test_hashable_and_equal(self):
+        assert _fp(6000.0) == _fp(6000.0)
+        assert hash(_fp(6000.0)) == hash(_fp(6000.0))
+        assert _fp(6000.0) != _fp(6100.0)
+
+    def test_interval_part_of_identity(self):
+        assert _fp(6000.0, interval=(60.0, 120.0)) != _fp(6000.0, interval=(120.0, 180.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _fp(6000.0, node=-1)
+        with pytest.raises(ValueError):
+            Fingerprint("m", 0, (120.0, 60.0), 1.0)
+        with pytest.raises(ValueError):
+            Fingerprint("m", 0, (0.0, 1.0), float("nan"))
+        with pytest.raises(ValueError):
+            Fingerprint("", 0, (0.0, 1.0), 1.0)
+
+
+class TestBuildFingerprints:
+    def test_one_per_node(self):
+        fps = build_fingerprints(_record(), "nr_mapped_vmstat", depth=2)
+        assert len(fps) == 4
+        assert all(fp.value == 6000.0 for fp in fps)
+        assert [fp.node for fp in fps] == [0, 1, 2, 3]
+
+    def test_rounding_applied(self):
+        fps = build_fingerprints(_record(level=6032.0), "nr_mapped_vmstat", depth=2)
+        assert fps[0].value == 6000.0
+        fps3 = build_fingerprints(_record(level=6032.0), "nr_mapped_vmstat", depth=3)
+        assert fps3[0].value == 6030.0
+
+    def test_missing_interval_yields_none(self):
+        record = _record(n=50)  # series ends before the [60:120] window
+        fps = build_fingerprints(record, "nr_mapped_vmstat", depth=2)
+        assert fps == [None, None, None, None]
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            build_fingerprints(_record(), "Active_meminfo", depth=2)
+
+    def test_custom_interval(self):
+        fps = build_fingerprints(
+            _record(), "nr_mapped_vmstat", depth=2, interval=(10.0, 30.0)
+        )
+        assert fps[0].interval == (10.0, 30.0)
+
+
+class TestDictionary:
+    def test_add_and_lookup(self):
+        efd = ExecutionFingerprintDictionary()
+        efd.add(_fp(6000.0), "ft_X")
+        assert efd.lookup(_fp(6000.0)) == ["ft_X"]
+        assert _fp(6000.0) in efd
+        assert len(efd) == 1
+
+    def test_lookup_missing_is_empty(self):
+        efd = ExecutionFingerprintDictionary()
+        assert efd.lookup(_fp(1.0)) == []
+        assert efd.lookup(None) == []
+
+    def test_keys_unique_values_accumulate(self):
+        efd = ExecutionFingerprintDictionary()
+        for _ in range(3):
+            efd.add(_fp(6000.0), "ft_X")
+        efd.add(_fp(6000.0), "ft_Y")
+        assert len(efd) == 1
+        assert efd.lookup(_fp(6000.0)) == ["ft_X", "ft_Y"]
+        assert efd.lookup_counts(_fp(6000.0)) == {"ft_X": 3, "ft_Y": 1}
+
+    def test_label_order_is_first_seen(self):
+        # Table 4's "sp X, ..., bt X" ordering: ties must resolve by
+        # learning insertion order.
+        efd = ExecutionFingerprintDictionary()
+        efd.add(_fp(7500.0), "sp_X")
+        efd.add(_fp(7500.0), "bt_X")
+        efd.add(_fp(7500.0), "sp_X")
+        assert efd.lookup(_fp(7500.0)) == ["sp_X", "bt_X"]
+
+    def test_add_many_skips_none(self):
+        efd = ExecutionFingerprintDictionary()
+        n = efd.add_many([_fp(1.0), None, _fp(2.0)], "a_X")
+        assert n == 2
+        assert len(efd) == 2
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionFingerprintDictionary().add(_fp(1.0), "")
+
+    def test_merge_accumulates(self):
+        a = ExecutionFingerprintDictionary()
+        a.add(_fp(1.0), "x_X")
+        b = ExecutionFingerprintDictionary()
+        b.add(_fp(1.0), "x_X")
+        b.add(_fp(2.0), "y_X")
+        a.merge(b)
+        assert len(a) == 2
+        assert a.lookup_counts(_fp(1.0)) == {"x_X": 2}
+
+    def test_stats_and_pruning_ratio(self):
+        efd = ExecutionFingerprintDictionary()
+        for _ in range(4):
+            efd.add(_fp(6000.0), "ft_X")
+        stats = efd.stats()
+        assert stats.n_keys == 1
+        assert stats.n_insertions == 4
+        assert stats.pruning_ratio == pytest.approx(0.75)
+        assert stats.n_colliding_keys == 0
+
+    def test_collisions_detect_cross_app_keys(self):
+        efd = ExecutionFingerprintDictionary()
+        efd.add(_fp(7500.0), "sp_X")
+        efd.add(_fp(7500.0), "bt_X")
+        efd.add(_fp(6000.0), "ft_X")
+        efd.add(_fp(6000.0), "ft_Y")  # same app, different input: no collision
+        collisions = efd.collisions()
+        assert len(collisions) == 1
+        assert collisions[0][0].value == 7500.0
+        assert efd.stats().n_colliding_keys == 1
+
+    def test_app_names_first_seen_order(self):
+        efd = ExecutionFingerprintDictionary()
+        efd.add(_fp(1.0), "sp_X")
+        efd.add(_fp(2.0), "bt_X")
+        efd.add(_fp(3.0), "sp_Y")
+        assert efd.app_names() == ["sp", "bt"]
+        assert efd.labels() == ["sp_X", "bt_X", "sp_Y"]
+
+    def test_metrics_and_intervals(self):
+        efd = ExecutionFingerprintDictionary()
+        efd.add(_fp(1.0, metric="a"), "x_X")
+        efd.add(_fp(1.0, metric="b", interval=(0.0, 30.0)), "x_X")
+        assert efd.metrics() == ["a", "b"]
+        assert (0.0, 30.0) in efd.intervals()
+
+    def test_fingerprints_for_app_and_label(self):
+        efd = ExecutionFingerprintDictionary()
+        efd.add(_fp(1.0), "miniAMR_Z")
+        efd.add(_fp(2.0), "miniAMR_X")
+        efd.add(_fp(3.0), "ft_X")
+        assert len(efd.fingerprints_for("miniAMR")) == 2
+        assert len(efd.fingerprints_for("miniAMR_Z")) == 1
+
+
+class TestAppOfLabel:
+    def test_strips_input_suffix(self):
+        assert app_of_label("miniAMR_Z") == "miniAMR"
+        assert app_of_label("ft_X") == "ft"
+
+    def test_bare_app_name_passthrough(self):
+        assert app_of_label("kripke") == "kripke"

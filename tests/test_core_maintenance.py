@@ -1,0 +1,156 @@
+import pytest
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint
+from repro.core.maintenance import (
+    cap_keys_per_app,
+    diff,
+    evict_apps,
+    evict_labels,
+    federate,
+    prune_rare_keys,
+)
+
+
+def _fp(value, node=0):
+    return Fingerprint("nr_mapped_vmstat", node, (60.0, 120.0), value)
+
+
+def _sample():
+    efd = ExecutionFingerprintDictionary()
+    for _ in range(3):
+        efd.add(_fp(6000.0), "ft_X")
+    efd.add(_fp(6050.0), "ft_X")          # rare variant key (1 observation)
+    efd.add(_fp(6100.0), "mg_X")
+    efd.add(_fp(6100.0), "mg_Y")
+    efd.add(_fp(7500.0), "sp_X")
+    efd.add(_fp(7500.0), "bt_X")
+    return efd
+
+
+class TestEviction:
+    def test_evict_labels_removes_only_target(self):
+        out = evict_labels(_sample(), ["mg_Y"])
+        assert "mg_Y" not in out.labels()
+        assert out.lookup(_fp(6100.0)) == ["mg_X"]
+        assert out.lookup(_fp(6000.0)) == ["ft_X"]
+
+    def test_evict_labels_drops_emptied_keys(self):
+        out = evict_labels(_sample(), ["ft_X"])
+        assert _fp(6000.0) not in out
+        assert _fp(6050.0) not in out
+
+    def test_evict_apps_removes_all_inputs(self):
+        out = evict_apps(_sample(), ["mg"])
+        assert "mg" not in out.app_names()
+        assert _fp(6100.0) not in out
+
+    def test_evict_app_resolves_collision(self):
+        # After retiring sp, the shared sp/bt key belongs to bt alone.
+        out = evict_apps(_sample(), ["sp"])
+        assert out.lookup(_fp(7500.0)) == ["bt_X"]
+        assert out.stats().n_colliding_keys == 0
+
+    def test_evict_nothing_is_noop_copy(self):
+        original = _sample()
+        out = evict_apps(original, ["hpl"])
+        assert len(out) == len(original)
+        assert list(out.entries()) == list(original.entries())
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            evict_labels(_sample(), [])
+        with pytest.raises(ValueError):
+            evict_apps(_sample(), [])
+
+
+class TestPruneRare:
+    def test_drops_single_observation_keys(self):
+        out = prune_rare_keys(_sample(), min_count=2)
+        assert _fp(6050.0) not in out       # the 1-observation variant
+        assert _fp(6000.0) in out           # 3 observations survive
+
+    def test_min_count_one_keeps_everything(self):
+        original = _sample()
+        out = prune_rare_keys(original, min_count=1)
+        assert len(out) == len(original)
+
+    def test_preserves_counts(self):
+        out = prune_rare_keys(_sample(), min_count=2)
+        assert out.lookup_counts(_fp(6000.0)) == {"ft_X": 3}
+
+    def test_preserves_tiebreak_order(self):
+        # sp/bt key survives pruning at min_count=1 with order intact.
+        out = prune_rare_keys(_sample(), min_count=1)
+        assert out.lookup(_fp(7500.0)) == ["sp_X", "bt_X"]
+        assert out.app_names().index("sp") < out.app_names().index("bt")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prune_rare_keys(_sample(), min_count=0)
+
+
+class TestCapKeys:
+    def test_keeps_strongest_keys(self):
+        out = cap_keys_per_app(_sample(), max_keys=1)
+        # ft keeps its 3-observation key, loses the 1-observation one.
+        assert _fp(6000.0) in out
+        assert _fp(6050.0) not in out
+
+    def test_large_budget_is_noop(self):
+        original = _sample()
+        out = cap_keys_per_app(original, max_keys=100)
+        assert len(out) == len(original)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cap_keys_per_app(_sample(), max_keys=0)
+
+
+class TestFederate:
+    def test_counts_add(self):
+        a, b = _sample(), _sample()
+        merged = federate([a, b])
+        assert merged.lookup_counts(_fp(6000.0)) == {"ft_X": 6}
+
+    def test_first_cluster_wins_tiebreak_order(self):
+        a = ExecutionFingerprintDictionary()
+        a.add(_fp(7500.0), "bt_X")
+        b = ExecutionFingerprintDictionary()
+        b.add(_fp(7500.0), "sp_X")
+        merged = federate([a, b])
+        assert merged.lookup(_fp(7500.0)) == ["bt_X", "sp_X"]
+        assert merged.app_names() == ["bt", "sp"]
+
+    def test_disjoint_dictionaries_union(self):
+        a = ExecutionFingerprintDictionary()
+        a.add(_fp(1.0), "x_X")
+        b = ExecutionFingerprintDictionary()
+        b.add(_fp(2.0), "y_X")
+        merged = federate([a, b])
+        assert len(merged) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            federate([])
+
+
+class TestDiff:
+    def test_identical_is_empty(self):
+        report = diff(_sample(), _sample())
+        assert report.is_empty
+        assert report.summary() == "+0 keys, -0 keys, ~0 relabeled"
+
+    def test_added_and_removed(self):
+        old = _sample()
+        new = evict_apps(_sample(), ["mg"])
+        new.add(_fp(9999.0), "hpl_X")
+        report = diff(old, new)
+        assert _fp(9999.0) in report.added
+        assert _fp(6100.0) in report.removed
+
+    def test_relabeled(self):
+        old = _sample()
+        new = evict_labels(_sample(), ["bt_X"])  # sp/bt key loses bt
+        report = diff(old, new)
+        assert _fp(7500.0) in report.relabeled

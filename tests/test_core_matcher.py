@@ -1,0 +1,115 @@
+import pytest
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint
+from repro.core.matcher import MatchResult, match_fingerprints, vote
+
+
+def _fp(value, node=0):
+    return Fingerprint("nr_mapped_vmstat", node, (60.0, 120.0), value)
+
+
+def _efd(entries):
+    efd = ExecutionFingerprintDictionary()
+    for fp, label in entries:
+        efd.add(fp, label)
+    return efd
+
+
+class TestVote:
+    def test_majority_wins(self):
+        ranked, votes = vote([["ft_X"], ["ft_X"], ["mg_X"], ["ft_Y"]])
+        assert ranked == ("ft",)
+        assert votes == {"ft": 3, "mg": 1}
+
+    def test_multiple_inputs_of_same_app_count_once_per_node(self):
+        # A key listing ft_X, ft_Y, ft_Z gives ft ONE vote for that node.
+        ranked, votes = vote([["ft_X", "ft_Y", "ft_Z"]])
+        assert votes == {"ft": 1}
+
+    def test_tie_returns_array_in_app_order(self):
+        ranked, _ = vote(
+            [["sp_X", "bt_X"], ["sp_X", "bt_X"]],
+            app_order=["sp", "bt"],
+        )
+        assert ranked == ("sp", "bt")
+
+    def test_tie_order_respects_dictionary_insertion(self):
+        ranked, _ = vote(
+            [["sp_X", "bt_X"]],
+            app_order=["bt", "sp"],  # bt learned first
+        )
+        assert ranked == ("bt", "sp")
+
+    def test_no_matches_empty(self):
+        ranked, votes = vote([[], [], []])
+        assert ranked == ()
+        assert votes == {}
+
+
+class TestMatchFingerprints:
+    def test_recognizes_clean_execution(self):
+        efd = _efd([(_fp(6000.0, n), "ft_X") for n in range(4)])
+        result = match_fingerprints(efd, [_fp(6000.0, n) for n in range(4)])
+        assert result.prediction == "ft"
+        assert not result.is_unknown
+        assert not result.is_tie
+        assert result.votes == {"ft": 4}
+        assert result.confidence() == 1.0
+
+    def test_unknown_when_nothing_matches(self):
+        efd = _efd([(_fp(6000.0), "ft_X")])
+        result = match_fingerprints(efd, [_fp(9999.0, n) for n in range(4)])
+        assert result.is_unknown
+        assert result.prediction is None
+        assert result.confidence() == 0.0
+
+    def test_sp_bt_collision_returns_array(self):
+        # The paper's Table 4 scenario at rounding depth 2.
+        entries = []
+        for node, value in enumerate([7600.0, 7500.0, 7500.0, 7100.0]):
+            entries.append((_fp(value, node), "sp_X"))
+            entries.append((_fp(value, node), "bt_X"))
+        efd = _efd(entries)
+        result = match_fingerprints(
+            efd, [_fp(v, n) for n, v in enumerate([7600.0, 7500.0, 7500.0, 7100.0])]
+        )
+        assert result.is_tie
+        assert result.ranked == ("sp", "bt")  # sp learned first
+        assert result.prediction == "sp"      # evaluation takes the first
+
+    def test_missing_fingerprints_counted_not_fatal(self):
+        efd = _efd([(_fp(6000.0, n), "ft_X") for n in range(4)])
+        result = match_fingerprints(efd, [_fp(6000.0, 0), None, None, None])
+        assert result.prediction == "ft"
+        assert result.n_missing == 3
+        assert result.n_fingerprints == 1
+
+    def test_all_missing_is_unknown(self):
+        efd = _efd([(_fp(6000.0), "ft_X")])
+        result = match_fingerprints(efd, [None, None])
+        assert result.is_unknown
+        assert result.n_missing == 2
+
+    def test_partial_cross_match_does_not_flip_majority(self):
+        # 3 nodes match ft, one node's fingerprint collides with mg.
+        entries = [(_fp(6000.0, n), "ft_X") for n in range(4)]
+        entries.append((_fp(6100.0, 3), "mg_X"))
+        efd = _efd(entries)
+        result = match_fingerprints(
+            efd,
+            [_fp(6000.0, 0), _fp(6000.0, 1), _fp(6000.0, 2), _fp(6100.0, 3)],
+        )
+        assert result.prediction == "ft"
+        assert result.votes == {"ft": 3, "mg": 1}
+
+    def test_matched_labels_detail(self):
+        efd = _efd([(_fp(6000.0, 0), "ft_X"), (_fp(6000.0, 0), "ft_Y")])
+        result = match_fingerprints(efd, [_fp(6000.0, 0)])
+        assert result.matched_labels == {"ft_X": 1, "ft_Y": 1}
+
+    def test_node_identity_matters(self):
+        # A fingerprint trained on node 0 must not match node 1's lookup.
+        efd = _efd([(_fp(6000.0, 0), "ft_X")])
+        result = match_fingerprints(efd, [_fp(6000.0, 1)])
+        assert result.is_unknown

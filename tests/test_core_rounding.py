@@ -1,0 +1,128 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rounding import (
+    bucket_width,
+    round_depth,
+    round_depth_array,
+    significant_digits,
+)
+
+
+class TestTable1:
+    """round_depth must reproduce the paper's Table 1 exactly."""
+
+    @pytest.mark.parametrize(
+        "value,depth,expected",
+        [
+            (1358.0, 4, 1358.0),
+            (1358.0, 3, 1360.0),
+            (1358.0, 2, 1400.0),
+            (1358.0, 1, 1000.0),
+            (5.28, 3, 5.28),
+            (5.28, 2, 5.3),
+            (5.28, 1, 5.0),
+            (0.038, 2, 0.038),
+            (0.038, 1, 0.04),
+        ],
+    )
+    def test_table1_cell(self, value, depth, expected):
+        assert round_depth(value, depth) == pytest.approx(expected)
+
+    def test_depth_beyond_precision_is_identity(self):
+        # Table 1 marks these cells "-": rounding past the value's
+        # precision leaves it unchanged.
+        assert round_depth(1358.0, 5) == 1358.0
+        assert round_depth(5.28, 4) == 5.28
+        assert round_depth(0.038, 3) == 0.038
+
+
+class TestRoundDepthEdges:
+    def test_zero(self):
+        assert round_depth(0.0, 1) == 0.0
+        assert round_depth(0.0, 5) == 0.0
+
+    def test_nan_propagates(self):
+        assert math.isnan(round_depth(float("nan"), 2))
+
+    def test_negative_values_mirror_positive(self):
+        assert round_depth(-1358.0, 2) == -round_depth(1358.0, 2)
+
+    def test_depth_zero_rejected(self):
+        with pytest.raises(ValueError):
+            round_depth(1.0, 0)
+
+    def test_idempotent(self):
+        for value in (1358.0, 5.28, 0.038, 77.7, 6543.0):
+            for depth in (1, 2, 3):
+                once = round_depth(value, depth)
+                assert round_depth(once, depth) == once
+
+    def test_boundary_near_power_of_ten(self):
+        assert round_depth(999.9, 1) == 1000.0
+        assert round_depth(1000.0, 1) == 1000.0
+        assert round_depth(0.1, 1) == 0.1
+
+    def test_same_bucket_same_fingerprint(self):
+        # Two nearby measurements must collapse — the pruning property.
+        assert round_depth(6032.0, 2) == round_depth(5972.0, 2) == 6000.0
+
+
+class TestRoundDepthArray:
+    def test_matches_scalar(self):
+        values = np.array([1358.0, 5.28, 0.038, -42.0, 0.0])
+        for depth in (1, 2, 3, 4):
+            vectorized = round_depth_array(values, depth)
+            scalars = [round_depth(v, depth) for v in values]
+            assert np.allclose(vectorized, scalars)
+
+    def test_handles_nan_and_inf(self):
+        out = round_depth_array(np.array([np.nan, np.inf, 1.0]), 2)
+        assert math.isnan(out[0])
+        assert math.isinf(out[1])
+        assert out[2] == 1.0
+
+    def test_does_not_mutate_input(self):
+        values = np.array([1358.0])
+        round_depth_array(values, 1)
+        assert values[0] == 1358.0
+
+    def test_empty(self):
+        assert len(round_depth_array(np.empty(0), 2)) == 0
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            round_depth_array(np.ones(3), 0)
+
+
+class TestBucketWidth:
+    def test_examples(self):
+        assert bucket_width(7543.0, 2) == pytest.approx(100.0)
+        assert bucket_width(7543.0, 3) == pytest.approx(10.0)
+        assert bucket_width(5.28, 2) == pytest.approx(0.1)
+
+    def test_zero_and_nan(self):
+        assert bucket_width(0.0, 2) == 0.0
+        assert bucket_width(float("nan"), 2) == 0.0
+
+    def test_values_in_same_bucket_within_width(self):
+        # From a bucket center, perturbations under half a width stay put.
+        center = 6500.0
+        width = bucket_width(center, 2)
+        assert round_depth(center + 0.4 * width, 2) == center
+        assert round_depth(center - 0.4 * width, 2) == center
+
+
+class TestSignificantDigits:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1358.0, 4), (5.28, 3), (0.038, 2), (1000.0, 1), (0.0, 1), (7.0, 1)],
+    )
+    def test_examples(self, value, expected):
+        assert significant_digits(value) == expected
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            significant_digits(float("inf"))

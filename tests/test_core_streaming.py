@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.core.recognizer import EFDRecognizer
+from repro.core.streaming import StreamingRecognizer, StreamSession
+
+
+@pytest.fixture()
+def streaming(tiny_dataset):
+    recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+    return StreamingRecognizer.from_recognizer(recognizer)
+
+
+def _feed_record(session, record, until=None):
+    """Feed a record's telemetry sample by sample, as LDMS would."""
+    for node in range(record.n_nodes):
+        series = record.series("nr_mapped_vmstat", node)
+        times = series.times
+        values = series.values
+        if until is not None:
+            mask = times < until
+            times, values = times[mask], values[mask]
+        session.ingest_many(node, times, values)
+
+
+class TestStreamSession:
+    def test_not_ready_before_interval_elapses(self, streaming, tiny_dataset):
+        session = streaming.open_session(n_nodes=4)
+        _feed_record(session, tiny_dataset[0], until=100.0)
+        assert not session.ready
+        with pytest.raises(RuntimeError, match="not yet complete"):
+            session.verdict()
+
+    def test_ready_and_correct_after_interval(self, streaming, tiny_dataset):
+        record = tiny_dataset[0]
+        session = streaming.open_session(n_nodes=4)
+        _feed_record(session, record, until=121.0)
+        assert session.ready
+        assert session.prediction() == record.app_name
+
+    def test_streaming_matches_offline(self, streaming, tiny_dataset):
+        offline = EFDRecognizer(depth=2).fit(tiny_dataset)
+        for record in list(tiny_dataset)[:12]:
+            session = streaming.open_session(n_nodes=record.n_nodes)
+            _feed_record(session, record)
+            assert session.prediction() == offline.predict_one(record)
+
+    def test_sample_by_sample_ingest(self, streaming, tiny_dataset):
+        record = tiny_dataset[0]
+        session = streaming.open_session(n_nodes=4)
+        for node in range(4):
+            series = record.series("nr_mapped_vmstat", node)
+            for t, v in zip(series.times, series.values):
+                session.ingest(node, float(t), float(v))
+        assert session.prediction() == record.app_name
+
+    def test_progress_counts_nodes(self, streaming, tiny_dataset):
+        session = streaming.open_session(n_nodes=4)
+        record = tiny_dataset[0]
+        series = record.series("nr_mapped_vmstat", 0)
+        session.ingest_many(0, series.times, series.values)
+        assert session.progress() == pytest.approx(0.25)
+
+    def test_nan_samples_skipped(self, streaming):
+        session = streaming.open_session(n_nodes=1)
+        session.ingest(0, 60.0, float("nan"))
+        session.ingest(0, 61.0, 6000.0)
+        session.ingest(0, 120.5, 6000.0)
+        fps = session.fingerprints()
+        assert fps[0] is not None
+        assert fps[0].value == 6000.0  # NaN did not poison the mean
+
+    def test_all_dropout_node_is_none(self, streaming):
+        session = streaming.open_session(n_nodes=2)
+        session.ingest(0, 121.0, 6000.0)  # outside interval -> clock only
+        session.ingest(1, 90.0, 6000.0)
+        session.ingest(1, 121.0, 6000.0)
+        fps = session.fingerprints()
+        assert fps[0] is None
+        assert fps[1] is not None
+
+    def test_force_early_verdict(self, streaming, tiny_dataset):
+        session = streaming.open_session(n_nodes=4)
+        _feed_record(session, tiny_dataset[0], until=100.0)
+        # Job died early: force a decision on partial data [60:100).
+        result = session.verdict(force=True)
+        assert result is session.verdict()  # concluded, cached
+
+    def test_concluded_session_rejects_ingest(self, streaming, tiny_dataset):
+        session = streaming.open_session(n_nodes=4)
+        _feed_record(session, tiny_dataset[0])
+        session.verdict()
+        with pytest.raises(RuntimeError, match="concluded"):
+            session.ingest(0, 500.0, 1.0)
+
+    def test_node_bounds_checked(self, streaming):
+        session = streaming.open_session(n_nodes=2)
+        with pytest.raises(ValueError):
+            session.ingest(5, 60.0, 1.0)
+        with pytest.raises(ValueError):
+            session.ingest_many(5, [60.0], [1.0])
+
+    def test_mismatched_batch_rejected(self, streaming):
+        session = streaming.open_session(n_nodes=1)
+        with pytest.raises(ValueError):
+            session.ingest_many(0, [1.0, 2.0], [1.0])
+
+    def test_unknown_stream(self, streaming):
+        session = streaming.open_session(n_nodes=2)
+        for node in range(2):
+            session.ingest_many(
+                node, np.arange(60.0, 125.0), np.full(65, 123456.0)
+            )
+        assert session.prediction() == "unknown"
+
+
+class TestStreamingRecognizer:
+    def test_from_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StreamingRecognizer.from_recognizer(EFDRecognizer())
+
+    def test_empty_dictionary_rejected(self):
+        from repro.core.dictionary import ExecutionFingerprintDictionary
+
+        with pytest.raises(ValueError):
+            StreamingRecognizer(ExecutionFingerprintDictionary())
+
+    def test_session_validation(self, streaming):
+        with pytest.raises(ValueError):
+            streaming.open_session(n_nodes=0)

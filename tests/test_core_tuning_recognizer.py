@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.core.recognizer import EFDRecognizer
+from repro.core.tuning import depth_scores, select_rounding_depth
+
+
+class TestTuning:
+    def test_depth_scores_cover_candidates(self, tiny_dataset):
+        scores = depth_scores(list(tiny_dataset.records), "nr_mapped_vmstat",
+                              candidates=(1, 2, 3), k=3)
+        assert set(scores) == {1, 2, 3}
+        assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+    def test_depth_one_underprunes_everything(self, small_dataset):
+        # At depth 1 most applications collapse into shared buckets
+        # (e.g. 6000-8999 -> three buckets); the score must be poor.
+        scores = depth_scores(list(small_dataset.records), "nr_mapped_vmstat",
+                              candidates=(1, 3), k=3)
+        assert scores[3] > scores[1] + 0.2
+
+    def test_selects_interior_optimum(self, small_dataset):
+        best = select_rounding_depth(
+            list(small_dataset.records), "nr_mapped_vmstat",
+            candidates=(1, 2, 3, 4, 5), k=3,
+        )
+        assert best in (2, 3)  # not the extremes
+
+    def test_tie_prefers_smaller_depth(self, tiny_dataset):
+        # tiny_dataset's four apps are separable at depth 2 and 3 alike,
+        # so both score 1.0 — the smaller depth must win.
+        best = select_rounding_depth(
+            list(tiny_dataset.records), "nr_mapped_vmstat",
+            candidates=(2, 3), k=3,
+        )
+        assert best == 2
+
+    def test_validates_inputs(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            depth_scores(list(tiny_dataset.records), "nr_mapped_vmstat",
+                         candidates=(), k=3)
+        with pytest.raises(ValueError):
+            depth_scores(list(tiny_dataset.records)[:2], "nr_mapped_vmstat", k=3)
+
+
+class TestEFDRecognizer:
+    def test_fit_predict_round_trip(self, tiny_dataset):
+        recognizer = EFDRecognizer().fit(tiny_dataset)
+        predictions = recognizer.predict(tiny_dataset)
+        accuracy = np.mean(
+            [p == r.app_name for p, r in zip(predictions, tiny_dataset)]
+        )
+        assert accuracy == 1.0
+
+    def test_cv_selects_depth_when_none(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=None).fit(tiny_dataset)
+        assert recognizer.depth_ >= 1
+
+    def test_fixed_depth_respected(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        assert recognizer.depth_ == 2
+
+    def test_unknown_for_unseen_app(self, tiny_dataset, small_dataset):
+        # Train without kripke, test a kripke record: must be unknown
+        # (kripke's 5600 bucket is far from ft/mg/lu/CoMD).
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        kripke = [r for r in small_dataset if r.label == "kripke_X"][0]
+        assert recognizer.predict_one(kripke) == "unknown"
+
+    def test_predict_single_record_returns_str(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        assert isinstance(recognizer.predict(tiny_dataset[0]), str)
+
+    def test_predict_detail_exposes_votes(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        detail = recognizer.predict_detail(tiny_dataset[0])
+        assert detail.votes.get("ft", 0) >= 3
+
+    def test_score_against_truth(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        assert recognizer.score(tiny_dataset) == 1.0
+
+    def test_score_against_custom_expected(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        wrong = ["nope"] * len(tiny_dataset)
+        assert recognizer.score(tiny_dataset, wrong) == 0.0
+
+    def test_partial_fit_learns_new_app(self, tiny_dataset, small_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        kripke_records = [r for r in small_dataset if r.app_name == "kripke"]
+        assert recognizer.predict_one(kripke_records[0]) == "unknown"
+        recognizer.partial_fit(kripke_records[0])
+        # "learning new applications is as simple as adding new keys"
+        assert recognizer.predict_one(kripke_records[1]) == "kripke"
+
+    def test_unfitted_raises(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            EFDRecognizer().predict(tiny_dataset[0])
+
+    def test_stats_after_fit(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        stats = recognizer.stats()
+        assert stats.n_insertions == len(tiny_dataset) * 4
+        assert 0 < stats.n_keys <= stats.n_insertions
+
+    def test_repr_mentions_state(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2)
+        assert "unfitted" in repr(recognizer)
+        recognizer.fit(tiny_dataset)
+        assert "keys=" in repr(recognizer)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EFDRecognizer(metric="")
+        with pytest.raises(ValueError):
+            EFDRecognizer(interval=(120.0, 60.0))
+        with pytest.raises(ValueError):
+            EFDRecognizer(depth=0)
+        with pytest.raises(ValueError):
+            EFDRecognizer(tuning_folds=1)
+        with pytest.raises(ValueError):
+            EFDRecognizer().fit([])
+
+    def test_interval_outside_series_all_unknown(self, tiny_dataset):
+        # duration_cap of the fixture is 150 s; an interval beyond the
+        # data yields no fingerprints -> everything unknown, not a crash.
+        recognizer = EFDRecognizer(depth=2, interval=(500.0, 560.0)).fit(
+            tiny_dataset
+        )
+        assert recognizer.predict_one(tiny_dataset[0]) == "unknown"

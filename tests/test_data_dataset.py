@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from repro.data.dataset import ExecutionDataset, ExecutionRecord
+from repro.telemetry.timeseries import TimeSeries
+
+
+def _record(record_id=0, app="ft", inp="X", n_nodes=2, n=150, level=6000.0):
+    telemetry = {
+        ("nr_mapped_vmstat", node): TimeSeries(np.full(n, level + node))
+        for node in range(n_nodes)
+    }
+    return ExecutionRecord(
+        record_id=record_id,
+        app_name=app,
+        input_size=inp,
+        n_nodes=n_nodes,
+        duration=float(n),
+        telemetry=telemetry,
+    )
+
+
+class TestExecutionRecord:
+    def test_label(self):
+        assert _record(app="miniAMR", inp="Z").label == "miniAMR_Z"
+
+    def test_interval_mean(self):
+        record = _record(level=100.0)
+        assert record.interval_mean("nr_mapped_vmstat", 1, 60, 120) == 101.0
+
+    def test_series_unknown_metric(self):
+        with pytest.raises(KeyError, match="no series"):
+            _record().series("Active_meminfo", 0)
+
+    def test_rejects_node_out_of_range(self):
+        telemetry = {("m", 5): TimeSeries(np.ones(10))}
+        with pytest.raises(ValueError, match="outside"):
+            ExecutionRecord(0, "a", "X", 2, 10.0, telemetry)
+
+    def test_rejects_non_timeseries(self):
+        with pytest.raises(TypeError):
+            ExecutionRecord(0, "a", "X", 1, 10.0, {("m", 0): [1, 2, 3]})
+
+    def test_metrics_sorted(self):
+        telemetry = {
+            ("b_metric", 0): TimeSeries(np.ones(5)),
+            ("a_metric", 0): TimeSeries(np.ones(5)),
+        }
+        record = ExecutionRecord(0, "a", "X", 1, 5.0, telemetry)
+        assert record.metrics() == ["a_metric", "b_metric"]
+
+
+class TestExecutionDataset:
+    def _dataset(self):
+        records = [
+            _record(0, "ft", "X"), _record(1, "ft", "Y"),
+            _record(2, "mg", "X"), _record(3, "mg", "Y"),
+            _record(4, "miniAMR", "L"),
+        ]
+        return ExecutionDataset(records, ["nr_mapped_vmstat"])
+
+    def test_len_iter_getitem(self):
+        ds = self._dataset()
+        assert len(ds) == 5
+        assert ds[0].app_name == "ft"
+        assert [r.record_id for r in ds] == [0, 1, 2, 3, 4]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ExecutionDataset([_record(1), _record(1)], ["nr_mapped_vmstat"])
+
+    def test_labels_and_apps(self):
+        ds = self._dataset()
+        assert ds.labels() == ["ft_X", "ft_Y", "mg_X", "mg_Y", "miniAMR_L"]
+        assert ds.app_names() == ["ft", "mg", "miniAMR"]
+        assert set(ds.input_sizes()) == {"X", "Y", "L"}
+        assert len(ds.app_input_pairs()) == 5
+
+    def test_filter_by_app(self):
+        ds = self._dataset().filter(apps=["ft"])
+        assert len(ds) == 2
+        assert ds.app_names() == ["ft"]
+
+    def test_filter_by_input_exclusion(self):
+        ds = self._dataset().filter(exclude_inputs=["X"])
+        assert {r.input_size for r in ds} == {"Y", "L"}
+
+    def test_filter_combined(self):
+        ds = self._dataset().filter(apps=["ft", "mg"], inputs=["Y"])
+        assert ds.labels() == ["ft_Y", "mg_Y"]
+
+    def test_subset_preserves_order_and_shares_records(self):
+        ds = self._dataset()
+        sub = ds.subset([3, 0])
+        assert sub.labels() == ["mg_Y", "ft_X"]
+        assert sub[1] is ds[0]
+
+    def test_subset_rejects_bad_index(self):
+        with pytest.raises(IndexError):
+            self._dataset().subset([99])
+
+    def test_indices_where(self):
+        ds = self._dataset()
+        idx = ds.indices_where(lambda r: r.app_name == "mg")
+        assert idx == [2, 3]
+
+    def test_summary_shape(self):
+        summary = self._dataset().summary()
+        assert summary["executions"] == 5
+        assert summary["pairs"] == 5
+        assert summary["node_count"] == 2
+
+    def test_check_consistent_detects_missing_metric(self):
+        ds = ExecutionDataset([_record(0)], ["nr_mapped_vmstat", "Active_meminfo"])
+        with pytest.raises(ValueError, match="missing metrics"):
+            ds.check_consistent()

@@ -1,0 +1,111 @@
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.features import FEATURE_NAMES, FeatureExtractor, series_features
+from repro.data.io import load_dataset, save_dataset
+
+
+class TestSeriesFeatures:
+    def test_feature_count(self):
+        assert len(series_features(np.arange(50.0))) == len(FEATURE_NAMES)
+
+    def test_known_values(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        feats = dict(zip(FEATURE_NAMES, series_features(values)))
+        assert feats["min"] == 1.0
+        assert feats["max"] == 5.0
+        assert feats["mean"] == 3.0
+        assert feats["p50"] == 3.0
+
+    def test_nan_ignored(self):
+        values = np.array([1.0, np.nan, 3.0])
+        feats = dict(zip(FEATURE_NAMES, series_features(values)))
+        assert feats["mean"] == 2.0
+
+    def test_all_nan_gives_zeros(self):
+        assert np.all(series_features(np.array([np.nan, np.nan])) == 0.0)
+
+    def test_constant_series_zero_skew(self):
+        feats = dict(zip(FEATURE_NAMES, series_features(np.full(10, 7.0))))
+        assert feats["std"] == 0.0
+        assert feats["skew_proxy"] == 0.0
+
+
+class TestFeatureExtractor:
+    def test_entity_per_node(self, tiny_dataset):
+        fm = FeatureExtractor().extract(tiny_dataset)
+        assert fm.X.shape == (len(tiny_dataset) * 4, len(FEATURE_NAMES))
+        assert len(fm.labels) == fm.X.shape[0]
+        assert set(fm.node) == {0, 1, 2, 3}
+
+    def test_exec_index_maps_back(self, tiny_dataset):
+        fm = FeatureExtractor().extract(tiny_dataset)
+        for i in range(0, len(fm.labels), 4):
+            pos = fm.exec_index[i]
+            assert fm.labels[i] == tiny_dataset[pos].app_name
+
+    def test_feature_names_prefixed_by_metric(self, tiny_dataset):
+        fm = FeatureExtractor().extract(tiny_dataset)
+        assert fm.feature_names[0] == "nr_mapped_vmstat:min"
+
+    def test_window_restriction_changes_features(self, tiny_dataset):
+        full = FeatureExtractor(window=(0.0, None)).extract(tiny_dataset)
+        late = FeatureExtractor(window=(60.0, 120.0)).extract(tiny_dataset)
+        assert not np.allclose(full.X, late.X)
+
+    def test_unknown_metric_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            FeatureExtractor(metrics=["nope"]).extract(tiny_dataset)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(window=(60.0, 30.0))
+
+    def test_feature_separation_between_apps(self, tiny_dataset):
+        # Mean feature separates ft (6000) from CoMD (8810) cleanly.
+        fm = FeatureExtractor(window=(60.0, 120.0)).extract(tiny_dataset)
+        mean_col = list(fm.feature_names).index("nr_mapped_vmstat:mean")
+        ft_means = fm.X[[l == "ft" for l in fm.labels], mean_col]
+        comd_means = fm.X[[l == "CoMD" for l in fm.labels], mean_col]
+        assert ft_means.max() < comd_means.min()
+
+
+class TestDatasetIO:
+    def test_round_trip_exact(self, tiny_dataset, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(tiny_dataset)
+        assert loaded.metrics == tiny_dataset.metrics
+        for original, restored in zip(tiny_dataset, loaded):
+            assert restored.label == original.label
+            assert restored.rep_index == original.rep_index
+            assert restored.series("nr_mapped_vmstat", 3) == \
+                original.series("nr_mapped_vmstat", 3)
+
+    def test_round_trip_preserves_nan(self, tmp_path):
+        from repro.data.dataset import ExecutionDataset, ExecutionRecord
+        from repro.telemetry.timeseries import TimeSeries
+
+        values = np.array([1.0, np.nan, 3.0])
+        record = ExecutionRecord(
+            0, "a", "X", 1, 3.0, {("m", 0): TimeSeries(values)}
+        )
+        path = str(tmp_path / "nan.npz")
+        save_dataset(ExecutionDataset([record], ["m"]), path)
+        loaded = load_dataset(path)
+        assert np.isnan(loaded[0].series("m", 0).values[1])
+
+    def test_load_appends_npz_suffix(self, tiny_dataset, tmp_path):
+        path = str(tmp_path / "ds")
+        save_dataset(tiny_dataset, path)  # numpy appends .npz
+        loaded = load_dataset(path)
+        assert len(loaded) == len(tiny_dataset)
+
+    def test_load_rejects_foreign_archive(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez_compressed(path, data=np.ones(3))
+        with pytest.raises(ValueError, match="not a repro dataset"):
+            load_dataset(path)

@@ -1,0 +1,148 @@
+import pytest
+
+from repro.data.splits import (
+    UNKNOWN_LABEL,
+    Split,
+    hard_input_splits,
+    hard_unknown_splits,
+    kfold_splits,
+    soft_input_splits,
+    soft_unknown_splits,
+)
+
+
+class TestSplitValidation:
+    def test_rejects_expected_length_mismatch(self):
+        with pytest.raises(ValueError, match="expected"):
+            Split("s", (0,), (1, 2), ("a",))
+
+    def test_rejects_train_test_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Split("s", (0, 1), (1,), ("a",))
+
+
+class TestKFold:
+    def test_partitions_everything(self, small_dataset):
+        splits = kfold_splits(small_dataset, k=3, seed=0)
+        assert len(splits) == 3
+        covered = sorted(i for s in splits for i in s.test_indices)
+        assert covered == list(range(len(small_dataset)))
+
+    def test_train_test_disjoint_and_complete(self, small_dataset):
+        for split in kfold_splits(small_dataset, k=3, seed=0):
+            union = set(split.train_indices) | set(split.test_indices)
+            assert union == set(range(len(small_dataset)))
+
+    def test_stratified_by_pair(self, small_dataset):
+        # Every (app, input) pair appears in every fold's test set
+        # (3 reps over 3 folds -> exactly one each).
+        splits = kfold_splits(small_dataset, k=3, seed=0)
+        for split in splits:
+            labels = [small_dataset[i].label for i in split.test_indices]
+            assert len(set(labels)) == 37
+
+    def test_expected_is_app_level(self, small_dataset):
+        split = kfold_splits(small_dataset, k=3, seed=0)[0]
+        for idx, expected in zip(split.test_indices, split.expected):
+            assert expected == small_dataset[idx].app_name
+
+    def test_seed_changes_assignment(self, small_dataset):
+        a = kfold_splits(small_dataset, k=3, seed=0)[0].test_indices
+        b = kfold_splits(small_dataset, k=3, seed=1)[0].test_indices
+        assert a != b
+
+    def test_rejects_k_too_small(self, small_dataset):
+        with pytest.raises(ValueError):
+            kfold_splits(small_dataset, k=1)
+
+
+class TestSoftInput:
+    def test_one_split_per_input_per_fold(self, small_dataset):
+        splits = soft_input_splits(small_dataset, k=3, seed=0)
+        assert len(splits) == 4 * 3  # inputs L,X,Y,Z x 3 folds
+
+    def test_training_lacks_removed_input(self, small_dataset):
+        for split in soft_input_splits(small_dataset, k=3, seed=0):
+            removed = split.name.split("[-")[1][0]
+            train_inputs = {
+                small_dataset[i].input_size for i in split.train_indices
+            }
+            assert removed not in train_inputs
+
+    def test_test_sets_unchanged_from_normal_fold(self, small_dataset):
+        base = kfold_splits(small_dataset, k=3, seed=0)
+        soft = soft_input_splits(small_dataset, k=3, seed=0)
+        base_tests = [s.test_indices for s in base]
+        for i, split in enumerate(soft):
+            assert split.test_indices == base_tests[i % 3]
+
+
+class TestSoftUnknown:
+    def test_one_split_per_app_per_fold(self, small_dataset):
+        splits = soft_unknown_splits(small_dataset, k=3, seed=0)
+        assert len(splits) == 11 * 3
+
+    def test_removed_app_not_in_training(self, small_dataset):
+        split = soft_unknown_splits(small_dataset, k=3, seed=0)[0]
+        removed = split.name.split("[-")[1].split("]")[0]
+        train_apps = {small_dataset[i].app_name for i in split.train_indices}
+        assert removed not in train_apps
+
+    def test_removed_app_expected_unknown(self, small_dataset):
+        for split in soft_unknown_splits(small_dataset, k=3, seed=0)[:6]:
+            removed = split.name.split("[-")[1].split("]")[0]
+            for idx, expected in zip(split.test_indices, split.expected):
+                if small_dataset[idx].app_name == removed:
+                    assert expected == UNKNOWN_LABEL
+                else:
+                    assert expected == small_dataset[idx].app_name
+
+
+class TestHardInput:
+    def test_one_split_per_input(self, small_dataset):
+        splits = hard_input_splits(small_dataset)
+        assert [s.name for s in splits] == [
+            "hard_input[L]", "hard_input[X]", "hard_input[Y]", "hard_input[Z]"
+        ]
+
+    def test_test_exclusively_held_out_input(self, small_dataset):
+        for split in hard_input_splits(small_dataset):
+            held = split.name.split("[")[1][0]
+            assert all(
+                small_dataset[i].input_size == held for i in split.test_indices
+            )
+            assert all(
+                small_dataset[i].input_size != held for i in split.train_indices
+            )
+
+    def test_expected_is_app_name(self, small_dataset):
+        split = hard_input_splits(small_dataset)[0]
+        assert all(
+            e == small_dataset[i].app_name
+            for i, e in zip(split.test_indices, split.expected)
+        )
+
+    def test_L_split_covers_only_starred_apps(self, small_dataset):
+        split = [s for s in hard_input_splits(small_dataset)
+                 if s.name == "hard_input[L]"][0]
+        apps = {small_dataset[i].app_name for i in split.test_indices}
+        assert apps == {"miniGhost", "miniAMR", "miniMD", "kripke"}
+
+
+class TestHardUnknown:
+    def test_one_split_per_app(self, small_dataset):
+        assert len(hard_unknown_splits(small_dataset)) == 11
+
+    def test_test_exclusively_held_out_app(self, small_dataset):
+        for split in hard_unknown_splits(small_dataset):
+            held = split.name.split("[")[1].rstrip("]")
+            assert all(
+                small_dataset[i].app_name == held for i in split.test_indices
+            )
+            assert all(
+                small_dataset[i].app_name != held for i in split.train_indices
+            )
+
+    def test_all_expected_unknown(self, small_dataset):
+        for split in hard_unknown_splits(small_dataset):
+            assert set(split.expected) == {UNKNOWN_LABEL}

@@ -1,0 +1,78 @@
+"""Reproducibility guarantees across the whole stack.
+
+The entire evaluation must be a pure function of configuration seeds:
+dataset bits, tuned depths, experiment F-scores. These tests pin that
+down — a regression here silently invalidates every reported number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.recognizer import EFDRecognizer
+from repro.core.tuning import select_rounding_depth
+from repro.data.splits import kfold_splits, soft_unknown_splits
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.experiments.protocol import make_efd_factory, run_experiment
+
+
+def _tiny(seed=123):
+    config = DatasetConfig(
+        metrics=("nr_mapped_vmstat",), repetitions=2, seed=seed,
+        duration_cap=150.0, apps=("ft", "mg", "lu"),
+    )
+    return TaxonomistDatasetGenerator(config).generate()
+
+
+class TestDatasetDeterminism:
+    def test_bitwise_identical_regeneration(self):
+        a, b = _tiny(), _tiny()
+        for ra, rb in zip(a, b):
+            for key in ra.telemetry:
+                assert np.array_equal(
+                    ra.telemetry[key].values, rb.telemetry[key].values,
+                    equal_nan=True,
+                ), key
+
+    def test_seed_isolation_between_records(self):
+        # Changing one app's presence must not change another app's bits.
+        full = _tiny()
+        config = DatasetConfig(
+            metrics=("nr_mapped_vmstat",), repetitions=2, seed=123,
+            duration_cap=150.0, apps=("mg",),
+        )
+        only_mg = TaxonomistDatasetGenerator(config).generate()
+        full_mg = full.filter(apps=["mg"])
+        for ra, rb in zip(full_mg, only_mg):
+            key = ("nr_mapped_vmstat", 0)
+            assert np.array_equal(
+                ra.telemetry[key].values, rb.telemetry[key].values,
+                equal_nan=True,
+            )
+
+
+class TestPipelineDeterminism:
+    def test_depth_selection_reproducible(self, small_dataset):
+        records = list(small_dataset.records)
+        a = select_rounding_depth(records, "nr_mapped_vmstat", k=3, seed=5)
+        b = select_rounding_depth(records, "nr_mapped_vmstat", k=3, seed=5)
+        assert a == b
+
+    def test_fit_reproducible(self, tiny_dataset):
+        a = EFDRecognizer(seed=1).fit(tiny_dataset)
+        b = EFDRecognizer(seed=1).fit(tiny_dataset)
+        assert a.depth_ == b.depth_
+        assert list(a.dictionary_.entries()) == list(b.dictionary_.entries())
+
+    def test_splits_reproducible(self, small_dataset):
+        a = kfold_splits(small_dataset, 5, seed=3)
+        b = kfold_splits(small_dataset, 5, seed=3)
+        assert [s.test_indices for s in a] == [s.test_indices for s in b]
+        sa = soft_unknown_splits(small_dataset, 3, seed=3)
+        sb = soft_unknown_splits(small_dataset, 3, seed=3)
+        assert [s.train_indices for s in sa] == [s.train_indices for s in sb]
+
+    def test_experiment_fscore_reproducible(self):
+        dataset = _tiny()
+        a = run_experiment("normal_fold", dataset, make_efd_factory(), k=2)
+        b = run_experiment("normal_fold", dataset, make_efd_factory(), k=2)
+        assert a.split_scores == b.split_scores

@@ -1,0 +1,255 @@
+import numpy as np
+import pytest
+
+from repro.data.splits import Split
+from repro.experiments.figures import (
+    EXPERIMENT_LABELS,
+    TAXONOMIST_EXPERIMENTS,
+    figure2_series,
+    render_figure2,
+)
+from repro.experiments.protocol import (
+    EXPERIMENT_NAMES,
+    evaluate_split,
+    evaluate_splits,
+    make_efd_factory,
+    make_taxonomist_factory,
+    run_experiment,
+    splits_for,
+)
+from repro.experiments.reporting import (
+    render_experiment_detail,
+    render_mechanism_diagram,
+    render_suite_comparison,
+)
+from repro.experiments.runner import ExperimentSuite, SuiteResult
+from repro.experiments.tables import (
+    TABLE4_APPS,
+    example_efd,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    table1_rows,
+    table3_scores,
+)
+
+
+class TestProtocol:
+    def test_experiment_names_order(self):
+        assert EXPERIMENT_NAMES == (
+            "normal_fold", "soft_input", "soft_unknown",
+            "hard_input", "hard_unknown",
+        )
+
+    def test_splits_for_each_experiment(self, small_dataset):
+        for name in EXPERIMENT_NAMES:
+            splits = splits_for(name, small_dataset, k=3)
+            assert splits, name
+
+    def test_splits_for_unknown_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            splits_for("extreme_unknown", small_dataset)
+
+    def test_normal_fold_efd_is_high(self, small_dataset):
+        result = run_experiment(
+            "normal_fold", small_dataset, make_efd_factory(), k=3
+        )
+        assert result.fscore > 0.9
+        assert len(result.split_scores) == 3
+        assert result.experiment == "normal_fold"
+
+    def test_hard_input_lower_than_normal(self, small_dataset):
+        normal = run_experiment(
+            "normal_fold", small_dataset, make_efd_factory(), k=3
+        )
+        hard = run_experiment("hard_input", small_dataset, make_efd_factory())
+        # The paper's headline contrast: hard input has clear room for
+        # improvement while normal fold is near-perfect.
+        assert hard.fscore < normal.fscore - 0.2
+
+    def test_hard_unknown_between(self, small_dataset):
+        result = run_experiment(
+            "hard_unknown", small_dataset, make_efd_factory()
+        )
+        assert 0.5 < result.fscore < 1.0
+
+    def test_evaluate_split_counts_spurious_unknowns(self, small_dataset):
+        # A recognizer that always answers 'unknown' scores 0 on normal
+        # folds (its predictions are outside the true label set).
+        class AlwaysUnknown:
+            def fit(self, ds):
+                return self
+
+            def predict(self, ds):
+                return ["unknown"] * len(ds)
+
+        split = splits_for("normal_fold", small_dataset, k=3)[0]
+        assert evaluate_split(small_dataset, split, AlwaysUnknown) == 0.0
+
+    def test_evaluate_split_perfect_oracle(self, small_dataset):
+        class Oracle:
+            def fit(self, ds):
+                return self
+
+            def predict(self, ds):
+                return [r.app_name for r in ds]
+
+        split = splits_for("normal_fold", small_dataset, k=3)[0]
+        assert evaluate_split(small_dataset, split, Oracle) == 1.0
+
+    def test_prediction_count_mismatch_detected(self, small_dataset):
+        class Broken:
+            def fit(self, ds):
+                return self
+
+            def predict(self, ds):
+                return ["ft"]
+
+        split = splits_for("normal_fold", small_dataset, k=3)[0]
+        with pytest.raises(RuntimeError, match="predictions"):
+            evaluate_split(small_dataset, split, Broken)
+
+    def test_evaluate_splits_aggregates(self, small_dataset):
+        splits = splits_for("normal_fold", small_dataset, k=3)
+        result = evaluate_splits(
+            small_dataset, splits, make_efd_factory(depth=2), experiment="x"
+        )
+        assert result.fscore == pytest.approx(np.mean(result.split_scores))
+        assert result.n_test == len(small_dataset)
+
+    def test_evaluate_splits_thread_backend_matches_serial(self, tiny_dataset):
+        splits = splits_for("normal_fold", tiny_dataset, k=3)
+        serial = evaluate_splits(
+            tiny_dataset, splits, make_efd_factory(depth=2), backend="serial"
+        )
+        threaded = evaluate_splits(
+            tiny_dataset, splits, make_efd_factory(depth=2),
+            backend="thread", n_workers=3,
+        )
+        assert serial.split_scores == threaded.split_scores
+
+    def test_empty_splits_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            evaluate_splits(small_dataset, [], make_efd_factory())
+
+
+class TestSuite:
+    def test_suite_runs_subset(self, tiny_dataset):
+        suite = ExperimentSuite(tiny_dataset, k=3)
+        result = suite.run(
+            make_efd_factory(depth=2), "EFD",
+            experiments=("normal_fold", "hard_input"),
+        )
+        assert result.fscore("normal_fold") is not None
+        assert result.fscore("soft_input") is None
+        series = result.series()
+        assert len(series) == 5
+        assert series[1] is None
+
+    def test_suite_str_mentions_not_conducted(self, tiny_dataset):
+        suite = ExperimentSuite(tiny_dataset, k=3)
+        result = suite.run(
+            make_efd_factory(depth=2), "EFD", experiments=("normal_fold",)
+        )
+        assert "not conducted" in str(result)
+
+    def test_empty_dataset_rejected(self, tiny_dataset):
+        from repro.data.dataset import ExecutionDataset
+
+        with pytest.raises(ValueError):
+            ExperimentSuite(ExecutionDataset([], ["m"]))
+
+
+class TestTables:
+    def test_table1_rows_match_paper(self):
+        rows = table1_rows()
+        # Row 1: 1358.0 at depths 5..1.
+        assert rows[0] == ["1358", "-", "1358", "1360", "1400", "1000"]
+        assert rows[1] == ["5.28", "-", "-", "5.28", "5.3", "5"]
+        assert rows[2] == ["0.038", "-", "-", "-", "0.038", "0.04"]
+
+    def test_render_table1_mentions_depths(self):
+        out = render_table1()
+        assert "Rounding Depth" in out
+        assert "1400" in out
+
+    def test_render_table2_summary(self, small_dataset):
+        out = render_table2(small_dataset)
+        assert "miniAMR" in out and "kripke" in out
+        assert "4" in out  # node count
+
+    def test_table3_scores_subset(self, tiny_dataset):
+        scores = table3_scores(tiny_dataset, metrics=["nr_mapped_vmstat"], k=3)
+        assert scores["nr_mapped_vmstat"] > 0.9
+
+    def test_table3_missing_metric_raises(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            table3_scores(tiny_dataset, metrics=["Active_meminfo"])
+
+    def test_render_table3_sorted_desc(self):
+        out = render_table3({"a_metric": 0.5, "b_metric": 1.0})
+        assert out.index("b_metric") < out.index("a_metric")
+
+    def test_example_efd_reproduces_sp_bt_collision(self, small_dataset):
+        efd = example_efd(small_dataset)
+        colliding_apps = set()
+        for fp, labels in efd.collisions():
+            for label in labels:
+                colliding_apps.add(label.rsplit("_", 1)[0])
+        assert {"sp", "bt"} <= colliding_apps
+
+    def test_example_efd_restricted_to_table4_apps(self, small_dataset):
+        efd = example_efd(small_dataset)
+        apps = set(efd.app_names())
+        assert apps <= set(TABLE4_APPS)
+
+    def test_render_table4_contains_fingerprints(self, small_dataset):
+        out = render_table4(example_efd(small_dataset))
+        assert "nr_mapped_vmstat" in out
+        assert "[60:120]" in out
+        assert "ft_X" in out
+
+    def test_example_efd_unknown_apps_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            example_efd(tiny_dataset, apps=["kripke"])  # not in tiny fixture
+
+
+class TestFiguresAndReporting:
+    def test_figure2_series_shape(self, tiny_dataset):
+        series = figure2_series(tiny_dataset, k=3)
+        assert set(series) == {"EFD", "Taxonomist"}
+        assert len(series["EFD"]) == 5
+        # Taxonomist hard experiments were not conducted (paper note).
+        assert series["Taxonomist"][3] is None
+        assert series["Taxonomist"][4] is None
+        assert all(v is not None for v in series["EFD"])
+
+    def test_render_figure2(self, tiny_dataset):
+        series = {
+            "EFD": [1.0, 0.96, 0.97, 0.6, 0.8],
+            "Taxonomist": [0.99, 0.98, 0.95, None, None],
+        }
+        out = render_figure2(series)
+        assert "Normal fold" in out and "Hard unknown" in out
+        assert "n/a" in out
+
+    def test_mechanism_diagram_mentions_stages(self):
+        out = render_mechanism_diagram()
+        assert "lookup" in out
+        assert "round" in out
+        assert "[60:120]" in out
+
+    def test_suite_comparison_table(self, tiny_dataset):
+        suite = ExperimentSuite(tiny_dataset, k=3)
+        efd = suite.run(make_efd_factory(depth=2), "EFD",
+                        experiments=("normal_fold",))
+        out = render_suite_comparison({"EFD": efd.results})
+        assert "normal_fold" in out and "n/a" in out
+
+    def test_experiment_detail_lists_splits(self, tiny_dataset):
+        result = run_experiment(
+            "normal_fold", tiny_dataset, make_efd_factory(depth=2), k=3
+        )
+        out = render_experiment_detail(result)
+        assert "normal_fold[0]" in out

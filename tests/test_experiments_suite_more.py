@@ -1,0 +1,81 @@
+"""Deeper experiment-suite coverage: the full five-experiment matrix on a
+reduced dataset, cross-recognizer comparisons, and result bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nearest import NearestCentroidRecognizer
+from repro.experiments.protocol import (
+    EXPERIMENT_NAMES,
+    make_efd_factory,
+    run_experiment,
+)
+from repro.experiments.runner import ExperimentSuite
+
+
+@pytest.fixture(scope="module")
+def suite_results(small_dataset):
+    suite = ExperimentSuite(small_dataset, k=3, seed=0)
+    return suite.run(make_efd_factory(), "EFD")
+
+
+class TestFullMatrix:
+    def test_all_five_experiments_ran(self, suite_results):
+        assert set(suite_results.results) == set(EXPERIMENT_NAMES)
+
+    def test_paper_ordering_of_difficulty(self, suite_results):
+        """The qualitative Figure 2 ordering must hold even at 3 reps:
+        normal/soft near the top, hard input at the bottom."""
+        f = {name: suite_results.fscore(name) for name in EXPERIMENT_NAMES}
+        assert f["normal_fold"] >= f["hard_unknown"] > f["hard_input"]
+        assert f["soft_unknown"] > f["hard_unknown"]
+
+    def test_split_counts_match_protocol(self, suite_results, small_dataset):
+        results = suite_results.results
+        n_inputs = len(small_dataset.input_sizes())
+        n_apps = len(small_dataset.app_names())
+        assert len(results["normal_fold"].split_scores) == 3
+        assert len(results["soft_input"].split_scores) == n_inputs * 3
+        assert len(results["soft_unknown"].split_scores) == n_apps * 3
+        assert len(results["hard_input"].split_scores) == n_inputs
+        assert len(results["hard_unknown"].split_scores) == n_apps
+
+    def test_fscore_std_defined(self, suite_results):
+        result = suite_results.results["normal_fold"]
+        assert result.fscore_std >= 0.0
+        assert "normal_fold" in str(result)
+
+
+class TestAlternativeRecognizersThroughProtocol:
+    def test_nearest_centroid_runs_protocol(self, tiny_dataset):
+        result = run_experiment(
+            "normal_fold",
+            tiny_dataset,
+            lambda: NearestCentroidRecognizer(rel_threshold=0.05),
+            k=3,
+        )
+        assert result.fscore > 0.9
+
+    def test_hard_unknown_rewards_refusing(self, tiny_dataset):
+        # A recognizer that refuses everything is perfect on hard_unknown
+        # (every test execution IS unknown) — sanity of the ground truth.
+        class AlwaysUnknown:
+            def fit(self, ds):
+                return self
+
+            def predict(self, ds):
+                return ["unknown"] * len(ds)
+
+        result = run_experiment("hard_unknown", tiny_dataset, AlwaysUnknown)
+        assert result.fscore == 1.0
+
+    def test_hard_unknown_punishes_guessing(self, tiny_dataset):
+        class AlwaysFt:
+            def fit(self, ds):
+                return self
+
+            def predict(self, ds):
+                return ["ft"] * len(ds)
+
+        result = run_experiment("hard_unknown", tiny_dataset, AlwaysFt)
+        assert result.fscore == 0.0

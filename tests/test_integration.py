@@ -1,0 +1,195 @@
+"""End-to-end integration tests: the full pipeline from workload models
+through telemetry to recognition, including the paper's headline claims
+at reduced scale and the streaming/scheduler scenario."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.taxonomist import TaxonomistClassifier
+from repro.cluster.execution import ExecutionEngine
+from repro.cluster.job import Job
+from repro.cluster.scheduler import Scheduler
+from repro.cluster.system import Cluster
+from repro.core.recognizer import EFDRecognizer
+from repro.core.serialization import dictionary_from_json, dictionary_to_json
+from repro.data.io import load_dataset, save_dataset
+from repro.data.splits import kfold_splits
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.experiments.protocol import make_efd_factory, run_experiment
+from repro.workloads.cryptominer import make_cryptominer
+from repro.workloads.registry import default_workloads
+from repro.workloads.unknown import make_unknown_app
+
+
+class TestHeadlineClaims:
+    """Reduced-scale versions of the paper's claims (benches run full scale)."""
+
+    def test_single_metric_two_minutes_f_high(self, small_dataset):
+        # "F-scores above 95 percent ... only uses the first 2 minutes and
+        # a single system metric."  The fixture runs 3 repetitions instead
+        # of the public dataset's 10, which thins dictionary coverage, so
+        # the reduced-scale bound is slightly looser; the full-scale claim
+        # (>0.95 at 10 repetitions) is enforced by the Figure 2 benchmark.
+        result = run_experiment(
+            "normal_fold", small_dataset, make_efd_factory(), k=3
+        )
+        assert result.fscore > 0.88
+
+    def test_generalization_not_memorization(self, small_dataset):
+        # Each fold's test executions were never seen during learning.
+        split = kfold_splits(small_dataset, k=3, seed=1)[0]
+        train = small_dataset.subset(list(split.train_indices))
+        test = small_dataset.subset(list(split.test_indices))
+        recognizer = EFDRecognizer().fit(train)
+        accuracy = np.mean(
+            [recognizer.predict_one(r) == r.app_name for r in test]
+        )
+        assert accuracy > 0.9
+
+    def test_dictionary_survives_serialization_mid_pipeline(self, small_dataset):
+        split = kfold_splits(small_dataset, k=3, seed=1)[0]
+        train = small_dataset.subset(list(split.train_indices))
+        test = small_dataset.subset(list(split.test_indices))
+        recognizer = EFDRecognizer(depth=2).fit(train)
+        # Round-trip the dictionary through JSON, then keep recognizing.
+        recognizer.dictionary_ = dictionary_from_json(
+            dictionary_to_json(recognizer.dictionary_)
+        )
+        accuracy = np.mean(
+            [recognizer.predict_one(r) == r.app_name for r in test]
+        )
+        assert accuracy > 0.85
+
+    def test_dataset_round_trip_preserves_recognition(self, tiny_dataset, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(tiny_dataset, path)
+        reloaded = load_dataset(path)
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        for original, restored in zip(tiny_dataset, reloaded):
+            assert recognizer.predict_one(restored) == \
+                recognizer.predict_one(original)
+
+
+class TestCryptominerScenario:
+    """The paper's motivating misuse case, end to end."""
+
+    def _run_miner(self, rng=0):
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        return engine.run(make_cryptominer(), "X", n_nodes=4, rng=rng,
+                          duration=150.0)
+
+    def test_miner_not_recognized_as_legit_app(self, small_dataset):
+        from repro.data.dataset import ExecutionRecord
+
+        recognizer = EFDRecognizer(depth=2).fit(small_dataset)
+        miner = ExecutionRecord.from_result(self._run_miner(), 9999)
+        assert recognizer.predict_one(miner) == "unknown"
+
+    def test_known_miner_recognized_on_repeat(self, small_dataset):
+        from repro.data.dataset import ExecutionRecord
+
+        recognizer = EFDRecognizer(depth=2).fit(small_dataset)
+        first = ExecutionRecord.from_result(self._run_miner(rng=1), 9998)
+        recognizer.partial_fit(first, label="xmr_miner_X")
+        repeat = ExecutionRecord.from_result(self._run_miner(rng=2), 9999)
+        assert recognizer.predict_one(repeat) == "xmr_miner"
+
+
+class TestUnknownAppRobustness:
+    def test_random_unknowns_mostly_flagged(self, small_dataset):
+        from repro.data.dataset import ExecutionRecord
+
+        recognizer = EFDRecognizer(depth=2).fit(small_dataset)
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        unknown_count = 0
+        n = 8
+        for i in range(n):
+            app = make_unknown_app(f"novel{i}")
+            result = engine.run(app, "X", n_nodes=4, rng=i, duration=150.0)
+            record = ExecutionRecord.from_result(result, 10000 + i)
+            if recognizer.predict_one(record) == "unknown":
+                unknown_count += 1
+        # Random levels over [3000, 13000] sometimes collide with known
+        # buckets — but most unknowns must be flagged.
+        assert unknown_count >= n // 2
+
+    def test_adversarial_unknown_fools_single_metric(self, small_dataset):
+        # An unknown app pinned exactly on ft's fingerprint level IS
+        # recognized as ft — the single-metric EFD's documented limit
+        # (motivation for combinatorial fingerprints).
+        from repro.data.dataset import ExecutionRecord
+
+        recognizer = EFDRecognizer(depth=2).fit(small_dataset)
+        imposter = make_unknown_app("imposter", near_app_level=6000.0)
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        record = ExecutionRecord.from_result(
+            engine.run(imposter, "X", n_nodes=4, rng=3, duration=150.0), 7777
+        )
+        assert recognizer.predict_one(record) == "ft"
+
+
+class TestSchedulerIntegration:
+    def test_recognize_jobs_from_schedule(self, small_dataset):
+        # Jobs flow through the scheduler; each execution's telemetry is
+        # recognized two simulated minutes in.
+        from repro.data.dataset import ExecutionRecord
+
+        recognizer = EFDRecognizer(depth=2).fit(small_dataset)
+        workloads = default_workloads()
+        cluster = Cluster(8)
+        jobs = [
+            Job(i, workloads.get(name), "X", n_nodes=4, submit_time=float(i * 10))
+            for i, name in enumerate(["ft", "mg", "lu", "CoMD"])
+        ]
+        schedule = Scheduler(cluster).run(jobs)
+        engine = ExecutionEngine(metrics=["nr_mapped_vmstat"])
+        hits = 0
+        for entry in schedule:
+            result = engine.run(
+                workloads.get(entry.app_name), entry.input_size,
+                n_nodes=len(entry.node_ids), rng=entry.job_id,
+                duration=150.0,
+            )
+            record = ExecutionRecord.from_result(result, 5000 + entry.job_id)
+            if recognizer.predict_one(record) == entry.app_name:
+                hits += 1
+        assert hits == len(schedule)
+
+
+class TestFailureInjection:
+    def test_recognition_survives_heavy_dropout(self):
+        from repro.telemetry.sampler import SamplerConfig
+
+        config = DatasetConfig(
+            metrics=("nr_mapped_vmstat",),
+            repetitions=3,
+            seed=21,
+            duration_cap=150.0,
+            apps=("ft", "mg", "lu"),
+            sampler=SamplerConfig(dropout_prob=0.3),
+        )
+        dataset = TaxonomistDatasetGenerator(config).generate()
+        recognizer = EFDRecognizer(depth=2).fit(dataset)
+        accuracy = np.mean(
+            [recognizer.predict_one(r) == r.app_name for r in dataset]
+        )
+        # 30 % sample loss barely moves a 60-sample mean.
+        assert accuracy > 0.9
+
+    def test_recognition_degrades_gracefully_under_harsh_noise(self):
+        config = DatasetConfig(
+            metrics=("nr_mapped_vmstat",),
+            repetitions=3,
+            seed=22,
+            duration_cap=150.0,
+            apps=("ft", "mg", "lu"),
+            noise_kind="harsh",
+            noise_scale=4.0,
+        )
+        dataset = TaxonomistDatasetGenerator(config).generate()
+        recognizer = EFDRecognizer(depth=2).fit(dataset)
+        predictions = [recognizer.predict_one(r) for r in dataset]
+        # It may misrecognize under 16x noise, but must never crash and
+        # must still produce a verdict for every record.
+        assert len(predictions) == len(dataset)
+        assert all(isinstance(p, str) for p in predictions)

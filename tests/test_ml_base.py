@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.ml.base import BaseClassifier, check_X, check_X_y
+
+
+class TestCheckXy:
+    def test_coerces_lists(self):
+        X, y = check_X_y([[1, 2], [3, 4]], ["a", "b"])
+        assert X.dtype == float
+        assert X.shape == (2, 2)
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_X_y([1, 2, 3], [1, 2, 3])
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_X_y(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_X_y(np.zeros((3, 2)), np.zeros(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_X_y(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_nan(self):
+        X = np.array([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="NaN"):
+            check_X_y(X, np.array([1]))
+
+
+class TestCheckX:
+    def test_feature_count_enforced(self):
+        with pytest.raises(ValueError, match="features"):
+            check_X(np.zeros((2, 3)), n_features=4)
+
+    def test_passthrough(self):
+        X = check_X(np.zeros((2, 3)), n_features=3)
+        assert X.shape == (2, 3)
+
+
+class TestBaseClassifier:
+    def test_score_requires_predictions(self):
+        class Stub(BaseClassifier):
+            def fit(self, X, y):
+                self.classes_ = np.unique(y)
+                return self
+
+            def predict(self, X):
+                return np.array(["a"] * len(X))
+
+        stub = Stub().fit(np.zeros((2, 1)), ["a", "b"])
+        assert stub.score(np.zeros((2, 1)), ["a", "a"]) == 1.0
+        assert stub.score(np.zeros((2, 1)), ["b", "b"]) == 0.0
+        with pytest.raises(ValueError):
+            stub.score(np.zeros((0, 1)), [])
+
+    def test_predict_proba_default_raises(self):
+        class Stub(BaseClassifier):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Stub().predict_proba(np.zeros((1, 1)))
+
+    def test_get_params_excludes_fitted_state(self):
+        class Stub(BaseClassifier):
+            def __init__(self):
+                self.alpha = 3
+                self.fitted_ = True
+                self._private = 1
+
+        params = Stub().get_params()
+        assert params == {"alpha": 3}

@@ -1,0 +1,199 @@
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _blobs(n_per_class=40, spread=0.5, seed=0):
+    """Three well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]])
+    X = np.vstack(
+        [rng.normal(c, spread, (n_per_class, 2)) for c in centers]
+    )
+    y = np.repeat(["a", "b", "c"], n_per_class)
+    return X, y
+
+
+def _xor(n=200, seed=1):
+    """XOR pattern: linearly inseparable, tree-friendly."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+ALL_CLASSIFIERS = [
+    lambda: DecisionTreeClassifier(random_state=0),
+    lambda: RandomForestClassifier(n_estimators=15, random_state=0),
+    lambda: KNeighborsClassifier(3),
+    lambda: GaussianNB(),
+]
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_fit_predict_blobs(self, factory):
+        X, y = _blobs()
+        clf = factory().fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_classes_sorted(self, factory):
+        X, y = _blobs()
+        clf = factory().fit(X, y)
+        assert clf.classes_.tolist() == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_predict_proba_rows_sum_to_one(self, factory):
+        X, y = _blobs()
+        clf = factory().fit(X, y)
+        proba = clf.predict_proba(X[:10])
+        assert proba.shape == (10, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_unfitted_predict_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_feature_count_checked(self, factory):
+        X, y = _blobs()
+        clf = factory().fit(X, y)
+        with pytest.raises(ValueError):
+            clf.predict(np.zeros((2, 5)))
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_nan_input_rejected(self, factory):
+        X, y = _blobs()
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            factory().fit(X, y)
+
+
+class TestDecisionTree:
+    def test_solves_xor(self):
+        X, y = _xor()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_max_depth_limits(self):
+        X, y = _xor()
+        stump = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        assert stump.depth <= 1
+        # A depth-1 tree cannot solve XOR.
+        assert stump.score(X, y) < 0.75
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _blobs(10)
+        tree = DecisionTreeClassifier(min_samples_leaf=5, random_state=0).fit(X, y)
+        counts = [
+            n.counts.sum() for n in tree._nodes if n.is_leaf
+        ]
+        assert min(counts) >= 5
+
+    def test_entropy_criterion_works(self):
+        X, y = _blobs()
+        tree = DecisionTreeClassifier(criterion="entropy", random_state=0).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_pure_node_stops(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array(["a", "a"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+
+    def test_constant_features_give_leaf(self):
+        X = np.zeros((10, 3))
+        y = np.array(["a", "b"] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1  # no valid split exists
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="mse")
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_deterministic_given_seed(self):
+        X, y = _xor()
+        a = DecisionTreeClassifier(max_features=1, random_state=3).fit(X, y)
+        b = DecisionTreeClassifier(max_features=1, random_state=3).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+
+class TestRandomForest:
+    def test_beats_single_stump_on_xor(self):
+        X, y = _xor(300)
+        forest = RandomForestClassifier(
+            n_estimators=25, random_state=0
+        ).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_confidence_low_on_far_points(self):
+        X, y = _blobs(spread=0.3)
+        forest = RandomForestClassifier(n_estimators=25, random_state=0).fit(X, y)
+        inlier_conf = forest.confidence(X[:5])
+        outlier_conf = forest.confidence(np.array([[2.5, 2.5]]))
+        assert inlier_conf.mean() > outlier_conf.mean()
+
+    def test_bootstrap_off_uses_full_sample(self):
+        X, y = _blobs()
+        forest = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert forest.score(X, y) > 0.95
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestKNN:
+    def test_one_neighbor_memorizes(self):
+        X, y = _blobs(15)
+        knn = KNeighborsClassifier(1).fit(X, y)
+        assert knn.score(X, y) == 1.0
+
+    def test_distance_weighting(self):
+        X = np.array([[0.0], [0.1], [10.0]])
+        y = np.array(["near", "near", "far"])
+        knn = KNeighborsClassifier(3, weights="distance").fit(X, y)
+        assert knn.predict(np.array([[0.05]]))[0] == "near"
+
+    def test_k_larger_than_train_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(10).fit(np.zeros((3, 1)), ["a", "b", "a"])
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="gaussian")
+
+
+class TestGaussianNB:
+    def test_recovers_class_means(self):
+        X, y = _blobs(60, spread=0.4)
+        nb = GaussianNB().fit(X, y)
+        assert np.allclose(nb.theta_[0], [0, 0], atol=0.3)
+        assert np.allclose(nb.theta_[1], [5, 0], atol=0.3)
+
+    def test_priors_sum_to_one(self):
+        X, y = _blobs()
+        nb = GaussianNB().fit(X, y)
+        assert nb.class_prior_.sum() == pytest.approx(1.0)
+
+    def test_constant_feature_survives(self):
+        X = np.column_stack([np.ones(20), np.r_[np.zeros(10), np.ones(10)]])
+        y = np.array(["a"] * 10 + ["b"] * 10)
+        nb = GaussianNB().fit(X, y)
+        assert nb.score(X, y) == 1.0
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=-1.0)

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_fscore,
+)
+
+
+class TestConfusionMatrix:
+    def test_hand_computed(self):
+        y_true = ["a", "a", "b", "b", "b"]
+        y_pred = ["a", "b", "b", "b", "a"]
+        cm = confusion_matrix(y_true, y_pred, labels=["a", "b"])
+        assert cm.tolist() == [[1, 1], [1, 2]]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 2], [1])
+
+    def test_labels_restrict_matrix(self):
+        cm = confusion_matrix(["a", "c"], ["a", "c"], labels=["a"])
+        assert cm.tolist() == [[1]]
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(["a"], ["a"], labels=["a", "a"])
+
+
+class TestPrecisionRecallFscore:
+    def test_perfect(self):
+        p, r, f, s = precision_recall_fscore(
+            ["a", "b"], ["a", "b"], average="macro"
+        )
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_hand_computed_per_class(self):
+        y_true = ["a", "a", "b", "b", "b"]
+        y_pred = ["a", "b", "b", "b", "a"]
+        p, r, f, s = precision_recall_fscore(y_true, y_pred, labels=["a", "b"])
+        assert p[0] == pytest.approx(0.5)       # 1 of 2 predicted-a correct
+        assert r[0] == pytest.approx(0.5)       # 1 of 2 true-a found
+        assert p[1] == pytest.approx(2 / 3)
+        assert r[1] == pytest.approx(2 / 3)
+        assert s.tolist() == [2, 3]
+
+    def test_prediction_outside_labels_costs_recall(self):
+        # The soft-input regression case: spurious 'unknown' predictions
+        # must lower the true class's recall even when 'unknown' is not
+        # in the label set.
+        y_true = ["a", "a", "a", "a"]
+        y_pred = ["a", "a", "unknown", "unknown"]
+        p, r, f, s = precision_recall_fscore(y_true, y_pred, labels=["a"])
+        assert p[0] == 1.0
+        assert r[0] == 0.5
+        assert f[0] == pytest.approx(2 / 3)
+
+    def test_micro_equals_accuracy_single_label(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, 100)
+        y_pred = rng.integers(0, 4, 100)
+        _, _, micro_f, _ = precision_recall_fscore(
+            y_true, y_pred, average="micro"
+        )
+        assert micro_f == pytest.approx(accuracy_score(y_true, y_pred))
+
+    def test_weighted_average(self):
+        y_true = ["a", "a", "a", "b"]
+        y_pred = ["a", "a", "a", "a"]
+        _, _, macro_f, _ = precision_recall_fscore(y_true, y_pred, average="macro")
+        _, _, weighted_f, _ = precision_recall_fscore(
+            y_true, y_pred, average="weighted"
+        )
+        assert weighted_f > macro_f  # majority class dominates weighted
+
+    def test_zero_division_value(self):
+        p, r, f, s = precision_recall_fscore(
+            ["a", "a"], ["b", "b"], labels=["a", "b"], zero_division=0.0
+        )
+        assert p[0] == 0.0  # no 'a' predictions
+        assert r[1] == 0.0  # no true 'b'
+
+    def test_invalid_average(self):
+        with pytest.raises(ValueError, match="average"):
+            precision_recall_fscore(["a"], ["a"], average="harmonic")
+
+
+class TestF1Score:
+    def test_macro_default(self):
+        assert f1_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_against_scipy_free_reference(self):
+        # Cross-check macro F1 with a direct formula on a random problem.
+        rng = np.random.default_rng(42)
+        y_true = rng.integers(0, 3, 200)
+        y_pred = rng.integers(0, 3, 200)
+        f_lib = f1_score(y_true, y_pred, average="macro")
+        fs = []
+        for c in (0, 1, 2):
+            tp = np.sum((y_true == c) & (y_pred == c))
+            fp = np.sum((y_true != c) & (y_pred == c))
+            fn = np.sum((y_true == c) & (y_pred != c))
+            p = tp / (tp + fp) if tp + fp else 0.0
+            r = tp / (tp + fn) if tp + fn else 0.0
+            fs.append(2 * p * r / (p + r) if p + r else 0.0)
+        assert f_lib == pytest.approx(np.mean(fs))
+
+
+class TestAccuracyAndReport:
+    def test_accuracy(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_report_contains_classes_and_averages(self):
+        report = classification_report(["a", "b", "b"], ["a", "b", "a"])
+        assert "a" in report and "b" in report
+        assert "(macro avg)" in report and "(weighted avg)" in report

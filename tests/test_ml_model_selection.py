@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestKFold:
+    def test_covers_everything_once(self):
+        X = np.zeros((10, 2))
+        seen = []
+        for train, test in KFold(3).split(X):
+            seen.extend(test.tolist())
+            assert set(train) | set(test) == set(range(10))
+            assert not set(train) & set(test)
+        assert sorted(seen) == list(range(10))
+
+    def test_fold_sizes_balanced(self):
+        X = np.zeros((10, 1))
+        sizes = [len(test) for _, test in KFold(3).split(X)]
+        assert sorted(sizes) == [3, 3, 4]
+
+    def test_shuffle_reproducible(self):
+        X = np.zeros((20, 1))
+        a = [t.tolist() for _, t in KFold(4, shuffle=True, random_state=1).split(X)]
+        b = [t.tolist() for _, t in KFold(4, shuffle=True, random_state=1).split(X)]
+        assert a == b
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(np.zeros((3, 1))))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestStratifiedKFold:
+    def test_class_balance_preserved(self):
+        y = np.array([0] * 30 + [1] * 6)
+        X = np.zeros((36, 1))
+        for _, test in StratifiedKFold(3, random_state=0).split(X, y):
+            labels = y[test]
+            assert np.sum(labels == 1) == 2  # 6 minority / 3 folds
+
+    def test_partition_complete(self):
+        y = np.array([0, 1] * 10)
+        X = np.zeros((20, 1))
+        seen = []
+        for _, test in StratifiedKFold(4, random_state=0).split(X, y):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(2).split(np.zeros((3, 1)), np.zeros(4)))
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (30, 2)), rng.normal(5, 1, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        scores = cross_val_score(lambda: KNeighborsClassifier(3), X, y)
+        assert scores.shape == (5,)
+        assert np.all(scores > 0.9)  # trivially separable
+
+    def test_custom_scoring(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X[:, 0] > 9).astype(int)
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(1),
+            X, y,
+            cv=KFold(2),
+            scoring=lambda est, Xt, yt: 0.123,
+        )
+        assert np.all(scores == 0.123)
+
+
+class TestTrainTestSplit:
+    def test_shapes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25,
+                                                  random_state=0)
+        assert len(X_te) == 5 and len(X_tr) == 15
+        # Pairing preserved.
+        assert np.all(X_tr[:, 0] == y_tr * 2)
+
+    def test_stratified(self):
+        y = np.array([0] * 16 + [1] * 4)
+        X = np.zeros((20, 1))
+        _, _, _, y_te = train_test_split(X, y, test_size=0.25,
+                                         random_state=0, stratify=y)
+        assert np.sum(y_te == 1) == 1
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), test_size=1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(5))

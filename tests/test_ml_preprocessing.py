@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["sp", "bt", "sp", "ft"])
+        assert sorted(enc.classes_.tolist()) == ["bt", "ft", "sp"]
+        restored = enc.inverse_transform(codes)
+        assert restored.tolist() == ["sp", "bt", "sp", "ft"]
+
+    def test_unseen_label_raises(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(["c"])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])
+
+    def test_bad_codes_raise(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.inverse_transform([5])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            LabelEncoder().fit([])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_passes_through(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)  # mean removed, scale 1
+
+    def test_inverse_transform_round_trip(self):
+        X = np.random.default_rng(1).normal(2, 5, (50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_with_mean_false(self):
+        X = np.array([[1.0], [3.0]])
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z[0, 0] > 0  # mean kept
+
+    def test_feature_count_enforced(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((5, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))

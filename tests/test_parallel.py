@@ -1,0 +1,75 @@
+import os
+
+import pytest
+
+from repro.parallel.partition import chunk_evenly, split_indices
+from repro.parallel.pool import parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+class TestChunkEvenly:
+    def test_even_split(self):
+        assert chunk_evenly(list(range(6)), 3) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_uneven_split_front_loaded(self):
+        chunks = chunk_evenly(list(range(7)), 3)
+        assert [len(c) for c in chunks] == [3, 2, 2]
+        assert sum(chunks, []) == list(range(7))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_evenly([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_empty(self):
+        assert chunk_evenly([], 3) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)
+
+
+class TestSplitIndices:
+    def test_covers_range(self):
+        ranges = split_indices(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_zero(self):
+        assert split_indices(0, 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_indices(-1, 2)
+        with pytest.raises(ValueError):
+            split_indices(5, 0)
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_order_preserved(self, backend):
+        items = list(range(20))
+        out = parallel_map(_square, items, backend=backend, n_workers=2)
+        assert out == [x * x for x in items]
+
+    def test_single_item_short_circuits(self):
+        assert parallel_map(_square, [3], backend="process") == [9]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], backend="thread") == []
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], backend="mpi")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], n_workers=0)
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(boom, [1, 2], backend="thread", n_workers=2)

@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint
+from repro.core.matcher import vote
+from repro.core.rounding import bucket_width, round_depth, round_depth_array
+from repro.core.serialization import dictionary_from_json, dictionary_to_json
+from repro.ml.metrics import accuracy_score, f1_score, precision_recall_fscore
+from repro.ml.model_selection import KFold, StratifiedKFold
+from repro.parallel.partition import chunk_evenly, split_indices
+from repro.telemetry.timeseries import interval_mean
+
+finite_values = st.floats(
+    min_value=1e-6, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+depths = st.integers(min_value=1, max_value=8)
+
+
+class TestRoundingProperties:
+    @given(finite_values, depths)
+    def test_idempotent(self, value, depth):
+        once = round_depth(value, depth)
+        assert round_depth(once, depth) == once
+
+    @given(finite_values, depths)
+    def test_relative_error_bounded(self, value, depth):
+        # Rounding to the d-th significant digit moves the value at most
+        # half a bucket.
+        rounded = round_depth(value, depth)
+        assert abs(rounded - value) <= 0.5 * bucket_width(value, depth) * (1 + 1e-9)
+
+    @given(finite_values, depths)
+    def test_sign_symmetric(self, value, depth):
+        assert round_depth(-value, depth) == -round_depth(value, depth)
+
+    @given(finite_values, depths)
+    def test_monotone_non_decreasing(self, value, depth):
+        # For a slightly larger input, rounding never decreases.
+        bigger = value * (1 + 1e-6) + 1e-9
+        assert round_depth(bigger, depth) >= round_depth(value, depth)
+
+    @given(finite_values, depths, st.integers(min_value=-6, max_value=6))
+    def test_power_of_ten_equivariance(self, value, depth, exponent):
+        # Rounding depth is defined on significant digits, so scaling by
+        # 10^k scales the result by 10^k (within float precision).
+        scale = 10.0 ** exponent
+        lhs = round_depth(value * scale, depth)
+        rhs = round_depth(value, depth) * scale
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @given(st.lists(finite_values, min_size=1, max_size=50), depths)
+    def test_vectorized_matches_scalar(self, values, depth):
+        arr = np.array(values)
+        vec = round_depth_array(arr, depth)
+        scal = np.array([round_depth(v, depth) for v in values])
+        assert np.allclose(vec, scal, rtol=1e-12)
+
+    @given(finite_values, depths)
+    def test_deeper_is_finer(self, value, depth):
+        # Increasing depth never increases the distance to the original.
+        coarse = abs(round_depth(value, depth) - value)
+        fine = abs(round_depth(value, depth + 1) - value)
+        assert fine <= coarse + 1e-12
+
+
+class TestIntervalMeanProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        ),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_mean_within_value_range(self, values, start, width):
+        arr = np.array(values)
+        mean = interval_mean(arr, float(start), float(start + width))
+        if not math.isnan(mean):
+            assert arr.min() - 1e-9 <= mean <= arr.max() + 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                    min_size=10, max_size=100))
+    def test_full_window_equals_numpy_mean(self, values):
+        arr = np.array(values)
+        assert interval_mean(arr, 0, len(arr)) == pytest.approx(arr.mean())
+
+
+class TestDictionaryProperties:
+    labels = st.lists(
+        st.sampled_from(["ft_X", "ft_Y", "mg_X", "sp_X", "bt_X", "kripke_L"]),
+        min_size=1, max_size=40,
+    )
+    values = st.lists(
+        st.sampled_from([6000.0, 6100.0, 7500.0, 8300.0]),
+        min_size=1, max_size=40,
+    )
+
+    @given(labels, values)
+    def test_json_round_trip_exact(self, labels, values):
+        efd = ExecutionFingerprintDictionary()
+        for i, (label, value) in enumerate(zip(labels, values)):
+            efd.add(
+                Fingerprint("m", i % 4, (60.0, 120.0), value), label
+            )
+        restored = dictionary_from_json(dictionary_to_json(efd))
+        assert len(restored) == len(efd)
+        assert restored.labels() == efd.labels()
+        for fp, stored_labels in efd.entries():
+            assert restored.lookup(fp) == stored_labels
+            assert restored.lookup_counts(fp) == efd.lookup_counts(fp)
+
+    @given(labels)
+    def test_insertions_conserved(self, labels):
+        efd = ExecutionFingerprintDictionary()
+        fp = Fingerprint("m", 0, (60.0, 120.0), 1.0)
+        for label in labels:
+            efd.add(fp, label)
+        stats = efd.stats()
+        assert stats.n_insertions == len(labels)
+        assert sum(efd.lookup_counts(fp).values()) == len(labels)
+
+    @given(st.lists(st.lists(
+        st.sampled_from(["ft_X", "mg_X", "sp_X"]), max_size=3), max_size=6))
+    def test_vote_total_bounded_by_nodes(self, lookups):
+        _, votes = vote(lookups)
+        for count in votes.values():
+            assert count <= len(lookups)
+
+
+class TestMetricsProperties:
+    y_pairs = st.lists(
+        st.tuples(st.sampled_from("abcd"), st.sampled_from("abcd")),
+        min_size=1, max_size=80,
+    )
+
+    @given(y_pairs)
+    def test_f1_bounded(self, pairs):
+        y_true = [t for t, _ in pairs]
+        y_pred = [p for _, p in pairs]
+        f = f1_score(y_true, y_pred, average="macro")
+        assert 0.0 <= f <= 1.0
+
+    @given(y_pairs)
+    def test_perfect_prediction_is_one(self, pairs):
+        y_true = [t for t, _ in pairs]
+        assert f1_score(y_true, y_true, average="macro") == 1.0
+
+    @given(y_pairs)
+    def test_micro_f_equals_accuracy(self, pairs):
+        y_true = [t for t, _ in pairs]
+        y_pred = [p for _, p in pairs]
+        _, _, micro, _ = precision_recall_fscore(y_true, y_pred, average="micro")
+        assert micro == pytest.approx(accuracy_score(y_true, y_pred))
+
+    @given(y_pairs)
+    def test_symmetry_of_support(self, pairs):
+        y_true = [t for t, _ in pairs]
+        y_pred = [p for _, p in pairs]
+        _, _, _, support = precision_recall_fscore(
+            y_true, y_pred, average="macro"
+        )
+        assert support == len(pairs)
+
+
+class TestSplitProperties:
+    @given(st.integers(min_value=4, max_value=60),
+           st.integers(min_value=2, max_value=4))
+    def test_kfold_partitions(self, n, k):
+        assume(n >= k)
+        X = np.zeros((n, 1))
+        seen = []
+        for train, test in KFold(k, shuffle=True, random_state=0).split(X):
+            assert len(set(train) & set(test)) == 0
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(n))
+
+    @given(st.integers(min_value=2, max_value=5),
+           st.integers(min_value=6, max_value=40))
+    def test_stratified_kfold_partitions(self, k, n):
+        y = np.array([i % 3 for i in range(n)])
+        assume(min(np.bincount(y)) >= 1 and n >= k)
+        X = np.zeros((n, 1))
+        seen = []
+        for train, test in StratifiedKFold(k, random_state=0).split(X, y):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(n))
+
+
+class TestPartitionProperties:
+    @given(st.lists(st.integers(), max_size=100),
+           st.integers(min_value=1, max_value=10))
+    def test_chunks_concatenate_to_input(self, items, n):
+        chunks = chunk_evenly(items, n)
+        assert sum(chunks, []) == list(items)
+        if items:
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=16))
+    def test_split_indices_cover(self, n, k):
+        ranges = split_indices(n, k)
+        covered = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert covered == list(range(n))

@@ -1,0 +1,88 @@
+"""Public API surface tests: what a downstream user imports must exist,
+be documented, and behave consistently."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import core, data, experiments, ml, telemetry, workloads
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_key_classes_exported(self):
+        for name in (
+            "EFDRecognizer",
+            "ExecutionFingerprintDictionary",
+            "Fingerprint",
+            "TaxonomistClassifier",
+            "StreamingRecognizer",
+            "DeviationDetector",
+            "UsagePredictor",
+        ):
+            assert name in repro.__all__, name
+
+    def test_subpackage_all_resolve(self):
+        for module in (core, data, experiments, ml, telemetry, workloads):
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestDocstrings:
+    def test_every_public_export_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_public_methods_documented(self):
+        from repro.core.recognizer import EFDRecognizer
+
+        for name, member in inspect.getmembers(EFDRecognizer):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert member.__doc__, f"EFDRecognizer.{name} lacks a docstring"
+
+    def test_subpackages_documented(self):
+        for module in (core, data, experiments, ml, telemetry, workloads):
+            assert module.__doc__ and len(module.__doc__) > 50, module.__name__
+
+
+class TestApiConsistency:
+    def test_recognizers_share_predict_contract(self, tiny_dataset):
+        """Every recognizer accepts a dataset and returns aligned labels."""
+        from repro.baselines.nearest import NearestCentroidRecognizer
+        from repro.core.multimetric import MultiMetricRecognizer
+        from repro.core.recognizer import EFDRecognizer
+        from repro.core.temporal import MultiIntervalRecognizer
+
+        recognizers = [
+            EFDRecognizer(depth=2),
+            MultiMetricRecognizer(["nr_mapped_vmstat"], depth=2),
+            MultiIntervalRecognizer(intervals=[(60.0, 120.0)], depth=2),
+            NearestCentroidRecognizer(),
+        ]
+        for recognizer in recognizers:
+            recognizer.fit(tiny_dataset)
+            out = recognizer.predict(tiny_dataset)
+            assert isinstance(out, list)
+            assert len(out) == len(tiny_dataset)
+            single = recognizer.predict(tiny_dataset[0])
+            assert isinstance(single, str)
+
+    def test_unknown_label_configurable_everywhere(self, tiny_dataset):
+        from repro.core.recognizer import EFDRecognizer
+
+        recognizer = EFDRecognizer(depth=2, unknown_label="???").fit(tiny_dataset)
+        # An interval beyond the data forces an unknown verdict.
+        recognizer.interval = (900.0, 960.0)
+        assert recognizer.predict_one(tiny_dataset[0]) == "???"

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.telemetry.ldms import LDMSAggregator, LDMSDaemon
+from repro.telemetry.sampler import SamplerConfig
+
+
+def constant(value):
+    return lambda times: np.full(len(times), float(value))
+
+
+class TestLDMSDaemon:
+    def test_collects_all_signals(self):
+        daemon = LDMSDaemon(0, SamplerConfig(jitter_std=0, dropout_prob=0), rng=1)
+        out = daemon.collect({"m1": constant(1), "m2": constant(2)}, 30.0)
+        assert set(out) == {"m1", "m2"}
+        assert np.all(out["m1"].values == 1.0)
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(ValueError):
+            LDMSDaemon(-1)
+
+    def test_per_metric_streams_reproducible(self):
+        daemon_a = LDMSDaemon(0, SamplerConfig(dropout_prob=0.2), rng=3)
+        daemon_b = LDMSDaemon(0, SamplerConfig(dropout_prob=0.2), rng=3)
+        a = daemon_a.collect({"m": constant(1)}, 100.0)["m"]
+        b = daemon_b.collect({"m": constant(1)}, 100.0)["m"]
+        assert a == b
+
+    def test_nodes_decorrelated(self):
+        cfg = SamplerConfig(dropout_prob=0.3)
+        a = LDMSDaemon(0, cfg, rng=3).collect({"m": constant(1)}, 200.0)["m"]
+        b = LDMSDaemon(1, cfg, rng=3).collect({"m": constant(1)}, 200.0)["m"]
+        assert not np.array_equal(a.values, b.values, equal_nan=True)
+
+
+class TestLDMSAggregator:
+    def _signals(self, n_nodes):
+        return {n: {"m": constant(n + 1)} for n in range(n_nodes)}
+
+    def test_collect_all(self):
+        cfg = SamplerConfig(jitter_std=0, dropout_prob=0)
+        daemons = [LDMSDaemon(n, cfg, rng=0) for n in range(3)]
+        agg = LDMSAggregator()
+        store = agg.collect_all(daemons, self._signals(3), 10.0)
+        assert set(store) == {("m", 0), ("m", 1), ("m", 2)}
+        assert agg.metrics() == ["m"]
+        assert agg.nodes() == [0, 1, 2]
+        assert np.all(agg.get("m", 2).values == 3.0)
+
+    def test_duplicate_ingest_rejected(self):
+        agg = LDMSAggregator()
+        daemon = LDMSDaemon(0, SamplerConfig(jitter_std=0), rng=0)
+        series = daemon.collect({"m": constant(1)}, 5.0)
+        agg.ingest(0, series)
+        with pytest.raises(ValueError, match="duplicate"):
+            agg.ingest(0, series)
+
+    def test_missing_node_signals_rejected(self):
+        agg = LDMSAggregator()
+        daemons = [LDMSDaemon(0), LDMSDaemon(1)]
+        with pytest.raises(KeyError, match="node 1"):
+            agg.collect_all(daemons, {0: {"m": constant(1)}}, 5.0)
+
+    def test_get_unknown_raises(self):
+        agg = LDMSAggregator()
+        with pytest.raises(KeyError):
+            agg.get("m", 0)

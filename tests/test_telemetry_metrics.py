@@ -1,0 +1,89 @@
+import pytest
+
+from repro.telemetry.metrics import (
+    PAPER_METRIC,
+    REGISTRY_SIZE,
+    TABLE3_METRICS,
+    MetricRegistry,
+    MetricSpec,
+    default_registry,
+)
+
+
+class TestMetricSpec:
+    def test_valid_spec(self):
+        spec = MetricSpec(name="x_vmstat", group="vmstat")
+        assert spec.kind == "gauge"
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            MetricSpec(name="x", group="g", kind="counter")
+
+    def test_rejects_bad_archetype(self):
+        with pytest.raises(ValueError, match="archetype"):
+            MetricSpec(name="x", group="g", archetype="sawtooth")
+
+    def test_rejects_out_of_range_discriminative(self):
+        with pytest.raises(ValueError):
+            MetricSpec(name="x", group="g", discriminative=1.5)
+
+    def test_rejects_non_positive_magnitude(self):
+        with pytest.raises(ValueError):
+            MetricSpec(name="x", group="g", magnitude=0.0)
+
+
+class TestDefaultRegistry:
+    def test_has_exactly_562_metrics(self):
+        assert len(default_registry()) == REGISTRY_SIZE == 562
+
+    def test_cached_instance(self):
+        assert default_registry() is default_registry()
+
+    def test_contains_every_paper_metric(self):
+        registry = default_registry()
+        for name in TABLE3_METRICS:
+            assert name in registry, name
+
+    def test_paper_metric_is_most_discriminative(self):
+        spec = default_registry().get(PAPER_METRIC)
+        assert spec.discriminative == 1.0
+
+    def test_table3_ordering_reflected_in_discriminative(self):
+        registry = default_registry()
+        scores = [registry.get(m).discriminative for m in TABLE3_METRICS]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_groups_cover_ldms_families(self):
+        groups = set(default_registry().groups())
+        assert {"vmstat", "meminfo", "metric_set_nic", "lustre", "procstat"} <= groups
+
+    def test_names_unique(self):
+        names = default_registry().names()
+        assert len(names) == len(set(names))
+
+    def test_get_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="nr_mapped"):
+            default_registry().get("nr_mapped")  # missing group suffix
+
+    def test_by_group_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_registry().by_group("gpu")
+
+    def test_top_metrics_starts_with_paper_metric(self):
+        top = default_registry().top_metrics(4)
+        assert top[0].name == PAPER_METRIC
+        assert all(s.discriminative == 1.0 for s in top)
+
+    def test_subset_preserves_order(self):
+        registry = default_registry()
+        sub = registry.subset(["Active_meminfo", "nr_mapped_vmstat"])
+        assert sub.names() == ["Active_meminfo", "nr_mapped_vmstat"]
+
+    def test_constant_system_metrics_not_discriminative(self):
+        spec = default_registry().get("MemTotal_meminfo")
+        assert spec.discriminative == 0.0
+
+    def test_duplicate_names_rejected(self):
+        spec = MetricSpec(name="dup", group="g")
+        with pytest.raises(ValueError, match="duplicate"):
+            MetricRegistry([spec, spec])

@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro._util.rng import derive_rng
+from repro.telemetry.noise import (
+    CompositeNoise,
+    DriftNoise,
+    InitPhasePerturbation,
+    SpikeNoise,
+    WhiteNoise,
+    default_noise,
+    make_noise,
+)
+
+
+def _times(n=600):
+    return np.arange(n, dtype=float)
+
+
+class TestWhiteNoise:
+    def test_shape_and_scale(self):
+        noise = WhiteNoise(rel_std=1.0).sample(_times(), 10.0, derive_rng(0))
+        assert noise.shape == (600,)
+        assert 8.0 < noise.std() < 12.0
+
+    def test_zero_scale_is_silent(self):
+        noise = WhiteNoise(rel_std=0.0).sample(_times(), 10.0, derive_rng(0))
+        assert np.all(noise == 0.0)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            WhiteNoise(rel_std=-1.0)
+
+
+class TestDriftNoise:
+    def test_survives_averaging(self):
+        # The drift's *window mean* should have std comparable to scale,
+        # unlike white noise whose mean shrinks with 1/sqrt(n).
+        means = []
+        for i in range(200):
+            drift = DriftNoise(rel_std=1.0).sample(_times(60), 5.0, derive_rng(i))
+            means.append(drift.mean())
+        assert np.std(means) > 1.0  # white noise would give ~5/sqrt(60)=0.6
+
+    def test_empty_input(self):
+        assert len(DriftNoise().sample(np.empty(0), 1.0, derive_rng(0))) == 0
+
+
+class TestSpikeNoise:
+    def test_mostly_zero(self):
+        noise = SpikeNoise(rate=2.0).sample(_times(), 1.0, derive_rng(0))
+        assert (noise == 0).mean() > 0.8
+
+    def test_zero_rate_silent(self):
+        noise = SpikeNoise(rate=0.0).sample(_times(), 1.0, derive_rng(0))
+        assert np.all(noise == 0)
+
+    def test_rejects_bad_mean_len(self):
+        with pytest.raises(ValueError):
+            SpikeNoise(mean_len=0)
+
+
+class TestInitPhasePerturbation:
+    def test_confined_to_init_window(self):
+        model = InitPhasePerturbation(duration=45.0, rel_amp=20.0)
+        noise = model.sample(_times(), 1.0, derive_rng(0))
+        assert np.abs(noise[:30]).max() > 0.0
+        assert np.all(noise[46:] == 0.0)
+
+    def test_early_variance_exceeds_late(self):
+        # The paper picks [60:120] precisely because [0:45] is perturbed.
+        model = InitPhasePerturbation(duration=45.0, rel_amp=20.0)
+        samples = [model.sample(_times(120), 1.0, derive_rng(i)) for i in range(50)]
+        stacked = np.vstack(samples)
+        assert stacked[:, :30].std() > 10 * stacked[:, 60:].std() + 1e-12
+
+
+class TestComposite:
+    def test_sum_of_components(self):
+        composite = CompositeNoise([WhiteNoise(0.0), WhiteNoise(0.0)])
+        out = composite.sample(_times(10), 1.0, derive_rng(0))
+        assert np.all(out == 0)
+
+    def test_flattens_nested(self):
+        inner = CompositeNoise([WhiteNoise(), DriftNoise()])
+        outer = CompositeNoise([inner, SpikeNoise()])
+        assert len(outer.components) == 3
+
+    def test_add_operator(self):
+        combo = WhiteNoise() + DriftNoise()
+        assert isinstance(combo, CompositeNoise)
+        assert len(combo.components) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeNoise([])
+
+
+class TestMakeNoise:
+    def test_named_stacks(self):
+        for kind in ("none", "white", "default", "harsh"):
+            model = make_noise(kind)
+            out = model.sample(_times(50), 1.0, derive_rng(0))
+            assert out.shape == (50,)
+
+    def test_none_is_silent(self):
+        out = make_noise("none").sample(_times(50), 5.0, derive_rng(0))
+        assert np.all(out == 0)
+
+    def test_harsh_louder_than_default(self):
+        d = make_noise("default").sample(_times(500), 1.0, derive_rng(1))
+        h = make_noise("harsh").sample(_times(500), 1.0, derive_rng(1))
+        assert np.abs(h).mean() > np.abs(d).mean()
+
+    def test_scale_multiplier(self):
+        base = make_noise("white").sample(_times(500), 1.0, derive_rng(2))
+        loud = make_noise("white", scale_multiplier=3.0).sample(
+            _times(500), 1.0, derive_rng(2)
+        )
+        assert np.allclose(loud, 3.0 * base)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown noise kind"):
+            make_noise("pink")
+
+    def test_default_noise_includes_init_phase(self):
+        stack = default_noise(init_duration=30.0)
+        kinds = {type(c).__name__ for c in stack.components}
+        assert "InitPhasePerturbation" in kinds

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.telemetry.sampler import Sampler, SamplerConfig
+
+
+def constant(value):
+    return lambda times: np.full(len(times), value)
+
+
+class TestSamplerConfig:
+    def test_defaults_are_ldms_like(self):
+        cfg = SamplerConfig()
+        assert cfg.period == 1.0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(period=0.0)
+
+    def test_rejects_bad_dropout(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(dropout_prob=1.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(jitter_std=-0.1)
+
+
+class TestSampler:
+    def test_sample_count_follows_duration(self):
+        ts = Sampler(SamplerConfig(jitter_std=0, dropout_prob=0)).sample(
+            constant(5.0), 120.0, rng=0
+        )
+        assert len(ts) == 120
+
+    def test_constant_signal_without_noise(self):
+        ts = Sampler(SamplerConfig(jitter_std=0, dropout_prob=0)).sample(
+            constant(7.0), 10.0, rng=0
+        )
+        assert np.all(ts.values == 7.0)
+
+    def test_dropout_marks_nan(self):
+        ts = Sampler(SamplerConfig(jitter_std=0, dropout_prob=0.5)).sample(
+            constant(1.0), 1000.0, rng=0
+        )
+        frac = np.isnan(ts.values).mean()
+        assert 0.4 < frac < 0.6
+
+    def test_reproducible_with_seed(self):
+        sampler = Sampler(SamplerConfig(dropout_prob=0.1))
+        a = sampler.sample(constant(1.0), 100.0, rng=5)
+        b = sampler.sample(constant(1.0), 100.0, rng=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        sampler = Sampler(SamplerConfig(dropout_prob=0.3))
+        a = sampler.sample(constant(1.0), 200.0, rng=1)
+        b = sampler.sample(constant(1.0), 200.0, rng=2)
+        assert not np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_jitter_shifts_observation_times(self):
+        # A ramp signal observed with jitter differs from nominal sampling.
+        ramp = lambda t: t.astype(float)
+        no_jitter = Sampler(SamplerConfig(jitter_std=0, dropout_prob=0)).sample(
+            ramp, 50.0, rng=0
+        )
+        jitter = Sampler(SamplerConfig(jitter_std=0.5, dropout_prob=0)).sample(
+            ramp, 50.0, rng=0
+        )
+        assert not np.allclose(no_jitter.values, jitter.values)
+        # But timestamps recorded are nominal either way.
+        assert jitter.t0 == 0.0 and jitter.period == 1.0
+
+    def test_quantize_rounds_and_clips(self):
+        noisy = lambda t: np.full(len(t), -0.4)
+        ts = Sampler(
+            SamplerConfig(jitter_std=0, dropout_prob=0, quantize=True)
+        ).sample(noisy, 10.0, rng=0)
+        assert np.all(ts.values == 0.0)
+
+    def test_rejects_bad_signal_shape(self):
+        bad = lambda t: np.zeros(3)
+        with pytest.raises(ValueError, match="shape"):
+            Sampler(SamplerConfig(jitter_std=0)).sample(bad, 10.0, rng=0)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            Sampler().sample(constant(1.0), 0.0, rng=0)

@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.telemetry.timeseries import TimeSeries, interval_mean
+
+
+class TestIntervalMeanFunction:
+    def test_basic_window(self):
+        values = np.arange(10, dtype=float)  # samples at t=0..9
+        assert interval_mean(values, 2, 5) == pytest.approx(3.0)  # samples 2,3,4
+
+    def test_clamps_to_series_bounds(self):
+        values = np.ones(5)
+        assert interval_mean(values, -10, 100) == 1.0
+
+    def test_empty_window_is_nan(self):
+        values = np.ones(5)
+        assert np.isnan(interval_mean(values, 10, 20))
+
+    def test_nan_samples_excluded(self):
+        values = np.array([1.0, np.nan, 3.0])
+        assert interval_mean(values, 0, 3) == pytest.approx(2.0)
+
+    def test_all_nan_window_is_nan(self):
+        values = np.array([np.nan, np.nan])
+        assert np.isnan(interval_mean(values, 0, 2))
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(ValueError):
+            interval_mean(np.ones(5), 5, 2)
+
+    def test_respects_t0(self):
+        values = np.array([10.0, 20.0])
+        # Samples at t=100 and 101; window [100, 101) holds only the first.
+        assert interval_mean(values, 100, 101, t0=100.0) == 10.0
+
+
+class TestTimeSeries:
+    def test_duration_and_times(self):
+        ts = TimeSeries(np.zeros(120))
+        assert ts.duration == 120.0
+        assert ts.times[0] == 0.0 and ts.times[-1] == 119.0
+
+    def test_interval_mean_matches_function(self):
+        values = np.arange(200, dtype=float)
+        ts = TimeSeries(values)
+        assert ts.interval_mean(60, 120) == pytest.approx(values[60:120].mean())
+
+    def test_interval_stats(self):
+        ts = TimeSeries(np.array([1.0, 2.0, 3.0, 4.0]))
+        mean, std = ts.interval_stats(0, 4)
+        assert mean == pytest.approx(2.5)
+        assert std == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_slice_shares_memory(self):
+        ts = TimeSeries(np.arange(100, dtype=float))
+        window = ts.slice(10, 20)
+        assert len(window) == 10
+        assert window.t0 == 10.0
+        assert np.shares_memory(window.values, ts.values)
+
+    def test_slice_out_of_range_empty(self):
+        ts = TimeSeries(np.arange(10, dtype=float))
+        assert len(ts.slice(50, 60)) == 0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            TimeSeries([1.0], period=0.0)
+
+    def test_equality_with_nan(self):
+        a = TimeSeries(np.array([1.0, np.nan]))
+        b = TimeSeries(np.array([1.0, np.nan]))
+        assert a == b
+
+    def test_dropout_fraction(self):
+        ts = TimeSeries(np.array([1.0, np.nan, 3.0, np.nan]))
+        assert ts.dropout_fraction() == 0.5
+        assert not ts.is_complete()
+
+    def test_downsample_averages_blocks(self):
+        ts = TimeSeries(np.array([1.0, 3.0, 5.0, 7.0]))
+        down = ts.downsample(2)
+        assert np.allclose(down.values, [2.0, 6.0])
+        assert down.period == 2.0
+
+    def test_downsample_nan_aware(self):
+        ts = TimeSeries(np.array([1.0, np.nan, 5.0, 7.0]))
+        down = ts.downsample(2)
+        assert np.allclose(down.values, [1.0, 6.0])
+
+    def test_downsample_factor_one_copies(self):
+        ts = TimeSeries(np.arange(4, dtype=float))
+        down = ts.downsample(1)
+        assert down == ts
+        assert not np.shares_memory(down.values, ts.values)
+
+    def test_fill_dropout_previous(self):
+        ts = TimeSeries(np.array([np.nan, 2.0, np.nan, 4.0]))
+        filled = ts.fill_dropout("previous")
+        assert np.allclose(filled.values, [2.0, 2.0, 2.0, 4.0])
+
+    def test_fill_dropout_mean(self):
+        ts = TimeSeries(np.array([1.0, np.nan, 3.0]))
+        filled = ts.fill_dropout("mean")
+        assert np.allclose(filled.values, [1.0, 2.0, 3.0])
+
+    def test_fill_dropout_all_nan_raises(self):
+        ts = TimeSeries(np.array([np.nan, np.nan]))
+        with pytest.raises(ValueError):
+            ts.fill_dropout("previous")
+
+    def test_fill_dropout_unknown_method(self):
+        ts = TimeSeries(np.array([1.0]))
+        with pytest.raises(ValueError, match="unknown fill method"):
+            ts.fill_dropout("zero")

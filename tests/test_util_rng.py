@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro._util.rng import derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_none_gives_deterministic_default(self):
+        assert derive_rng(None).random() == derive_rng(None).random()
+
+    def test_int_seed_reproducible(self):
+        assert derive_rng(42).random() == derive_rng(42).random()
+
+    def test_salt_decorrelates(self):
+        a = derive_rng(42, "x").random()
+        b = derive_rng(42, "y").random()
+        assert a != b
+
+    def test_same_salt_same_stream(self):
+        assert derive_rng(42, "x", 1).random() == derive_rng(42, "x", 1).random()
+
+    def test_passthrough_generator_without_salt(self):
+        gen = np.random.default_rng(0)
+        assert derive_rng(gen) is gen
+
+    def test_seed_sequence_supported(self):
+        seq = np.random.SeedSequence(5)
+        a = derive_rng(seq).random()
+        b = derive_rng(np.random.SeedSequence(5)).random()
+        assert a == b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        rngs = spawn_rngs(0, 3, "salt")
+        values = {r.random() for r in rngs}
+        assert len(values) == 3
+
+    def test_reproducible(self):
+        a = [r.random() for r in spawn_rngs(7, 3)]
+        b = [r.random() for r in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_is_empty(self):
+        assert spawn_rngs(0, 0) == []

@@ -1,0 +1,28 @@
+import numpy as np
+import pytest
+
+from repro._util.rng import derive_rng
+
+
+class TestDeriveRngEdgeCases:
+    def test_seed_sequence_with_list_entropy(self):
+        # SeedSequence entropy may be a list (e.g. from spawning); salting
+        # must not crash on non-int entropy.
+        g = derive_rng(np.random.SeedSequence([1, 2, 3]), "salt")
+        assert 0.0 <= g.random() < 1.0
+
+    def test_generator_with_salt_deterministic(self):
+        a = derive_rng(np.random.default_rng(5), "x").random()
+        b = derive_rng(np.random.default_rng(5), "x").random()
+        assert a == b
+
+    def test_generator_with_salt_does_not_mutate_parent(self):
+        parent = np.random.default_rng(5)
+        before = parent.bit_generator.state
+        derive_rng(parent, "x")
+        assert parent.bit_generator.state == before
+
+    def test_generator_salt_differs_from_parent_stream(self):
+        parent = np.random.default_rng(5)
+        child = derive_rng(parent, "x")
+        assert child.random() != np.random.default_rng(5).random()

@@ -1,0 +1,66 @@
+import pytest
+
+from repro._util.tables import TextTable, format_float, render_bar_chart
+
+
+class TestFormatFloat:
+    def test_paper_style_trailing(self):
+        assert format_float(1.0) == "1.0"
+        assert format_float(0.95) == "0.95"
+        assert format_float(0.9) == "0.9"
+
+    def test_nan_renders_dash(self):
+        assert format_float(float("nan")) == "-"
+
+    def test_digits(self):
+        assert format_float(0.123456, digits=3) == "0.123"
+
+
+class TestTextTable:
+    def test_render_contains_headers_and_cells(self):
+        t = TextTable(["metric", "F"])
+        t.add_row(["nr_mapped_vmstat", "1.0"])
+        out = t.render()
+        assert "metric" in out and "nr_mapped_vmstat" in out and "1.0" in out
+
+    def test_title_rendered_first(self):
+        t = TextTable(["a"], title="Table X")
+        t.add_row(["1"])
+        assert t.render().splitlines()[0] == "Table X"
+
+    def test_rejects_wrong_cell_count(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="2"):
+            t.add_row(["only-one"])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_columns_aligned(self):
+        t = TextTable(["a", "b"])
+        t.add_row(["xxxxxxxx", "1"])
+        t.add_row(["y", "2"])
+        lines = [l for l in t.render().splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+    def test_add_rows_bulk(self):
+        t = TextTable(["a"])
+        t.add_rows([["1"], ["2"], ["3"]])
+        assert len(t.rows) == 3
+
+
+class TestRenderBarChart:
+    def test_values_and_na(self):
+        out = render_bar_chart(
+            ["exp1", "exp2"],
+            [("EFD", [1.0, 0.5]), ("Taxonomist", [0.9, None])],
+        )
+        assert "exp1" in out
+        assert "n/a" in out
+        assert "1.000" in out
+
+    def test_bar_length_scales(self):
+        out = render_bar_chart(["e"], [("s", [0.5])], width=10)
+        bar_line = [l for l in out.splitlines() if "#" in l][0]
+        assert bar_line.count("#") == 5

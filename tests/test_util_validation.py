@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro._util.validation import (
+    check_array_1d,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type(3, int, "x") == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(3.5, (int, float), "x") == 3.5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("3", int, "x")
+
+    def test_error_names_all_expected_types(self):
+        with pytest.raises(TypeError, match="int or float"):
+            check_type("3", (int, float), "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "p") == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects_non_positive_and_non_finite(self, bad):
+        with pytest.raises(ValueError, match="p must be"):
+            check_positive(bad, "p")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.001, "n")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, "r", low=1.0, high=2.0) == 1.0
+        assert check_in_range(2.0, "r", low=1.0, high=2.0) == 2.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "r", low=1.0, high=2.0, inclusive=False)
+
+    def test_one_sided(self):
+        assert check_in_range(100.0, "r", low=0.0) == 100.0
+        with pytest.raises(ValueError):
+            check_in_range(-1.0, "r", low=0.0)
+
+
+class TestCheckArray1d:
+    def test_coerces_list(self):
+        out = check_array_1d([1, 2, 3], "a")
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == float
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_array_1d([[1, 2], [3, 4]], "a")
+
+    def test_enforces_min_length(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            check_array_1d([1, 2], "a", min_len=3)

@@ -1,0 +1,205 @@
+import numpy as np
+import pytest
+
+from repro.core.rounding import round_depth
+from repro.telemetry.metrics import default_registry
+from repro.workloads.cryptominer import make_cryptominer
+from repro.workloads.inputs import (
+    BASE_INPUTS,
+    EXTENDED_INPUTS,
+    INPUT_SIZES,
+    get_input,
+    input_scale,
+)
+from repro.workloads.nas import NAS_APPS, make_nas_app
+from repro.workloads.proxies import PROXY_APPS, make_proxy_app
+from repro.workloads.registry import (
+    APP_NAMES,
+    STARRED_APPS,
+    WorkloadRegistry,
+    default_workloads,
+)
+from repro.workloads.unknown import make_unknown_app
+
+NR_MAPPED = default_registry().get("nr_mapped_vmstat")
+
+
+class TestInputs:
+    def test_four_sizes(self):
+        assert set(INPUT_SIZES) == {"X", "Y", "Z", "L"}
+
+    def test_scales_increase(self):
+        scales = [input_scale(n) for n in ("X", "Y", "Z", "L")]
+        assert scales == sorted(scales)
+        assert scales[0] == 1.0
+
+    def test_unknown_input_raises(self):
+        with pytest.raises(KeyError):
+            get_input("W")
+
+    def test_base_vs_extended(self):
+        assert BASE_INPUTS == ["X", "Y", "Z"]
+        assert EXTENDED_INPUTS == ["X", "Y", "Z", "L"]
+
+
+class TestTable4Calibration:
+    """The nr_mapped levels must reproduce the paper's example EFD."""
+
+    def test_ft_rounds_to_6000(self):
+        app = make_nas_app("ft")
+        for node in range(4):
+            assert round_depth(app.base_level(NR_MAPPED, "X", node, 4), 2) == 6000.0
+
+    def test_mg_rounds_to_6100(self):
+        app = make_nas_app("mg")
+        assert round_depth(app.base_level(NR_MAPPED, "Y", 0, 4), 2) == 6100.0
+
+    def test_sp_bt_collide_at_depth_2(self):
+        sp, bt = make_nas_app("sp"), make_nas_app("bt")
+        for node in range(4):
+            assert round_depth(sp.base_level(NR_MAPPED, "X", node, 4), 2) == \
+                round_depth(bt.base_level(NR_MAPPED, "X", node, 4), 2)
+
+    def test_sp_bt_node_pattern_matches_table4(self):
+        # Table 4: node 0 -> 7600, nodes 1-2 -> 7500, node 3 -> 7100.
+        sp = make_nas_app("sp")
+        rounded = [
+            round_depth(sp.base_level(NR_MAPPED, "X", n, 4), 2) for n in range(4)
+        ]
+        assert rounded == [7600.0, 7500.0, 7500.0, 7100.0]
+
+    def test_sp_bt_separate_at_depth_3(self):
+        # "Rounding depth 3 avoids this collision and also recognizes BT."
+        sp, bt = make_nas_app("sp"), make_nas_app("bt")
+        for node in range(4):
+            assert round_depth(sp.base_level(NR_MAPPED, "X", node, 4), 3) != \
+                round_depth(bt.base_level(NR_MAPPED, "X", node, 4), 3)
+
+    def test_lu_node0_asymmetry(self):
+        # Table 4: lu node 0 -> 8400, others -> 8300.
+        lu = make_nas_app("lu")
+        rounded = [
+            round_depth(lu.base_level(NR_MAPPED, "Z", n, 4), 2) for n in range(4)
+        ]
+        assert rounded == [8400.0, 8300.0, 8300.0, 8300.0]
+
+    def test_miniamr_input_dependent(self):
+        # Table 4: miniAMR X -> 7800, Y -> 8000, Z -> 10000/11000 range.
+        amr = make_proxy_app("miniAMR")
+        assert round_depth(amr.base_level(NR_MAPPED, "X", 0, 4), 2) == 7800.0
+        assert round_depth(amr.base_level(NR_MAPPED, "Y", 0, 4), 2) == 8000.0
+        z = round_depth(amr.base_level(NR_MAPPED, "Z", 0, 4), 2)
+        assert z in (10000.0, 11000.0)
+
+    def test_minighost_rounds_to_7900(self):
+        mg = make_proxy_app("miniGhost")
+        assert round_depth(mg.base_level(NR_MAPPED, "L", 1, 4), 2) == 7900.0
+
+    def test_all_depth2_buckets_distinct_across_apps(self):
+        # Except the intended SP/BT collision, every app-input pair owns
+        # distinct depth-2 buckets — the basis of the normal-fold F=1.0.
+        workloads = default_workloads()
+        buckets = {}
+        for app_name in APP_NAMES:
+            app = workloads.get(app_name)
+            for inp in workloads.inputs_for(app_name):
+                key = tuple(
+                    round_depth(app.base_level(NR_MAPPED, inp, n, 4), 2)
+                    for n in range(4)
+                )
+                group = "sp/bt" if app_name in ("sp", "bt") else app_name
+                if key in buckets:
+                    assert buckets[key] == group, (key, buckets[key], app_name)
+                buckets[key] = group
+
+
+class TestRegistries:
+    def test_eleven_apps(self):
+        assert len(APP_NAMES) == 11
+        assert len(default_workloads()) == 11
+
+    def test_starred_apps_have_L(self):
+        workloads = default_workloads()
+        for name in STARRED_APPS:
+            assert "L" in workloads.inputs_for(name)
+
+    def test_unstarred_apps_lack_L(self):
+        workloads = default_workloads()
+        assert workloads.inputs_for("ft") == ["X", "Y", "Z"]
+
+    def test_pair_count_matches_table2(self):
+        # 11 apps x 3 inputs + 4 starred apps x input L = 37 pairs.
+        assert len(default_workloads().app_input_pairs()) == 37
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            default_workloads().get("hpl")
+
+    def test_with_apps_subsets(self):
+        sub = default_workloads().with_apps(["ft", "mg"])
+        assert sub.names() == ["ft", "mg"]
+
+    def test_extended_adds_model(self):
+        registry = default_workloads()
+        bigger = registry.extended(make_unknown_app("mystery"))
+        assert "mystery" in bigger
+        assert len(bigger) == 12
+
+    def test_extended_rejects_duplicates(self):
+        registry = default_workloads()
+        with pytest.raises(ValueError):
+            registry.extended(make_nas_app("ft"))
+
+    def test_registry_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadRegistry({"wrong": make_nas_app("ft")})
+
+    def test_nas_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_nas_app("ep")
+
+    def test_proxy_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_proxy_app("lulesh")
+
+
+class TestUnknownApps:
+    def test_deterministic(self):
+        a = make_unknown_app("novel", seed_salt=1)
+        b = make_unknown_app("novel", seed_salt=1)
+        assert a.base_level(NR_MAPPED, "X", 0, 4) == b.base_level(NR_MAPPED, "X", 0, 4)
+
+    def test_distinct_salts_differ(self):
+        a = make_unknown_app("novel", seed_salt=1)
+        b = make_unknown_app("novel", seed_salt=2)
+        assert a.base_level(NR_MAPPED, "X", 0, 4) != b.base_level(NR_MAPPED, "X", 0, 4)
+
+    def test_adversarial_pinning(self):
+        app = make_unknown_app("imposter", near_app_level=6000.0)
+        assert app.base_level(NR_MAPPED, "X", 0, 4) == 6000.0
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            make_unknown_app("x", near_app_level=-5.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            make_unknown_app("")
+
+
+class TestCryptominer:
+    def test_footprint_far_from_known_apps(self):
+        miner = make_cryptominer()
+        level = miner.base_level(NR_MAPPED, "X", 0, 4)
+        workloads = default_workloads()
+        for name in APP_NAMES:
+            app_level = workloads.get(name).base_level(NR_MAPPED, "X", 0, 4)
+            assert abs(level - app_level) / app_level > 0.3
+
+    def test_ignores_problem_size(self):
+        miner = make_cryptominer()
+        assert miner.base_level(NR_MAPPED, "X", 0, 4) == \
+            miner.base_level(NR_MAPPED, "Z", 0, 4)
+
+    def test_short_init_phase(self):
+        assert make_cryptominer().init_duration < 20.0

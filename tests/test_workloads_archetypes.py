@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.workloads.archetypes import (
+    DEFAULT_AMPLITUDE,
+    SHAPES,
+    make_shape,
+)
+
+
+def _grid(n=600):
+    return np.arange(n, dtype=float)
+
+
+class TestShapeContracts:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_mean_near_one(self, name):
+        # Shapes are multiplicative modulations around 1.0: the interval
+        # mean must stay close to the base level (EFD's core assumption).
+        shape = make_shape(name, amp=DEFAULT_AMPLITUDE[name], period=25.0, phase=0.3)
+        values = shape(_grid(2000))
+        assert abs(values.mean() - 1.0) < 0.05
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_positive_everywhere(self, name):
+        shape = make_shape(name, amp=DEFAULT_AMPLITUDE[name], period=25.0, phase=1.0)
+        assert np.all(shape(_grid()) > 0)
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_vectorized_matches_scalar(self, name):
+        shape = make_shape(name, amp=0.1, period=20.0, phase=0.5)
+        grid = _grid(50)
+        full = shape(grid)
+        singles = np.array([shape(np.array([t]))[0] for t in grid])
+        assert np.allclose(full, singles)
+
+    def test_plateau_is_quiet(self):
+        shape = make_shape("plateau", amp=DEFAULT_AMPLITUDE["plateau"],
+                           period=30.0, phase=0.0)
+        values = shape(_grid())
+        assert values.std() < 0.01
+
+    def test_periodic_is_louder_than_plateau(self):
+        quiet = make_shape("plateau", amp=DEFAULT_AMPLITUDE["plateau"],
+                           period=30.0, phase=0.0)(_grid())
+        loud = make_shape("periodic", amp=DEFAULT_AMPLITUDE["periodic"],
+                          period=30.0, phase=0.0)(_grid())
+        assert loud.std() > 10 * quiet.std()
+
+    def test_ramp_monotone_then_flat(self):
+        shape = make_shape("ramp", amp=0.2, period=10.0, phase=0.0)
+        values = shape(_grid(200))
+        assert values[0] < values[79]  # rising inside the ramp
+        assert values[85] == values[199]  # saturated afterwards
+
+
+class TestMakeShapeValidation:
+    def test_unknown_archetype(self):
+        with pytest.raises(ValueError, match="unknown archetype"):
+            make_shape("sawtooth", amp=0.1, period=10.0, phase=0.0)
+
+    def test_negative_amp(self):
+        with pytest.raises(ValueError):
+            make_shape("plateau", amp=-0.1, period=10.0, phase=0.0)
+
+    def test_non_positive_period(self):
+        with pytest.raises(ValueError):
+            make_shape("plateau", amp=0.1, period=0.0, phase=0.0)
+
+    def test_amplitude_defaults_cover_all_archetypes(self):
+        assert set(DEFAULT_AMPLITUDE) == set(SHAPES)

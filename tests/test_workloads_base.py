@@ -1,0 +1,160 @@
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import default_registry
+from repro.workloads.base import AppModel, make_signal
+from repro.workloads.inputs import INPUT_SIZES
+from repro.workloads.nas import make_nas_app
+
+REGISTRY = default_registry()
+NR_MAPPED = REGISTRY.get("nr_mapped_vmstat")
+COMMITTED = REGISTRY.get("Committed_AS_meminfo")
+
+
+class TestAppModelValidation:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            AppModel("")
+
+    def test_requires_valid_durations(self):
+        with pytest.raises(ValueError):
+            AppModel("x", init_duration=100.0, base_duration=50.0)
+
+    def test_requires_coupling_range(self):
+        with pytest.raises(ValueError):
+            AppModel("x", input_coupling=1.5)
+
+
+class TestBaseLevels:
+    def test_calibrated_level_exact(self):
+        ft = make_nas_app("ft")
+        for node in range(4):
+            assert ft.base_level(NR_MAPPED, "X", node, 4) == 6000.0
+
+    def test_calibrated_level_input_independent(self):
+        ft = make_nas_app("ft")
+        levels = {
+            inp: ft.base_level(NR_MAPPED, inp, 0, 4) for inp in ("X", "Y", "Z")
+        }
+        assert len(set(levels.values())) == 1
+
+    def test_derived_level_deterministic(self):
+        app = AppModel("cg2", input_coupling=0.4)
+        a = app.base_level(COMMITTED, "X", 0, 4)
+        b = app.base_level(COMMITTED, "X", 0, 4)
+        assert a == b
+
+    def test_derived_level_positive_and_scaled(self):
+        app = AppModel("someapp")
+        level = app.base_level(COMMITTED, "X", 0, 4)
+        assert 0.2 * COMMITTED.magnitude < level < 2.0 * COMMITTED.magnitude
+
+    def test_input_coupling_moves_derived_levels(self):
+        app = AppModel("scaler", input_coupling=1.0)
+        metric = REGISTRY.get("pgfault_vmstat")
+        if metric.input_sensitivity == 0:
+            pytest.skip("hash assigned zero sensitivity")
+        x = app.base_level(metric, "X", 0, 4)
+        z = app.base_level(metric, "Z", 0, 4)
+        assert z > x
+
+    def test_zero_coupling_freezes_levels(self):
+        app = AppModel("flat", input_coupling=0.0)
+        metric = REGISTRY.get("pgfault_vmstat")
+        assert app.base_level(metric, "X", 1, 4) == app.base_level(metric, "Z", 1, 4)
+
+    def test_node_out_of_range(self):
+        app = make_nas_app("ft")
+        with pytest.raises(ValueError):
+            app.base_level(NR_MAPPED, "X", 4, 4)
+
+    def test_constant_metric_app_independent(self):
+        spec = REGISTRY.get("MemTotal_meminfo")
+        a = AppModel("a").base_level(spec, "X", 0, 4)
+        b = AppModel("b").base_level(spec, "X", 0, 4)
+        assert a == b == spec.magnitude
+
+    def test_lattice_separates_canonical_apps(self):
+        # On a fully discriminative metric, all 11 applications occupy
+        # distinct levels with >5 % relative separation.
+        from repro.workloads.registry import APP_NAMES, default_workloads
+
+        workloads = default_workloads()
+        levels = sorted(
+            workloads.get(name).base_level(COMMITTED, "X", 1, 4)
+            for name in APP_NAMES
+        )
+        gaps = np.diff(levels) / np.array(levels[:-1])
+        assert gaps.min() > 0.05
+
+
+class TestExecutionBehavior:
+    def test_behavior_covers_all_metric_nodes(self):
+        app = make_nas_app("mg")
+        behavior = app.execution_behavior([NR_MAPPED, COMMITTED], "X", 4, rng=0)
+        assert set(behavior.behaviors) == {
+            (m.name, n) for m in (NR_MAPPED, COMMITTED) for n in range(4)
+        }
+
+    def test_exec_levels_vary_between_executions(self):
+        app = make_nas_app("mg")
+        b1 = app.execution_behavior([NR_MAPPED], "X", 4, rng=1)
+        b2 = app.execution_behavior([NR_MAPPED], "X", 4, rng=2)
+        l1 = b1.behaviors[(NR_MAPPED.name, 0)].level
+        l2 = b2.behaviors[(NR_MAPPED.name, 0)].level
+        assert l1 != l2
+        # ... but stay near the base level.
+        assert abs(l1 - 6110.0) / 6110.0 < 0.05
+
+    def test_exec_behavior_reproducible(self):
+        app = make_nas_app("mg")
+        b1 = app.execution_behavior([NR_MAPPED], "X", 4, rng=3)
+        b2 = app.execution_behavior([NR_MAPPED], "X", 4, rng=3)
+        assert b1.behaviors[(NR_MAPPED.name, 2)].level == \
+            b2.behaviors[(NR_MAPPED.name, 2)].level
+
+    def test_duration_scales_with_input(self):
+        app = make_nas_app("ft")
+        assert app.duration("Z") > app.duration("X")
+
+    def test_exec_sigma_override(self):
+        app = AppModel(
+            "v", exec_sigma_overrides={("nr_mapped_vmstat", "Z"): 0.5}
+        )
+        assert app.exec_sigma(NR_MAPPED, "Z") == 0.5
+        assert app.exec_sigma(NR_MAPPED, "X") == NR_MAPPED.noise_rel
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            make_nas_app("ft").execution_behavior([NR_MAPPED], "X", 0, rng=0)
+
+    def test_rejects_unknown_input(self):
+        with pytest.raises(KeyError):
+            make_nas_app("ft").execution_behavior([NR_MAPPED], "Q", 4, rng=0)
+
+
+class TestMakeSignal:
+    def _behavior(self, app="ft", metric=NR_MAPPED):
+        model = make_nas_app(app)
+        return model.execution_behavior([metric], "X", 4, rng=0).behaviors[
+            (metric.name, 0)
+        ]
+
+    def test_signal_settles_near_level(self):
+        behavior = self._behavior()
+        signal = make_signal(behavior, rng=0)
+        times = np.arange(200, dtype=float)
+        values = signal(times)
+        window = values[60:120]
+        assert abs(window.mean() - behavior.level) / behavior.level < 0.02
+
+    def test_init_phase_below_plateau(self):
+        behavior = self._behavior()
+        signal = make_signal(behavior, rng=1)
+        values = signal(np.arange(200, dtype=float))
+        assert values[:3].mean() < 0.6 * behavior.level
+
+    def test_signal_non_negative(self):
+        behavior = self._behavior()
+        signal = make_signal(behavior, rng=2)
+        assert np.all(signal(np.arange(300, dtype=float)) >= 0.0)

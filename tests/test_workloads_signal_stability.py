@@ -1,0 +1,65 @@
+"""Statistical contracts of the generated signals — the properties the
+paper's recognition mechanism implicitly relies on."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import derive_rng
+from repro.telemetry.metrics import default_registry
+from repro.workloads.base import make_signal
+from repro.workloads.nas import make_nas_app
+from repro.workloads.proxies import make_proxy_app
+
+REGISTRY = default_registry()
+NR_MAPPED = REGISTRY.get("nr_mapped_vmstat")
+
+
+def _interval_means(app, inp="X", metric=NR_MAPPED, n_execs=30,
+                    interval=(60, 120), node=0):
+    means = []
+    for i in range(n_execs):
+        behavior = app.execution_behavior(
+            [metric], inp, 4, rng=derive_rng(1234, app.name, inp, i)
+        ).behaviors[(metric.name, node)]
+        signal = make_signal(behavior, rng=derive_rng(99, i))
+        times = np.arange(200, dtype=float)
+        values = signal(times)
+        means.append(values[interval[0]:interval[1]].mean())
+    return np.array(means)
+
+
+class TestFingerprintStability:
+    def test_repetitions_cluster_tightly(self):
+        # The core EFD premise: repeated executions produce interval means
+        # within a fraction of a percent of each other.
+        means = _interval_means(make_nas_app("ft"))
+        assert means.std() / means.mean() < 0.01
+
+    def test_early_window_less_stable_than_papers(self):
+        # The init-phase variance motivates the [60:120] choice.
+        app = make_nas_app("ft")
+        early = _interval_means(app, interval=(0, 60))
+        late = _interval_means(app, interval=(60, 120))
+        assert early.std() / early.mean() > 2 * late.std() / late.mean()
+
+    def test_miniamr_z_wider_than_x(self):
+        # miniAMR_Z's enlarged per-execution sigma (Table 4's double
+        # fingerprint) must show up as a wider mean distribution.
+        amr = make_proxy_app("miniAMR")
+        x_means = _interval_means(amr, inp="X")
+        z_means = _interval_means(amr, inp="Z")
+        assert z_means.std() / z_means.mean() > 3 * x_means.std() / x_means.mean()
+
+    def test_distinct_apps_distinct_means(self):
+        ft = _interval_means(make_nas_app("ft")).mean()
+        mg = _interval_means(make_nas_app("mg")).mean()
+        lu = _interval_means(make_nas_app("lu")).mean()
+        assert abs(ft - mg) > 50
+        assert abs(mg - lu) > 500
+
+    def test_node_asymmetry_survives_sampling(self):
+        sp = make_nas_app("sp")
+        node0 = _interval_means(sp, node=0)
+        node3 = _interval_means(sp, node=3)
+        # Table 4: node 0 near 7600-bucket, node 3 near 7100-bucket.
+        assert node0.mean() - node3.mean() > 300
