@@ -1,0 +1,40 @@
+"""Repo-level pytest wiring: keep benchmarks out of tier-1.
+
+Every file under ``benchmarks/`` is auto-marked ``bench`` and deselected
+from a plain ``pytest -x -q`` run (the tier-1 gate), keeping the fast
+correctness suite fast.  Benchmarks run explicitly with::
+
+    pytest benchmarks -m bench
+
+Passing any ``-m`` expression disables the auto-deselection — marker
+filtering is then fully under the caller's control.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_BENCH_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "benchmarks")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench: long-running benchmark (excluded from tier-1; run with "
+        "`pytest benchmarks -m bench`)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.bench)
+    if config.getoption("-m"):
+        return  # caller is steering marker selection explicitly
+    kept = [i for i in items if not i.get_closest_marker("bench")]
+    deselected = [i for i in items if i.get_closest_marker("bench")]
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = kept

@@ -43,6 +43,13 @@ from repro.data.taxonomist import (
     TaxonomistDatasetGenerator,
     generate_dataset,
 )
+from repro.engine import (
+    BatchRecognizer,
+    EngineStats,
+    ShardedDictionary,
+    load_sharded,
+    save_sharded,
+)
 from repro.telemetry.metrics import default_registry
 
 __version__ = "1.0.0"
@@ -70,6 +77,12 @@ __all__ = [
     "dictionary_from_json",
     "save_dictionary",
     "load_dictionary",
+    # engine (sharded store + batch recognition)
+    "BatchRecognizer",
+    "EngineStats",
+    "ShardedDictionary",
+    "save_sharded",
+    "load_sharded",
     # data
     "ExecutionDataset",
     "ExecutionRecord",

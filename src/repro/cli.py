@@ -11,6 +11,10 @@ Subcommands
   experiments end to end.
 - ``efd tables`` — render the paper's Tables 1/2/4.
 - ``efd info`` — registry and configuration overview.
+- ``efd engine ...`` — the sharded/batch recognition engine: ``selftest``
+  (smoke-check shard/batch equivalence), ``shard`` (partition a flat
+  dictionary JSON into a shard directory), ``recognize`` (batch
+  recognition against a shard directory), ``info`` (shard occupancy).
 """
 
 from __future__ import annotations
@@ -77,6 +81,42 @@ def _add_info(sub: argparse._SubParsersAction) -> None:
     sub.add_parser("info", help="registry and configuration overview")
 
 
+def _add_engine(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("engine", help="sharded / batch recognition engine")
+    esub = p.add_subparsers(dest="engine_command", required=True)
+
+    selftest = esub.add_parser(
+        "selftest",
+        help="smoke-check shard/batch equivalence against the flat path",
+    )
+    selftest.add_argument("--shards", type=int, default=4)
+    selftest.add_argument("--seed", type=int, default=7)
+
+    shard = esub.add_parser(
+        "shard", help="partition a flat dictionary JSON into a shard directory"
+    )
+    shard.add_argument("--efd", required=True, help="flat dictionary JSON path")
+    shard.add_argument("--out", required=True, help="output shard directory")
+    shard.add_argument("--shards", type=int, default=8)
+
+    recognize = esub.add_parser(
+        "recognize", help="batch-recognize a dataset against a shard directory"
+    )
+    recognize.add_argument("--efd-dir", required=True, help="shard directory")
+    recognize.add_argument("--data", required=True, help="dataset .npz path")
+    recognize.add_argument("--metric", default="nr_mapped_vmstat")
+    recognize.add_argument("--depth", type=int, required=True,
+                           help="rounding depth the dictionary was built with")
+    recognize.add_argument("--interval", nargs=2, type=float,
+                           default=[60.0, 120.0])
+    recognize.add_argument("--backend", default="thread",
+                           choices=["serial", "thread", "process"])
+    recognize.add_argument("--workers", type=int, default=None)
+
+    info = esub.add_parser("info", help="shard occupancy and store statistics")
+    info.add_argument("--efd-dir", required=True, help="shard directory")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="efd",
@@ -91,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment(sub)
     _add_tables(sub)
     _add_info(sub)
+    _add_engine(sub)
     return parser
 
 
@@ -229,6 +270,163 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine_selftest(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.core.fingerprint import build_fingerprints
+    from repro.core.matcher import match_fingerprints
+    from repro.core.recognizer import EFDRecognizer
+    from repro.core.streaming import StreamingRecognizer
+    from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+    from repro.engine import (
+        BatchRecognizer,
+        ShardedDictionary,
+        load_sharded,
+        save_sharded,
+    )
+
+    config = DatasetConfig(
+        metrics=("nr_mapped_vmstat",),
+        repetitions=3,
+        seed=args.seed,
+        duration_cap=150.0,
+        apps=("ft", "mg", "lu", "CoMD"),
+    )
+    dataset = TaxonomistDatasetGenerator(config).generate()
+    recognizer = EFDRecognizer(depth=2).fit(dataset)
+    flat = recognizer.dictionary_
+    records = list(dataset)
+    sequential = [
+        match_fingerprints(
+            flat, build_fingerprints(r, "nr_mapped_vmstat", 2)
+        )
+        for r in records
+    ]
+    failures = []
+
+    sharded = ShardedDictionary.from_flat(flat, args.shards)
+    for record in records:
+        fps = build_fingerprints(record, "nr_mapped_vmstat", 2)
+        if match_fingerprints(sharded, fps) != match_fingerprints(flat, fps):
+            failures.append(f"sharded lookup mismatch on record {record.record_id}")
+            break
+    engine = None
+    for backend in ("serial", "thread", "process"):
+        engine = BatchRecognizer(
+            sharded, depth=2, backend=backend, n_workers=2
+        )
+        if engine.recognize_records(records) != sequential:
+            failures.append(f"batch mismatch on backend {backend!r}")
+
+    streaming = StreamingRecognizer.from_recognizer(recognizer)
+    sessions = []
+    for record in records[:8]:
+        session = streaming.open_session(n_nodes=record.n_nodes)
+        for node in range(record.n_nodes):
+            series = record.series("nr_mapped_vmstat", node)
+            session.ingest_many(node, series.times, series.values)
+        sessions.append(session)
+    batch_verdicts = BatchRecognizer(
+        sharded, depth=2, backend="serial"
+    ).recognize_sessions(sessions, force=True)
+    if batch_verdicts != [s.verdict(force=True) for s in sessions]:
+        failures.append("session batch mismatch")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_sharded(sharded, tmp)
+        restored = load_sharded(tmp)
+        for record in records:
+            fps = build_fingerprints(record, "nr_mapped_vmstat", 2)
+            if restored.lookup(fps[0]) != flat.lookup(fps[0]):
+                failures.append("round-trip lookup mismatch")
+                break
+
+    print(
+        f"engine selftest: {len(records)} executions, "
+        f"{len(flat)} keys across {args.shards} shard(s) "
+        f"{sharded.shard_sizes()}"
+    )
+    if engine is not None:
+        print(engine.stats.render())
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("PASS: sharded/batch/streaming/round-trip all equivalent")
+    return 0
+
+
+def _cmd_engine_shard(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_dictionary
+    from repro.engine import ShardedDictionary, save_sharded
+
+    flat = load_dictionary(args.efd)
+    sharded = ShardedDictionary.from_flat(flat, args.shards)
+    save_sharded(sharded, args.out)
+    print(
+        f"sharded {len(flat)} keys into {args.shards} shard(s) "
+        f"{sharded.shard_sizes()} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_engine_recognize(args: argparse.Namespace) -> int:
+    from repro.data.io import load_dataset
+    from repro.engine import BatchRecognizer, load_sharded
+
+    sharded = load_sharded(args.efd_dir)
+    dataset = load_dataset(args.data)
+    engine = BatchRecognizer(
+        sharded,
+        metric=args.metric,
+        depth=args.depth,
+        interval=(args.interval[0], args.interval[1]),
+        backend=args.backend,
+        n_workers=args.workers,
+    )
+    records = list(dataset)
+    predictions = engine.predict(records)
+    correct = sum(
+        1 for r, p in zip(records, predictions) if p == r.app_name
+    )
+    print(engine.stats.render())
+    total = len(records)
+    print(f"accuracy: {correct}/{total} = {correct / total:.3f}" if total else
+          "empty dataset")
+    return 0
+
+
+def _cmd_engine_info(args: argparse.Namespace) -> int:
+    from repro.engine import load_sharded
+
+    sharded = load_sharded(args.efd_dir)
+    stats = sharded.stats()
+    print(f"sharded EFD at {args.efd_dir}")
+    print(f"shards      : {sharded.n_shards}, occupancy {sharded.shard_sizes()}")
+    print(
+        f"keys        : {stats.n_keys} from {stats.n_insertions} insertions "
+        f"(pruning_ratio={stats.pruning_ratio:.2f})"
+    )
+    print(
+        f"labels      : {stats.n_labels}, colliding_keys={stats.n_colliding_keys}, "
+        f"max_labels_per_key={stats.max_labels_per_key}"
+    )
+    print(f"metrics     : {sharded.metrics()}")
+    return 0
+
+
+_ENGINE_COMMANDS = {
+    "selftest": _cmd_engine_selftest,
+    "shard": _cmd_engine_shard,
+    "recognize": _cmd_engine_recognize,
+    "info": _cmd_engine_info,
+}
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    return _ENGINE_COMMANDS[args.engine_command](args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "fit": _cmd_fit,
@@ -236,6 +434,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "tables": _cmd_tables,
     "info": _cmd_info,
+    "engine": _cmd_engine,
 }
 
 

@@ -58,6 +58,14 @@ class ExecutionFingerprintDictionary:
         # tie-breaking stay O(1) in the dictionary size.
         self._label_order: Dict[str, None] = {}
         self._app_order: Dict[str, None] = {}
+        # Mutation counter: lets caches (e.g. the batch engine's lookup
+        # index) detect staleness without content comparison.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped on every mutation."""
+        return self._version
 
     # -- writing -----------------------------------------------------------
     def add(self, fingerprint: Fingerprint, label: str) -> None:
@@ -67,6 +75,25 @@ class ExecutionFingerprintDictionary:
         labels = self._store.setdefault(fingerprint, {})
         labels[label] = labels.get(label, 0) + 1
         self._insertions += 1
+        self._version += 1
+        self.register_label(label)
+
+    def add_repeated(self, fingerprint: Fingerprint, label: str, count: int) -> None:
+        """Insert ``count`` repetitions of one observation in O(1).
+
+        Equivalent to calling :meth:`add` ``count`` times; used by
+        (de)serialization and the sharded store, where repetition counts
+        are already aggregated and expanding them would make loading
+        O(insertions) instead of O(keys).
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not label:
+            raise ValueError("label must be non-empty")
+        labels = self._store.setdefault(fingerprint, {})
+        labels[label] = labels.get(label, 0) + count
+        self._insertions += count
+        self._version += 1
         self.register_label(label)
 
     def register_label(self, label: str) -> None:
@@ -77,6 +104,8 @@ class ExecutionFingerprintDictionary:
         """
         if not label:
             raise ValueError("label must be non-empty")
+        if label not in self._label_order:
+            self._version += 1
         self._label_order.setdefault(label, None)
         self._app_order.setdefault(app_of_label(label), None)
 
@@ -98,6 +127,7 @@ class ExecutionFingerprintDictionary:
                 mine = self._store.setdefault(fp, {})
                 mine[label] = mine.get(label, 0) + count
                 self._insertions += count
+                self._version += 1
                 self._label_order.setdefault(label, None)
                 self._app_order.setdefault(app_of_label(label), None)
 

@@ -56,6 +56,7 @@ class MatchResult:
 def vote(
     lookups: Sequence[Sequence[str]],
     app_order: Optional[Sequence[str]] = None,
+    position: Optional[Dict[str, int]] = None,
 ) -> Tuple[Tuple[str, ...], Dict[str, int]]:
     """Aggregate per-node label lookups into an application ranking.
 
@@ -63,6 +64,10 @@ def vote(
     Returns ``(ranked_apps, votes)`` where ``ranked_apps`` contains every
     application with the maximal vote count, ordered by ``app_order``
     (first-seen order of the dictionary) — the paper's returned "array".
+
+    ``position`` is an optional precomputed ``{app: rank}`` map
+    equivalent to enumerating ``app_order`` — batch callers pass it once
+    instead of rebuilding it per execution.
     """
     votes: Dict[str, int] = {}
     for labels in lookups:
@@ -75,9 +80,11 @@ def vote(
         return (), {}
     top = max(votes.values())
     tied = [app for app, count in votes.items() if count == top]
-    if app_order is not None:
+    if position is None and app_order is not None:
         position = {app: i for i, app in enumerate(app_order)}
-        tied.sort(key=lambda a: position.get(a, len(position)))
+    if position is not None:
+        n = len(position)
+        tied.sort(key=lambda a: position.get(a, n))
     return tuple(tied), votes
 
 

@@ -54,6 +54,7 @@ def round_depth_array(values, depth: int) -> np.ndarray:
         raise ValueError(f"rounding depth must be >= 1, got {depth}")
     values = np.asarray(values, dtype=float)
     out = np.array(values, dtype=float, copy=True)
+    out[values == 0.0] = 0.0  # scalar path maps -0.0 to +0.0 too
     finite = np.isfinite(values) & (values != 0.0)
     if not finite.any():
         return out

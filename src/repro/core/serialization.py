@@ -73,8 +73,7 @@ def dictionary_from_json(text: str) -> ExecutionFingerprintDictionary:
         for label, count in labels.items():
             if int(count) < 1:
                 raise ValueError(f"label {label!r} has non-positive count {count}")
-            for _ in range(int(count)):
-                efd.add(fp, label)
+            efd.add_repeated(fp, label, int(count))
     return efd
 
 

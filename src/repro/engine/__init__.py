@@ -1,0 +1,69 @@
+"""Sharded dictionary + batch recognition engine (production scaling).
+
+The paper's EFD is a single in-memory hash map queried one execution at
+a time.  That is fine for a 1080-execution study; it is not how a
+recognition service in front of a large cluster (or many clusters)
+would run.  ``repro.engine`` is the scale-out layer:
+
+- :class:`~repro.engine.sharded.ShardedDictionary` partitions EFD keys
+  across N shards by a stable hash of the full fingerprint key
+  (``repro._util.hashing.stable_hash`` — process-independent, so a
+  shard layout computed today is valid after any restart and on any
+  machine).  Every shard is an ordinary
+  :class:`~repro.core.dictionary.ExecutionFingerprintDictionary`; the
+  wrapper keeps the *global* first-seen label/app/key orders so that
+  lookups, tie-breaking, and Table-4-style listings are byte-identical
+  to a flat dictionary.
+
+- :func:`~repro.engine.sharded.save_sharded` /
+  :func:`~repro.engine.sharded.load_sharded` persist a sharded
+  dictionary as a directory: one ``manifest.json`` (format version,
+  shard count, global label order, per-shard checksums) plus one
+  ``shard-NN.json`` per shard in the flat JSON format of
+  :mod:`repro.core.serialization`.  Shards load independently, so a
+  corrupt or missing shard file is reported by name instead of
+  poisoning the whole store.
+
+- :class:`~repro.engine.batch.BatchRecognizer` recognizes many
+  executions (or many live :class:`~repro.core.streaming.StreamSession`
+  objects) in one call: interval means are computed vectorized over
+  nodes with NumPy, unique fingerprints are looked up once via a
+  per-shard tuple index built in parallel over shards
+  (``repro.parallel.pool`` — serial / thread / process backends), and
+  per-execution votes reuse the exact matcher semantics.
+
+- :class:`~repro.engine.stats.EngineStats` counts lookups, hits, ties,
+  and unknowns and snapshots per-shard occupancy; surfaced through the
+  ``efd engine ...`` CLI subcommands.
+
+Shard layout on disk::
+
+    efd-shards/
+      manifest.json     # {format_version, n_shards, label_order, shards:[...]}
+      shard-00.json     # flat EFD JSON, keys with stable_hash(key) % N == 0
+      shard-01.json
+      ...
+
+Equivalence with the flat dictionary is enforced by property tests
+(``tests/test_engine_properties.py``) across shard counts and pool
+backends.
+"""
+
+from repro.engine.batch import BatchRecognizer, match_fingerprints_batch
+from repro.engine.sharded import (
+    ShardedDictionary,
+    load_sharded,
+    save_sharded,
+    shard_index,
+)
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "BatchRecognizer",
+    "EngineStats",
+    "ShardedDictionary",
+    "load_sharded",
+    "match_fingerprints_batch",
+    "save_sharded",
+    "shard_index",
+]

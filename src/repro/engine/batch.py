@@ -1,0 +1,510 @@
+"""Batch recognition: many executions against one (sharded) EFD.
+
+The single-execution path — :func:`repro.core.matcher.match_fingerprints`
+after :func:`repro.core.fingerprint.build_fingerprints` — pays Python
+overhead per node (scalar interval means, per-lookup dataclass hashing)
+and per execution (rebuilding the application order).  At batch scale
+all of that amortizes:
+
+- interval means are computed as one NumPy matrix reduction over all
+  nodes of an execution (bit-identical to the scalar path: clean rows
+  reduce over the same contiguous data, rows with dropout fall back to
+  the exact scalar routine);
+- rounding is vectorized (:func:`~repro.core.rounding.round_depth_array`
+  mirrors the scalar function bit-for-bit);
+- duplicate fingerprints across the batch are looked up once, and the
+  unique-key lookups fan out shard-parallel via
+  :func:`repro.parallel.pool.parallel_map`;
+- the application order for tie-breaking is computed once per batch.
+
+The result list is element-wise equal to a sequential loop of
+``match_fingerprints`` calls — property-tested across shard counts and
+pool backends in ``tests/test_engine_properties.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.dictionary import ExecutionFingerprintDictionary, app_of_label
+from repro.core.fingerprint import DEFAULT_INTERVAL, Fingerprint
+from repro.core.matcher import MatchResult, vote
+from repro.core.rounding import round_depth_array
+from repro.core.streaming import StreamSession
+from repro.data.dataset import ExecutionRecord
+from repro.telemetry.timeseries import TimeSeries
+from repro.engine.sharded import ShardedDictionary, shard_index
+from repro.engine.stats import EngineStats
+from repro.parallel.partition import chunk_evenly
+from repro.parallel.pool import parallel_map
+
+AnyDictionary = Union[ExecutionFingerprintDictionary, ShardedDictionary]
+
+#: The batch lookup table: (node, value) -> (label list, distinct apps).
+TupleIndex = Dict[Tuple[int, float], Tuple[List[str], Tuple[str, ...]]]
+
+
+def _shard_tuple_index(
+    task: Tuple[AnyDictionary, str, Tuple[float, float]]
+) -> TupleIndex:
+    """(node, value) -> (label list, distinct apps) for one store's keys
+    of one (metric, interval) — the engine's O(1) batch lookup table.
+
+    The per-key app tuple precomputes what ``vote()`` would re-derive
+    for every lookup: the applications this key's labels span, deduped.
+    """
+    store, metric, interval = task
+    index: TupleIndex = {}
+    for fp, labels in store.entries():
+        if fp.metric == metric and fp.interval == interval:
+            apps = tuple(dict.fromkeys(app_of_label(l) for l in labels))
+            index[(fp.node, fp.value)] = (labels, apps)
+    return index
+
+
+def _lookup_chunk(
+    task: Tuple[AnyDictionary, List[Fingerprint]]
+) -> List[List[str]]:
+    """Look a chunk of unique fingerprints up in one store (pool worker)."""
+    store, fps = task
+    return [store.lookup(fp) for fp in fps]
+
+
+def _batch_lookup(
+    dictionary: AnyDictionary,
+    unique: List[Fingerprint],
+    backend: str,
+    n_workers: Optional[int],
+) -> Dict[Fingerprint, List[str]]:
+    """Resolve each unique fingerprint to its label list.
+
+    For a sharded store the work units are the shards themselves (each
+    worker queries only the shard that owns its keys); a flat store is
+    split into even chunks.
+    """
+    if isinstance(dictionary, ShardedDictionary):
+        buckets: List[List[Fingerprint]] = [
+            [] for _ in range(dictionary.n_shards)
+        ]
+        for fp in unique:
+            buckets[shard_index(fp, dictionary.n_shards)].append(fp)
+        tasks = [
+            (dictionary.shards[i], bucket)
+            for i, bucket in enumerate(buckets)
+            if bucket
+        ]
+    else:
+        tasks = [
+            (dictionary, chunk) for chunk in chunk_evenly(unique, _n_tasks(n_workers))
+        ]
+    label_lists = parallel_map(
+        _lookup_chunk, tasks, backend=backend, n_workers=n_workers
+    )
+    table: Dict[Fingerprint, List[str]] = {}
+    for (_, fps), labels in zip(tasks, label_lists):
+        for fp, found in zip(fps, labels):
+            table[fp] = found
+    return table
+
+
+def _n_tasks(n_workers: Optional[int]) -> int:
+    if n_workers is not None:
+        return max(n_workers, 1)
+    return max(os.cpu_count() or 1, 1)
+
+
+def match_fingerprints_batch(
+    dictionary: AnyDictionary,
+    fingerprint_lists: Sequence[Sequence[Optional[Fingerprint]]],
+    backend: str = "serial",
+    n_workers: Optional[int] = None,
+) -> Tuple[List[MatchResult], int]:
+    """Match many executions' fingerprints in one pass.
+
+    Returns ``(results, n_hits)`` where ``results[i]`` equals
+    ``match_fingerprints(dictionary, fingerprint_lists[i])`` and
+    ``n_hits`` counts lookups (fingerprint occurrences) that matched at
+    least one label.
+    """
+    unique: Dict[Fingerprint, None] = {}
+    for fps in fingerprint_lists:
+        for fp in fps:
+            if fp is not None:
+                unique.setdefault(fp, None)
+    table = _batch_lookup(dictionary, list(unique), backend, n_workers)
+    position = {app: i for i, app in enumerate(dictionary.app_names())}
+    results: List[MatchResult] = []
+    n_hits = 0
+    for fps in fingerprint_lists:
+        lookups: List[List[str]] = []
+        matched_labels: Dict[str, int] = {}
+        n_missing = 0
+        n_fingerprints = 0
+        for fp in fps:
+            if fp is None:
+                n_missing += 1
+                continue
+            n_fingerprints += 1
+            labels = table[fp]
+            lookups.append(labels)
+            if labels:
+                n_hits += 1
+                for label in labels:
+                    matched_labels[label] = matched_labels.get(label, 0) + 1
+        ranked, votes = vote(lookups, position=position)
+        results.append(
+            MatchResult(
+                ranked=ranked,
+                votes=votes,
+                matched_labels=matched_labels,
+                n_fingerprints=n_fingerprints,
+                n_missing=n_missing,
+            )
+        )
+    return results, n_hits
+
+
+def _check_metric(record: ExecutionRecord, metric: str) -> None:
+    """Same guard (and message) as ``build_fingerprints``."""
+    telemetry = record.telemetry
+    for node in range(record.n_nodes):
+        if (metric, node) in telemetry:
+            return
+    raise KeyError(
+        f"record {record.record_id} ({record.label}) has no telemetry "
+        f"for metric {metric!r}"
+    )
+
+
+def _batch_rounded_means(
+    records: Sequence[ExecutionRecord],
+    metric: str,
+    depth: int,
+    start: float,
+    end: float,
+) -> List[float]:
+    """Rounded interval means for every (record, node) slot, flattened.
+
+    All series across the whole batch that share period, origin, and
+    length (the common case — one cluster, one sampler config) are
+    stacked into a single matrix and reduced in one NumPy call.  A clean
+    row reduces over exactly the same contiguous samples as the scalar
+    path, so the result is bit-identical; rows containing dropout (NaN)
+    and series the fixed window overruns defer to the exact scalar
+    routine.  Slots are ordered record-major, node-minor; NaN marks a
+    node with no usable fingerprint.
+    """
+    slots: List[TimeSeries] = []
+    groups: Dict[Tuple[float, float], List[int]] = {}
+    for record in records:
+        _check_metric(record, metric)
+        for node in range(record.n_nodes):
+            series = record.series(metric, node)
+            groups.setdefault((series.period, series.t0), []).append(len(slots))
+            slots.append(series)
+    means = np.empty(len(slots))
+    for (period, t0), positions in groups.items():
+        lo = max(int(np.ceil((start - t0) / period)), 0)
+        hi = int(np.ceil((end - t0) / period))
+        stacked: List[int] = []
+        for pos in positions:
+            if hi <= lo or len(slots[pos].values) < hi:
+                # Window overruns (or misses) this series — the scalar
+                # routine clips and may mean a shorter window; defer.
+                means[pos] = slots[pos].interval_mean(start, end)
+            else:
+                stacked.append(pos)
+        if not stacked:
+            continue
+        matrix = np.stack([slots[pos].values[lo:hi] for pos in stacked])
+        row_means = matrix.mean(axis=1)  # NaN rows poison themselves only
+        has_nan = np.isnan(row_means)
+        if has_nan.any():
+            # Dropout: the scalar path compacts NaNs before the mean.
+            for i in np.nonzero(has_nan)[0]:
+                row_means[i] = slots[stacked[i]].interval_mean(start, end)
+        means[stacked] = row_means
+    return round_depth_array(means, depth).tolist()
+
+
+def build_fingerprints_batch(
+    records: Sequence[ExecutionRecord],
+    metric: str,
+    depth: int,
+    interval: Tuple[float, float] = DEFAULT_INTERVAL,
+) -> List[List[Optional[Fingerprint]]]:
+    """Vectorized :func:`~repro.core.fingerprint.build_fingerprints` over
+    many records; element-wise identical output."""
+    start, end = float(interval[0]), float(interval[1])
+    values = _batch_rounded_means(records, metric, depth, start, end)
+    out: List[List[Optional[Fingerprint]]] = []
+    pos = 0
+    for record in records:
+        fps: List[Optional[Fingerprint]] = []
+        for node in range(record.n_nodes):
+            value = values[pos]
+            pos += 1
+            if value != value:  # NaN — no valid samples in the interval
+                fps.append(None)
+                continue
+            fps.append(
+                Fingerprint(
+                    metric=metric, node=node, interval=(start, end), value=value
+                )
+            )
+        out.append(fps)
+    return out
+
+
+class BatchRecognizer:
+    """Recognize batches of executions against one dictionary.
+
+    Parameters
+    ----------
+    dictionary:
+        A flat :class:`ExecutionFingerprintDictionary` or a
+        :class:`~repro.engine.sharded.ShardedDictionary`.
+    metric / depth / interval / unknown_label:
+        Fingerprint configuration, as in
+        :class:`~repro.core.recognizer.EFDRecognizer`.
+    backend / n_workers:
+        :func:`~repro.parallel.pool.parallel_map` configuration for the
+        shard fan-out (``"serial"``, ``"thread"``, or ``"process"``).
+    """
+
+    def __init__(
+        self,
+        dictionary: AnyDictionary,
+        metric: str = "nr_mapped_vmstat",
+        depth: int = 3,
+        interval: Tuple[float, float] = DEFAULT_INTERVAL,
+        unknown_label: str = "unknown",
+        backend: str = "serial",
+        n_workers: Optional[int] = None,
+    ):
+        if len(dictionary) == 0:
+            raise ValueError("cannot recognize against an empty dictionary")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        start, end = interval
+        if end <= start:
+            raise ValueError(f"interval end must exceed start, got {interval}")
+        self.dictionary = dictionary
+        self.metric = metric
+        self.depth = int(depth)
+        self.interval = (float(start), float(end))
+        self.unknown_label = unknown_label
+        self.backend = backend
+        self.n_workers = n_workers
+        self.stats = EngineStats()
+        self._index: Optional[TupleIndex] = None
+        self._index_version: Optional[int] = None
+
+    @classmethod
+    def from_recognizer(
+        cls,
+        recognizer,
+        n_shards: int = 1,
+        backend: str = "serial",
+        n_workers: Optional[int] = None,
+    ) -> "BatchRecognizer":
+        """Bind to a fitted :class:`~repro.core.recognizer.EFDRecognizer`.
+
+        ``n_shards > 1`` re-partitions the learned dictionary into a
+        :class:`~repro.engine.sharded.ShardedDictionary` first.
+        """
+        recognizer._check_fitted()
+        dictionary: AnyDictionary = recognizer.dictionary_
+        if n_shards > 1:
+            dictionary = ShardedDictionary.from_flat(dictionary, n_shards)
+        return cls(
+            dictionary=dictionary,
+            metric=recognizer.metric,
+            depth=recognizer.depth_,
+            interval=recognizer.interval,
+            unknown_label=recognizer.unknown_label,
+            backend=backend,
+            n_workers=n_workers,
+        )
+
+    # -- batch over stored executions --------------------------------------
+    def recognize_records(
+        self, records: Sequence[ExecutionRecord]
+    ) -> List[MatchResult]:
+        """Full match detail for each record, one batched pass.
+
+        ``results[i]`` equals the sequential
+        ``match_fingerprints(dictionary, build_fingerprints(records[i], ...))``.
+        The hot path never constructs (or hashes) a
+        :class:`~repro.core.fingerprint.Fingerprint`: node means are
+        reduced batch-wide, rounded in one vectorized call, and resolved
+        through a ``(node, value)`` tuple index built shard-parallel and
+        cached until the dictionary changes.
+        """
+        start, end = self.interval
+        values = _batch_rounded_means(
+            records, self.metric, self.depth, start, end
+        )
+        table = self._tuple_index()
+        get = table.get
+        position = {
+            app: i for i, app in enumerate(self.dictionary.app_names())
+        }
+        n_apps = len(position)
+
+        def tie_rank(app: str) -> int:
+            return position.get(app, n_apps)
+
+        # Repetitions of one workload collapse onto the same rounded
+        # values (that is the EFD's whole pruning idea), so identical
+        # per-node value patterns recur across a batch; their verdict is
+        # computed once and re-materialized per record (fresh MatchResult
+        # with copied dicts — the sequential path returns independent
+        # objects, and callers may mutate votes/matched_labels in place).
+        memo: Dict[Tuple[object, ...], Tuple[MatchResult, int]] = {}
+        results: List[MatchResult] = []
+        n_hits = 0
+        pos = 0
+        for record in records:
+            n_nodes = record.n_nodes
+            pattern = tuple(
+                None if v != v else v for v in values[pos : pos + n_nodes]
+            )
+            pos += n_nodes
+            cached = memo.get(pattern)
+            if cached is not None:
+                template, hits = cached
+                result = MatchResult(
+                    ranked=template.ranked,
+                    votes=dict(template.votes),
+                    matched_labels=dict(template.matched_labels),
+                    n_fingerprints=template.n_fingerprints,
+                    n_missing=template.n_missing,
+                )
+            else:
+                # Inlined vote(): each matched key contributes one vote
+                # per distinct application in its label list (the index
+                # precomputed that set).  Property tests pin this to the
+                # canonical matcher, byte for byte.
+                votes: Dict[str, int] = {}
+                matched_labels: Dict[str, int] = {}
+                n_missing = 0
+                hits = 0
+                for node, value in enumerate(pattern):
+                    if value is None:  # no usable fingerprint on this node
+                        n_missing += 1
+                        continue
+                    entry = get((node, value))
+                    if entry is None:
+                        continue
+                    labels, apps = entry
+                    hits += 1
+                    for label in labels:
+                        matched_labels[label] = matched_labels.get(label, 0) + 1
+                    for app in apps:
+                        votes[app] = votes.get(app, 0) + 1
+                if votes:
+                    top = max(votes.values())
+                    tied = [a for a, c in votes.items() if c == top]
+                    if len(tied) > 1:
+                        tied.sort(key=tie_rank)
+                    ranked = tuple(tied)
+                else:
+                    ranked = ()
+                result = MatchResult(
+                    ranked=ranked,
+                    votes=votes,
+                    matched_labels=matched_labels,
+                    n_fingerprints=n_nodes - n_missing,
+                    n_missing=n_missing,
+                )
+                memo[pattern] = (result, hits)
+            n_hits += hits
+            results.append(result)
+        self._record_stats(results, n_hits)
+        return results
+
+    def _tuple_index(self) -> TupleIndex:
+        """Build (or reuse) the batch lookup table, shard-parallel."""
+        version = self.dictionary.version
+        if self._index is not None and self._index_version == version:
+            return self._index
+        if isinstance(self.dictionary, ShardedDictionary):
+            tasks = [
+                (shard, self.metric, self.interval)
+                for shard in self.dictionary.shards
+            ]
+        else:
+            tasks = [(self.dictionary, self.metric, self.interval)]
+        partials = parallel_map(
+            _shard_tuple_index,
+            tasks,
+            backend=self.backend,
+            n_workers=self.n_workers,
+        )
+        index: TupleIndex = {}
+        for partial in partials:
+            index.update(partial)
+        self._index = index
+        self._index_version = version
+        return index
+
+    def predict(self, records: Sequence[ExecutionRecord]) -> List[str]:
+        """Application name per record (``unknown_label`` on no match)."""
+        return [
+            r.prediction if r.prediction else self.unknown_label
+            for r in self.recognize_records(records)
+        ]
+
+    # -- batch over live streaming sessions --------------------------------
+    def recognize_sessions(
+        self, sessions: Sequence[StreamSession], force: bool = False
+    ) -> List[MatchResult]:
+        """Verdicts for many concurrent streaming sessions in one pass.
+
+        Sessions are read, not concluded — callers that want the session
+        objects to cache the verdict should keep using
+        :meth:`StreamSession.verdict`.  Raises unless every session is
+        ready (all interval windows elapsed) or ``force`` is set.
+        """
+        if not force:
+            pending = [i for i, s in enumerate(sessions) if not s.ready]
+            if pending:
+                raise RuntimeError(
+                    f"{len(pending)} of {len(sessions)} sessions not yet "
+                    f"complete (first: session {pending[0]}); pass "
+                    f"force=True to decide early"
+                )
+        fingerprint_lists = [s.fingerprints() for s in sessions]
+        return self._match(fingerprint_lists)
+
+    # -- internals ----------------------------------------------------------
+    def _match(
+        self, fingerprint_lists: Sequence[Sequence[Optional[Fingerprint]]]
+    ) -> List[MatchResult]:
+        results, n_hits = match_fingerprints_batch(
+            self.dictionary,
+            fingerprint_lists,
+            backend=self.backend,
+            n_workers=self.n_workers,
+        )
+        self._record_stats(results, n_hits)
+        return results
+
+    def _record_stats(self, results: Sequence[MatchResult], n_hits: int) -> None:
+        occupancy = (
+            self.dictionary.shard_sizes()
+            if isinstance(self.dictionary, ShardedDictionary)
+            else [len(self.dictionary)]
+        )
+        self.stats.record_batch(results, n_hits, shard_occupancy=occupancy)
+
+    def __repr__(self) -> str:
+        kind = type(self.dictionary).__name__
+        return (
+            f"BatchRecognizer({kind}, metric={self.metric!r}, "
+            f"depth={self.depth}, backend={self.backend!r})"
+        )

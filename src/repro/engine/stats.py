@@ -1,0 +1,101 @@
+"""Engine counters: what the recognition service is actually doing.
+
+A production recognizer needs operational visibility — how many
+fingerprints were looked up, how often the dictionary answered, how
+often it tied or came up empty, and whether the shard layout is
+balanced.  :class:`EngineStats` is a plain counter object fed by
+:class:`~repro.engine.batch.BatchRecognizer` and rendered by the
+``efd engine`` CLI subcommands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.matcher import MatchResult
+
+
+@dataclass
+class EngineStats:
+    """Cumulative recognition counters (one instance per engine)."""
+
+    n_batches: int = 0
+    n_executions: int = 0
+    n_lookups: int = 0          # fingerprints looked up (missing nodes excluded)
+    n_missing: int = 0          # nodes that produced no usable fingerprint
+    n_hits: int = 0             # lookups that matched at least one label
+    n_recognized: int = 0       # executions with a non-empty verdict
+    n_ties: int = 0             # executions whose verdict was a tie array
+    n_unknowns: int = 0         # executions with zero matches
+    shard_occupancy: List[int] = field(default_factory=list)
+
+    def record_batch(
+        self,
+        results: Sequence[MatchResult],
+        n_hits: int,
+        shard_occupancy: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Fold one batch's outcomes into the counters."""
+        self.n_batches += 1
+        self.n_executions += len(results)
+        self.n_hits += n_hits
+        for result in results:
+            self.n_lookups += result.n_fingerprints
+            self.n_missing += result.n_missing
+            if result.is_unknown:
+                self.n_unknowns += 1
+            else:
+                self.n_recognized += 1
+                if result.is_tie:
+                    self.n_ties += 1
+        if shard_occupancy is not None:
+            self.shard_occupancy = list(shard_occupancy)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that matched at least one label."""
+        if self.n_lookups == 0:
+            return 0.0
+        return self.n_hits / self.n_lookups
+
+    @property
+    def unknown_rate(self) -> float:
+        if self.n_executions == 0:
+            return 0.0
+        return self.n_unknowns / self.n_executions
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "batches": self.n_batches,
+            "executions": self.n_executions,
+            "lookups": self.n_lookups,
+            "missing": self.n_missing,
+            "hits": self.n_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "recognized": self.n_recognized,
+            "ties": self.n_ties,
+            "unknowns": self.n_unknowns,
+            "unknown_rate": round(self.unknown_rate, 4),
+            "shard_occupancy": list(self.shard_occupancy),
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable summary for the CLI."""
+        lines = [
+            f"batches     : {self.n_batches}",
+            f"executions  : {self.n_executions} "
+            f"(recognized={self.n_recognized}, ties={self.n_ties}, "
+            f"unknown={self.n_unknowns})",
+            f"lookups     : {self.n_lookups} "
+            f"(hits={self.n_hits}, hit_rate={self.hit_rate:.3f}, "
+            f"missing_nodes={self.n_missing})",
+        ]
+        if self.shard_occupancy:
+            total = sum(self.shard_occupancy) or 1
+            occ = ", ".join(
+                f"{i}:{n} ({n / total:.0%})"
+                for i, n in enumerate(self.shard_occupancy)
+            )
+            lines.append(f"shard keys  : {occ}")
+        return "\n".join(lines)

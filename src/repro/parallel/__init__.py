@@ -7,6 +7,6 @@ parallelize at the outermost loop.
 """
 
 from repro.parallel.partition import chunk_evenly, split_indices
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import WorkerError, parallel_map
 
-__all__ = ["parallel_map", "chunk_evenly", "split_indices"]
+__all__ = ["parallel_map", "WorkerError", "chunk_evenly", "split_indices"]

@@ -12,6 +12,24 @@ R = TypeVar("R")
 _BACKENDS = ("serial", "thread", "process")
 
 
+class WorkerError(RuntimeError):
+    """A ``parallel_map`` worker raised.
+
+    Carries which item failed (``index``) and the original exception
+    (``original``, also chained as ``__cause__``) — with pooled workers
+    the bare exception otherwise surfaces with no hint of which of the
+    N items caused it.
+    """
+
+    def __init__(self, index: int, n_items: int, original: BaseException):
+        self.index = index
+        self.original = original
+        super().__init__(
+            f"worker failed on item {index} of {n_items}: "
+            f"{type(original).__name__}: {original}"
+        )
+
+
 def _default_workers() -> int:
     return max(os.cpu_count() or 1, 1)
 
@@ -35,16 +53,35 @@ def parallel_map(
 
     Falls back to serial for 0/1 items or 1 worker — no pool overhead for
     degenerate cases.
+
+    A worker exception is re-raised as :class:`WorkerError` naming the
+    failing item's index, with the original exception chained, on every
+    backend.
     """
     if backend not in _BACKENDS:
         raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
     if n_workers is not None and n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     workers = n_workers if n_workers is not None else _default_workers()
-    if backend == "serial" or workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    if backend == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    n = len(items)
+    if backend == "serial" or workers == 1 or n <= 1:
+        out: List[R] = []
+        for i, item in enumerate(items):
+            try:
+                out.append(fn(item))
+            except Exception as exc:
+                raise WorkerError(i, n, exc) from exc
+        return out
+    executor = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    results: List[R] = []
+    with executor(max_workers=workers) as pool:
+        # Executor.map re-raises a worker's exception when its position
+        # in the result stream is reached, which is exactly the failing
+        # item's index.
+        stream = pool.map(fn, items)
+        for i in range(n):
+            try:
+                results.append(next(stream))
+            except Exception as exc:
+                raise WorkerError(i, n, exc) from exc
+    return results

@@ -74,3 +74,45 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "normal_fold" in out and "F=" in out
+
+
+class TestEngineCommands:
+    def test_engine_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine"])
+
+    def test_selftest_smoke(self, capsys):
+        assert main(["engine", "selftest", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "shard keys" in out
+
+    def test_shard_recognize_info_round_trip(self, tmp_path, capsys):
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        shards = str(tmp_path / "efd-shards")
+        main(["generate", "--out", data, "--repetitions", "2",
+              "--duration-cap", "150", "--seed", "11"])
+        main(["fit", "--data", data, "--out", efd, "--depth", "2"])
+        capsys.readouterr()
+
+        assert main([
+            "engine", "shard", "--efd", efd, "--out", shards, "--shards", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 shard(s)" in out
+        assert os.path.isdir(shards)
+        assert os.path.exists(os.path.join(shards, "manifest.json"))
+
+        assert main(["engine", "info", "--efd-dir", shards]) == 0
+        out = capsys.readouterr().out
+        assert "occupancy" in out
+
+        assert main([
+            "engine", "recognize", "--efd-dir", shards, "--data", data,
+            "--depth", "2", "--backend", "thread",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out
+        accuracy = float(out.strip().rsplit("= ", 1)[1])
+        assert accuracy > 0.9

@@ -114,6 +114,68 @@ class TestStreamSession:
         assert session.prediction() == "unknown"
 
 
+class TestStreamingAtScale:
+    """Many concurrent sessions fed interleaved must equal sequential.
+
+    This is the production shape: one recognizer, hundreds of jobs in
+    flight, telemetry arriving round-robin in arbitrary time slices.
+    Session state must be fully isolated — any cross-talk shows up as a
+    verdict diverging from the one-session-at-a-time reference.
+    """
+
+    N_SESSIONS = 100
+
+    def test_interleaved_feeding_matches_sequential(self, streaming, tiny_dataset):
+        records = [
+            tiny_dataset[i % len(tiny_dataset)] for i in range(self.N_SESSIONS)
+        ]
+        sequential = []
+        for record in records:
+            session = streaming.open_session(n_nodes=record.n_nodes)
+            _feed_record(session, record)
+            sequential.append(session.prediction())
+
+        sessions = [
+            streaming.open_session(n_nodes=r.n_nodes) for r in records
+        ]
+        # Interleave: every session gets one time slice before any
+        # session gets the next, mimicking round-robin collector flushes.
+        boundaries = [0.0, 31.0, 59.5, 90.0, 117.0, 1e9]
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            for session, record in zip(sessions, records):
+                for node in range(record.n_nodes):
+                    series = record.series("nr_mapped_vmstat", node)
+                    mask = (series.times >= lo) & (series.times < hi)
+                    session.ingest_many(
+                        node, series.times[mask], series.values[mask]
+                    )
+        assert all(s.ready for s in sessions)
+        interleaved = [s.prediction() for s in sessions]
+        assert interleaved == sequential
+
+    def test_batch_engine_agrees_with_interleaved_sessions(
+        self, streaming, tiny_dataset
+    ):
+        from repro.engine import BatchRecognizer, ShardedDictionary
+
+        records = [
+            tiny_dataset[i % len(tiny_dataset)] for i in range(self.N_SESSIONS)
+        ]
+        sessions = [
+            streaming.open_session(n_nodes=r.n_nodes) for r in records
+        ]
+        for session, record in zip(sessions, records):
+            _feed_record(session, record)
+        engine = BatchRecognizer(
+            ShardedDictionary.from_flat(streaming.dictionary, 4),
+            metric=streaming.metric,
+            depth=streaming.depth,
+            interval=streaming.interval,
+        )
+        batch = engine.recognize_sessions(sessions)
+        assert batch == [s.verdict() for s in sessions]
+
+
 class TestStreamingRecognizer:
     def test_from_unfitted_raises(self):
         with pytest.raises(RuntimeError):

@@ -1,0 +1,393 @@
+"""Property tests: the engine is *exactly* the flat EFD, only faster.
+
+Sharding and batching are pure reorganizations — every observable
+(lookups, tie arrays, vote counts, stats) must be byte-identical to the
+single-dictionary, one-execution-at-a-time reference path.  These tests
+drive both layers with randomized dictionaries (seeded — reproducible)
+and with the synthetic datasets, across shard counts {1, 2, 4, 8} and
+all three pool backends.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint, build_fingerprints
+from repro.core.matcher import match_fingerprints, vote
+from repro.core.recognizer import EFDRecognizer
+from repro.core.streaming import StreamingRecognizer
+from repro.engine import (
+    BatchRecognizer,
+    ShardedDictionary,
+    match_fingerprints_batch,
+    shard_index,
+)
+from repro.engine.batch import build_fingerprints_batch
+
+SHARD_COUNTS = (1, 2, 4, 8)
+BACKENDS = ("serial", "thread", "process")
+
+_METRICS = ("nr_mapped_vmstat", "Committed_AS_meminfo")
+_INTERVALS = ((60.0, 120.0), (0.0, 60.0))
+_APPS = ("ft", "mg", "sp", "bt", "miniAMR")
+_INPUTS = ("X", "Y", "Z")
+
+
+def _random_fingerprint(rng: random.Random) -> Fingerprint:
+    return Fingerprint(
+        metric=rng.choice(_METRICS),
+        node=rng.randrange(4),
+        interval=rng.choice(_INTERVALS),
+        value=float(rng.randrange(1, 200) * 100),
+    )
+
+
+def _random_pairs(rng: random.Random, n: int):
+    return [
+        (
+            _random_fingerprint(rng),
+            f"{rng.choice(_APPS)}_{rng.choice(_INPUTS)}",
+        )
+        for _ in range(n)
+    ]
+
+
+def _build_both(seed: int, n_shards: int, n_pairs: int = 300):
+    rng = random.Random(seed)
+    pairs = _random_pairs(rng, n_pairs)
+    flat = ExecutionFingerprintDictionary()
+    sharded = ShardedDictionary(n_shards)
+    for fp, label in pairs:
+        flat.add(fp, label)
+        sharded.add(fp, label)
+    return flat, sharded, rng
+
+
+class TestShardedEqualsFlat:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_read_contract_identical(self, n_shards):
+        flat, sharded, _ = _build_both(seed=n_shards, n_shards=n_shards)
+        assert len(sharded) == len(flat)
+        assert sharded.labels() == flat.labels()
+        assert sharded.app_names() == flat.app_names()
+        assert sharded.metrics() == flat.metrics()
+        assert sharded.intervals() == flat.intervals()
+        assert list(sharded.entries()) == list(flat.entries())
+        assert sharded.stats() == flat.stats()
+        assert sharded.collisions() == flat.collisions()
+        for app in _APPS:
+            assert sharded.fingerprints_for(app) == flat.fingerprints_for(app)
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_lookups_identical(self, n_shards):
+        flat, sharded, rng = _build_both(seed=10 + n_shards, n_shards=n_shards)
+        queries = [fp for fp, _ in sharded.entries()]
+        queries += [_random_fingerprint(rng) for _ in range(100)]  # misses too
+        for fp in queries:
+            assert sharded.lookup(fp) == flat.lookup(fp)
+            assert sharded.lookup_counts(fp) == flat.lookup_counts(fp)
+            assert (fp in sharded) == (fp in flat)
+        assert sharded.lookup(None) == flat.lookup(None) == []
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_match_and_vote_identical(self, n_shards):
+        flat, sharded, rng = _build_both(seed=20 + n_shards, n_shards=n_shards)
+        known = [fp for fp, _ in flat.entries()]
+        for _ in range(50):
+            fps = []
+            for _ in range(rng.randrange(1, 6)):
+                roll = rng.random()
+                if roll < 0.2:
+                    fps.append(None)  # node without a fingerprint
+                elif roll < 0.5:
+                    fps.append(_random_fingerprint(rng))  # likely a miss
+                else:
+                    fps.append(rng.choice(known))
+            assert match_fingerprints(sharded, fps) == match_fingerprints(flat, fps)
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_from_flat_and_to_flat_round_trip(self, n_shards):
+        flat, _, _ = _build_both(seed=30 + n_shards, n_shards=n_shards)
+        sharded = ShardedDictionary.from_flat(flat, n_shards)
+        assert list(sharded.entries()) == list(flat.entries())
+        back = sharded.to_flat()
+        assert list(back.entries()) == list(flat.entries())
+        assert back.labels() == flat.labels()
+        assert back.stats() == flat.stats()
+
+    def test_keys_land_on_their_hash_shard(self):
+        _, sharded, _ = _build_both(seed=99, n_shards=8)
+        for i, shard in enumerate(sharded.shards):
+            for fp, _ in shard.entries():
+                assert shard_index(fp, 8) == i
+
+    def test_shard_routing_is_deterministic(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            fp = _random_fingerprint(rng)
+            assert shard_index(fp, 8) == shard_index(
+                Fingerprint(fp.metric, fp.node, fp.interval, fp.value), 8
+            )
+
+    def test_negative_zero_routes_like_positive_zero(self):
+        # Fingerprint(-0.0) == Fingerprint(0.0) (float equality), so the
+        # two must be one key in every shard layout.
+        pos = Fingerprint("m", 0, (60.0, 120.0), 0.0)
+        neg = Fingerprint("m", 0, (60.0, 120.0), -0.0)
+        assert pos == neg
+        for n_shards in SHARD_COUNTS:
+            assert shard_index(pos, n_shards) == shard_index(neg, n_shards)
+        sharded = ShardedDictionary(8)
+        sharded.add(pos, "ft_X")
+        sharded.add(neg, "ft_X")
+        assert len(sharded) == 1
+        assert sharded.lookup_counts(neg) == {"ft_X": 2}
+
+    def test_numpy_typed_keys_route_like_python_typed(self):
+        import numpy as np
+
+        py = Fingerprint("m", 3, (60.0, 120.0), 6000.0)
+        npy = Fingerprint(
+            "m", int(np.int64(3)), (60.0, 120.0), np.float64(6000.0)
+        )
+        assert py == npy
+        for n_shards in SHARD_COUNTS:
+            assert shard_index(py, n_shards) == shard_index(npy, n_shards)
+        sharded = ShardedDictionary(8)
+        sharded.add(py, "ft_X")
+        assert sharded.lookup(npy) == ["ft_X"]
+        # And the raw-numpy-node variant (no int() coercion by caller):
+        raw = Fingerprint("m", np.int64(3), (60.0, 120.0), np.float64(6000.0))
+        assert shard_index(raw, 8) == shard_index(py, 8)
+
+    def test_negative_zero_rounds_like_scalar(self):
+        from repro.core.rounding import round_depth, round_depth_array
+
+        arr = round_depth_array([-0.0, 0.0, 5.28], 2)
+        assert str(arr[0]) == str(round_depth(-0.0, 2)) == "0.0"
+        assert arr[2] == round_depth(5.28, 2)
+
+
+class TestBulkAddAndMerge:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bulk_add_equals_sequential(self, backend):
+        rng = random.Random(55)
+        pairs = _random_pairs(rng, 200)
+        sequential = ShardedDictionary(4)
+        for fp, label in pairs:
+            sequential.add(fp, label)
+        bulk = ShardedDictionary(4)
+        inserted = bulk.bulk_add(pairs, backend=backend, n_workers=2)
+        assert inserted == len(pairs)
+        assert list(bulk.entries()) == list(sequential.entries())
+        assert bulk.labels() == sequential.labels()
+        assert bulk.stats() == sequential.stats()
+
+    def test_bulk_add_skips_none(self):
+        rng = random.Random(56)
+        pairs = _random_pairs(rng, 20)
+        with_gaps = [(None, "ft_X")] + pairs + [(None, "mg_Y")]
+        sharded = ShardedDictionary(2)
+        assert sharded.bulk_add(with_gaps) == len(pairs)
+        # None carries no fingerprint but its label still registers, as
+        # in add_many + register_label semantics the engine documents.
+        assert "mg_Y" in sharded.labels()
+
+    def test_merge_matches_flat_merge(self):
+        flat_a, sharded_a, _ = _build_both(seed=60, n_shards=4, n_pairs=150)
+        flat_b, sharded_b, _ = _build_both(seed=61, n_shards=8, n_pairs=150)
+        flat_a.merge(flat_b)
+        sharded_a.merge(sharded_b)  # shard counts differ: keys re-route
+        assert sorted(
+            (str(fp), labels) for fp, labels in sharded_a.entries()
+        ) == sorted((str(fp), labels) for fp, labels in flat_a.entries())
+        for fp, _ in flat_a.entries():
+            assert sharded_a.lookup_counts(fp) == flat_a.lookup_counts(fp)
+        assert sharded_a.stats() == flat_a.stats()
+
+
+class TestBatchEqualsSequential:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        records = list(tiny_dataset)
+        sequential = [
+            match_fingerprints(
+                recognizer.dictionary_,
+                build_fingerprints(r, "nr_mapped_vmstat", 2),
+            )
+            for r in records
+        ]
+        return recognizer, records, sequential
+
+    def test_build_fingerprints_batch_identical(self, fitted):
+        _, records, _ = fitted
+        batched = build_fingerprints_batch(records, "nr_mapped_vmstat", 2)
+        expected = [
+            build_fingerprints(r, "nr_mapped_vmstat", 2) for r in records
+        ]
+        assert batched == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_recognize_records_equals_loop(self, fitted, backend, n_shards):
+        recognizer, records, sequential = fitted
+        sharded = ShardedDictionary.from_flat(recognizer.dictionary_, n_shards)
+        engine = BatchRecognizer(
+            sharded, depth=2, backend=backend, n_workers=2
+        )
+        assert engine.recognize_records(records) == sequential
+        # Second pass exercises the cached lookup index.
+        assert engine.recognize_records(records) == sequential
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_flat_dictionary_accepted_too(self, fitted, backend):
+        recognizer, records, sequential = fitted
+        engine = BatchRecognizer(
+            recognizer.dictionary_, depth=2, backend=backend, n_workers=2
+        )
+        assert engine.recognize_records(records) == sequential
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_match_fingerprints_batch_equals_loop(self, fitted, backend):
+        recognizer, records, sequential = fitted
+        fingerprint_lists = [
+            build_fingerprints(r, "nr_mapped_vmstat", 2) for r in records
+        ]
+        sharded = ShardedDictionary.from_flat(recognizer.dictionary_, 4)
+        results, n_hits = match_fingerprints_batch(
+            sharded, fingerprint_lists, backend=backend, n_workers=2
+        )
+        assert results == sequential
+        assert n_hits == sum(
+            1
+            for fps in fingerprint_lists
+            for fp in fps
+            if fp is not None and sharded.lookup(fp)
+        )
+
+    def test_index_invalidated_on_dictionary_growth(self, fitted):
+        recognizer, records, _ = fitted
+        sharded = ShardedDictionary.from_flat(recognizer.dictionary_, 4)
+        engine = BatchRecognizer(sharded, depth=2)
+        before = engine.recognize_records(records[:4])
+        assert not before[0].is_unknown
+        # Teach the store a colliding label for every key the first
+        # record matched; the next batch must see it.
+        fps = build_fingerprints(records[0], "nr_mapped_vmstat", 2)
+        for fp in fps:
+            if fp is not None:
+                sharded.add(fp, "zz_Q")
+        after = engine.recognize_records(records[:1])
+        assert "zz" in after[0].votes
+
+    def test_repeated_patterns_return_independent_results(self, fitted):
+        recognizer, records, _ = fitted
+        engine = BatchRecognizer(recognizer.dictionary_, depth=2)
+        # Same record twice: identical verdicts, but independent objects
+        # (the sequential path never aliases), so in-place mutation of
+        # one must not leak into the other.
+        a, b = engine.recognize_records([records[0], records[0]])
+        assert a == b
+        assert a is not b
+        assert a.votes is not b.votes
+        assert a.matched_labels is not b.matched_labels
+        a.votes["poisoned"] = 99
+        assert "poisoned" not in b.votes
+
+    def test_recognize_sessions_equals_individual_verdicts(self, fitted):
+        recognizer, records, _ = fitted
+        streaming = StreamingRecognizer.from_recognizer(recognizer)
+        sessions = []
+        for record in records[:10]:
+            session = streaming.open_session(n_nodes=record.n_nodes)
+            for node in range(record.n_nodes):
+                series = record.series("nr_mapped_vmstat", node)
+                session.ingest_many(node, series.times, series.values)
+            sessions.append(session)
+        engine = BatchRecognizer(
+            ShardedDictionary.from_flat(recognizer.dictionary_, 4), depth=2
+        )
+        batch = engine.recognize_sessions(sessions)
+        assert batch == [s.verdict() for s in sessions]
+
+    def test_recognize_sessions_requires_ready(self, fitted):
+        recognizer, records, _ = fitted
+        streaming = StreamingRecognizer.from_recognizer(recognizer)
+        session = streaming.open_session(n_nodes=records[0].n_nodes)
+        engine = BatchRecognizer(recognizer.dictionary_, depth=2)
+        with pytest.raises(RuntimeError, match="not yet complete"):
+            engine.recognize_sessions([session])
+        assert engine.recognize_sessions([session], force=True)[0].is_unknown
+
+    def test_predict_uses_unknown_label(self, fitted):
+        recognizer, records, _ = fitted
+        engine = BatchRecognizer(
+            recognizer.dictionary_,
+            depth=2,
+            interval=(900.0, 960.0),  # beyond the data: every node misses
+            unknown_label="???",
+        )
+        assert engine.predict(records[:3]) == ["???"] * 3
+
+    def test_stats_accumulate(self, fitted):
+        recognizer, records, _ = fitted
+        engine = BatchRecognizer(recognizer.dictionary_, depth=2)
+        engine.recognize_records(records[:5])
+        engine.recognize_records(records[5:8])
+        assert engine.stats.n_batches == 2
+        assert engine.stats.n_executions == 8
+        assert engine.stats.n_lookups == sum(
+            r.n_nodes for r in records[:8]
+        )
+        assert engine.stats.hit_rate > 0.9
+
+
+class TestVotePositionHook:
+    def test_precomputed_position_equals_app_order(self):
+        lookups = [["sp_X", "bt_X"], ["bt_X"], ["sp_X", "bt_X"], []]
+        app_order = ["sp", "bt", "ft"]
+        position = {app: i for i, app in enumerate(app_order)}
+        assert vote(lookups, app_order=app_order) == vote(
+            lookups, position=position
+        )
+
+    def test_tie_order_follows_position(self):
+        lookups = [["sp_X", "bt_X"], ["sp_X", "bt_X"]]
+        ranked, votes = vote(lookups, position={"bt": 0, "sp": 1})
+        assert ranked == ("bt", "sp")
+        assert votes == {"sp": 2, "bt": 2}
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedDictionary(0)
+        with pytest.raises(ValueError):
+            shard_index(
+                Fingerprint("m", 0, (60.0, 120.0), 1.0), 0
+            )
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRecognizer(ShardedDictionary(4))
+
+    def test_bad_depth_and_interval_rejected(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        with pytest.raises(ValueError):
+            BatchRecognizer(recognizer.dictionary_, depth=0)
+        with pytest.raises(ValueError):
+            BatchRecognizer(
+                recognizer.dictionary_, depth=2, interval=(120.0, 60.0)
+            )
+
+    def test_missing_metric_raises_keyerror(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        engine = BatchRecognizer(
+            recognizer.dictionary_, metric="no_such_metric", depth=2
+        )
+        with pytest.raises(KeyError, match="no telemetry"):
+            engine.recognize_records(list(tiny_dataset)[:2])

@@ -3,10 +3,16 @@ import os
 import pytest
 
 from repro.parallel.partition import chunk_evenly, split_indices
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import WorkerError, parallel_map
 
 
 def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"cannot handle {x}")
     return x * x
 
 
@@ -73,3 +79,35 @@ class TestParallelMap:
 
         with pytest.raises(RuntimeError, match="boom"):
             parallel_map(boom, [1, 2], backend="thread", n_workers=2)
+
+
+class TestWorkerErrorPropagation:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_failing_item_index_in_message(self, backend):
+        items = [0, 1, 2, 3, 4]
+        with pytest.raises(WorkerError, match=r"item 3 of 5"):
+            parallel_map(_fail_on_three, items, backend=backend, n_workers=2)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_original_exception_carried(self, backend):
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_fail_on_three, [3], backend=backend, n_workers=2)
+        err = excinfo.value
+        assert err.index == 0
+        assert isinstance(err.original, ValueError)
+        assert isinstance(err.__cause__, ValueError)
+        assert "cannot handle 3" in str(err)
+
+    def test_worker_error_is_runtime_error(self):
+        # Callers matching the broad class (pre-existing behavior) keep
+        # working: WorkerError subclasses RuntimeError.
+        with pytest.raises(RuntimeError, match="cannot handle 3"):
+            parallel_map(_fail_on_three, [1, 3], backend="serial")
+
+    def test_successful_items_before_failure_not_lost_to_caller(self):
+        # The error alone must identify the failing item so callers can
+        # retry or skip it without re-running the whole batch.
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_fail_on_three, [1, 2, 3, 4], backend="thread",
+                         n_workers=2)
+        assert excinfo.value.index == 2
