@@ -1,0 +1,25 @@
+# Developer entry points. Everything runs from the repo root with no
+# installation: PYTHONPATH=src is injected here.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs-check docs-check-run selftest serve-demo
+
+test:            ## tier-1 correctness suite (the merge gate)
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## benchmarks (write reports to benchmarks/output/)
+	$(PYTHON) -m pytest benchmarks -m bench -q
+
+docs-check:      ## markdown cross-links + examples import health
+	$(PYTHON) -m repro._util.doccheck
+
+docs-check-run:  ## docs-check, plus actually execute every example
+	$(PYTHON) -m repro._util.doccheck --run
+
+selftest:        ## engine equivalence smoke check
+	$(PYTHON) -m repro engine selftest
+
+serve-demo:      ## async live-serving demo
+	$(PYTHON) -m repro serve --demo

@@ -1,0 +1,138 @@
+"""Serving throughput: the async ingestion front-end at 1000 sessions.
+
+The acceptance bar for ``repro.serve``: a 1000-session interleaved
+telemetry stream (one `StreamSession` per job, ~600 samples each —
+0.6 M samples end to end) must flow through `IngestService` — bounded
+queue, micro-batching, executor-resolved verdicts — with every verdict
+element-wise identical to the synchronous
+``BatchRecognizer.recognize_sessions`` path, at a sustained rate of at
+least 50 sessions/sec on one core.
+
+The report records sustained sessions/sec and samples/sec for both
+backpressure policies, plus verdict latency percentiles from the
+engine's own counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.recognizer import EFDRecognizer
+from repro.core.streaming import StreamingRecognizer
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.engine import BatchRecognizer, ShardedDictionary
+from repro.serve import IngestService, ServeConfig, interleave_records
+
+METRIC = "nr_mapped_vmstat"
+DEPTH = 3
+N_SESSIONS = 1000
+N_SHARDS = 8
+REQUIRED_SESSIONS_PER_SEC = 50.0
+
+CONFIGS = {
+    "block": ServeConfig(max_pending_samples=8192, backpressure="block",
+                         batch_max_sessions=128, batch_max_delay=0.005),
+    "shed-ample": ServeConfig(max_pending_samples=1_000_000,
+                              backpressure="shed",
+                              batch_max_sessions=128, batch_max_delay=0.005),
+}
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    config = DatasetConfig(
+        metrics=(METRIC,), repetitions=6, seed=2021, duration_cap=150.0
+    )
+    dataset = TaxonomistDatasetGenerator(config).generate()
+    recognizer = EFDRecognizer(metric=METRIC, depth=DEPTH).fit(dataset)
+    sharded = ShardedDictionary.from_flat(recognizer.dictionary_, N_SHARDS)
+    # Cycle the record pool up to 1000 distinct job ids.
+    pool = list(dataset)
+    records = [pool[i % len(pool)] for i in range(N_SESSIONS)]
+    job_ids = [f"job-{i:04d}" for i in range(N_SESSIONS)]
+    return recognizer, sharded, records, job_ids
+
+
+def _reference(recognizer, sharded, records, job_ids):
+    streaming = StreamingRecognizer.from_recognizer(recognizer)
+    sessions = []
+    for record, job in zip(records, job_ids):
+        session = streaming.open_session(n_nodes=record.n_nodes, session_id=job)
+        for node in range(record.n_nodes):
+            series = record.series(METRIC, node)
+            session.ingest_many(node, series.times, series.values)
+        sessions.append(session)
+    engine = BatchRecognizer(sharded, metric=METRIC, depth=DEPTH)
+    t0 = time.perf_counter()
+    results = engine.recognize_sessions(sessions, force=True)
+    t_sync = time.perf_counter() - t0
+    return dict(zip(job_ids, results)), t_sync
+
+
+async def _serve_stream(engine, config, samples):
+    service = IngestService(engine, config)
+    async with service:
+        await service.submit_many(samples)
+        await service.drain()
+    return service
+
+
+def test_serve_throughput_1000_sessions(serving_setup, save_report):
+    recognizer, sharded, records, job_ids = serving_setup
+    reference, t_sync = _reference(recognizer, sharded, records, job_ids)
+    n_samples = sum(
+        len(r.series(METRIC, node).values)
+        for r in records for node in range(r.n_nodes)
+    )
+
+    rows = []
+    rates = {}
+    for name, config in CONFIGS.items():
+        engine = BatchRecognizer(sharded, metric=METRIC, depth=DEPTH)
+        samples = interleave_records(records, METRIC, job_ids)
+        t0 = time.perf_counter()
+        service = asyncio.run(_serve_stream(engine, config, samples))
+        elapsed = time.perf_counter() - t0
+
+        stats = engine.stats
+        assert stats.n_shed == 0, f"{name}: unexpected sheds"
+        assert stats.n_evicted == 0, f"{name}: unexpected evictions"
+        results = service.results
+        assert len(results) == N_SESSIONS
+        for job in job_ids:
+            assert results[job] == reference[job], f"{name}: {job}"
+
+        rates[name] = N_SESSIONS / elapsed
+        rows.append(
+            (name, elapsed, N_SESSIONS / elapsed, n_samples / elapsed,
+             stats.n_batches, stats.max_batch,
+             stats.mean_latency * 1e3, stats.max_latency * 1e3)
+        )
+
+    lines = [
+        f"Serve throughput: {N_SESSIONS} interleaved sessions, "
+        f"{n_samples} samples, {len(sharded)} keys, {N_SHARDS} shards",
+        f"sync reference  : recognize_sessions on prefilled sessions "
+        f"in {t_sync:.3f}s (resolution only, no ingestion)",
+        "",
+        f"{'policy':12s} {'seconds':>8s} {'sess/s':>8s} {'samp/s':>10s} "
+        f"{'batches':>8s} {'maxB':>5s} {'lat-mean':>9s} {'lat-max':>8s}",
+    ]
+    for name, secs, sps, smps, nb, mb, lmean, lmax in rows:
+        lines.append(
+            f"{name:12s} {secs:8.3f} {sps:8.0f} {smps:10.0f} "
+            f"{nb:8d} {mb:5d} {lmean:7.1f}ms {lmax:6.1f}ms"
+        )
+    lines += [
+        "",
+        f"requirement: >= {REQUIRED_SESSIONS_PER_SEC:.0f} sessions/s "
+        "sustained with element-wise identical verdicts",
+    ]
+    save_report("serve_throughput", "\n".join(lines))
+
+    assert max(rates.values()) >= REQUIRED_SESSIONS_PER_SEC, (
+        f"serving throughput below bar: {rates}"
+    )

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Live serving: async ingestion of an interleaved multi-job stream.
+
+`examples/batch_recognition.py` resolves sessions that are already
+complete; this example runs the operational mode on top of it — a
+monitoring bus delivers samples for many jobs at once, and the
+`IngestService` produces each verdict while the stream is still
+flowing:
+
+1. learn an EFD, shard it, wrap it in a `BatchRecognizer`,
+2. replay a 40-job interleaved telemetry stream through the service
+   with a small bounded queue (blocking backpressure) and watch
+   verdicts arrive mid-stream via the callback,
+3. prove the async verdicts element-wise identical to the synchronous
+   `recognize_sessions` path on the same samples,
+4. shed-policy pass on a deliberately tiny queue: bounded latency, lossy,
+5. evict a job that stops sending samples before its interval completes,
+6. read the serving counters (queue depth, sheds, evictions, latency).
+
+Run:  python examples/live_serving.py
+"""
+
+import asyncio
+
+from repro import (
+    BatchRecognizer,
+    EFDRecognizer,
+    IngestService,
+    ServeConfig,
+    ShardedDictionary,
+    StreamingRecognizer,
+    generate_dataset,
+)
+from repro.serve import Sample, interleave_records
+
+METRIC = "nr_mapped_vmstat"
+
+
+def main() -> None:
+    print("=== 1. Learn, shard, build the batch engine ===")
+    dataset = generate_dataset(repetitions=4, seed=42, duration_cap=150.0)
+    recognizer = EFDRecognizer(metric=METRIC, depth=3).fit(dataset)
+    sharded = ShardedDictionary.from_flat(recognizer.dictionary_, n_shards=8)
+    engine = BatchRecognizer(sharded, metric=METRIC, depth=recognizer.depth_)
+    # Stride across the app-sorted dataset so the stream mixes apps.
+    records = list(dataset)[:: max(1, len(dataset) // 40)][:40]
+    job_ids = [f"job-{i:04d}" for i in range(len(records))]
+    print(f"dictionary: {len(recognizer.dictionary_)} keys, 8 shards; "
+          f"stream: {len(records)} concurrent jobs\n")
+
+    print("=== 2. Serve the stream (block policy, queue=256) ===")
+    arrived = []
+
+    async def serve() -> IngestService:
+        config = ServeConfig(
+            max_pending_samples=256,    # small bounded buffer
+            backpressure="block",       # lossless: producer slows down
+            batch_max_sessions=16,      # micro-batch coalescing
+            batch_max_delay=0.005,
+        )
+        service = IngestService(
+            engine, config,
+            on_verdict=lambda job, r: arrived.append((job, r)),
+        )
+        async with service:
+            for sample in interleave_records(records, METRIC, job_ids):
+                await service.submit(sample)
+            await service.drain()
+        return service
+
+    service = asyncio.run(serve())
+    correct = sum(
+        1 for (job, result), record in zip(sorted(arrived), records)
+        if result.prediction == record.app_name
+    )
+    print(f"{len(arrived)} verdicts delivered mid-stream, "
+          f"{correct}/{len(records)} correct\n")
+
+    print("=== 3. Async verdicts == synchronous batch path ===")
+    streaming = StreamingRecognizer.from_recognizer(recognizer)
+    sessions = []
+    for record, job in zip(records, job_ids):
+        session = streaming.open_session(n_nodes=record.n_nodes, session_id=job)
+        for node in range(record.n_nodes):
+            series = record.series(METRIC, node)
+            session.ingest_many(node, series.times, series.values)
+        sessions.append(session)
+    reference = BatchRecognizer(
+        sharded, metric=METRIC, depth=recognizer.depth_
+    ).recognize_sessions(sessions, force=True)
+    results = service.results
+    assert [results[job] for job in job_ids] == reference, \
+        "async service must equal the synchronous engine"
+    print("element-wise identical across all "
+          f"{len(job_ids)} sessions\n")
+
+    print("=== 4. Shed policy: more jobs than session slots ===")
+
+    def engine_fresh() -> BatchRecognizer:
+        return BatchRecognizer(sharded, metric=METRIC, depth=recognizer.depth_)
+
+    async def shed_pass() -> IngestService:
+        # Only 12 concurrent session slots for 40 jobs: samples for
+        # overflow jobs are shed (counted, not queued) until verdicts
+        # free slots.  Lossy, but latency and memory stay bounded.
+        config = ServeConfig(
+            max_sessions=12, backpressure="shed",
+            batch_max_sessions=16, batch_max_delay=0.005,
+        )
+        service = IngestService(engine_fresh(), config)
+        async with service:
+            await service.submit_many(
+                interleave_records(records, METRIC, job_ids)
+            )
+            await service.drain()
+        return service
+
+    shed_service = asyncio.run(shed_pass())
+    stats = shed_service.stats
+    print(f"shed {stats.n_shed} samples at the session cap; "
+          f"{stats.n_recognized} jobs recognized, "
+          f"{stats.n_unknowns} degraded to unknown\n")
+
+    print("=== 5. Eviction: a job that stops reporting ===")
+
+    async def evict_pass() -> None:
+        config = ServeConfig(
+            session_timeout=0.2,   # wall-clock inactivity budget
+            evict="force",         # decide early from what arrived
+            batch_max_delay=0.005,
+        )
+        async with IngestService(engine_fresh(), config) as service:
+            # 70 in-interval samples, then silence: never reaches 120 s.
+            for t in range(60, 110):
+                await service.submit(
+                    Sample(job="truncated", node=0, time=float(t),
+                           value=180_000.0, n_nodes=1)
+                )
+            result = await asyncio.wait_for(
+                service.verdict("truncated"), timeout=5
+            )
+            app = result.prediction or "unknown"
+            print(f"evicted after 0.2s silence -> forced verdict: {app} "
+                  f"(evictions={service.stats.n_evicted})\n")
+
+    asyncio.run(evict_pass())
+
+    print("=== 6. Serving counters ===")
+    print(service.stats.render())
+
+
+if __name__ == "__main__":
+    main()

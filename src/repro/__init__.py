@@ -50,6 +50,7 @@ from repro.engine import (
     load_sharded,
     save_sharded,
 )
+from repro.serve import IngestService, Sample, ServeConfig
 from repro.telemetry.metrics import default_registry
 
 __version__ = "1.0.0"
@@ -83,6 +84,10 @@ __all__ = [
     "ShardedDictionary",
     "save_sharded",
     "load_sharded",
+    # serve (async live-session ingestion)
+    "IngestService",
+    "Sample",
+    "ServeConfig",
     # data
     "ExecutionDataset",
     "ExecutionRecord",

@@ -1,0 +1,261 @@
+"""Documentation and example health checker.
+
+Docs rot in two ways this repo can actually detect: markdown
+cross-links stop resolving (files move, headings get reworded), and
+``examples/*.py`` silently break when the public API shifts.  This
+module checks both and is wired into tier-1 via
+``tests/test_doccheck.py`` (and the ``make docs-check`` target), so a PR
+cannot merge with broken docs::
+
+    python -m repro._util.doccheck            # links + example imports
+    python -m repro._util.doccheck --run      # also execute every example
+
+Checks
+------
+- **Links.** Every relative markdown link/image in ``README.md`` and
+  ``docs/**/*.md`` must point at an existing file or directory; a
+  ``#fragment`` must match a heading anchor (GitHub slug rules) in the
+  target file.  External (``http(s)://``, ``mailto:``) links are not
+  fetched — this tool must work offline.
+- **Examples.** Each ``examples/*.py`` must compile, and every
+  ``import repro...`` / ``from repro... import name`` it performs must
+  resolve against the installed package — the cheap proxy for "the
+  example still runs" that catches renamed/removed public API.  With
+  ``--run``, each example is executed in a subprocess instead
+  (slow; not part of tier-1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import functools
+import importlib
+import os
+import re
+import subprocess
+import sys
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root(start: Optional[str] = None) -> str:
+    """Nearest ancestor of ``start`` containing README.md (or cwd)."""
+    path = os.path.abspath(start or os.getcwd())
+    while True:
+        if os.path.isfile(os.path.join(path, "README.md")):
+            return path
+        parent = os.path.dirname(path)
+        if parent == path:
+            return os.path.abspath(start or os.getcwd())
+        path = parent
+
+
+def markdown_files(root: str) -> List[str]:
+    """README.md plus every ``docs/**/*.md``, repo-relative order."""
+    out = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        out.append(readme)
+    docs = os.path.join(root, "docs")
+    for base, _, names in sorted(os.walk(docs)):
+        for name in sorted(names):
+            if name.endswith(".md"):
+                out.append(os.path.join(base, name))
+    return out
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line's text."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def heading_anchors(path: str) -> List[str]:
+    """All heading anchors in a markdown file (code fences excluded).
+
+    Cached per path — one target file is typically the destination of
+    many fragment links in one check run.
+    """
+    anchors: List[str] = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if _CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = _HEADING_RE.match(line)
+            if match:
+                anchors.append(github_slug(match.group(1)))
+    return anchors
+
+
+def extract_links(path: str) -> List[Tuple[int, str]]:
+    """(line number, target) for every markdown link, fences excluded."""
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if _CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK_RE.finditer(line):
+                links.append((lineno, match.group(1)))
+    return links
+
+
+def check_links(root: str) -> List[str]:
+    """Problems with relative links/anchors in the repo's markdown."""
+    problems: List[str] = []
+    for md in markdown_files(root):
+        rel_md = os.path.relpath(md, root)
+        for lineno, target in extract_links(md):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part)
+                )
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{rel_md}:{lineno}: broken link {target!r} "
+                        f"({os.path.relpath(resolved, root)} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = md  # same-file anchor
+            if fragment:
+                if not resolved.endswith(".md") or not os.path.isfile(resolved):
+                    continue  # anchors into non-markdown targets: skip
+                if fragment not in heading_anchors(resolved):
+                    problems.append(
+                        f"{rel_md}:{lineno}: broken anchor {target!r} "
+                        f"(no heading #{fragment} in "
+                        f"{os.path.relpath(resolved, root)})"
+                    )
+    return problems
+
+
+def example_files(root: str) -> List[str]:
+    examples = os.path.join(root, "examples")
+    if not os.path.isdir(examples):
+        return []
+    return [
+        os.path.join(examples, name)
+        for name in sorted(os.listdir(examples))
+        if name.endswith(".py")
+    ]
+
+
+def _imports_of(tree: ast.AST) -> Iterable[Tuple[str, Optional[str]]]:
+    """(module, name-or-None) pairs for every repro import in a tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    yield alias.name, None
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module and node.module.split(".")[0] == "repro":
+                for alias in node.names:
+                    yield node.module, alias.name
+
+
+def check_example_imports(path: str) -> List[str]:
+    """Compile one example and resolve its ``repro`` imports."""
+    rel = os.path.basename(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [f"examples/{rel}: does not compile: {exc}"]
+    problems: List[str] = []
+    for module, name in _imports_of(tree):
+        try:
+            mod = importlib.import_module(module)
+        except Exception as exc:  # ImportError or module-level crash
+            problems.append(
+                f"examples/{rel}: import {module} failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        if name is not None and name != "*" and not hasattr(mod, name):
+            problems.append(
+                f"examples/{rel}: `from {module} import {name}` — "
+                f"{module} has no attribute {name!r}"
+            )
+    return problems
+
+
+def run_example(path: str, timeout: float = 300.0) -> List[str]:
+    """Execute one example in a subprocess; nonzero exit is a problem."""
+    rel = os.path.basename(path)
+    env = dict(os.environ)
+    src = os.path.join(repo_root(os.path.dirname(path)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        proc = subprocess.run(
+            [sys.executable, path],
+            capture_output=True, text=True, timeout=timeout, env=env,
+        )
+    except subprocess.TimeoutExpired:
+        return [f"examples/{rel}: timed out after {timeout:.0f}s"]
+    if proc.returncode != 0:
+        tail = "\n".join(proc.stderr.strip().splitlines()[-3:])
+        return [f"examples/{rel}: exited {proc.returncode}: {tail}"]
+    return []
+
+
+def check_examples(root: str, run: bool = False) -> List[str]:
+    problems: List[str] = []
+    for path in example_files(root):
+        problems.extend(check_example_imports(path))
+        if run:
+            problems.extend(run_example(path))
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro._util.doccheck",
+        description="check markdown cross-links and examples health",
+    )
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: nearest README.md)")
+    parser.add_argument("--run", action="store_true",
+                        help="execute each example (slow) instead of only "
+                             "resolving its imports")
+    args = parser.parse_args(argv)
+    root = repo_root(args.root)
+    # Make `import repro` work in a bare checkout.
+    src = os.path.join(root, "src")
+    if os.path.isdir(src) and src not in sys.path:
+        sys.path.insert(0, src)
+    problems = check_links(root) + check_examples(root, run=args.run)
+    n_md = len(markdown_files(root))
+    n_ex = len(example_files(root))
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"doccheck: {len(problems)} problem(s) across "
+              f"{n_md} markdown file(s) and {n_ex} example(s)")
+        return 1
+    mode = "ran" if args.run else "import-checked"
+    print(f"doccheck: OK — {n_md} markdown file(s) link-clean, "
+          f"{n_ex} example(s) {mode}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

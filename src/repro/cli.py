@@ -14,7 +14,13 @@ Subcommands
 - ``efd engine ...`` — the sharded/batch recognition engine: ``selftest``
   (smoke-check shard/batch equivalence), ``shard`` (partition a flat
   dictionary JSON into a shard directory), ``recognize`` (batch
-  recognition against a shard directory), ``info`` (shard occupancy).
+  recognition against a shard directory), ``info`` (shard occupancy,
+  plus ``--stats`` to render a service counter snapshot).
+- ``efd serve`` — async live-session recognition: JSONL telemetry
+  samples in (stdin or file), per-job verdicts out, with bounded-queue
+  backpressure; ``--demo`` runs a self-contained synthetic stream.
+
+Every subcommand is documented with examples in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -114,7 +120,58 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
     recognize.add_argument("--workers", type=int, default=None)
 
     info = esub.add_parser("info", help="shard occupancy and store statistics")
-    info.add_argument("--efd-dir", required=True, help="shard directory")
+    info.add_argument("--efd-dir", default=None, help="shard directory")
+    info.add_argument("--stats", default=None, metavar="JSON",
+                      help="render an EngineStats snapshot written by "
+                           "`efd serve --stats-out`")
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="async live-session recognition from a JSONL sample stream",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--efd", help="flat dictionary JSON path")
+    src.add_argument("--efd-dir", help="sharded dictionary directory")
+    src.add_argument("--demo", action="store_true",
+                     help="self-contained demo: learn a small EFD and replay "
+                          "a synthetic interleaved multi-job stream")
+    p.add_argument("--input", default="-",
+                   help="JSONL sample stream: a file path, or '-' for stdin "
+                        "(ignored with --demo)")
+    p.add_argument("--metric", default="nr_mapped_vmstat")
+    p.add_argument("--depth", type=int, default=None,
+                   help="rounding depth the dictionary was built with "
+                        "(required unless --demo)")
+    p.add_argument("--interval", nargs=2, type=float, default=[60.0, 120.0])
+    p.add_argument("--nodes", type=int, default=4,
+                   help="node count for jobs whose samples omit 'nodes'")
+    p.add_argument("--queue-size", type=int, default=4096,
+                   help="bounded ingest queue capacity")
+    p.add_argument("--policy", default="block", choices=["block", "shed"],
+                   help="backpressure when the queue is full")
+    p.add_argument("--max-sessions", type=int, default=10_000)
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="max sessions per recognition micro-batch")
+    p.add_argument("--batch-delay", type=float, default=0.01,
+                   help="seconds to wait for a micro-batch to fill")
+    p.add_argument("--session-timeout", type=float, default=None,
+                   help="evict sessions idle this many seconds (default: never)")
+    p.add_argument("--evict", default="force", choices=["force", "drop"],
+                   help="eviction outcome: early verdict, or error")
+    p.add_argument("--backend", default="serial",
+                   choices=["serial", "thread", "process"],
+                   help="engine shard fan-out backend")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--stats-out", default=None, metavar="JSON",
+                   help="write the final EngineStats snapshot here")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-verdict lines")
+    p.add_argument("--demo-jobs", type=int, default=12,
+                   help="concurrent jobs in the --demo stream")
+    p.add_argument("--seed", type=int, default=7,
+                   help="--demo dataset seed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tables(sub)
     _add_info(sub)
     _add_engine(sub)
+    _add_serve(sub)
     return parser
 
 
@@ -397,21 +455,181 @@ def _cmd_engine_recognize(args: argparse.Namespace) -> int:
 
 
 def _cmd_engine_info(args: argparse.Namespace) -> int:
-    from repro.engine import load_sharded
+    if args.efd_dir is None and args.stats is None:
+        print("engine info: pass --efd-dir and/or --stats", file=sys.stderr)
+        return 2
+    if args.efd_dir is not None:
+        from repro.engine import load_sharded
 
-    sharded = load_sharded(args.efd_dir)
-    stats = sharded.stats()
-    print(f"sharded EFD at {args.efd_dir}")
-    print(f"shards      : {sharded.n_shards}, occupancy {sharded.shard_sizes()}")
-    print(
-        f"keys        : {stats.n_keys} from {stats.n_insertions} insertions "
-        f"(pruning_ratio={stats.pruning_ratio:.2f})"
+        sharded = load_sharded(args.efd_dir)
+        stats = sharded.stats()
+        print(f"sharded EFD at {args.efd_dir}")
+        print(f"shards      : {sharded.n_shards}, occupancy {sharded.shard_sizes()}")
+        print(
+            f"keys        : {stats.n_keys} from {stats.n_insertions} insertions "
+            f"(pruning_ratio={stats.pruning_ratio:.2f})"
+        )
+        print(
+            f"labels      : {stats.n_labels}, colliding_keys={stats.n_colliding_keys}, "
+            f"max_labels_per_key={stats.max_labels_per_key}"
+        )
+        print(f"metrics     : {sharded.metrics()}")
+    if args.stats is not None:
+        import json
+
+        from repro.engine import EngineStats
+
+        with open(args.stats, "r", encoding="utf-8") as fh:
+            snapshot = EngineStats.from_dict(json.load(fh))
+        print(f"engine counters from {args.stats}")
+        print(snapshot.render())
+    return 0
+
+
+def _serve_build_engine(args: argparse.Namespace):
+    """Dictionary + depth from --efd / --efd-dir / --demo; returns
+    (engine, sample iterable, expected labels or None, file to close
+    or None)."""
+    from repro.engine import BatchRecognizer
+    from repro.serve import interleave_records, read_samples
+
+    if args.demo:
+        from repro.core.recognizer import EFDRecognizer
+        from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+
+        config = DatasetConfig(
+            metrics=(args.metric,),
+            repetitions=3,
+            seed=args.seed,
+            duration_cap=150.0,
+            apps=("ft", "mg", "lu", "CoMD"),
+        )
+        dataset = TaxonomistDatasetGenerator(config).generate()
+        # Honor --depth/--interval in demo mode too: the dictionary and
+        # the serving engine must agree, or verdicts silently miss.
+        recognizer = EFDRecognizer(
+            metric=args.metric,
+            depth=args.depth if args.depth is not None else 2,
+            interval=(args.interval[0], args.interval[1]),
+        ).fit(dataset)
+        dictionary, depth = recognizer.dictionary_, recognizer.depth_
+        # Stride across the (app-sorted) dataset so the demo stream
+        # interleaves jobs of different applications.
+        everything = list(dataset)
+        stride = max(1, len(everything) // max(args.demo_jobs, 1))
+        records = everything[::stride][: args.demo_jobs]
+        job_ids = [f"job-{i:04d}" for i in range(len(records))]
+        samples = interleave_records(records, args.metric, job_ids)
+        expected = dict(zip(job_ids, (r.app_name for r in records)))
+        stream_fh = None
+    else:
+        if args.depth is None:
+            raise SystemExit("efd serve: --depth is required unless --demo")
+        depth = args.depth
+        if args.efd is not None:
+            from repro.core.serialization import load_dictionary
+
+            dictionary = load_dictionary(args.efd)
+        else:
+            from repro.engine import load_sharded
+
+            dictionary = load_sharded(args.efd_dir)
+        if args.input == "-":
+            stream_fh = None
+            samples = read_samples(sys.stdin)
+        else:
+            stream_fh = open(args.input, "r", encoding="utf-8")
+            samples = read_samples(stream_fh)
+        expected = None
+    engine = BatchRecognizer(
+        dictionary,
+        metric=args.metric,
+        depth=depth,
+        interval=(args.interval[0], args.interval[1]),
+        backend=args.backend,
+        n_workers=args.workers,
     )
-    print(
-        f"labels      : {stats.n_labels}, colliding_keys={stats.n_colliding_keys}, "
-        f"max_labels_per_key={stats.max_labels_per_key}"
+    return engine, samples, expected, stream_fh
+
+
+async def _serve_run(engine, samples, config, quiet: bool, chunk_size: int = 256):
+    """Feed a (possibly blocking) sample iterator through the service.
+
+    ``chunk_size`` is how many samples each executor read pulls; live
+    stdin feeds use 1 so a verdict is never held hostage to a chunk
+    that hasn't filled yet.
+    """
+    import asyncio
+    from itertools import islice
+
+    from repro.serve import IngestService
+
+    loop = asyncio.get_running_loop()
+
+    def on_verdict(job, result):
+        if not quiet:
+            app = result.prediction or "unknown"
+            print(f"verdict job={job} app={app} votes={dict(result.votes)}")
+
+    service = IngestService(engine, config, on_verdict=on_verdict)
+    async with service:
+        iterator = iter(samples)
+        while True:
+            # Pull the stream on the default executor so a blocking
+            # stdin read never stalls the recognition loop.
+            chunk = await loop.run_in_executor(
+                None, lambda: list(islice(iterator, chunk_size))
+            )
+            if not chunk:
+                break
+            await service.submit_many(chunk)
+        await service.drain()
+    return service
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ServeConfig
+
+    engine, samples, expected, stream_fh = _serve_build_engine(args)
+    config = ServeConfig(
+        max_pending_samples=args.queue_size,
+        backpressure=args.policy,
+        max_sessions=args.max_sessions,
+        batch_max_sessions=args.batch_size,
+        batch_max_delay=args.batch_delay,
+        session_timeout=args.session_timeout,
+        evict=args.evict,
+        default_nodes=args.nodes,
     )
-    print(f"metrics     : {sharded.metrics()}")
+    # Live stdin: read sample-by-sample so verdicts flow as soon as the
+    # interval completes; files/demo streams read in efficient chunks.
+    chunk_size = 1 if (not args.demo and args.input == "-") else 256
+    try:
+        service = asyncio.run(
+            _serve_run(engine, samples, config, args.quiet, chunk_size)
+        )
+    finally:
+        if stream_fh is not None:
+            stream_fh.close()
+    results = service.results
+    print(f"served {service.n_sessions} session(s), "
+          f"{len(results)} verdict(s)")
+    print(engine.stats.render())
+    if expected is not None:
+        correct = sum(
+            1 for job, result in results.items()
+            if result.prediction == expected.get(job)
+        )
+        total = len(expected)
+        print(f"demo accuracy: {correct}/{total} = {correct / total:.3f}"
+              if total else "demo: no jobs")
+    if args.stats_out is not None:
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            json.dump(engine.stats.as_dict(), fh, indent=2)
+        print(f"stats snapshot -> {args.stats_out}")
     return 0
 
 
@@ -435,6 +653,7 @@ _COMMANDS = {
     "tables": _cmd_tables,
     "info": _cmd_info,
     "engine": _cmd_engine,
+    "serve": _cmd_serve,
 }
 
 

@@ -31,7 +31,36 @@ class StreamSession:
     """Running interval means for one job's nodes.
 
     Memory is O(nodes): only a sum, a count, and a high-water timestamp
-    per node — never the raw series.
+    per node — never the raw series.  The life cycle is strictly
+    ``ingest* -> ready -> verdict``:
+
+    >>> session.ingest(node=0, timestamp=61.0, value=182000.0)  # doctest: +SKIP
+    >>> session.ready                                           # doctest: +SKIP
+    False
+
+    Sessions are single-use: after :meth:`verdict` concludes one,
+    further :meth:`ingest` calls raise.
+
+    Parameters
+    ----------
+    dictionary:
+        The learned EFD to match against — flat or
+        :class:`~repro.engine.sharded.ShardedDictionary` (both expose
+        the same lookup contract).
+    metric / depth / interval:
+        Fingerprint configuration: which telemetry metric is streamed,
+        the rounding depth the dictionary was built with, and the
+        ``[start, end)`` window in seconds since job start.
+    n_nodes:
+        Node count of the job; every node must pass the interval end
+        before the session is :attr:`ready`.
+    unknown_label:
+        Returned by :meth:`prediction` when the verdict is empty.
+    session_id:
+        Optional caller-side identity (e.g. a scheduler job id).  Purely
+        informational: it tags ``repr()`` and lets services such as
+        :class:`repro.serve.IngestService` key error reports, but never
+        affects matching.
     """
 
     def __init__(
@@ -42,6 +71,7 @@ class StreamSession:
         interval: Tuple[float, float],
         n_nodes: int,
         unknown_label: str = "unknown",
+        session_id: Optional[str] = None,
     ):
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -56,6 +86,8 @@ class StreamSession:
         self.interval = (float(start), float(end))
         self.n_nodes = int(n_nodes)
         self.unknown_label = unknown_label
+        self.session_id = session_id
+        self.n_samples = 0
         self._sums = np.zeros(n_nodes)
         self._counts = np.zeros(n_nodes, dtype=int)
         self._latest = np.full(n_nodes, -np.inf)
@@ -65,8 +97,13 @@ class StreamSession:
     def ingest(self, node: int, timestamp: float, value: float) -> None:
         """Consume one sample (seconds since job start, metric value).
 
-        Samples outside the fingerprint interval only advance the node's
-        clock; NaN samples (dropout) are skipped entirely.
+        O(1): updates the node's running sum/count when the timestamp
+        falls inside the fingerprint interval; samples outside it only
+        advance the node's clock (which is what eventually flips
+        :attr:`ready`).  NaN values (sampler dropout) advance the clock
+        but never the sum.  Raises :class:`ValueError` for a node rank
+        outside ``[0, n_nodes)`` and :class:`RuntimeError` once the
+        session has concluded.
         """
         if node < 0 or node >= self.n_nodes:
             raise ValueError(f"node {node} outside [0, {self.n_nodes})")
@@ -74,6 +111,7 @@ class StreamSession:
             raise RuntimeError("session already concluded; open a new one")
         if timestamp > self._latest[node]:
             self._latest[node] = timestamp
+        self.n_samples += 1
         if value != value:  # NaN — dropped sample
             return
         start, end = self.interval
@@ -82,7 +120,12 @@ class StreamSession:
             self._counts[node] += 1
 
     def ingest_many(self, node: int, timestamps, values) -> None:
-        """Vectorized ingest of one node's sample batch."""
+        """Vectorized :meth:`ingest` of one node's sample batch.
+
+        Equivalent to calling :meth:`ingest` per ``(timestamp, value)``
+        pair, in one NumPy pass — the fast path when replaying stored
+        series into a session.
+        """
         timestamps = np.asarray(timestamps, dtype=float)
         values = np.asarray(values, dtype=float)
         if timestamps.shape != values.shape:
@@ -93,6 +136,7 @@ class StreamSession:
             raise RuntimeError("session already concluded; open a new one")
         if timestamps.size:
             self._latest[node] = max(self._latest[node], float(timestamps.max()))
+        self.n_samples += int(timestamps.size)
         start, end = self.interval
         mask = (timestamps >= start) & (timestamps < end) & ~np.isnan(values)
         self._sums[node] += float(values[mask].sum())
@@ -101,8 +145,17 @@ class StreamSession:
     # -- state ----------------------------------------------------------------
     @property
     def ready(self) -> bool:
-        """True when every node's clock has passed the interval end."""
+        """True when every node's clock has passed the interval end.
+
+        Readiness is monotone (clocks only advance) and is what gates
+        :meth:`verdict`; services poll it after each accepted sample.
+        """
         return bool((self._latest >= self.interval[1]).all())
+
+    @property
+    def concluded(self) -> bool:
+        """True once :meth:`verdict` has decided this session."""
+        return self._verdict is not None
 
     def progress(self) -> float:
         """Fraction of nodes whose interval window has fully elapsed."""
@@ -130,8 +183,13 @@ class StreamSession:
     def verdict(self, force: bool = False) -> MatchResult:
         """Match the accumulated fingerprints; concludes the session.
 
-        Raises unless the interval has elapsed on all nodes — pass
-        ``force=True`` to decide early (e.g. the job ended prematurely).
+        Raises :class:`RuntimeError` unless the interval has elapsed on
+        all nodes (:attr:`ready`) — pass ``force=True`` to decide early
+        (e.g. the job ended, or a service is evicting the session).  The
+        first verdict is cached and returned by every later call;
+        batch resolvers
+        (:meth:`~repro.engine.batch.BatchRecognizer.recognize_sessions`)
+        compute the same result without concluding the session.
         """
         if self._verdict is not None:
             return self._verdict
@@ -144,12 +202,29 @@ class StreamSession:
         return self._verdict
 
     def prediction(self, force: bool = False) -> str:
+        """Application name of the verdict (``unknown_label`` if empty)."""
         result = self.verdict(force=force)
         return result.prediction if result.prediction else self.unknown_label
 
+    def __repr__(self) -> str:
+        ident = f"id={self.session_id!r}, " if self.session_id else ""
+        return (
+            f"StreamSession({ident}nodes={self.n_nodes}, "
+            f"metric={self.metric!r}, progress={self.progress():.0%}, "
+            f"concluded={self.concluded})"
+        )
+
 
 class StreamingRecognizer:
-    """Factory for :class:`StreamSession` bound to one learned EFD."""
+    """Factory for :class:`StreamSession` bound to one learned EFD.
+
+    Holds the fingerprint configuration once so call sites opening
+    thousands of sessions (one per arriving job) only say how many nodes
+    the job has::
+
+        streaming = StreamingRecognizer.from_recognizer(recognizer)
+        session = streaming.open_session(n_nodes=8, session_id="j-1042")
+    """
 
     def __init__(
         self,
@@ -179,7 +254,10 @@ class StreamingRecognizer:
             unknown_label=recognizer.unknown_label,
         )
 
-    def open_session(self, n_nodes: int = 4) -> StreamSession:
+    def open_session(
+        self, n_nodes: int = 4, session_id: Optional[str] = None
+    ) -> StreamSession:
+        """Open a fresh session for one ``n_nodes``-node job."""
         return StreamSession(
             dictionary=self.dictionary,
             metric=self.metric,
@@ -187,4 +265,5 @@ class StreamingRecognizer:
             interval=self.interval,
             n_nodes=n_nodes,
             unknown_label=self.unknown_label,
+            session_id=session_id,
         )

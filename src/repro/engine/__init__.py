@@ -33,8 +33,11 @@ would run.  ``repro.engine`` is the scale-out layer:
   per-execution votes reuse the exact matcher semantics.
 
 - :class:`~repro.engine.stats.EngineStats` counts lookups, hits, ties,
-  and unknowns and snapshots per-shard occupancy; surfaced through the
-  ``efd engine ...`` CLI subcommands.
+  and unknowns, snapshots per-shard occupancy, and carries the serving
+  counters (queue depth, sheds, evictions, verdict latency) that
+  :class:`repro.serve.IngestService` feeds; surfaced through the
+  ``efd engine ...`` / ``efd serve`` CLI commands and exportable as a
+  JSON snapshot (``efd engine info --stats``).
 
 Shard layout on disk::
 

@@ -465,10 +465,14 @@ class BatchRecognizer:
     ) -> List[MatchResult]:
         """Verdicts for many concurrent streaming sessions in one pass.
 
-        Sessions are read, not concluded — callers that want the session
-        objects to cache the verdict should keep using
-        :meth:`StreamSession.verdict`.  Raises unless every session is
-        ready (all interval windows elapsed) or ``force`` is set.
+        ``results[i]`` equals ``sessions[i].verdict()`` — but sessions
+        are only read, never concluded, so callers that want the session
+        object to cache its verdict keep using
+        :meth:`StreamSession.verdict`.  Raises :class:`RuntimeError`
+        unless every session is ready (all interval windows elapsed) or
+        ``force`` is set.  This is the resolution primitive under
+        :class:`repro.serve.IngestService`, which adds queuing,
+        micro-batch coalescing, and backpressure on top.
         """
         if not force:
             pending = [i for i, s in enumerate(sessions) if not s.ready]

@@ -75,7 +75,27 @@ def _efd_from_pairs(
 
 
 class ShardedDictionary:
-    """EFD partitioned across N shards by stable key hash."""
+    """EFD partitioned across N shards by stable key hash.
+
+    Mirrors the full read/write contract of
+    :class:`~repro.core.dictionary.ExecutionFingerprintDictionary` —
+    every consumer (matcher, streaming sessions, maintenance, batch
+    engine) works against either store unchanged, and every observable
+    is byte-identical to the flat store (property-tested in
+    ``tests/test_engine_properties.py``).
+
+    >>> sharded = ShardedDictionary.from_flat(flat_efd, n_shards=8)  # doctest: +SKIP
+    >>> sharded.lookup(fp) == flat_efd.lookup(fp)                    # doctest: +SKIP
+    True
+
+    Parameters
+    ----------
+    n_shards:
+        Number of partitions.  Keys route by
+        :func:`shard_index` (process-independent stable hash), so a
+        layout — in memory or on disk via :func:`save_sharded` —
+        remains valid across restarts and machines.
+    """
 
     def __init__(self, n_shards: int = 8) -> None:
         if n_shards < 1:

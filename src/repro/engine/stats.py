@@ -2,23 +2,35 @@
 
 A production recognizer needs operational visibility — how many
 fingerprints were looked up, how often the dictionary answered, how
-often it tied or came up empty, and whether the shard layout is
-balanced.  :class:`EngineStats` is a plain counter object fed by
-:class:`~repro.engine.batch.BatchRecognizer` and rendered by the
-``efd engine`` CLI subcommands.
+often it tied or came up empty, whether the shard layout is balanced,
+and (once the async front-end is in front of it) how deep the ingest
+queue runs, how big the micro-batches get, and how long a ready session
+waits for its verdict.  :class:`EngineStats` is a plain counter object
+fed by :class:`~repro.engine.batch.BatchRecognizer` and
+:class:`~repro.serve.service.IngestService`, rendered by the ``efd
+engine`` / ``efd serve`` CLI commands, and round-trippable through JSON
+(:meth:`as_dict` / :meth:`from_dict`) so a service can export a snapshot
+for later inspection with ``efd engine info --stats``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.matcher import MatchResult
 
 
 @dataclass
 class EngineStats:
-    """Cumulative recognition counters (one instance per engine)."""
+    """Cumulative recognition + serving counters (one instance per engine).
+
+    The recognition block (batches/lookups/hits/ties/unknowns) is fed by
+    every :class:`~repro.engine.batch.BatchRecognizer` call; the serving
+    block (queue depth, sheds, late drops, evictions, latency) only
+    moves when an :class:`~repro.serve.service.IngestService` drives the
+    engine, and stays all-zero otherwise.
+    """
 
     n_batches: int = 0
     n_executions: int = 0
@@ -28,7 +40,17 @@ class EngineStats:
     n_recognized: int = 0       # executions with a non-empty verdict
     n_ties: int = 0             # executions whose verdict was a tie array
     n_unknowns: int = 0         # executions with zero matches
+    max_batch: int = 0          # largest batch resolved in one call
     shard_occupancy: List[int] = field(default_factory=list)
+    # -- serving counters (fed by repro.serve.IngestService) ------------------
+    queue_depth: int = 0        # ingest-queue depth at the last submit
+    queue_peak: int = 0         # deepest the ingest queue has been
+    n_shed: int = 0             # samples dropped by backpressure/capacity
+    n_late: int = 0             # samples arriving after the verdict was queued
+    n_evicted: int = 0          # sessions evicted on timeout
+    n_latencies: int = 0        # verdicts with a measured ready->verdict time
+    total_latency: float = 0.0  # summed ready->verdict seconds
+    max_latency: float = 0.0    # worst ready->verdict seconds
 
     def record_batch(
         self,
@@ -39,6 +61,7 @@ class EngineStats:
         """Fold one batch's outcomes into the counters."""
         self.n_batches += 1
         self.n_executions += len(results)
+        self.max_batch = max(self.max_batch, len(results))
         self.n_hits += n_hits
         for result in results:
             self.n_lookups += result.n_fingerprints
@@ -52,6 +75,34 @@ class EngineStats:
         if shard_occupancy is not None:
             self.shard_occupancy = list(shard_occupancy)
 
+    # -- serving-side recorders ----------------------------------------------
+    def record_queue_depth(self, depth: int) -> None:
+        """Note the ingest-queue depth observed after a submit."""
+        self.queue_depth = depth
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
+    def record_shed(self) -> None:
+        """One sample refused: queue full or session cap, policy ``shed``."""
+        self.n_shed += 1
+
+    def record_late(self) -> None:
+        """One sample dropped because its session's verdict was already
+        queued or decided (cannot affect the fingerprint)."""
+        self.n_late += 1
+
+    def record_eviction(self) -> None:
+        """One session evicted on inactivity timeout."""
+        self.n_evicted += 1
+
+    def record_latency(self, seconds: float) -> None:
+        """One verdict's ready-to-resolved wall time."""
+        self.n_latencies += 1
+        self.total_latency += seconds
+        if seconds > self.max_latency:
+            self.max_latency = seconds
+
+    # -- derived -------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups that matched at least one label."""
@@ -61,11 +112,37 @@ class EngineStats:
 
     @property
     def unknown_rate(self) -> float:
+        """Fraction of executions with an empty verdict."""
         if self.n_executions == 0:
             return 0.0
         return self.n_unknowns / self.n_executions
 
+    @property
+    def mean_batch(self) -> float:
+        """Mean executions per resolved batch."""
+        if self.n_batches == 0:
+            return 0.0
+        return self.n_executions / self.n_batches
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean ready-to-verdict seconds (0 when nothing was measured)."""
+        if self.n_latencies == 0:
+            return 0.0
+        return self.total_latency / self.n_latencies
+
+    @property
+    def served(self) -> bool:
+        """True when any serving counter has moved (an async front-end
+        has driven this engine)."""
+        return bool(
+            self.queue_peak or self.n_shed or self.n_late
+            or self.n_evicted or self.n_latencies
+        )
+
+    # -- (de)serialization -----------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (counters + derived rates)."""
         return {
             "batches": self.n_batches,
             "executions": self.n_executions,
@@ -77,13 +154,52 @@ class EngineStats:
             "ties": self.n_ties,
             "unknowns": self.n_unknowns,
             "unknown_rate": round(self.unknown_rate, 4),
+            "max_batch": self.max_batch,
             "shard_occupancy": list(self.shard_occupancy),
+            "queue_depth": self.queue_depth,
+            "queue_peak": self.queue_peak,
+            "shed": self.n_shed,
+            "late": self.n_late,
+            "evicted": self.n_evicted,
+            "latencies": self.n_latencies,
+            "total_latency_s": self.total_latency,
+            "max_latency_s": self.max_latency,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EngineStats":
+        """Rebuild from an :meth:`as_dict` snapshot (derived rates are
+        recomputed, unknown keys ignored — snapshots stay loadable
+        across counter additions)."""
+        def _i(key: str) -> int:
+            return int(payload.get(key, 0))
+
+        return cls(
+            n_batches=_i("batches"),
+            n_executions=_i("executions"),
+            n_lookups=_i("lookups"),
+            n_missing=_i("missing"),
+            n_hits=_i("hits"),
+            n_recognized=_i("recognized"),
+            n_ties=_i("ties"),
+            n_unknowns=_i("unknowns"),
+            max_batch=_i("max_batch"),
+            shard_occupancy=[int(n) for n in payload.get("shard_occupancy", [])],
+            queue_depth=_i("queue_depth"),
+            queue_peak=_i("queue_peak"),
+            n_shed=_i("shed"),
+            n_late=_i("late"),
+            n_evicted=_i("evicted"),
+            n_latencies=_i("latencies"),
+            total_latency=float(payload.get("total_latency_s", 0.0)),
+            max_latency=float(payload.get("max_latency_s", 0.0)),
+        )
 
     def render(self) -> str:
         """Multi-line human-readable summary for the CLI."""
         lines = [
-            f"batches     : {self.n_batches}",
+            f"batches     : {self.n_batches} "
+            f"(max_size={self.max_batch}, mean_size={self.mean_batch:.1f})",
             f"executions  : {self.n_executions} "
             f"(recognized={self.n_recognized}, ties={self.n_ties}, "
             f"unknown={self.n_unknowns})",
@@ -98,4 +214,15 @@ class EngineStats:
                 for i, n in enumerate(self.shard_occupancy)
             )
             lines.append(f"shard keys  : {occ}")
+        if self.served:
+            lines.append(
+                f"ingest      : queue_depth={self.queue_depth} "
+                f"(peak={self.queue_peak}), shed={self.n_shed}, "
+                f"late={self.n_late}, evicted={self.n_evicted}"
+            )
+            lines.append(
+                f"latency     : mean={self.mean_latency * 1e3:.1f}ms "
+                f"max={self.max_latency * 1e3:.1f}ms "
+                f"over {self.n_latencies} verdict(s)"
+            )
         return "\n".join(lines)

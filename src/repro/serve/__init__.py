@@ -1,0 +1,55 @@
+"""Live-session recognition service (async ingestion front-end).
+
+The EFD's operational promise is a verdict *while the job runs* — two
+minutes in, from the first measurement interval.  ``repro.serve`` is the
+subsystem that cashes that in for a whole cluster at once:
+
+- :class:`~repro.serve.stream.Sample` / JSONL helpers define the wire
+  format a monitoring bus delivers (one observation per line), and
+  :func:`~repro.serve.stream.interleave_records` replays stored dataset
+  telemetry as a realistic interleaved multi-job stream.
+- :class:`~repro.serve.config.ServeConfig` pins down the operational
+  envelope: ingest-queue bound, block/shed backpressure, micro-batch
+  coalescing, session timeout and eviction policy.
+- :class:`~repro.serve.service.IngestService` runs the event loop: one
+  :class:`~repro.core.streaming.StreamSession` per job id, micro-batches
+  of ready sessions resolved through
+  :meth:`~repro.engine.batch.BatchRecognizer.recognize_sessions` on a
+  worker executor, verdicts delivered as awaitables and callbacks, and
+  every operational counter folded into the engine's
+  :class:`~repro.engine.stats.EngineStats`.
+
+Surfaced on the command line as ``efd serve`` (see ``docs/cli.md``).
+Verdicts are element-wise identical to the synchronous batch path —
+property-tested in ``tests/test_serve_service.py``.
+"""
+
+from repro.serve.config import BACKPRESSURE_POLICIES, EVICT_POLICIES, ServeConfig
+from repro.serve.service import (
+    IngestService,
+    ServeError,
+    SessionEvicted,
+    SessionWorkerError,
+)
+from repro.serve.stream import (
+    Sample,
+    interleave_records,
+    parse_sample,
+    read_samples,
+    record_samples,
+)
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "EVICT_POLICIES",
+    "IngestService",
+    "Sample",
+    "ServeConfig",
+    "ServeError",
+    "SessionEvicted",
+    "SessionWorkerError",
+    "interleave_records",
+    "parse_sample",
+    "read_samples",
+    "record_samples",
+]

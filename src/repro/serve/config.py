@@ -1,0 +1,114 @@
+"""Tuning knobs of the async ingestion service.
+
+Every operational decision the service makes — how much telemetry it
+buffers, when it refuses work, how long it coalesces ready sessions,
+when it gives up on a silent job — is a field on :class:`ServeConfig`,
+so a deployment is describable as one frozen value (and loggable /
+diffable as ``asdict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Accepted ``ServeConfig.backpressure`` values.
+BACKPRESSURE_POLICIES = ("block", "shed")
+
+#: Accepted ``ServeConfig.evict`` values.
+EVICT_POLICIES = ("force", "drop")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of an :class:`~repro.serve.service.IngestService`.
+
+    Parameters
+    ----------
+    max_pending_samples:
+        Capacity of the bounded ingest queue.  This is the service's
+        only buffer between producers and the session table; when it is
+        full, the ``backpressure`` policy decides what happens.
+    backpressure:
+        ``"block"`` — :meth:`~repro.serve.service.IngestService.submit`
+        awaits until queue space frees up, propagating pressure to the
+        producer (lossless).  ``"shed"`` — the sample is dropped on the
+        floor, counted in :attr:`EngineStats.n_shed`, and ``submit``
+        returns ``False`` (lossy, bounded latency).
+    max_sessions:
+        Cap on concurrently *active* sessions, enforced at submission:
+        a sample that would open a session beyond the cap is subject to
+        the same ``backpressure`` policy (block the producer until a
+        slot frees, or shed the sample).  With ``"block"`` and no
+        ``session_timeout``, a stream interleaving more concurrent jobs
+        than the cap will stall the producer — lossless systems should
+        pair the cap with a timeout.
+    batch_max_sessions:
+        Upper bound on the size of one recognition micro-batch.
+    batch_max_delay:
+        Seconds the batcher waits for more ready sessions before
+        dispatching a partial micro-batch.  Trades verdict latency for
+        batch efficiency; 0 dispatches every ready session immediately.
+    max_inflight_batches:
+        How many micro-batches may be resolving on the worker executor
+        at once.  Recognition itself is serialized per engine (the
+        engine's stats and index cache are not thread-safe), so values
+        above 1 only overlap executor scheduling with ingestion.
+    session_timeout:
+        Seconds of *wall-clock* inactivity (no samples accepted) after
+        which a session that never became ready is evicted.  ``None``
+        disables eviction.
+    evict:
+        What eviction does.  ``"force"`` — decide early from whatever
+        samples arrived (the verdict a crashed/truncated job would get).
+        ``"drop"`` — fail the session's awaitable with
+        :class:`~repro.serve.service.SessionEvicted`.
+    default_nodes:
+        Node count for sessions whose first sample does not carry an
+        explicit ``nodes`` field.
+    """
+
+    max_pending_samples: int = 4096
+    backpressure: str = "block"
+    max_sessions: int = 10_000
+    batch_max_sessions: int = 64
+    batch_max_delay: float = 0.01
+    max_inflight_batches: int = 2
+    session_timeout: Optional[float] = None
+    evict: str = "force"
+    default_nodes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_pending_samples < 1:
+            raise ValueError(
+                f"max_pending_samples must be >= 1, got {self.max_pending_samples}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
+        if self.batch_max_sessions < 1:
+            raise ValueError(
+                f"batch_max_sessions must be >= 1, got {self.batch_max_sessions}"
+            )
+        if self.batch_max_delay < 0:
+            raise ValueError(
+                f"batch_max_delay must be >= 0, got {self.batch_max_delay}"
+            )
+        if self.max_inflight_batches < 1:
+            raise ValueError(
+                f"max_inflight_batches must be >= 1, got {self.max_inflight_batches}"
+            )
+        if self.session_timeout is not None and self.session_timeout <= 0:
+            raise ValueError(
+                f"session_timeout must be positive or None, got {self.session_timeout}"
+            )
+        if self.evict not in EVICT_POLICIES:
+            raise ValueError(
+                f"evict must be one of {EVICT_POLICIES}, got {self.evict!r}"
+            )
+        if self.default_nodes < 1:
+            raise ValueError(f"default_nodes must be >= 1, got {self.default_nodes}")

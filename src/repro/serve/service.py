@@ -1,0 +1,637 @@
+"""Async ingestion service: live-session recognition with backpressure.
+
+:class:`IngestService` is the event-loop front-end the ROADMAP asks for
+on top of :meth:`~repro.engine.batch.BatchRecognizer.recognize_sessions`:
+telemetry samples for thousands of concurrent jobs flow in one at a
+time, each job accumulates into its own
+:class:`~repro.core.streaming.StreamSession`, and the moment a session
+crosses the fingerprint interval mark it is coalesced with other ready
+sessions into a recognition micro-batch that resolves on a worker
+executor — while ingestion keeps running.
+
+The pipeline, all on one event loop::
+
+    submit(sample) ──> [bounded ingest queue] ──> _ingest_loop
+                             │ full?                  │ routes into
+                             │ block / shed           │ per-job StreamSession
+                             ▼                        ▼ session.ready?
+                        backpressure            [ready queue] ──> _batch_loop
+                                                                     │ coalesce
+                                                                     ▼
+                                           executor: recognize_sessions(batch)
+                                                                     │
+                                              futures / callbacks <──┘
+
+Guarantees (property-tested in ``tests/test_serve_service.py``):
+
+- **Equivalence** — with no samples shed and no sessions evicted, every
+  verdict is element-wise identical to calling
+  ``BatchRecognizer.recognize_sessions`` synchronously on sessions fed
+  the same samples, for every backpressure configuration.  Ingestion is
+  commutative (interval sums), so neither queueing order nor micro-batch
+  composition can change a verdict.  One delivery assumption: per-node
+  timestamps are non-decreasing (a monitoring bus's normal order) —
+  a sample retransmitted *out of order* after its session crossed the
+  interval mark is dropped as late rather than folded in.
+- **Bounded memory** — the ingest queue and the *active* session table
+  are the only buffers, both capped by
+  :class:`~repro.serve.config.ServeConfig`.  Completed sessions are
+  retained for verdict retrieval until :meth:`IngestService.forget`.
+- **Explicit failure** — a recognition worker crash is isolated to the
+  failing session and surfaces as a
+  :class:`~repro.parallel.pool.WorkerError` carrying that session's job
+  id; healthy sessions in the same micro-batch still resolve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import partial
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.matcher import MatchResult
+from repro.core.streaming import StreamSession
+from repro.engine.batch import BatchRecognizer
+from repro.parallel.pool import WorkerError
+from repro.serve.config import ServeConfig
+from repro.serve.stream import Sample
+
+#: Signature of the optional verdict callback: ``(job_id, result)``.
+VerdictCallback = Callable[[str, MatchResult], None]
+
+
+class ServeError(RuntimeError):
+    """Base class for ingestion-service errors."""
+
+
+class SessionEvicted(ServeError):
+    """A session timed out under the ``evict="drop"`` policy.
+
+    Raised from the session's verdict awaitable; carries the job id and
+    the configured timeout.
+    """
+
+    def __init__(self, job: str, timeout: float):
+        self.job = job
+        self.timeout = timeout
+        super().__init__(
+            f"session {job!r} evicted: no samples for {timeout:g}s and the "
+            f"fingerprint interval never completed"
+        )
+
+
+class SessionWorkerError(WorkerError):
+    """Recognition crashed on one session of a micro-batch.
+
+    A :class:`~repro.parallel.pool.WorkerError` (so existing handlers
+    keep working) that additionally names the failing session's job id
+    (:attr:`session_id`).
+    """
+
+    def __init__(self, session_id: str, index: int, n_items: int,
+                 original: BaseException):
+        super().__init__(index, n_items, original)
+        self.session_id = session_id
+        # Rebuild the message with the job id front and center.
+        self.args = (
+            f"recognition failed for session {session_id!r} "
+            f"(item {index} of {n_items}): "
+            f"{type(original).__name__}: {original}",
+        )
+
+
+class _Phase(Enum):
+    ACTIVE = "active"      # accepting samples, not yet ready
+    QUEUED = "queued"      # on the ready queue / in a resolving batch
+    DONE = "done"          # future resolved (verdict or error)
+
+
+@dataclass
+class _SessionState:
+    """Service-side bookkeeping around one StreamSession."""
+
+    job: str
+    session: StreamSession
+    future: "asyncio.Future[MatchResult]"
+    last_activity: float
+    phase: _Phase = _Phase.ACTIVE
+    ready_at: float = 0.0
+    forced: bool = False
+
+
+class IngestService:
+    """Asyncio front-end resolving live sessions through a batch engine.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.engine.batch.BatchRecognizer`; its dictionary /
+        metric / depth / interval configure every session, and its
+        :class:`~repro.engine.stats.EngineStats` accumulates both the
+        recognition counters and the service counters (queue depth,
+        sheds, evictions, latency).
+    config:
+        :class:`~repro.serve.config.ServeConfig`; defaults are sized for
+        an interactive demo, not a production deployment.
+    on_verdict:
+        Optional callback invoked on the event loop as
+        ``on_verdict(job_id, result)`` whenever a session resolves
+        successfully (including forced/evicted verdicts).
+
+    Use as an async context manager::
+
+        async with IngestService(engine, config) as svc:
+            async for sample in feed:
+                await svc.submit(sample)
+            await svc.drain()
+            verdict = await svc.verdict("j-1042")
+
+    The service itself is single-loop: every public coroutine must be
+    awaited on the loop that entered the context.  Recognition runs on a
+    thread executor so the loop never blocks on a batch.
+    """
+
+    def __init__(
+        self,
+        engine: BatchRecognizer,
+        config: Optional[ServeConfig] = None,
+        on_verdict: Optional[VerdictCallback] = None,
+    ):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.on_verdict = on_verdict
+        self.n_callback_errors = 0
+        self.stats = engine.stats
+        self._sessions: Dict[str, _SessionState] = {}
+        self._pending_opens: "set[str]" = set()  # admitted, not yet routed
+        self._n_active = 0            # sessions not yet DONE
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ingest_q: Optional["asyncio.Queue[object]"] = None
+        self._ready_q: Optional["asyncio.Queue[str]"] = None
+        self._ingest_task: Optional["asyncio.Task[None]"] = None
+        self._batch_task: Optional["asyncio.Task[None]"] = None
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._batches: "set[asyncio.Task[None]]" = set()
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._session_freed: Optional[asyncio.Event] = None
+        self._n_unresolved = 0        # QUEUED sessions not yet resolved
+        self._quiescent: Optional[asyncio.Event] = None
+        self._engine_lock = threading.Lock()
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> "IngestService":
+        """Create the queues and start the ingest/batch/reaper tasks."""
+        if self._running:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._ingest_q = asyncio.Queue(maxsize=self.config.max_pending_samples)
+        self._ready_q = asyncio.Queue()
+        self._inflight = asyncio.Semaphore(self.config.max_inflight_batches)
+        self._session_freed = asyncio.Event()
+        self._quiescent = asyncio.Event()
+        self._quiescent.set()
+        self._running = True
+        self._ingest_task = self._loop.create_task(
+            self._ingest_loop(), name="efd-serve-ingest"
+        )
+        self._batch_task = self._loop.create_task(
+            self._batch_loop(), name="efd-serve-batch"
+        )
+        self._tasks = [self._ingest_task, self._batch_task]
+        if self.config.session_timeout is not None:
+            self._tasks.append(
+                self._loop.create_task(self._reaper_loop(), name="efd-serve-reaper")
+            )
+        return self
+
+    async def __aenter__(self) -> "IngestService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close(force=exc_type is None)
+
+    async def close(self, force: bool = True) -> None:
+        """Drain and stop the service.
+
+        With ``force`` (default), sessions still mid-stream when the
+        feed ends are decided early from whatever samples arrived —
+        the operational behavior for a stream that simply stops.
+        Without it, their awaitables are cancelled.
+        """
+        if not self._running:
+            return
+        await self.drain()
+        if force:
+            for state in self._sessions.values():
+                if state.phase is _Phase.ACTIVE:
+                    self._queue_ready(state, forced=True)
+            await self.drain()
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        for state in self._sessions.values():
+            if not state.future.done():
+                state.future.cancel()
+
+    async def drain(self) -> None:
+        """Wait until every accepted sample is ingested and every ready
+        (or force-queued) session has resolved.
+
+        Robust against dead pipeline tasks: if the ingest or batch loop
+        has stopped (crash, cancellation), drain returns instead of
+        waiting on progress that can no longer happen.
+        """
+        if not await self._watch(self._ingest_q.join(), self._ingest_task):
+            return
+        while self._n_unresolved:
+            self._quiescent.clear()
+            if not await self._watch(self._quiescent.wait(), self._batch_task):
+                return
+            # Re-join: resolving a batch may have unblocked a producer.
+            if not await self._watch(self._ingest_q.join(), self._ingest_task):
+                return
+
+    async def _watch(self, coro, task: "asyncio.Task[None]") -> bool:
+        """Await ``coro``, bailing out if the pipeline ``task`` dies.
+
+        Returns True when ``coro`` completed, False when the watched
+        task is (or becomes) done first — meaning the condition can
+        never be satisfied by normal progress.
+        """
+        waiter = asyncio.ensure_future(coro)
+        if task is None or task.done():
+            waiter.cancel()
+            await asyncio.gather(waiter, return_exceptions=True)
+            return False
+        await asyncio.wait({waiter, task}, return_when=asyncio.FIRST_COMPLETED)
+        if waiter.done() and not waiter.cancelled():
+            waiter.result()  # propagate unexpected errors
+            return True
+        waiter.cancel()
+        await asyncio.gather(waiter, return_exceptions=True)
+        return False
+
+    # -- ingestion -----------------------------------------------------------
+    async def submit(self, sample: Sample) -> bool:
+        """Offer one sample to the service.
+
+        Returns ``True`` if the sample was accepted.  Under the
+        ``"block"`` policy this coroutine suspends while the ingest
+        queue is full, or while the sample would open a session beyond
+        ``max_sessions`` (lossless backpressure — note that a blocked
+        producer can only resume once verdicts or the eviction reaper
+        free a slot, so a lossless deployment whose streams interleave
+        more jobs than ``max_sessions`` should configure
+        ``session_timeout``).  Under ``"shed"`` the sample is dropped
+        instead, ``False`` is returned, and the drop is counted in
+        :attr:`EngineStats.n_shed`.
+        """
+        self._check_running()
+        admitted, is_new = await self._admit(sample)
+        if not admitted:
+            return False
+        if self.config.backpressure == "shed":
+            try:
+                self._ingest_q.put_nowait(sample)
+            except asyncio.QueueFull:
+                if is_new:
+                    self._pending_opens.discard(sample.job)
+                self.stats.record_shed()
+                return False
+        else:
+            await self._put_admitted(sample, is_new)
+        self.stats.record_queue_depth(self._ingest_q.qsize())
+        return True
+
+    async def _put_admitted(self, sample: Sample, is_new: bool) -> None:
+        """Blocking queue put that rolls back a fresh admission slot if
+        the caller cancels the wait (e.g. ``asyncio.wait_for`` timeout)
+        — otherwise the job would hold a ``max_sessions`` slot forever
+        without a session ever opening."""
+        try:
+            await self._ingest_q.put(sample)
+        except asyncio.CancelledError:
+            if is_new:
+                self._pending_opens.discard(sample.job)
+            raise
+
+    async def _admit(self, sample: Sample) -> Tuple[bool, bool]:
+        """Session-cap admission control, applied at the producer side.
+
+        Returns ``(admitted, is_new)``.  Blocking here (rather than in
+        the routing loop) keeps routing live for every already-admitted
+        session, so verdicts — which free slots — can always make
+        progress.  Jobs admitted but not yet routed are counted against
+        the cap via ``_pending_opens``, so a burst of first-sight jobs
+        cannot blow past it.
+        """
+        job = sample.job
+        while True:
+            if job in self._sessions or job in self._pending_opens:
+                return True, False
+            if (self._n_active + len(self._pending_opens)
+                    < self.config.max_sessions):
+                self._pending_opens.add(job)
+                return True, True
+            if self.config.backpressure == "shed":
+                self.stats.record_shed()
+                return False, False
+            self._session_freed.clear()
+            await self._session_freed.wait()
+
+    async def submit_many(self, samples: Iterable[Sample]) -> int:
+        """Offer many samples; returns how many were accepted.
+
+        Equivalent to awaiting :meth:`submit` per sample but cheaper —
+        consecutive non-blocking puts skip the event-loop round-trip.
+        """
+        self._check_running()
+        accepted = 0
+        shed = self.config.backpressure == "shed"
+        q = self._ingest_q
+        for i, sample in enumerate(samples):
+            if i and i % 64 == 0:
+                # Cooperative flood: give the ingest loop a turn so a
+                # fast producer doesn't starve routing (and, under the
+                # shed policy, doesn't drop samples ingestion could
+                # have drained in time).  Keyed to iterations, not
+                # acceptances — a shedding stretch must yield too.
+                await asyncio.sleep(0)
+            admitted, is_new = await self._admit(sample)
+            if not admitted:
+                continue
+            try:
+                q.put_nowait(sample)
+            except asyncio.QueueFull:
+                if shed:
+                    # Yield once so the ingest loop can drain, then
+                    # retry; shed only if the queue is *still* full —
+                    # i.e. ingestion genuinely cannot keep up.
+                    await asyncio.sleep(0)
+                    try:
+                        q.put_nowait(sample)
+                    except asyncio.QueueFull:
+                        if is_new:
+                            self._pending_opens.discard(sample.job)
+                        self.stats.record_shed()
+                        continue
+                else:
+                    await self._put_admitted(sample, is_new)
+            accepted += 1
+        self.stats.record_queue_depth(q.qsize())
+        return accepted
+
+    # -- verdict access -------------------------------------------------------
+    async def verdict(self, job: str) -> MatchResult:
+        """Await ``job``'s :class:`MatchResult`.
+
+        Valid before, during, or after resolution.  A submitted-but-not-
+        yet-routed job is waited for (the ingest queue is flushed first);
+        a job the service has truly never seen raises :class:`KeyError`.
+        Raises :class:`SessionEvicted` for dropped sessions and
+        :class:`~repro.parallel.pool.WorkerError` when recognition
+        crashed on this session.  Wrap in :func:`asyncio.wait_for` for a
+        deadline — cancelling this coroutine never cancels the verdict
+        itself (the underlying future is shielded).
+        """
+        state = self._sessions.get(job)
+        if state is None and self._running:
+            # The first sample may still be sitting in the ingest queue.
+            await self._watch(self._ingest_q.join(), self._ingest_task)
+            state = self._sessions.get(job)
+        if state is None:
+            raise KeyError(f"unknown job {job!r}: no samples ever accepted")
+        return await asyncio.shield(state.future)
+
+    @property
+    def results(self) -> Dict[str, MatchResult]:
+        """Verdicts of all successfully resolved sessions, by job id."""
+        return {
+            job: state.future.result()
+            for job, state in self._sessions.items()
+            if state.future.done() and not state.future.cancelled()
+            and state.future.exception() is None
+        }
+
+    @property
+    def n_sessions(self) -> int:
+        """Sessions currently tracked (any phase)."""
+        return len(self._sessions)
+
+    def forget(self, job: str) -> None:
+        """Drop a *completed* session's state (verdict included).
+
+        Active sessions are capped by ``max_sessions``, but completed
+        ones are retained so :meth:`verdict` stays answerable after the
+        fact; a long-running deployment that has consumed a verdict
+        (e.g. via ``on_verdict``) calls this to reclaim the entry.
+        """
+        state = self._sessions.get(job)
+        if state is None:
+            return
+        if state.phase is not _Phase.DONE:
+            raise RuntimeError(f"session {job!r} is still {state.phase.value}")
+        del self._sessions[job]
+
+    # -- internals: routing ---------------------------------------------------
+    async def _ingest_loop(self) -> None:
+        while True:
+            sample = await self._ingest_q.get()
+            try:
+                await self._route(sample)
+            finally:
+                self._ingest_q.task_done()
+
+    async def _route(self, sample: Sample) -> None:
+        state = self._sessions.get(sample.job)
+        if state is None:
+            state = self._open(sample)
+        if state.phase is not _Phase.ACTIVE:
+            # Verdict already queued/decided; the session may be in the
+            # hands of the worker executor, so mutating it now would
+            # race.  Dropping is sound for in-order feeds: once every
+            # node's clock passed the interval end, an in-order sample
+            # lies outside the interval and cannot change a
+            # fingerprint.  (An out-of-order retransmission landing
+            # here is dropped too — see the module docstring caveat.)
+            self.stats.record_late()
+            return
+        try:
+            state.session.ingest(sample.node, sample.time, sample.value)
+        except Exception as exc:  # bad node rank, concluded session, ...
+            self._resolve_error(state, exc)
+            return
+        state.last_activity = self._loop.time()
+        if state.session.ready:
+            self._queue_ready(state)
+
+    def _open(self, sample: Sample) -> _SessionState:
+        """Create the session for a first-seen job id.
+
+        Capacity was already checked at admission (:meth:`_admit`);
+        never blocks, so routing stays live for existing sessions.
+        """
+        self._pending_opens.discard(sample.job)
+        n_nodes = sample.n_nodes or self.config.default_nodes
+        engine = self.engine
+        session = StreamSession(
+            dictionary=engine.dictionary,
+            metric=engine.metric,
+            depth=engine.depth,
+            interval=engine.interval,
+            n_nodes=n_nodes,
+            unknown_label=engine.unknown_label,
+            session_id=sample.job,
+        )
+        state = _SessionState(
+            job=sample.job,
+            session=session,
+            future=self._loop.create_future(),
+            last_activity=self._loop.time(),
+        )
+        self._sessions[sample.job] = state
+        self._n_active += 1
+        return state
+
+    def _queue_ready(self, state: _SessionState, forced: bool = False) -> None:
+        state.phase = _Phase.QUEUED
+        state.forced = forced
+        state.ready_at = self._loop.time()
+        self._n_unresolved += 1
+        self._quiescent.clear()
+        self._ready_q.put_nowait(state.job)
+
+    # -- internals: batching --------------------------------------------------
+    async def _batch_loop(self) -> None:
+        cfg = self.config
+        while True:
+            job = await self._ready_q.get()
+            batch = [job]
+            deadline = self._loop.time() + cfg.batch_max_delay
+            while len(batch) < cfg.batch_max_sessions:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._ready_q.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._inflight.acquire()
+            task = self._loop.create_task(self._resolve_batch(batch))
+            self._batches.add(task)
+            task.add_done_callback(self._batches.discard)
+
+    async def _resolve_batch(self, jobs: List[str]) -> None:
+        try:
+            states = [self._sessions[job] for job in jobs]
+            sessions = [state.session for state in states]
+            try:
+                results = await self._loop.run_in_executor(
+                    None, partial(self._recognize, sessions)
+                )
+            except Exception:
+                await self._isolate_failure(states)
+                return
+            for state, result in zip(states, results):
+                self._resolve(state, result)
+        finally:
+            self._inflight.release()
+
+    def _recognize(self, sessions: List[StreamSession]) -> List[MatchResult]:
+        """Executor entry point.  The lock serializes engine access:
+        EngineStats and the cached tuple index are loop-confined
+        everywhere else, and micro-batches may overlap."""
+        with self._engine_lock:
+            return self.engine.recognize_sessions(sessions, force=True)
+
+    async def _isolate_failure(self, states: List[_SessionState]) -> None:
+        """A batch crashed: retry sessions one by one so only the truly
+        failing session(s) surface the error, wrapped with their job id."""
+        n = len(states)
+        for index, state in enumerate(states):
+            try:
+                result = await self._loop.run_in_executor(
+                    None, partial(self._recognize, [state.session])
+                )
+            except Exception as exc:
+                original = exc.original if isinstance(exc, WorkerError) else exc
+                self._resolve_error(
+                    state, SessionWorkerError(state.job, index, n, original)
+                )
+            else:
+                self._resolve(state, result[0])
+
+    # -- internals: resolution ------------------------------------------------
+    def _resolve(self, state: _SessionState, result: MatchResult) -> None:
+        if state.future.done():
+            return
+        self.stats.record_latency(self._loop.time() - state.ready_at)
+        state.future.set_result(result)
+        self._finish(state)
+        if self.on_verdict is not None:
+            try:
+                self.on_verdict(state.job, result)
+            except Exception:
+                # A crashing callback must not take down the batch task
+                # (its remaining sessions would hang unresolved).  The
+                # verdict itself is already delivered via the future.
+                self.n_callback_errors += 1
+
+    def _resolve_error(self, state: _SessionState, exc: BaseException) -> None:
+        if state.future.done():
+            return
+        state.future.set_exception(exc)
+        self._finish(state)
+
+    def _finish(self, state: _SessionState) -> None:
+        if state.phase is _Phase.QUEUED:
+            self._n_unresolved -= 1
+            if self._n_unresolved == 0:
+                self._quiescent.set()
+        state.phase = _Phase.DONE
+        self._n_active -= 1
+        self._session_freed.set()
+
+    # -- internals: eviction --------------------------------------------------
+    async def _reaper_loop(self) -> None:
+        timeout = self.config.session_timeout
+        tick = min(timeout / 4, 0.5)
+        while True:
+            await asyncio.sleep(tick)
+            now = self._loop.time()
+            for state in list(self._sessions.values()):
+                if state.phase is not _Phase.ACTIVE:
+                    continue
+                if now - state.last_activity < timeout:
+                    continue
+                self.stats.record_eviction()
+                if self.config.evict == "force":
+                    self._queue_ready(state, forced=True)
+                else:
+                    self._resolve_error(
+                        state, SessionEvicted(state.job, timeout)
+                    )
+
+    # -- misc -----------------------------------------------------------------
+    def _check_running(self) -> None:
+        if not self._running:
+            raise RuntimeError(
+                "service not running: use `async with IngestService(...)` "
+                "or await start()"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestService(sessions={len(self._sessions)}, "
+            f"active={self._n_active}, "
+            f"policy={self.config.backpressure!r}, "
+            f"running={self._running})"
+        )

@@ -1,0 +1,154 @@
+"""Telemetry sample streams: the wire format of the ingestion service.
+
+One :class:`Sample` is one monitoring observation — job id, node rank,
+seconds since job start, metric value.  The on-the-wire encoding is
+JSON-lines (one object per line), the least-common-denominator format
+every HPC monitoring stack (LDMS CSV relays, Kafka topics, syslog
+shippers) can produce::
+
+    {"job": "j-1042", "node": 0, "t": 61.0, "value": 182000.0, "nodes": 4}
+
+``nodes`` (the job's node count) is only required on a job's first
+sample — it sizes the :class:`~repro.core.streaming.StreamSession`; a
+missing field falls back to the service's ``default_nodes``.  ``value``
+may be ``null`` for a dropped sample (the session skips it but still
+advances that node's clock).
+
+:func:`interleave_records` turns stored
+:class:`~repro.data.dataset.ExecutionRecord` telemetry back into the
+interleaved multi-job live stream a cluster-wide monitoring bus would
+deliver — the replay source for demos, benchmarks, and equivalence
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, TextIO, Union
+
+from repro.data.dataset import ExecutionRecord
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One telemetry observation of one node of one job."""
+
+    job: str
+    node: int
+    time: float
+    value: float
+    n_nodes: Optional[int] = None
+
+    def to_json(self) -> str:
+        """Encode as one JSONL line (no trailing newline)."""
+        obj = {"job": self.job, "node": self.node, "t": self.time,
+               "value": None if math.isnan(self.value) else self.value}
+        if self.n_nodes is not None:
+            obj["nodes"] = self.n_nodes
+        return json.dumps(obj)
+
+
+def parse_sample(line: str, lineno: int = 0) -> Sample:
+    """Decode one JSONL line into a :class:`Sample`.
+
+    Raises :class:`ValueError` naming the offending line number for
+    malformed JSON, missing fields, or out-of-domain values.
+    """
+    where = f"sample line {lineno}" if lineno else "sample line"
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{where}: invalid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: expected a JSON object, got {type(obj).__name__}")
+    try:
+        job = str(obj["job"])
+        node = int(obj["node"])
+        time = float(obj["t"])
+        raw = obj["value"]
+    except KeyError as exc:
+        raise ValueError(f"{where}: missing field {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{where}: bad field value: {exc}") from exc
+    if not job:
+        raise ValueError(f"{where}: job id must be non-empty")
+    if node < 0:
+        raise ValueError(f"{where}: node must be >= 0, got {node}")
+    value = float("nan") if raw is None else float(raw)
+    n_nodes = obj.get("nodes")
+    if n_nodes is not None:
+        n_nodes = int(n_nodes)
+        if n_nodes < 1:
+            raise ValueError(f"{where}: nodes must be >= 1, got {n_nodes}")
+    return Sample(job=job, node=node, time=time, value=value, n_nodes=n_nodes)
+
+
+def read_samples(stream: Union[TextIO, Iterable[str]]) -> Iterator[Sample]:
+    """Iterate :class:`Sample` objects from a JSONL stream.
+
+    Blank lines and ``#`` comment lines are skipped; anything else must
+    parse, or :func:`parse_sample` raises with the line number.
+    """
+    for lineno, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_sample(stripped, lineno)
+
+
+def record_samples(
+    record: ExecutionRecord, metric: str, job: str
+) -> Iterator[Sample]:
+    """One job's telemetry as a time-ordered sample stream.
+
+    Yields every node's series merged in ``(time, node)`` order, with
+    the job's node count attached to each sample (so a consumer can open
+    the session from whichever sample arrives first).
+    """
+    merged = []
+    for node in range(record.n_nodes):
+        series = record.series(metric, node)
+        for t, v in zip(series.times, series.values):
+            merged.append((float(t), node, float(v)))
+    merged.sort(key=lambda s: (s[0], s[1]))
+    for t, node, v in merged:
+        yield Sample(job=job, node=node, time=t, value=v, n_nodes=record.n_nodes)
+
+
+def interleave_records(
+    records: Sequence[ExecutionRecord],
+    metric: str,
+    job_ids: Optional[Sequence[str]] = None,
+) -> Iterator[Sample]:
+    """Interleave many jobs' telemetry into one live-feed-shaped stream.
+
+    Jobs advance round-robin, one sample each per turn — the shape a
+    system-wide monitoring bus delivers when many jobs run concurrently.
+    Per-job sample order is preserved (time-major), so feeding the
+    stream into per-job sessions accumulates exactly the same state as
+    feeding each job alone.
+
+    ``job_ids`` defaults to ``job-0000 .. job-NNNN``.
+    """
+    if job_ids is None:
+        job_ids = [f"job-{i:04d}" for i in range(len(records))]
+    if len(job_ids) != len(records):
+        raise ValueError(
+            f"{len(job_ids)} job ids for {len(records)} records"
+        )
+    feeds = [
+        record_samples(record, metric, job)
+        for record, job in zip(records, job_ids)
+    ]
+    while feeds:
+        exhausted = []
+        for i, feed in enumerate(feeds):
+            sample = next(feed, None)
+            if sample is None:
+                exhausted.append(i)
+            else:
+                yield sample
+        for i in reversed(exhausted):
+            del feeds[i]

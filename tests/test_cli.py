@@ -116,3 +116,72 @@ class TestEngineCommands:
         assert "accuracy:" in out
         accuracy = float(out.strip().rsplit("= ", 1)[1])
         assert accuracy > 0.9
+
+    def test_info_requires_a_source(self, capsys):
+        assert main(["engine", "info"]) == 2
+
+
+class TestServeCommand:
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_depth_required_without_demo(self, tmp_path):
+        with pytest.raises(SystemExit, match="--depth"):
+            main(["serve", "--efd", str(tmp_path / "x.json")])
+
+    def test_demo_round_trip(self, tmp_path, capsys):
+        stats_path = str(tmp_path / "stats.json")
+        assert main([
+            "serve", "--demo", "--demo-jobs", "6", "--seed", "9",
+            "--batch-delay", "0.002", "--stats-out", stats_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verdict job=" in out
+        assert "served 6 session(s), 6 verdict(s)" in out
+        assert "demo accuracy: 6/6" in out
+        payload = json.loads(open(stats_path).read())
+        assert payload["executions"] == 6
+        assert payload["latencies"] == 6
+
+        # The snapshot renders through `efd engine info --stats`.
+        assert main(["engine", "info", "--stats", stats_path]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "ingest" in out
+
+    def test_demo_honors_depth_and_interval(self, capsys):
+        """--depth/--interval must reach the demo's fitted dictionary,
+        not just the serving engine, or verdicts silently miss."""
+        assert main([
+            "serve", "--demo", "--demo-jobs", "4", "--seed", "9",
+            "--depth", "2", "--interval", "30", "90",
+            "--batch-delay", "0.002", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "demo accuracy: 4/4" in out
+
+    def test_serve_from_jsonl_file(self, tmp_path, capsys):
+        from repro.data.io import load_dataset
+        from repro.serve import interleave_records
+
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        stream = str(tmp_path / "samples.jsonl")
+        main(["generate", "--out", data, "--repetitions", "2",
+              "--duration-cap", "150", "--seed", "11"])
+        main(["fit", "--data", data, "--out", efd, "--depth", "2"])
+        capsys.readouterr()
+
+        records = list(load_dataset(data))[:5]
+        with open(stream, "w") as fh:
+            fh.write("# synthetic live feed\n")
+            for sample in interleave_records(records, "nr_mapped_vmstat"):
+                fh.write(sample.to_json() + "\n")
+
+        assert main([
+            "serve", "--efd", efd, "--depth", "2", "--input", stream,
+            "--batch-delay", "0.002", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 5 session(s), 5 verdict(s)" in out
+        assert "latency" in out

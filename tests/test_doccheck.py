@@ -1,0 +1,129 @@
+"""Doc health is part of tier-1: broken cross-links or examples that no
+longer import cleanly fail the suite, not just `make docs-check`."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+
+from repro._util import doccheck
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestThisRepo:
+    def test_repo_docs_and_examples_are_healthy(self, capsys):
+        assert doccheck.main(["--root", REPO_ROOT]) == 0
+        out = capsys.readouterr().out
+        assert "doccheck: OK" in out
+
+    def test_readme_and_docs_are_discovered(self):
+        found = [os.path.basename(p) for p in doccheck.markdown_files(REPO_ROOT)]
+        assert "README.md" in found
+        assert "architecture.md" in found
+        assert "cli.md" in found
+
+    def test_examples_are_discovered(self):
+        names = [os.path.basename(p) for p in doccheck.example_files(REPO_ROOT)]
+        assert "quickstart.py" in names
+        assert "live_serving.py" in names
+
+
+class TestSlugs:
+    @pytest.mark.parametrize("heading, slug", [
+        ("Install", "install"),
+        ("Package map", "package-map"),
+        ("`efd serve` — async live-session recognition",
+         "efd-serve--async-live-session-recognition"),
+        ("Doc and example health: `python -m repro._util.doccheck`",
+         "doc-and-example-health-python--m-repro_utildoccheck"),
+    ])
+    def test_github_slug(self, heading, slug):
+        assert doccheck.github_slug(heading) == slug
+
+
+class TestLinkChecking:
+    def _write(self, root, rel, text):
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(textwrap.dedent(text))
+
+    def test_clean_tree_passes(self, tmp_path):
+        root = str(tmp_path)
+        self._write(root, "README.md", """\
+            # Top
+            See [docs](docs/guide.md) and [section](docs/guide.md#deep-dive).
+            External [link](https://example.com/x) is not fetched.
+        """)
+        self._write(root, "docs/guide.md", """\
+            # Guide
+            ## Deep dive
+            Back to [readme](../README.md#top).
+        """)
+        assert doccheck.check_links(root) == []
+
+    def test_broken_file_link_reported(self, tmp_path):
+        root = str(tmp_path)
+        self._write(root, "README.md", "[gone](docs/missing.md)\n")
+        problems = doccheck.check_links(root)
+        assert len(problems) == 1
+        assert "missing.md" in problems[0]
+
+    def test_broken_anchor_reported(self, tmp_path):
+        root = str(tmp_path)
+        self._write(root, "README.md", "[x](docs/guide.md#nope)\n")
+        self._write(root, "docs/guide.md", "# Only heading\n")
+        problems = doccheck.check_links(root)
+        assert len(problems) == 1
+        assert "#nope" in problems[0]
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        root = str(tmp_path)
+        self._write(root, "README.md", """\
+            # Top
+            ```
+            [not a real link](nowhere.md)
+            ```
+        """)
+        assert doccheck.check_links(root) == []
+
+
+class TestExampleChecking:
+    def _example(self, root, name, source):
+        path = os.path.join(root, "examples", name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(textwrap.dedent(source))
+        return path
+
+    def test_good_example_passes(self, tmp_path):
+        path = self._example(str(tmp_path), "ok.py", """\
+            from repro import EFDRecognizer
+            import repro.serve
+        """)
+        assert doccheck.check_example_imports(path) == []
+
+    def test_stale_name_reported(self, tmp_path):
+        path = self._example(str(tmp_path), "stale.py", """\
+            from repro import ThisWasRenamedLongAgo
+        """)
+        problems = doccheck.check_example_imports(path)
+        assert len(problems) == 1
+        assert "ThisWasRenamedLongAgo" in problems[0]
+
+    def test_missing_module_reported(self, tmp_path):
+        path = self._example(str(tmp_path), "gone.py", """\
+            import repro.no_such_subsystem
+        """)
+        problems = doccheck.check_example_imports(path)
+        assert len(problems) == 1
+        assert "no_such_subsystem" in problems[0]
+
+    def test_syntax_error_reported(self, tmp_path):
+        path = self._example(str(tmp_path), "broken.py", "def nope(:\n")
+        problems = doccheck.check_example_imports(path)
+        assert len(problems) == 1
+        assert "does not compile" in problems[0]

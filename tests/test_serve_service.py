@@ -1,0 +1,557 @@
+"""IngestService tests: equivalence, backpressure, eviction, failure.
+
+The headline property: for any backpressure configuration under which
+no sample is shed and no session evicted, the async service's verdicts
+are element-wise identical to calling
+``BatchRecognizer.recognize_sessions`` synchronously on sessions fed the
+same samples.  The edge-case suites then cover exactly the behaviors
+that *break* that equivalence on purpose: full-queue blocking vs.
+shedding, timeout eviction (force and drop), and a recognition-worker
+crash that must surface as a ``WorkerError`` naming the failing session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.recognizer import EFDRecognizer
+from repro.core.streaming import StreamingRecognizer
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.engine import BatchRecognizer, ShardedDictionary
+from repro.parallel.pool import WorkerError
+from repro.serve import (
+    IngestService,
+    Sample,
+    ServeConfig,
+    SessionEvicted,
+    interleave_records,
+)
+
+METRIC = "nr_mapped_vmstat"
+DEPTH = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = DatasetConfig(
+        metrics=(METRIC,), repetitions=2, seed=13, duration_cap=150.0,
+        apps=("ft", "mg", "lu", "CoMD"),
+    )
+    return TaxonomistDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def recognizer(dataset):
+    return EFDRecognizer(metric=METRIC, depth=DEPTH).fit(dataset)
+
+
+def _engine(recognizer, n_shards: int = 1) -> BatchRecognizer:
+    dictionary = recognizer.dictionary_
+    if n_shards > 1:
+        dictionary = ShardedDictionary.from_flat(dictionary, n_shards)
+    return BatchRecognizer(dictionary, metric=METRIC, depth=DEPTH)
+
+
+def _reference_verdicts(recognizer, records, job_ids):
+    """The synchronous path: same samples, one recognize_sessions call."""
+    streaming = StreamingRecognizer.from_recognizer(recognizer)
+    sessions = []
+    for record, job in zip(records, job_ids):
+        session = streaming.open_session(
+            n_nodes=record.n_nodes, session_id=job
+        )
+        for node in range(record.n_nodes):
+            series = record.series(METRIC, node)
+            session.ingest_many(node, series.times, series.values)
+        sessions.append(session)
+    engine = BatchRecognizer(recognizer.dictionary_, metric=METRIC, depth=DEPTH)
+    return dict(zip(job_ids, engine.recognize_sessions(sessions, force=True)))
+
+
+async def _serve(engine, config, samples, chunked: bool = False):
+    """Run one stream through a fresh service; returns the service."""
+    service = IngestService(engine, config)
+    async with service:
+        if chunked:
+            await service.submit_many(samples)
+        else:
+            for sample in samples:
+                await service.submit(sample)
+        await service.drain()
+    return service
+
+
+# ---------------------------------------------------------------------------
+# Equivalence property
+# ---------------------------------------------------------------------------
+
+EQUIVALENCE_CONFIGS = [
+    # Tiny queue + tiny batches: constant blocking backpressure, many
+    # micro-batches racing the producer.
+    ServeConfig(max_pending_samples=8, backpressure="block",
+                batch_max_sessions=3, batch_max_delay=0.002),
+    # Shed policy with ample capacity: the lossy path, configured so it
+    # never actually loses anything.
+    ServeConfig(max_pending_samples=200_000, backpressure="shed",
+                batch_max_sessions=64, batch_max_delay=0.02),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("config", EQUIVALENCE_CONFIGS,
+                             ids=["block-tiny-queue", "shed-ample-queue"])
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_async_verdicts_equal_sync_batch(
+        self, recognizer, dataset, config, n_shards
+    ):
+        records = list(dataset)[:12]
+        job_ids = [f"job-{i:04d}" for i in range(len(records))]
+        reference = _reference_verdicts(recognizer, records, job_ids)
+
+        engine = _engine(recognizer, n_shards)
+        samples = interleave_records(records, METRIC, job_ids)
+        service = asyncio.run(
+            _serve(engine, config, samples,
+                   chunked=config.backpressure == "shed")
+        )
+
+        assert engine.stats.n_shed == 0
+        assert engine.stats.n_evicted == 0
+        results = service.results
+        assert set(results) == set(job_ids)
+        for job in job_ids:
+            assert results[job] == reference[job], job
+
+    def test_verdict_awaitable_and_callback(self, recognizer, dataset):
+        records = list(dataset)[:3]
+        job_ids = ["a", "b", "c"]
+        reference = _reference_verdicts(recognizer, records, job_ids)
+        seen = {}
+
+        async def run():
+            engine = _engine(recognizer)
+            service = IngestService(
+                engine,
+                ServeConfig(batch_max_delay=0.002),
+                on_verdict=lambda job, result: seen.setdefault(job, result),
+            )
+            async with service:
+                for sample in interleave_records(records, METRIC, job_ids):
+                    await service.submit(sample)
+                await service._ingest_q.join()  # ensure "a" is routed
+                # Await one verdict mid-flight, before drain.
+                first = await asyncio.wait_for(service.verdict("a"), timeout=5)
+                await service.drain()
+                return first
+
+        first = asyncio.run(run())
+        assert first == reference["a"]
+        assert seen == reference
+
+    def test_stats_counters_move(self, recognizer, dataset):
+        records = list(dataset)[:6]
+        engine = _engine(recognizer)
+        config = ServeConfig(batch_max_sessions=4, batch_max_delay=0.002)
+        samples = interleave_records(records, METRIC)
+        asyncio.run(_serve(engine, config, samples))
+        stats = engine.stats
+        assert stats.n_executions == 6
+        assert stats.n_batches >= 2          # batch cap of 4 forces a split
+        assert stats.max_batch <= 4
+        assert stats.n_latencies == 6
+        assert stats.total_latency >= 0
+        assert stats.queue_peak >= 1
+        assert stats.n_late > 0              # post-interval samples dropped
+        assert stats.served
+        rendered = stats.render()
+        assert "ingest" in rendered and "latency" in rendered
+
+    def test_unknown_job_raises_keyerror(self, recognizer):
+        async def run():
+            async with IngestService(_engine(recognizer)) as service:
+                with pytest.raises(KeyError, match="unknown job"):
+                    await service.verdict("nope")
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# Backpressure edge cases
+# ---------------------------------------------------------------------------
+
+def _sample(job: str, t: float, node: int = 0) -> Sample:
+    return Sample(job=job, node=node, time=t, value=100.0, n_nodes=1)
+
+
+class TestBackpressure:
+    def test_submit_requires_started_service(self, recognizer):
+        service = IngestService(_engine(recognizer))
+        with pytest.raises(RuntimeError, match="not running"):
+            asyncio.run(service.submit(_sample("j", 0.0)))
+
+    def test_full_queue_blocks_producer(self, recognizer):
+        async def run():
+            config = ServeConfig(max_pending_samples=2, backpressure="block")
+            async with IngestService(_engine(recognizer), config) as service:
+                # Freeze ingestion so the queue genuinely fills.
+                service._tasks[0].cancel()
+                await asyncio.sleep(0)
+                assert await service.submit(_sample("j", 0.0))
+                assert await service.submit(_sample("j", 1.0))
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        service.submit(_sample("j", 2.0)), timeout=0.1
+                    )
+                assert service.stats.n_shed == 0
+
+        asyncio.run(run())
+
+    def test_full_queue_sheds_when_configured(self, recognizer):
+        async def run():
+            config = ServeConfig(max_pending_samples=2, backpressure="shed")
+            async with IngestService(_engine(recognizer), config) as service:
+                service._tasks[0].cancel()
+                await asyncio.sleep(0)
+                assert await service.submit(_sample("j", 0.0))
+                assert await service.submit(_sample("j", 1.0))
+                # Queue is full: every further sample is refused, fast.
+                assert not await service.submit(_sample("j", 2.0))
+                assert not await service.submit(_sample("j", 3.0))
+                assert service.stats.n_shed == 2
+                assert service.stats.queue_peak == 2
+
+        asyncio.run(run())
+
+    def test_submit_many_sheds_and_counts(self, recognizer):
+        async def run():
+            config = ServeConfig(max_pending_samples=3, backpressure="shed")
+            async with IngestService(_engine(recognizer), config) as service:
+                service._tasks[0].cancel()
+                await asyncio.sleep(0)
+                accepted = await service.submit_many(
+                    [_sample("j", float(t)) for t in range(10)]
+                )
+                assert accepted == 3
+                assert service.stats.n_shed == 7
+
+        asyncio.run(run())
+
+    def test_session_cap_sheds_new_jobs(self, recognizer):
+        async def run():
+            config = ServeConfig(
+                max_sessions=2, backpressure="shed", batch_max_delay=0.002
+            )
+            async with IngestService(_engine(recognizer), config) as service:
+                for job in ("a", "b", "c"):
+                    await service.submit(_sample(job, 0.0))
+                    # The cap is admission-side against *routed* sessions;
+                    # flush routing so each submit sees the true count.
+                    await service._ingest_q.join()
+                assert service.n_sessions == 2
+                assert service.stats.n_shed == 1
+
+        asyncio.run(run())
+
+    def test_cancelled_blocking_submit_rolls_back_admission(self, recognizer):
+        """A wait_for timeout on a blocked submit must not leak the new
+        job's session slot (its _pending_opens entry)."""
+        async def run():
+            config = ServeConfig(max_pending_samples=1, backpressure="block")
+            async with IngestService(_engine(recognizer), config) as service:
+                service._tasks[0].cancel()
+                await asyncio.sleep(0)
+                assert await service.submit(_sample("a", 0.0))  # fills queue
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        service.submit(_sample("b", 0.0)), timeout=0.05
+                    )
+                assert "b" not in service._pending_opens
+                assert "a" in service._pending_opens  # still queued
+
+        asyncio.run(run())
+
+    def test_session_cap_block_self_heals_via_eviction(self, recognizer):
+        """The cap blocks the *producer*, never the routing loop, so the
+        reaper can still evict the stale session and unblock it."""
+        async def run():
+            config = ServeConfig(
+                max_sessions=1, backpressure="block",
+                session_timeout=0.05, evict="force", batch_max_delay=0.002,
+            )
+            async with IngestService(_engine(recognizer), config) as service:
+                await service.submit(_sample("first", 5.0))
+                await service._ingest_q.join()
+                # "second" must wait for a slot; the eviction of the
+                # stalled "first" frees it well inside the deadline.
+                assert await asyncio.wait_for(
+                    service.submit(_sample("second", 5.0)), timeout=5
+                )
+                await service._ingest_q.join()
+                assert service.n_sessions == 2
+                assert service.stats.n_evicted >= 1
+
+        asyncio.run(run())
+
+    def test_submit_many_shed_keeps_up_with_live_ingestion(
+        self, recognizer, dataset
+    ):
+        """A tiny queue under the shed policy must not mass-drop a
+        stream the ingest loop can actually drain: submit_many yields
+        and retries before shedding."""
+        record = list(dataset)[0]
+
+        async def run():
+            config = ServeConfig(
+                max_pending_samples=8, backpressure="shed",
+                batch_max_delay=0.002,
+            )
+            async with IngestService(_engine(recognizer), config) as service:
+                samples = list(interleave_records([record], METRIC, ["j"]))
+                accepted = await service.submit_many(samples)
+                await service.drain()
+                assert accepted == len(samples)
+                assert service.stats.n_shed == 0
+                assert "j" in service.results
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# Eviction
+# ---------------------------------------------------------------------------
+
+class TestEviction:
+    def test_timeout_eviction_drop_policy(self, recognizer):
+        async def run():
+            config = ServeConfig(
+                session_timeout=0.05, evict="drop", batch_max_delay=0.002
+            )
+            async with IngestService(_engine(recognizer), config) as service:
+                # One sample far short of the interval end: never ready.
+                await service.submit(_sample("stalled", 5.0))
+                await service._ingest_q.join()
+                with pytest.raises(SessionEvicted, match="stalled"):
+                    await asyncio.wait_for(service.verdict("stalled"), timeout=5)
+                assert service.stats.n_evicted == 1
+                assert service.results == {}
+
+        asyncio.run(run())
+
+    def test_timeout_eviction_force_policy(self, recognizer, dataset):
+        record = list(dataset)[0]
+
+        async def run():
+            config = ServeConfig(
+                session_timeout=0.05, evict="force", batch_max_delay=0.002
+            )
+            async with IngestService(_engine(recognizer), config) as service:
+                # Feed the full fingerprint interval but stop at t=130,
+                # before the trailing nodes' clocks would... (they did
+                # pass 120; cut at 100 instead so ready never fires).
+                samples = [
+                    s for s in interleave_records([record], METRIC, ["early"])
+                    if s.time < 100.0
+                ]
+                await service.submit_many(samples)
+                await service._ingest_q.join()
+                result = await asyncio.wait_for(
+                    service.verdict("early"), timeout=5
+                )
+                assert service.stats.n_evicted == 1
+                return result
+
+        result = asyncio.run(run())
+
+        # Reference: identical partial feed, decided early by force.
+        streaming = StreamingRecognizer.from_recognizer(recognizer)
+        session = streaming.open_session(n_nodes=record.n_nodes)
+        for node in range(record.n_nodes):
+            series = record.series(METRIC, node)
+            mask = series.times < 100.0
+            session.ingest_many(node, series.times[mask], series.values[mask])
+        assert not session.ready
+        assert result == session.verdict(force=True)
+
+    def test_no_timeout_means_no_reaper(self, recognizer):
+        async def run():
+            config = ServeConfig(session_timeout=None)
+            async with IngestService(_engine(recognizer), config) as service:
+                assert len(service._tasks) == 2  # ingest + batch only
+
+        asyncio.run(run())
+
+    def test_close_forces_verdicts_for_unready_sessions(self, recognizer):
+        async def run():
+            async with IngestService(_engine(recognizer)) as service:
+                await service.submit(_sample("partial", 65.0))
+                await service._ingest_q.join()
+            # Context exit closes with force=True: the unready session
+            # is decided from its single in-interval sample.
+            return service
+
+        service = asyncio.run(run())
+        assert "partial" in service.results
+
+
+# ---------------------------------------------------------------------------
+# Worker failure isolation
+# ---------------------------------------------------------------------------
+
+class TestWorkerFailure:
+    def test_worker_error_carries_failing_session_id(self, recognizer, dataset):
+        records = list(dataset)[:3]
+        job_ids = ["ok-0", "poison", "ok-1"]
+        reference = _reference_verdicts(
+            recognizer, [records[0], records[2]], ["ok-0", "ok-1"]
+        )
+
+        async def run():
+            engine = _engine(recognizer)
+            # A long coalescing window so all three sessions land in ONE
+            # micro-batch; the crash must then be isolated per session.
+            config = ServeConfig(batch_max_sessions=8, batch_max_delay=0.25)
+            async with IngestService(engine, config) as service:
+                stream = interleave_records(records, METRIC, job_ids)
+                first = [next(stream) for _ in range(3)]
+                await service.submit_many(first)
+                await service._ingest_q.join()
+
+                def boom():
+                    raise RuntimeError("telemetry store exploded")
+
+                service._sessions["poison"].session.fingerprints = boom
+                await service.submit_many(stream)
+                await service.drain()
+                with pytest.raises(WorkerError) as excinfo:
+                    await service.verdict("poison")
+                return service, excinfo.value
+
+        service, error = asyncio.run(run())
+        assert error.session_id == "poison"
+        assert "poison" in str(error)
+        assert "telemetry store exploded" in str(error)
+        assert isinstance(error.original, RuntimeError)
+        # Healthy batch-mates still resolved, correctly.
+        results = service.results
+        assert results["ok-0"] == reference["ok-0"]
+        assert results["ok-1"] == reference["ok-1"]
+
+    def test_bad_node_rank_fails_only_that_session(self, recognizer):
+        async def run():
+            config = ServeConfig(batch_max_delay=0.002)
+            async with IngestService(_engine(recognizer), config) as service:
+                # nodes=1 but a sample for node 3: routing error.
+                await service.submit(
+                    Sample(job="bad", node=3, time=1.0, value=1.0, n_nodes=1)
+                )
+                await service._ingest_q.join()
+                with pytest.raises(ValueError, match="node 3"):
+                    await asyncio.wait_for(service.verdict("bad"), timeout=5)
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# Housekeeping
+# ---------------------------------------------------------------------------
+
+class TestHousekeeping:
+    def test_forget_reclaims_completed_sessions(self, recognizer, dataset):
+        record = list(dataset)[0]
+
+        async def run():
+            config = ServeConfig(batch_max_delay=0.002)
+            async with IngestService(_engine(recognizer), config) as service:
+                await service.submit_many(
+                    interleave_records([record], METRIC, ["done"])
+                )
+                await service.drain()
+                assert service.n_sessions == 1
+                service.forget("done")
+                assert service.n_sessions == 0
+                service.forget("unknown-is-a-no-op")
+
+        asyncio.run(run())
+
+    def test_forget_refuses_active_sessions(self, recognizer):
+        async def run():
+            async with IngestService(_engine(recognizer)) as service:
+                await service.submit(_sample("live", 1.0))
+                await service._ingest_q.join()
+                with pytest.raises(RuntimeError, match="active"):
+                    service.forget("live")
+
+        asyncio.run(run())
+
+    def test_crashing_callback_does_not_hang_the_batch(
+        self, recognizer, dataset
+    ):
+        records = list(dataset)[:3]
+        job_ids = ["x", "y", "z"]
+
+        def explode(job, result):
+            raise RuntimeError("callback bug")
+
+        async def run():
+            config = ServeConfig(batch_max_sessions=8, batch_max_delay=0.1)
+            service = IngestService(
+                _engine(recognizer), config, on_verdict=explode
+            )
+            async with service:
+                await service.submit_many(
+                    interleave_records(records, METRIC, job_ids)
+                )
+                # Must terminate: the callback crash is contained.
+                await asyncio.wait_for(service.drain(), timeout=10)
+                assert set(service.results) == set(job_ids)
+                assert service.n_callback_errors == 3
+
+        asyncio.run(run())
+
+    def test_double_start_rejected(self, recognizer):
+        async def run():
+            async with IngestService(_engine(recognizer)) as service:
+                with pytest.raises(RuntimeError, match="already started"):
+                    await service.start()
+
+        asyncio.run(run())
+
+    def test_late_samples_dropped_and_counted(self, recognizer, dataset):
+        record = list(dataset)[0]
+
+        async def run():
+            config = ServeConfig(batch_max_delay=0.002)
+            async with IngestService(_engine(recognizer), config) as service:
+                await service.submit_many(
+                    interleave_records([record], METRIC, ["j"])
+                )
+                await service.drain()
+                before = await service.verdict("j")
+                late_before = service.stats.n_late
+                await service.submit(
+                    Sample(job="j", node=0, time=149.0, value=9.9e9)
+                )
+                await service._ingest_q.join()
+                assert service.stats.n_late == late_before + 1
+                assert await service.verdict("j") == before
+
+        asyncio.run(run())
+
+
+class TestServeConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_pending_samples": 0},
+        {"backpressure": "panic"},
+        {"max_sessions": 0},
+        {"batch_max_sessions": 0},
+        {"batch_max_delay": -1.0},
+        {"max_inflight_batches": 0},
+        {"session_timeout": 0.0},
+        {"evict": "maybe"},
+        {"default_nodes": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
