@@ -4,13 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs-check docs-check-run selftest serve-demo
+.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo
 
 test:            ## tier-1 correctness suite (the merge gate)
 	$(PYTHON) -m pytest -x -q
 
 bench:           ## benchmarks (write reports to benchmarks/output/)
 	$(PYTHON) -m pytest benchmarks -m bench -q
+
+bench-smoke:     ## columnar codec bench at tiny scale (fast regression gate)
+	BENCH_COLUMNAR_KEYS=20000 $(PYTHON) -m pytest \
+	    benchmarks/test_bench_columnar_scale.py -m bench -q
 
 docs-check:      ## markdown cross-links + examples import health
 	$(PYTHON) -m repro._util.doccheck

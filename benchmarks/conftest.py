@@ -4,11 +4,23 @@ Datasets are session-scoped — they are pure functions of their config,
 and several benches share them.  Every bench writes its rendered table /
 figure to ``benchmarks/output/<name>.txt`` so results survive pytest's
 stdout capture (run with ``-s`` to also see them inline).
+
+Every bench run additionally appends one machine-readable record —
+benchmark name, problem size, wall time, throughput, git revision — to
+``BENCH_engine.json`` at the repo root via the autouse
+:func:`bench_record` fixture, so the repo accumulates a performance
+trajectory across revisions.  Benches that know their own ``n`` /
+throughput set them on the yielded record; the wall time defaults to
+the test's own duration.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
+from typing import Optional
 
 import pytest
 
@@ -16,6 +28,103 @@ from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
 from repro.telemetry.metrics import TABLE3_METRICS
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+BENCH_LOG = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_engine.json")
+)
+
+
+class BenchRecord:
+    """One row of the performance trajectory, filled in by a bench."""
+
+    def __init__(self, name: str, git_rev: str):
+        self.name = name
+        self.git_rev = git_rev
+        self.n: Optional[int] = None
+        self.seconds: Optional[float] = None
+        self.throughput: Optional[float] = None
+        self.extra: dict = {}
+
+    def as_dict(self) -> dict:
+        row = {
+            "bench": self.name,
+            "n": self.n,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+            "git_rev": self.git_rev,
+            "recorded_at": round(time.time(), 3),
+        }
+        row.update(self.extra)
+        return row
+
+
+def append_bench_record(row: dict, path: str = BENCH_LOG) -> None:
+    """Append ``row`` to the JSON array at ``path`` (created on demand).
+
+    The rewrite is atomic (temp file + ``os.replace``), so a reader —
+    or an overlapping bench run — never sees a torn file.  An
+    unreadable history is moved aside, never silently discarded: the
+    trajectory is the whole point of this file.
+    """
+    records = []
+    if os.path.isfile(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, list):
+                records = loaded
+        except (ValueError, OSError):
+            aside = f"{path}.corrupt-{int(time.time())}"
+            os.replace(path, aside)
+            print(f"bench trajectory unreadable; moved aside to {aside}")
+    records.append(row)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+@pytest.fixture(scope="session")
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(__file__),
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, f"_bench_report_{report.when}", report)
+
+
+@pytest.fixture(autouse=True)
+def bench_record(request, _git_rev):
+    """Autouse trajectory writer: every bench appends one record.
+
+    Failed runs are recorded too (they are part of the trajectory) but
+    carry ``outcome: "failed"`` so consumers never mistake numbers from
+    a run that missed its thresholds for a healthy data point.
+    """
+    record = BenchRecord(request.node.name, _git_rev)
+    t0 = time.perf_counter()
+    yield record
+    wall = time.perf_counter() - t0
+    if record.seconds is None:
+        record.seconds = round(wall, 6)
+    report = getattr(request.node, "_bench_report_call", None)
+    row = record.as_dict()
+    row["outcome"] = (
+        "passed" if report is not None and report.passed else "failed"
+    )
+    append_bench_record(row)
 
 
 @pytest.fixture(scope="session")

@@ -48,7 +48,7 @@ def _best_of(fn, repeats=5):
     return best, out
 
 
-def test_engine_throughput(batch_dataset, save_report):
+def test_engine_throughput(batch_dataset, save_report, bench_record):
     recognizer = EFDRecognizer(metric=METRIC, depth=DEPTH).fit(batch_dataset)
     flat = recognizer.dictionary_
     batch = list(batch_dataset)[:BATCH_SIZE]
@@ -82,6 +82,13 @@ def test_engine_throughput(batch_dataset, save_report):
              t_base / t_warm, t_base / t_cold)
         )
 
+    bench_record.n = BATCH_SIZE
+    bench_record.throughput = max(
+        rate for _, _, rate, _, _ in rows
+    )
+    bench_record.extra["speedups"] = {
+        backend: round(s, 2) for backend, s in speedups.items()
+    }
     lines = [
         "Engine throughput: 500-execution batch, "
         f"{len(flat)} keys, {N_SHARDS} shards",

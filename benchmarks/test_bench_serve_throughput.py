@@ -80,7 +80,8 @@ async def _serve_stream(engine, config, samples):
     return service
 
 
-def test_serve_throughput_1000_sessions(serving_setup, save_report):
+def test_serve_throughput_1000_sessions(serving_setup, save_report,
+                                        bench_record):
     recognizer, sharded, records, job_ids = serving_setup
     reference, t_sync = _reference(recognizer, sharded, records, job_ids)
     n_samples = sum(
@@ -106,12 +107,15 @@ def test_serve_throughput_1000_sessions(serving_setup, save_report):
             assert results[job] == reference[job], f"{name}: {job}"
 
         rates[name] = N_SESSIONS / elapsed
+        bench_record.extra[f"sessions_per_s_{name}"] = round(rates[name], 1)
         rows.append(
             (name, elapsed, N_SESSIONS / elapsed, n_samples / elapsed,
              stats.n_batches, stats.max_batch,
              stats.mean_latency * 1e3, stats.max_latency * 1e3)
         )
 
+    bench_record.n = N_SESSIONS
+    bench_record.throughput = max(rates.values())
     lines = [
         f"Serve throughput: {N_SESSIONS} interleaved sessions, "
         f"{n_samples} samples, {len(sharded)} keys, {N_SHARDS} shards",

@@ -12,10 +12,13 @@ Subcommands
 - ``efd tables`` — render the paper's Tables 1/2/4.
 - ``efd info`` — registry and configuration overview.
 - ``efd engine ...`` — the sharded/batch recognition engine: ``selftest``
-  (smoke-check shard/batch equivalence), ``shard`` (partition a flat
-  dictionary JSON into a shard directory), ``recognize`` (batch
-  recognition against a shard directory), ``info`` (shard occupancy,
-  plus ``--stats`` to render a service counter snapshot).
+  (smoke-check shard/batch/columnar equivalence), ``shard`` (partition a
+  flat dictionary JSON into a shard directory, ``--format json|columnar``),
+  ``compact``/``expand`` (convert a shard directory between the JSON and
+  columnar npz layouts, in place or to ``--out``), ``recognize`` (batch
+  recognition against a shard directory, either layout), ``info`` (shard
+  occupancy and layout, plus ``--stats`` to render a service counter
+  snapshot).
 - ``efd serve`` — async live-session recognition: JSONL telemetry
   samples in (stdin or file), per-job verdicts out, with bounded-queue
   backpressure; ``--demo`` runs a self-contained synthetic stream.
@@ -104,6 +107,28 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
     shard.add_argument("--efd", required=True, help="flat dictionary JSON path")
     shard.add_argument("--out", required=True, help="output shard directory")
     shard.add_argument("--shards", type=int, default=8)
+    shard.add_argument("--format", default="json",
+                       choices=["json", "columnar"],
+                       help="on-disk layout: diffable JSON shards, or the "
+                            "columnar npz codec (smaller, faster to load)")
+
+    compact = esub.add_parser(
+        "compact",
+        help="convert a JSON shard directory to the columnar (npz) layout",
+    )
+    compact.add_argument("--dir", required=True, dest="directory",
+                         help="JSON shard directory to convert")
+    compact.add_argument("--out", default=None,
+                         help="write here instead of converting in place")
+
+    expand = esub.add_parser(
+        "expand",
+        help="convert a columnar directory back to the JSON shard layout",
+    )
+    expand.add_argument("--dir", required=True, dest="directory",
+                        help="columnar shard directory to convert")
+    expand.add_argument("--out", default=None,
+                        help="write here instead of converting in place")
 
     recognize = esub.add_parser(
         "recognize", help="batch-recognize a dataset against a shard directory"
@@ -121,6 +146,10 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
 
     info = esub.add_parser("info", help="shard occupancy and store statistics")
     info.add_argument("--efd-dir", default=None, help="shard directory")
+    info.add_argument("--format", default="auto",
+                      choices=["auto", "json", "columnar"],
+                      help="expected directory layout (auto-detected by "
+                           "default; a mismatch is an error)")
     info.add_argument("--stats", default=None, metavar="JSON",
                       help="render an EngineStats snapshot written by "
                            "`efd serve --stats-out`")
@@ -399,6 +428,17 @@ def _cmd_engine_selftest(args: argparse.Namespace) -> int:
                 failures.append("round-trip lookup mismatch")
                 break
 
+    from repro.engine import load_columnar, save_columnar
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_columnar(sharded, tmp)
+        columnar = load_columnar(tmp)
+        engine = BatchRecognizer(columnar, depth=2)
+        if engine.recognize_records(records) != sequential:
+            failures.append("columnar batch mismatch")
+        if list(columnar.entries()) != list(flat.entries()):
+            failures.append("columnar round-trip entries mismatch")
+
     print(
         f"engine selftest: {len(records)} executions, "
         f"{len(flat)} keys across {args.shards} shard(s) "
@@ -416,14 +456,46 @@ def _cmd_engine_selftest(args: argparse.Namespace) -> int:
 
 def _cmd_engine_shard(args: argparse.Namespace) -> int:
     from repro.core.serialization import load_dictionary
-    from repro.engine import ShardedDictionary, save_sharded
+    from repro.engine import ShardedDictionary, save_columnar, save_sharded
 
     flat = load_dictionary(args.efd)
     sharded = ShardedDictionary.from_flat(flat, args.shards)
-    save_sharded(sharded, args.out)
+    if args.format == "columnar":
+        save_columnar(sharded, args.out)
+    else:
+        save_sharded(sharded, args.out)
     print(
         f"sharded {len(flat)} keys into {args.shards} shard(s) "
-        f"{sharded.shard_sizes()} -> {args.out}"
+        f"[{args.format}] {sharded.shard_sizes()} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_engine_compact(args: argparse.Namespace) -> int:
+    from repro.engine import compact_shards
+
+    summary = compact_shards(args.directory, out=args.out)
+    ratio = (summary["json_bytes"] / summary["columnar_bytes"]
+             if summary["columnar_bytes"] else float("inf"))
+    print(
+        f"compacted {summary['n_keys']} keys across "
+        f"{summary['n_shards']} shard(s): "
+        f"{summary['json_bytes']} B JSON -> "
+        f"{summary['columnar_bytes']} B columnar "
+        f"({ratio:.1f}x smaller) at {summary['directory']}"
+    )
+    return 0
+
+
+def _cmd_engine_expand(args: argparse.Namespace) -> int:
+    from repro.engine import expand_shards
+
+    summary = expand_shards(args.directory, out=args.out)
+    print(
+        f"expanded {summary['n_keys']} keys across "
+        f"{summary['n_shards']} shard(s): "
+        f"{summary['columnar_bytes']} B columnar -> "
+        f"{summary['json_bytes']} B JSON at {summary['directory']}"
     )
     return 0
 
@@ -459,11 +531,21 @@ def _cmd_engine_info(args: argparse.Namespace) -> int:
         print("engine info: pass --efd-dir and/or --stats", file=sys.stderr)
         return 2
     if args.efd_dir is not None:
-        from repro.engine import load_sharded
+        from repro.engine import is_columnar, load_sharded
 
+        layout = "columnar" if is_columnar(args.efd_dir) else "json"
+        expected = getattr(args, "format", "auto")
+        if expected != "auto" and expected != layout:
+            print(
+                f"engine info: {args.efd_dir} holds a {layout} layout, "
+                f"not {expected}",
+                file=sys.stderr,
+            )
+            return 2
         sharded = load_sharded(args.efd_dir)
         stats = sharded.stats()
         print(f"sharded EFD at {args.efd_dir}")
+        print(f"layout      : {layout}")
         print(f"shards      : {sharded.n_shards}, occupancy {sharded.shard_sizes()}")
         print(
             f"keys        : {stats.n_keys} from {stats.n_insertions} insertions "
@@ -636,6 +718,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 _ENGINE_COMMANDS = {
     "selftest": _cmd_engine_selftest,
     "shard": _cmd_engine_shard,
+    "compact": _cmd_engine_compact,
+    "expand": _cmd_engine_expand,
     "recognize": _cmd_engine_recognize,
     "info": _cmd_engine_info,
 }

@@ -17,6 +17,7 @@ application + input-size labels.  Three properties matter:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.fingerprint import Fingerprint
@@ -40,8 +41,16 @@ class DictionaryStats:
         return 1.0 - self.n_keys / self.n_insertions
 
 
+@lru_cache(maxsize=65536)
 def app_of_label(label: str) -> str:
-    """Application name of an ``app_input`` label (input is the suffix)."""
+    """Application name of an ``app_input`` label (input is the suffix).
+
+    Memoized: the distinct label population is tiny (apps x inputs) but
+    this function sits on every hot path that touches labels — ``stats``,
+    ``collisions``, lookup-index construction, and ``vote`` tie-breaking
+    all re-derive the same splits on every call.  The cache is bounded so
+    a hostile label stream cannot grow it without limit.
+    """
     if "_" not in label:
         return label
     return label.rsplit("_", 1)[0]
@@ -121,15 +130,16 @@ class ExecutionFingerprintDictionary:
         return n
 
     def merge(self, other: "ExecutionFingerprintDictionary") -> None:
-        """Fold another dictionary's observations into this one."""
+        """Fold another dictionary's observations into this one.
+
+        Built on :meth:`add_repeated`, so the mutation counter advances
+        once per (key, label) entry — not once per absorbed observation,
+        which at production repetition counts would make every merge
+        needlessly invalidate caches millions of times over.
+        """
         for fp, labels in other._store.items():
             for label, count in labels.items():
-                mine = self._store.setdefault(fp, {})
-                mine[label] = mine.get(label, 0) + count
-                self._insertions += count
-                self._version += 1
-                self._label_order.setdefault(label, None)
-                self._app_order.setdefault(app_of_label(label), None)
+                self.add_repeated(fp, label, count)
 
     # -- reading ------------------------------------------------------------
     def __len__(self) -> int:

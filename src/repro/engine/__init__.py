@@ -39,20 +39,39 @@ would run.  ``repro.engine`` is the scale-out layer:
   ``efd engine ...`` / ``efd serve`` CLI commands and exportable as a
   JSON snapshot (``efd engine info --stats``).
 
-Shard layout on disk::
+- :mod:`repro.engine.columnar` is the storage fast path for that
+  machinery: a column-oriented shard codec (``shard-NN.npz`` parallel
+  arrays + a small JSON manifest with interned string tables and
+  checksums), lazy shard hydration
+  (:class:`~repro.engine.columnar.ColumnarDictionary` reads a shard
+  file only when it is actually probed), and a vectorized
+  rank-packed lookup index that replaces the batch engine's per-key
+  Python dict construction with a handful of NumPy calls.
+  ``efd engine compact|expand`` convert between the JSON and columnar
+  layouts losslessly; :func:`load_sharded` auto-detects either.
 
-    efd-shards/
-      manifest.json     # {format_version, n_shards, label_order, shards:[...]}
-      shard-00.json     # flat EFD JSON, keys with stable_hash(key) % N == 0
-      shard-01.json
-      ...
+Shard layouts on disk::
+
+    efd-shards/                       efd-columnar/
+      manifest.json                     manifest.json   # layout="columnar"
+      shard-00.json   # flat EFD JSON   shard-00.npz    # parallel arrays
+      shard-01.json                     shard-01.npz
+      ...                               ...
 
 Equivalence with the flat dictionary is enforced by property tests
-(``tests/test_engine_properties.py``) across shard counts and pool
-backends.
+(``tests/test_engine_properties.py``) across storage backends
+({flat, sharded-JSON, columnar}), shard counts, and pool backends.
 """
 
 from repro.engine.batch import BatchRecognizer, match_fingerprints_batch
+from repro.engine.columnar import (
+    ColumnarDictionary,
+    compact_shards,
+    expand_shards,
+    is_columnar,
+    load_columnar,
+    save_columnar,
+)
 from repro.engine.sharded import (
     ShardedDictionary,
     load_sharded,
@@ -63,10 +82,16 @@ from repro.engine.stats import EngineStats
 
 __all__ = [
     "BatchRecognizer",
+    "ColumnarDictionary",
     "EngineStats",
     "ShardedDictionary",
+    "compact_shards",
+    "expand_shards",
+    "is_columnar",
+    "load_columnar",
     "load_sharded",
     "match_fingerprints_batch",
+    "save_columnar",
     "save_sharded",
     "shard_index",
 ]

@@ -36,6 +36,7 @@ from repro.core.rounding import round_depth_array
 from repro.core.streaming import StreamSession
 from repro.data.dataset import ExecutionRecord
 from repro.telemetry.timeseries import TimeSeries
+from repro.engine.columnar import ColumnarBatchIndex, ColumnarDictionary
 from repro.engine.sharded import ShardedDictionary, shard_index
 from repro.engine.stats import EngineStats
 from repro.parallel.partition import chunk_evenly
@@ -81,10 +82,18 @@ def _batch_lookup(
 ) -> Dict[Fingerprint, List[str]]:
     """Resolve each unique fingerprint to its label list.
 
-    For a sharded store the work units are the shards themselves (each
-    worker queries only the shard that owns its keys); a flat store is
-    split into even chunks.
+    For a columnar store the whole batch resolves vectorized against the
+    column arrays — no shard is hydrated and no pool is spun up.  For a
+    sharded store the work units are the shards themselves (each worker
+    queries only the shard that owns its keys); a flat store is split
+    into even chunks.
     """
+    if isinstance(dictionary, ColumnarDictionary):
+        label_lists = dictionary.lookup_many(unique)
+        if label_lists is not None:
+            return dict(zip(unique, label_lists))
+        # Mutated since load (or rank-space overflow): fall through to
+        # the generic shard-bucket path, which sees the live state.
     if isinstance(dictionary, ShardedDictionary):
         buckets: List[List[Fingerprint]] = [
             [] for _ in range(dictionary.n_shards)
@@ -185,7 +194,7 @@ def _batch_rounded_means(
     depth: int,
     start: float,
     end: float,
-) -> List[float]:
+) -> np.ndarray:
     """Rounded interval means for every (record, node) slot, flattened.
 
     All series across the whole batch that share period, origin, and
@@ -227,7 +236,7 @@ def _batch_rounded_means(
             for i in np.nonzero(has_nan)[0]:
                 row_means[i] = slots[stacked[i]].interval_mean(start, end)
         means[stacked] = row_means
-    return round_depth_array(means, depth).tolist()
+    return round_depth_array(means, depth)
 
 
 def build_fingerprints_batch(
@@ -239,7 +248,7 @@ def build_fingerprints_batch(
     """Vectorized :func:`~repro.core.fingerprint.build_fingerprints` over
     many records; element-wise identical output."""
     start, end = float(interval[0]), float(interval[1])
-    values = _batch_rounded_means(records, metric, depth, start, end)
+    values = _batch_rounded_means(records, metric, depth, start, end).tolist()
     out: List[List[Optional[Fingerprint]]] = []
     pos = 0
     for record in records:
@@ -300,8 +309,28 @@ class BatchRecognizer:
         self.backend = backend
         self.n_workers = n_workers
         self.stats = EngineStats()
-        self._index: Optional[TupleIndex] = None
+        self._index: Optional[Union[TupleIndex, ColumnarBatchIndex]] = None
         self._index_version: Optional[int] = None
+
+    def warm(self, for_sessions: bool = False) -> "BatchRecognizer":
+        """Prebuild the lookup structures so the first batch pays no setup.
+
+        The two batch entry points resolve through different indexes:
+        :meth:`recognize_records` probes the ``(node, value)`` tuple (or
+        columnar) index, while :meth:`recognize_sessions` resolves full
+        fingerprint keys.  ``for_sessions`` selects which path to warm —
+        :class:`repro.serve.IngestService` warms the session path at
+        startup so its first micro-batch answers at steady-state
+        latency.  Idempotent; a no-op where the requested path has no
+        prebuildable structure (flat/sharded stores answer sessions
+        through plain dict lookups already).
+        """
+        if for_sessions:
+            if isinstance(self.dictionary, ColumnarDictionary):
+                self.dictionary.lookup_many([])  # builds the full-key index
+        else:
+            self._tuple_index()
+        return self
 
     @classmethod
     def from_recognizer(
@@ -345,10 +374,23 @@ class BatchRecognizer:
         cached until the dictionary changes.
         """
         start, end = self.interval
-        values = _batch_rounded_means(
+        value_array = _batch_rounded_means(
             records, self.metric, self.depth, start, end
         )
+        values = value_array.tolist()
         table = self._tuple_index()
+        if isinstance(table, ColumnarBatchIndex):
+            # Columnar fast path: resolve every (node, value) probe of
+            # the batch in a handful of NumPy calls; the verdict loop
+            # below then probes a dict holding only this batch's hits.
+            node_array = (
+                np.concatenate(
+                    [np.arange(r.n_nodes, dtype=np.int64) for r in records]
+                )
+                if records
+                else np.empty(0, dtype=np.int64)
+            )
+            table = table.resolve_probes(node_array, value_array)
         get = table.get
         position = {
             app: i for i, app in enumerate(self.dictionary.app_names())
@@ -427,11 +469,23 @@ class BatchRecognizer:
         self._record_stats(results, n_hits)
         return results
 
-    def _tuple_index(self) -> TupleIndex:
-        """Build (or reuse) the batch lookup table, shard-parallel."""
+    def _tuple_index(self) -> Union[TupleIndex, "ColumnarBatchIndex"]:
+        """Build (or reuse) the batch lookup table.
+
+        Against a pristine :class:`ColumnarDictionary` this is the
+        vectorized rank-packed index built straight from the columns (no
+        shard hydration, no per-key Python work); otherwise the classic
+        per-key dict is built shard-parallel.
+        """
         version = self.dictionary.version
         if self._index is not None and self._index_version == version:
             return self._index
+        if isinstance(self.dictionary, ColumnarDictionary):
+            index = self.dictionary.batch_index(self.metric, self.interval)
+            if index is not None:
+                self._index = index
+                self._index_version = version
+                return index
         if isinstance(self.dictionary, ShardedDictionary):
             tasks = [
                 (shard, self.metric, self.interval)

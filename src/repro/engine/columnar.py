@@ -1,0 +1,899 @@
+"""Columnar (npz) EFD backend: shard codec + vectorized lookup index.
+
+JSON shards are diffable but expensive: loading a million-key dictionary
+means parsing a million JSON objects and building a million ``dict``
+entries before the first lookup can run.  This module is the fast path
+for that regime, while the flat
+:class:`~repro.core.dictionary.ExecutionFingerprintDictionary` stays the
+paper-faithful reference:
+
+- **Shard codec** — :func:`save_columnar` writes a directory of
+  ``shard-NN.npz`` files (the parallel arrays of
+  :func:`repro.core.serialization.dictionary_to_columns`) plus a small
+  ``manifest.json`` header holding the interned label/app/metric/interval
+  string tables in global first-seen order, the global key order, a
+  format version, and per-shard checksums.  Conversion to and from the
+  JSON shard layout is lossless (:func:`compact_shards` /
+  :func:`expand_shards`, surfaced as ``efd engine compact|expand``).
+- **Lazy shards** — :func:`load_columnar` (also reached through
+  :func:`repro.engine.sharded.load_sharded`, which dispatches on the
+  manifest) opens a directory by reading only the manifest.  Each
+  shard's ``.npz`` is read, checksummed, and decoded the first time that
+  shard is actually probed; until then a shard costs one small proxy
+  object.  Point lookups hydrate exactly the owning shard.
+- **Vectorized lookup index** — :meth:`ColumnarDictionary.batch_index`
+  builds the batch engine's ``(node, value)`` table directly from the
+  columns: keys are rank-packed into one sorted ``uint64`` array, and a
+  whole batch's unique probes resolve with a handful of
+  :func:`numpy.searchsorted` calls instead of a million-entry Python
+  dict build.  ``(label list, distinct apps)`` entries materialize as
+  Python objects only for rows actually probed.
+  :meth:`ColumnarDictionary.lookup_many` does the same for full
+  fingerprint keys (the streaming-session batch path).
+
+Results are element-wise identical to the flat path — enforced together
+with the JSON-sharded backend by ``tests/test_engine_properties.py``.
+
+Directory layout::
+
+    efd-columnar/
+      manifest.json     # layout="columnar", string tables, checksums
+      key-order.npz     # global key insertion order as (shard, pos) columns
+      shard-00.npz      # node/value/metric_id/interval_id + CSR label cols
+      shard-01.npz      # (compressed, integer columns narrowed to int32
+      ...               #  where values allow — the reader upcasts)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dictionary import (
+    ExecutionFingerprintDictionary,
+    app_of_label,
+)
+from repro.core.fingerprint import Fingerprint
+from repro.core.serialization import (
+    COLUMN_NAMES,
+    dictionary_from_columns,
+    dictionary_to_columns,
+)
+from repro.engine.sharded import ShardedDictionary, shard_index
+
+_MANIFEST_NAME = "manifest.json"
+_KEY_ORDER_NAME = "key-order.npz"
+_COLUMNAR_LAYOUT = "columnar"
+_COLUMNAR_FORMAT_VERSION = 1
+
+#: A resolved index entry: (label list, distinct apps) — what ``vote()``
+#: needs per matched key, precomputed once per probed row.
+Entry = Tuple[List[str], Tuple[str, ...]]
+
+
+def _checksum_bytes(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _npz_filename(index: int) -> str:
+    return f"shard-{index:02d}.npz"
+
+
+def _value_bits(values: np.ndarray) -> np.ndarray:
+    """float64 keys as order-stable int64 bit patterns.
+
+    ``+ 0.0`` first collapses ``-0.0`` onto ``+0.0`` so the two equal
+    fingerprint values share one bit pattern (dictionary keys are
+    equality-deduped, but a ``0.0`` probe must still hit a ``-0.0`` key).
+    """
+    return (np.asarray(values, dtype=np.float64) + 0.0).view(np.int64)
+
+
+def _narrowed(columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Shrink integer columns to int32 where the values allow it.
+
+    Ids, nodes, offsets, and typical repetition counts all fit in 32
+    bits; columns that do not (e.g. counts beyond 2**31) stay int64.
+    The reader upcasts everything back, so narrowing is invisible to
+    consumers — it halves the dominant on-disk cost before compression.
+    """
+    out: Dict[str, np.ndarray] = {}
+    lo, hi = np.iinfo(np.int32).min, np.iinfo(np.int32).max
+    for name, array in columns.items():
+        if array.dtype.kind != "i" or (
+            array.size and (array.min() < lo or array.max() > hi)
+        ):
+            out[name] = array
+        else:
+            out[name] = array.astype(np.int32)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Saving
+# ---------------------------------------------------------------------------
+
+def save_columnar(sharded, directory: str) -> None:
+    """Write a sharded dictionary as a columnar (npz) directory.
+
+    Accepts any :class:`~repro.engine.sharded.ShardedDictionary`
+    (including a :class:`ColumnarDictionary`, whose shards hydrate on
+    demand).  String tables are interned globally: the label table is
+    seeded with the store's global first-seen label order before any
+    shard is encoded, so label ids are consistent across shards and the
+    manifest preserves the order that drives tie-breaking.
+    """
+    os.makedirs(directory, exist_ok=True)
+    label_index: Dict[str, int] = {}
+    metric_index: Dict[str, int] = {}
+    interval_index: Dict[Tuple[float, float], int] = {}
+    for label in sharded.labels():
+        label_index.setdefault(label, len(label_index))
+    shard_meta = []
+    shard_positions: List[Dict[Fingerprint, int]] = []
+    for i, shard in enumerate(sharded.shards):
+        columns = dictionary_to_columns(
+            shard, label_index, metric_index, interval_index
+        )
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **_narrowed(columns))
+        data = buffer.getvalue()
+        name = _npz_filename(i)
+        with open(os.path.join(directory, name), "wb") as fh:
+            fh.write(data)
+        shard_meta.append(
+            {
+                "file": name,
+                "n_keys": len(shard),
+                "checksum": _checksum_bytes(data),
+            }
+        )
+        shard_positions.append(
+            {fp: pos for pos, (fp, _) in enumerate(shard.entries())}
+        )
+    # Global key insertion order, as columns of its own: at millions of
+    # keys a JSON list here would dominate the manifest and its parse
+    # would dominate load time.
+    n_keys_total = len(sharded)
+    key_shard = np.empty(n_keys_total, dtype=np.int64)
+    key_pos = np.empty(n_keys_total, dtype=np.int64)
+    for row, fp in enumerate(sharded._key_order):
+        i = shard_index(fp, sharded.n_shards)
+        key_shard[row] = i
+        key_pos[row] = shard_positions[i][fp]
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer, **_narrowed({"shard": key_shard, "pos": key_pos})
+    )
+    key_order_data = buffer.getvalue()
+    with open(os.path.join(directory, _KEY_ORDER_NAME), "wb") as fh:
+        fh.write(key_order_data)
+    manifest = {
+        "format_version": _COLUMNAR_FORMAT_VERSION,
+        "layout": _COLUMNAR_LAYOUT,
+        "n_shards": sharded.n_shards,
+        "label_order": list(label_index),
+        "app_order": sharded.app_names(),
+        "metric_table": list(metric_index),
+        "interval_table": [list(iv) for iv in interval_index],
+        "key_order_file": {
+            "file": _KEY_ORDER_NAME,
+            "checksum": _checksum_bytes(key_order_data),
+        },
+        "shards": shard_meta,
+    }
+    with open(os.path.join(directory, _MANIFEST_NAME), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# Lazy shard loading
+# ---------------------------------------------------------------------------
+
+class _ShardFile:
+    """One ``shard-NN.npz``: read, checksummed, and decoded on demand."""
+
+    __slots__ = ("path", "name", "checksum", "n_keys", "_columns")
+
+    def __init__(self, path: str, name: str, checksum: Optional[str],
+                 n_keys: int):
+        self.path = path
+        self.name = name
+        self.checksum = checksum
+        self.n_keys = int(n_keys)
+        self._columns: Optional[Dict[str, np.ndarray]] = None
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The shard's parallel arrays (first access reads the file)."""
+        if self._columns is not None:
+            return self._columns
+        if not os.path.isfile(self.path):
+            raise FileNotFoundError(
+                f"columnar EFD is incomplete: missing shard file "
+                f"{self.name!r}"
+            )
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        if self.checksum is not None and _checksum_bytes(data) != self.checksum:
+            raise ValueError(
+                f"shard file {self.name!r} is corrupt: checksum mismatch "
+                f"(expected {self.checksum})"
+            )
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as payload:
+                columns = {name: payload[name] for name in COLUMN_NAMES}
+        except KeyError as exc:
+            raise ValueError(
+                f"shard file {self.name!r} is corrupt: missing member {exc}"
+            ) from exc
+        except Exception as exc:  # zipfile/np.load parse failures
+            raise ValueError(
+                f"shard file {self.name!r} is corrupt: {exc}"
+            ) from exc
+        # Undo on-disk narrowing: every consumer sees int64/float64.
+        for name, array in columns.items():
+            columns[name] = array.astype(
+                np.float64 if name == "value" else np.int64, copy=False
+            )
+        if len(columns["node"]) != self.n_keys:
+            raise ValueError(
+                f"shard file {self.name!r} holds {len(columns['node'])} keys "
+                f"but the manifest expects {self.n_keys}"
+            )
+        self._columns = columns
+        return columns
+
+
+class _LazyShard:
+    """Duck-types a flat EFD, hydrating from its columns on first probe.
+
+    ``len()`` answers from the manifest without touching the file (shard
+    occupancy is read every batch); ``version`` counts only *post-load*
+    mutations, so hydrating a pristine shard does not invalidate the
+    batch engine's cached index.  Everything else forwards to the
+    hydrated :class:`ExecutionFingerprintDictionary`.
+    """
+
+    __slots__ = ("_owner", "_index", "_efd", "_baseline")
+
+    def __init__(self, owner: "ColumnarDictionary", index: int):
+        self._owner = owner
+        self._index = index
+        self._efd: Optional[ExecutionFingerprintDictionary] = None
+        self._baseline = 0
+
+    def _hydrate(self) -> ExecutionFingerprintDictionary:
+        if self._efd is None:
+            self._efd = self._owner._hydrate_shard(self._index)
+            self._baseline = self._efd.version
+        return self._efd
+
+    @property
+    def hydrated(self) -> bool:
+        return self._efd is not None
+
+    @property
+    def version(self) -> int:
+        if self._efd is None:
+            return 0
+        return self._efd.version - self._baseline
+
+    def __len__(self) -> int:
+        if self._efd is None:
+            return self._owner._files[self._index].n_keys
+        return len(self._efd)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint in self._hydrate()
+
+    def __getattr__(self, name: str):
+        return getattr(self._hydrate(), name)
+
+    def __reduce__(self):
+        # Pool workers (process backend) cannot share this proxy's file
+        # handles or owner: ship the hydrated flat shard instead, which
+        # satisfies the same read contract on the other side.
+        return _as_is, (self._hydrate(),)
+
+    def __repr__(self) -> str:
+        state = "hydrated" if self.hydrated else "lazy"
+        return f"_LazyShard(index={self._index}, n_keys={len(self)}, {state})"
+
+
+def _as_is(efd: ExecutionFingerprintDictionary) -> ExecutionFingerprintDictionary:
+    """Pickle helper for :meth:`_LazyShard.__reduce__`."""
+    return efd
+
+# ---------------------------------------------------------------------------
+# Vectorized lookup
+# ---------------------------------------------------------------------------
+
+class _RankPackedIndex:
+    """Exact-match lookup over composite int64 keys, all NumPy.
+
+    Each key component is rank-compressed against its sorted distinct
+    values, the ranks are packed into a single ``uint64`` per key, and
+    the packed keys are sorted once.  A batch of probes then resolves
+    with one :func:`numpy.searchsorted` per component plus one over the
+    packed table — no Python per-key work at all.
+
+    Raises :class:`OverflowError` if the rank-space product cannot fit
+    in 64 bits (astronomically large stores); callers fall back to the
+    Python dict index.
+    """
+
+    __slots__ = ("_uniques", "_packed", "_rows", "_n")
+
+    def __init__(self, components: Sequence[np.ndarray], rows: np.ndarray):
+        self._n = len(rows)
+        self._uniques: List[np.ndarray] = []
+        capacity = 1
+        packed = np.zeros(self._n, dtype=np.uint64)
+        for component in components:
+            component = np.asarray(component, dtype=np.int64)
+            values = np.unique(component)
+            capacity *= max(len(values), 1)
+            if capacity >= 1 << 64:
+                raise OverflowError("rank space exceeds 64 bits")
+            self._uniques.append(values)
+            ranks = np.searchsorted(values, component).astype(np.uint64)
+            packed = packed * np.uint64(max(len(values), 1)) + ranks
+        order = np.argsort(packed, kind="stable")
+        self._packed = packed[order]
+        self._rows = np.asarray(rows, dtype=np.int64)[order]
+
+    def resolve(self, probes: Sequence[np.ndarray]) -> np.ndarray:
+        """Row id per probe tuple; ``-1`` where no key matches."""
+        n_probes = len(probes[0]) if probes else 0
+        if self._n == 0 or n_probes == 0:
+            return np.full(n_probes, -1, dtype=np.int64)
+        valid = np.ones(n_probes, dtype=bool)
+        packed = np.zeros(n_probes, dtype=np.uint64)
+        for component, values in zip(probes, self._uniques):
+            component = np.asarray(component, dtype=np.int64)
+            if len(values) == 0:
+                return np.full(n_probes, -1, dtype=np.int64)
+            idx = np.searchsorted(values, component)
+            idx_c = np.minimum(idx, len(values) - 1)
+            valid &= (idx < len(values)) & (values[idx_c] == component)
+            packed = packed * np.uint64(len(values)) + idx_c.astype(np.uint64)
+        pos = np.searchsorted(self._packed, packed)
+        pos_c = np.minimum(pos, self._n - 1)
+        found = valid & (pos < self._n) & (self._packed[pos_c] == packed)
+        return np.where(found, self._rows[pos_c], np.int64(-1))
+
+
+class ColumnarBatchIndex:
+    """The batch engine's ``(node, value)`` table, backed by columns.
+
+    Replaces the per-key Python dict the generic path builds
+    (:func:`repro.engine.batch._shard_tuple_index`): construction is a
+    rank-pack + sort over the store's columns for one
+    ``(metric, interval)``, and :meth:`resolve_probes` answers a whole
+    batch's probes in a handful of NumPy calls.  ``(labels, apps)``
+    entries materialize lazily, only for rows actually hit, and are
+    cached across batches.
+    """
+
+    __slots__ = ("_owner", "_index")
+
+    def __init__(self, owner: "ColumnarDictionary", node: np.ndarray,
+                 bits: np.ndarray, rows: np.ndarray):
+        self._owner = owner
+        self._index = _RankPackedIndex([node, bits], rows)
+
+    def resolve_probes(
+        self, nodes: np.ndarray, values: np.ndarray
+    ) -> Dict[Tuple[int, float], Entry]:
+        """Map every hitting ``(node, value)`` probe to its entry.
+
+        ``values`` may contain NaN (nodes without a fingerprint) — those
+        probes are skipped.  Misses are simply absent, so the result's
+        ``.get`` is a drop-in for the dict index.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        usable = np.nonzero(values == values)[0]
+        if len(usable) == 0:
+            return {}
+        rows = self._index.resolve(
+            [nodes[usable], _value_bits(values[usable])]
+        )
+        out: Dict[Tuple[int, float], Entry] = {}
+        hit = np.nonzero(rows >= 0)[0]
+        if len(hit) == 0:
+            return out
+        # One key maps to one row, so uniquing by row is uniquing by
+        # probe — the Python loop below runs once per *distinct* hit.
+        unique_rows, first = np.unique(rows[hit], return_index=True)
+        probe_at = usable[hit[first]]
+        for row, probe in zip(unique_rows.tolist(), probe_at.tolist()):
+            key = (int(nodes[probe]), float(values[probe]))
+            out[key] = self._owner._entry(row)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The columnar store
+# ---------------------------------------------------------------------------
+
+class ColumnarDictionary(ShardedDictionary):
+    """Sharded EFD backed by a columnar directory, hydrated lazily.
+
+    Mirrors the full :class:`~repro.engine.sharded.ShardedDictionary`
+    contract — every read and write works — but holds no per-key Python
+    objects at load time.  Point operations hydrate exactly the shard
+    they touch; the batch engine bypasses hydration entirely through
+    :meth:`batch_index` / :meth:`lookup_many`.
+
+    Mutations are supported (the touched shard hydrates and behaves like
+    a flat dictionary), but a mutated store stops answering through the
+    pristine column caches: ``batch_index``/``lookup_many`` return
+    ``None`` and the engine falls back to the generic dict-index path,
+    which sees the new state.  Re-save with :func:`save_columnar` to get
+    the fast path back.
+    """
+
+    def __init__(self, directory: str, manifest: dict,
+                 key_shard: np.ndarray, key_pos: np.ndarray,
+                 validate: bool = True):
+        self.n_shards = int(manifest["n_shards"])
+        self._directory = directory
+        self._validate = bool(validate)
+        self._label_table: List[str] = list(manifest["label_order"])
+        self._metric_table: List[str] = [
+            str(m) for m in manifest["metric_table"]
+        ]
+        self._interval_table: List[Tuple[float, float]] = [
+            (float(iv[0]) + 0.0, float(iv[1]) + 0.0)
+            for iv in manifest["interval_table"]
+        ]
+        self._files = [
+            _ShardFile(
+                path=os.path.join(directory, meta["file"]),
+                name=meta["file"],
+                checksum=meta.get("checksum"),
+                n_keys=meta["n_keys"],
+            )
+            for meta in manifest["shards"]
+        ]
+        self.shards = [_LazyShard(self, i) for i in range(self.n_shards)]
+        self._label_order = {label: None for label in self._label_table}
+        self._app_order: Dict[str, None] = {}
+        for label in self._label_table:
+            self._app_order.setdefault(app_of_label(label), None)
+        self._key_shard = key_shard
+        self._key_pos = key_pos
+        self._key_order_cache: Optional[Dict[Fingerprint, None]] = None
+        self._metric_map = {m: i for i, m in enumerate(self._metric_table)}
+        self._interval_map = {
+            iv: i for i, iv in enumerate(self._interval_table)
+        }
+        self._concat_cache: Optional[Dict[str, np.ndarray]] = None
+        self._batch_indices: Dict[object, Optional[ColumnarBatchIndex]] = {}
+        self._full_index: object = None
+        self._row_labels: Dict[int, List[str]] = {}
+        self._row_entries: Dict[int, Entry] = {}
+
+    # -- lazy key order ------------------------------------------------------
+    @property
+    def _key_order(self) -> Dict[Fingerprint, None]:
+        if self._key_order_cache is None:
+            per_shard = [
+                self._shard_fingerprints(i) for i in range(self.n_shards)
+            ]
+            order: Dict[Fingerprint, None] = {}
+            for i, pos in zip(
+                self._key_shard.tolist(), self._key_pos.tolist()
+            ):
+                order.setdefault(per_shard[i][pos], None)
+            self._key_order_cache = order
+        return self._key_order_cache
+
+    def _shard_fingerprints(self, index: int) -> List[Fingerprint]:
+        """The shard's keys in stored order, decoded from its columns."""
+        columns = self._files[index].columns()
+        metrics = self._metric_table
+        intervals = self._interval_table
+        return [
+            Fingerprint(
+                metric=metrics[m], node=n, interval=intervals[iv], value=v
+            )
+            for m, n, iv, v in zip(
+                columns["metric_id"].tolist(),
+                columns["node"].tolist(),
+                columns["interval_id"].tolist(),
+                columns["value"].tolist(),
+            )
+        ]
+
+    # -- hydration -----------------------------------------------------------
+    def _hydrate_shard(self, index: int) -> ExecutionFingerprintDictionary:
+        name = self._files[index].name
+        columns = self._files[index].columns()
+        try:
+            efd = dictionary_from_columns(
+                columns,
+                self._label_table,
+                self._metric_table,
+                self._interval_table,
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"shard file {name!r} is corrupt: {exc}"
+            ) from exc
+        if self._validate:
+            for fp in efd._store:
+                owner = shard_index(fp, self.n_shards)
+                if owner != index:
+                    raise ValueError(
+                        f"shard file {name!r} holds key {fp} that belongs "
+                        f"to shard {owner} — files renamed or swapped?"
+                    )
+        return efd
+
+    # -- vectorized lookup ---------------------------------------------------
+    @property
+    def pristine(self) -> bool:
+        """True until the first post-load mutation of any shard."""
+        return self.version == 0
+
+    def _concat(self) -> Dict[str, np.ndarray]:
+        """All shards' columns concatenated (global row = shard-major)."""
+        if self._concat_cache is None:
+            parts = [self._files[i].columns() for i in range(self.n_shards)]
+            offsets = [np.zeros(1, dtype=np.int64)]
+            shift = 0
+            for part in parts:
+                offsets.append(part["label_offsets"][1:] + shift)
+                shift += part["label_offsets"][-1]
+            self._concat_cache = {
+                "node": np.concatenate([p["node"] for p in parts]),
+                "value": np.concatenate([p["value"] for p in parts]),
+                "metric_id": np.concatenate([p["metric_id"] for p in parts]),
+                "interval_id": np.concatenate(
+                    [p["interval_id"] for p in parts]
+                ),
+                "label_offsets": np.concatenate(offsets),
+                "label_ids": np.concatenate([p["label_ids"] for p in parts]),
+            }
+        return self._concat_cache
+
+    def _labels_of_row(self, row: int) -> List[str]:
+        found = self._row_labels.get(row)
+        if found is None:
+            columns = self._concat()
+            lo = columns["label_offsets"][row]
+            hi = columns["label_offsets"][row + 1]
+            table = self._label_table
+            found = [table[j] for j in columns["label_ids"][lo:hi].tolist()]
+            self._row_labels[row] = found
+        return found
+
+    def _entry(self, row: int) -> Entry:
+        found = self._row_entries.get(row)
+        if found is None:
+            labels = self._labels_of_row(row)
+            apps = tuple(dict.fromkeys(app_of_label(l) for l in labels))
+            found = (labels, apps)
+            self._row_entries[row] = found
+        return found
+
+    def batch_index(
+        self, metric: str, interval: Tuple[float, float]
+    ) -> Optional[ColumnarBatchIndex]:
+        """Vectorized ``(node, value)`` index for one (metric, interval).
+
+        ``None`` when the store has been mutated since load (the column
+        caches would be stale) or the rank space cannot pack into 64
+        bits — callers fall back to the generic dict index.
+        """
+        if not self.pristine:
+            return None
+        key = (
+            str(metric),
+            (float(interval[0]) + 0.0, float(interval[1]) + 0.0),
+        )
+        if key in self._batch_indices:
+            return self._batch_indices[key]
+        columns = self._concat()
+        metric_id = self._metric_map.get(key[0])
+        interval_id = self._interval_map.get(key[1])
+        if metric_id is None or interval_id is None:
+            rows = np.empty(0, dtype=np.int64)
+        else:
+            rows = np.nonzero(
+                (columns["metric_id"] == metric_id)
+                & (columns["interval_id"] == interval_id)
+            )[0].astype(np.int64)
+        try:
+            index: Optional[ColumnarBatchIndex] = ColumnarBatchIndex(
+                self,
+                columns["node"][rows],
+                _value_bits(columns["value"][rows]),
+                rows,
+            )
+        except OverflowError:
+            index = None
+        self._batch_indices[key] = index
+        return index
+
+    def lookup_many(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Optional[List[List[str]]]:
+        """Label lists for many full keys, resolved against the columns.
+
+        Equivalent to ``[self.lookup(fp) for fp in fingerprints]`` but
+        without hydrating any shard.  ``None`` when the store has been
+        mutated since load or the rank space overflows — callers fall
+        back to per-shard Python lookups.
+        """
+        if not self.pristine:
+            return None
+        if self._full_index is None:
+            columns = self._concat()
+            try:
+                self._full_index = _RankPackedIndex(
+                    [
+                        columns["metric_id"],
+                        columns["interval_id"],
+                        columns["node"],
+                        _value_bits(columns["value"]),
+                    ],
+                    np.arange(len(columns["node"]), dtype=np.int64),
+                )
+            except OverflowError:
+                self._full_index = "overflow"
+        if self._full_index == "overflow":
+            return None
+        n = len(fingerprints)
+        metric_id = np.empty(n, dtype=np.int64)
+        interval_id = np.empty(n, dtype=np.int64)
+        node = np.empty(n, dtype=np.int64)
+        value = np.empty(n, dtype=np.float64)
+        for i, fp in enumerate(fingerprints):
+            metric_id[i] = self._metric_map.get(str(fp.metric), -1)
+            interval_id[i] = self._interval_map.get(
+                (float(fp.interval[0]) + 0.0, float(fp.interval[1]) + 0.0),
+                -1,
+            )
+            node[i] = int(fp.node)
+            value[i] = float(fp.value)
+        rows = self._full_index.resolve(
+            [metric_id, interval_id, node, _value_bits(value)]
+        )
+        # Fresh list per result, like lookup() — callers may mutate
+        # theirs; the row cache must never alias out.
+        return [
+            list(self._labels_of_row(int(row))) if row >= 0 else []
+            for row in rows.tolist()
+        ]
+
+    def __repr__(self) -> str:
+        hydrated = sum(1 for s in self.shards if s.hydrated)
+        return (
+            f"ColumnarDictionary(n_shards={self.n_shards}, keys={len(self)}, "
+            f"hydrated={hydrated}/{self.n_shards}, at={self._directory!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Loading and conversion
+# ---------------------------------------------------------------------------
+
+def _read_manifest(directory: str) -> dict:
+    manifest_path = os.path.join(directory, _MANIFEST_NAME)
+    if not os.path.isfile(manifest_path):
+        raise FileNotFoundError(
+            f"no sharded EFD at {directory!r}: missing {_MANIFEST_NAME}"
+        )
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        try:
+            return json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"corrupt manifest {manifest_path!r}: {exc}"
+            ) from exc
+
+
+def is_columnar(directory: str) -> bool:
+    """True when ``directory`` holds a columnar-layout sharded EFD."""
+    return _read_manifest(directory).get("layout") == _COLUMNAR_LAYOUT
+
+
+def load_columnar(directory: str, validate: bool = True) -> ColumnarDictionary:
+    """Open a columnar directory written by :func:`save_columnar`.
+
+    Only the manifest is read here — O(shards) work, no per-key Python
+    objects.  Shard files are read, checksummed, and decoded on first
+    probe; with ``validate`` (default) hydration additionally checks
+    that every decoded key hashes to its host shard, catching renamed or
+    swapped ``.npz`` files exactly like the JSON loader does.  Structural
+    manifest damage (wrong counts, out-of-range or duplicate key-order
+    entries, inconsistent app order) is rejected eagerly.
+    """
+    manifest = _read_manifest(directory)
+    if manifest.get("layout") != _COLUMNAR_LAYOUT:
+        raise ValueError(
+            f"sharded EFD at {directory!r} is not columnar "
+            f"(layout={manifest.get('layout')!r}); use load_sharded"
+        )
+    version = manifest.get("format_version")
+    if version != _COLUMNAR_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported columnar EFD format version {version!r} "
+            f"(expected {_COLUMNAR_FORMAT_VERSION})"
+        )
+    n_shards = int(manifest["n_shards"])
+    if n_shards < 1:
+        raise ValueError(f"manifest n_shards must be >= 1, got {n_shards}")
+    shard_meta = manifest.get("shards", [])
+    if len(shard_meta) != n_shards:
+        raise ValueError(
+            f"manifest lists {len(shard_meta)} shard files for "
+            f"n_shards={n_shards}"
+        )
+    label_order = manifest.get("label_order", [])
+    derived_apps: Dict[str, None] = {}
+    for label in label_order:
+        derived_apps.setdefault(app_of_label(label), None)
+    declared_apps = manifest.get("app_order")
+    if declared_apps is not None and list(declared_apps) != list(derived_apps):
+        raise ValueError(
+            "manifest app_order disagrees with label_order — manifest is "
+            "corrupt"
+        )
+    n_keys_per_shard = [int(meta["n_keys"]) for meta in shard_meta]
+    key_shard, key_pos = _read_key_order(
+        directory, manifest, sum(n_keys_per_shard), n_keys_per_shard, n_shards
+    )
+    return ColumnarDictionary(
+        directory, manifest, key_shard, key_pos, validate=validate
+    )
+
+
+def _read_key_order(directory, manifest, n_total, n_keys_per_shard, n_shards):
+    """Read and structurally validate ``key-order.npz``, vectorized."""
+    meta = manifest.get("key_order_file")
+    if meta is None:
+        raise ValueError(
+            "manifest has no key_order_file entry — manifest is corrupt"
+        )
+    name = meta["file"]
+    path = os.path.join(directory, name)
+    if not os.path.isfile(path):
+        raise FileNotFoundError(
+            f"columnar EFD at {directory!r} is incomplete: missing "
+            f"key-order file {name!r}"
+        )
+    with open(path, "rb") as fh:
+        data = fh.read()
+    expected = meta.get("checksum")
+    if expected is not None and _checksum_bytes(data) != expected:
+        raise ValueError(
+            f"key-order file {name!r} is corrupt: checksum mismatch "
+            f"(expected {expected})"
+        )
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as payload:
+            key_shard = payload["shard"].astype(np.int64, copy=False)
+            key_pos = payload["pos"].astype(np.int64, copy=False)
+    except KeyError as exc:
+        raise ValueError(
+            f"key-order file {name!r} is corrupt: missing member {exc}"
+        ) from exc
+    except Exception as exc:
+        raise ValueError(
+            f"key-order file {name!r} is corrupt: {exc}"
+        ) from exc
+    if len(key_shard) != n_total or len(key_pos) != n_total:
+        raise ValueError(
+            f"key_order lists {len(key_shard)} keys but shard files hold "
+            f"{n_total}"
+        )
+    if n_total:
+        if key_shard.min() < 0 or key_shard.max() >= n_shards:
+            raise ValueError(
+                "key_order entry is out of range — manifest and shard "
+                "files disagree"
+            )
+        limits = np.asarray(n_keys_per_shard, dtype=np.int64)[key_shard]
+        if np.any((key_pos < 0) | (key_pos >= limits)):
+            raise ValueError(
+                "key_order entry is out of range — manifest and shard "
+                "files disagree"
+            )
+        packed = key_shard * (int(limits.max()) + 1) + key_pos
+        if len(np.unique(packed)) != n_total:
+            raise ValueError(
+                "key_order lists an entry twice — manifest is corrupt"
+            )
+    return key_shard, key_pos
+
+
+def _in_place(directory: str, out: Optional[str]) -> bool:
+    return out is None or os.path.abspath(out) == os.path.abspath(directory)
+
+
+def _dir_bytes(directory: str, names: Sequence[str]) -> int:
+    total = 0
+    for name in names:
+        path = os.path.join(directory, name)
+        if os.path.isfile(path):
+            total += os.path.getsize(path)
+    return total
+
+
+def compact_shards(directory: str, out: Optional[str] = None) -> dict:
+    """Convert a JSON shard directory to the columnar (npz) layout.
+
+    In place by default (the JSON shard files are removed after the
+    columnar files are written); pass ``out`` to write the columnar
+    directory elsewhere and leave the source untouched.  Returns a
+    summary dict with key counts and on-disk byte sizes of both layouts.
+    """
+    from repro.engine.sharded import load_sharded
+
+    manifest = _read_manifest(directory)
+    if manifest.get("layout") == _COLUMNAR_LAYOUT:
+        raise ValueError(f"sharded EFD at {directory!r} is already columnar")
+    sharded = load_sharded(directory)
+    json_files = [meta["file"] for meta in manifest.get("shards", [])]
+    json_bytes = _dir_bytes(directory, json_files + [_MANIFEST_NAME])
+    target = directory if _in_place(directory, out) else out
+    save_columnar(sharded, target)
+    new_manifest = _read_manifest(target)
+    columnar_files = [meta["file"] for meta in new_manifest["shards"]]
+    columnar_files.append(new_manifest["key_order_file"]["file"])
+    columnar_bytes = _dir_bytes(target, columnar_files + [_MANIFEST_NAME])
+    if _in_place(directory, out):
+        for name in json_files:
+            path = os.path.join(directory, name)
+            if os.path.isfile(path):
+                os.remove(path)
+    return {
+        "n_keys": len(sharded),
+        "n_shards": sharded.n_shards,
+        "json_bytes": json_bytes,
+        "columnar_bytes": columnar_bytes,
+        "directory": target,
+    }
+
+
+def expand_shards(directory: str, out: Optional[str] = None) -> dict:
+    """Convert a columnar directory back to the JSON shard layout.
+
+    The exact inverse of :func:`compact_shards`: the rebuilt JSON
+    directory loads to a dictionary equal to the original (keys, label
+    orders, repetition counts).  In place by default; returns the same
+    summary shape as :func:`compact_shards`.
+    """
+    from repro.engine.sharded import save_sharded
+
+    columnar = load_columnar(directory)
+    manifest = _read_manifest(directory)
+    npz_files = [meta["file"] for meta in manifest["shards"]]
+    npz_files.append(manifest["key_order_file"]["file"])
+    columnar_bytes = _dir_bytes(directory, npz_files + [_MANIFEST_NAME])
+    target = directory if _in_place(directory, out) else out
+    save_sharded(columnar, target)
+    new_manifest = _read_manifest(target)
+    json_files = [meta["file"] for meta in new_manifest["shards"]]
+    json_bytes = _dir_bytes(target, json_files + [_MANIFEST_NAME])
+    if _in_place(directory, out):
+        for name in npz_files:
+            path = os.path.join(directory, name)
+            if os.path.isfile(path):
+                os.remove(path)
+    return {
+        "n_keys": len(columnar),
+        "n_shards": columnar.n_shards,
+        "json_bytes": json_bytes,
+        "columnar_bytes": columnar_bytes,
+        "directory": target,
+    }

@@ -353,8 +353,13 @@ def save_sharded(sharded: ShardedDictionary, directory: str) -> None:
 
 
 def load_sharded(directory: str, validate: bool = True) -> ShardedDictionary:
-    """Load a dictionary written by :func:`save_sharded`.
+    """Load a dictionary written by :func:`save_sharded` or
+    :func:`~repro.engine.columnar.save_columnar`.
 
+    Dispatches on the manifest's layout: a columnar directory returns a
+    lazily-hydrating
+    :class:`~repro.engine.columnar.ColumnarDictionary` (shard files are
+    only read when probed); the JSON layout loads eagerly as before.
     Shards are loaded independently; a missing shard file raises
     :class:`FileNotFoundError` and a corrupt one :class:`ValueError`,
     each naming the offending file.  With ``validate`` (default) every
@@ -371,6 +376,10 @@ def load_sharded(directory: str, validate: bool = True) -> ShardedDictionary:
             manifest = json.load(fh)
         except json.JSONDecodeError as exc:
             raise ValueError(f"corrupt manifest {manifest_path!r}: {exc}") from exc
+    if manifest.get("layout") == "columnar":
+        from repro.engine.columnar import load_columnar
+
+        return load_columnar(directory, validate=validate)
     version = manifest.get("format_version")
     if version != _SHARD_FORMAT_VERSION:
         raise ValueError(

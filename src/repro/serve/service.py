@@ -195,6 +195,16 @@ class IngestService:
         self._quiescent = asyncio.Event()
         self._quiescent.set()
         self._running = True
+        # Warm-start: prebuild the engine's session-path lookup index on
+        # the executor (for a columnar shard directory that is the
+        # vectorized full-key index, built without hydrating a single
+        # shard), so the first micro-batch — and the event loop — never
+        # pays for it.
+        warm = getattr(self.engine, "warm", None)
+        if warm is not None:
+            await self._loop.run_in_executor(
+                None, partial(warm, for_sessions=True)
+            )
         self._ingest_task = self._loop.create_task(
             self._ingest_loop(), name="efd-serve-ingest"
         )

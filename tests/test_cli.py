@@ -120,6 +120,87 @@ class TestEngineCommands:
     def test_info_requires_a_source(self, capsys):
         assert main(["engine", "info"]) == 2
 
+    def test_columnar_shard_compact_expand_round_trip(self, tmp_path, capsys):
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        shards = str(tmp_path / "efd-shards")
+        columnar = str(tmp_path / "efd-columnar")
+        main(["generate", "--out", data, "--repetitions", "2",
+              "--duration-cap", "150", "--seed", "11"])
+        main(["fit", "--data", data, "--out", efd, "--depth", "2"])
+        capsys.readouterr()
+
+        # Direct columnar sharding via --format.
+        assert main([
+            "engine", "shard", "--efd", efd, "--out", columnar,
+            "--shards", "4", "--format", "columnar",
+        ]) == 0
+        assert "[columnar]" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(columnar, "shard-00.npz"))
+
+        assert main([
+            "engine", "info", "--efd-dir", columnar, "--format", "columnar",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "layout      : columnar" in out
+        # A layout mismatch is an error, not a silent reinterpretation.
+        assert main([
+            "engine", "info", "--efd-dir", columnar, "--format", "json",
+        ]) == 2
+        capsys.readouterr()
+
+        # Both layouts recognize identically through the CLI.
+        assert main([
+            "engine", "shard", "--efd", efd, "--out", shards, "--shards", "4",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "engine", "recognize", "--efd-dir", shards, "--data", data,
+            "--depth", "2",
+        ]) == 0
+        json_out = capsys.readouterr().out
+        assert main([
+            "engine", "recognize", "--efd-dir", columnar, "--data", data,
+            "--depth", "2",
+        ]) == 0
+        columnar_out = capsys.readouterr().out
+        assert json_out.rsplit("accuracy", 1)[1] == \
+            columnar_out.rsplit("accuracy", 1)[1]
+
+        # compact in place, then expand back.
+        assert main(["engine", "compact", "--dir", shards]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(shards, "shard-00.npz"))
+        assert not os.path.exists(os.path.join(shards, "shard-00.json"))
+        assert main(["engine", "expand", "--dir", shards]) == 0
+        assert "expanded" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(shards, "shard-00.json"))
+        assert not os.path.exists(os.path.join(shards, "shard-00.npz"))
+
+    def test_serve_from_columnar_directory(self, tmp_path, capsys):
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        columnar = str(tmp_path / "efd-columnar")
+        stream = str(tmp_path / "stream.jsonl")
+        main(["generate", "--out", data, "--repetitions", "2",
+              "--duration-cap", "150", "--seed", "11"])
+        main(["fit", "--data", data, "--out", efd, "--depth", "2"])
+        main(["engine", "shard", "--efd", efd, "--out", columnar,
+              "--shards", "4", "--format", "columnar"])
+        capsys.readouterr()
+        with open(stream, "w", encoding="utf-8") as fh:
+            for t in range(125):
+                fh.write(json.dumps({
+                    "job": "j-1", "node": 0, "t": float(t),
+                    "value": 180000.0, "nodes": 1,
+                }) + "\n")
+        assert main([
+            "serve", "--efd-dir", columnar, "--depth", "2",
+            "--input", stream, "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 1 session(s)" in out
+
 
 class TestServeCommand:
     def test_requires_source(self):

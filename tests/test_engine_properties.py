@@ -22,7 +22,9 @@ from repro.core.streaming import StreamingRecognizer
 from repro.engine import (
     BatchRecognizer,
     ShardedDictionary,
+    load_columnar,
     match_fingerprints_batch,
+    save_columnar,
     shard_index,
 )
 from repro.engine.batch import build_fingerprints_batch
@@ -344,6 +346,190 @@ class TestBatchEqualsSequential:
             r.n_nodes for r in records[:8]
         )
         assert engine.stats.hit_rate > 0.9
+
+
+class TestColumnarBackendEqualsFlat:
+    """The storage-backend equivalence matrix (ISSUE 3 acceptance).
+
+    Every backend — flat, sharded-JSON round trip, columnar — must
+    produce byte-identical MatchResults, across shard counts, on both
+    the record path (vectorized column index) and the session path
+    (vectorized full-key lookup)."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_dataset):
+        recognizer = EFDRecognizer(depth=2).fit(tiny_dataset)
+        records = list(tiny_dataset)
+        sequential = [
+            match_fingerprints(
+                recognizer.dictionary_,
+                build_fingerprints(r, "nr_mapped_vmstat", 2),
+            )
+            for r in records
+        ]
+        return recognizer, records, sequential
+
+    def _stores(self, recognizer, n_shards, tmp_path):
+        from repro.engine import load_sharded, save_sharded
+
+        flat = recognizer.dictionary_
+        sharded = ShardedDictionary.from_flat(flat, n_shards)
+        json_dir = str(tmp_path / "json")
+        save_sharded(sharded, json_dir)
+        col_dir = str(tmp_path / "col")
+        save_columnar(sharded, col_dir)
+        return {
+            "flat": flat,
+            "sharded-json": load_sharded(json_dir),
+            "columnar": load_columnar(col_dir),
+        }
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_recognize_records_identical_across_backends(
+        self, fitted, n_shards, tmp_path
+    ):
+        recognizer, records, sequential = fitted
+        for name, store in self._stores(recognizer, n_shards, tmp_path).items():
+            engine = BatchRecognizer(store, depth=2)
+            assert engine.recognize_records(records) == sequential, name
+            # Second pass exercises the cached (vectorized) index.
+            assert engine.recognize_records(records) == sequential, name
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_columnar_batch_path_never_hydrates(
+        self, fitted, n_shards, tmp_path
+    ):
+        recognizer, records, sequential = fitted
+        store = self._stores(recognizer, n_shards, tmp_path)["columnar"]
+        engine = BatchRecognizer(store, depth=2)
+        assert engine.recognize_records(records) == sequential
+        fingerprint_lists = [
+            build_fingerprints(r, "nr_mapped_vmstat", 2) for r in records
+        ]
+        results, _ = match_fingerprints_batch(store, fingerprint_lists)
+        assert results == sequential
+        assert not any(shard.hydrated for shard in store.shards)
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_match_fingerprints_batch_identical_across_backends(
+        self, fitted, n_shards, tmp_path
+    ):
+        recognizer, records, sequential = fitted
+        fingerprint_lists = [
+            build_fingerprints(r, "nr_mapped_vmstat", 2) for r in records
+        ]
+        reference = None
+        for name, store in self._stores(recognizer, n_shards, tmp_path).items():
+            results, n_hits = match_fingerprints_batch(store, fingerprint_lists)
+            assert results == sequential, name
+            if reference is None:
+                reference = n_hits
+            assert n_hits == reference, name
+
+    def test_columnar_sessions_equal_individual_verdicts(
+        self, fitted, tmp_path
+    ):
+        recognizer, records, _ = fitted
+        store = self._stores(recognizer, 4, tmp_path)["columnar"]
+        streaming = StreamingRecognizer.from_recognizer(recognizer)
+        sessions = []
+        for record in records[:10]:
+            session = streaming.open_session(n_nodes=record.n_nodes)
+            for node in range(record.n_nodes):
+                series = record.series("nr_mapped_vmstat", node)
+                session.ingest_many(node, series.times, series.values)
+            sessions.append(session)
+        engine = BatchRecognizer(store, depth=2)
+        assert engine.recognize_sessions(sessions) == [
+            s.verdict() for s in sessions
+        ]
+        assert not any(shard.hydrated for shard in store.shards)
+
+    def test_columnar_index_invalidated_on_growth(self, fitted, tmp_path):
+        recognizer, records, _ = fitted
+        store = self._stores(recognizer, 4, tmp_path)["columnar"]
+        engine = BatchRecognizer(store, depth=2)
+        before = engine.recognize_records(records[:4])
+        assert not before[0].is_unknown
+        fps = build_fingerprints(records[0], "nr_mapped_vmstat", 2)
+        for fp in fps:
+            if fp is not None:
+                store.add(fp, "zz_Q")
+        after = engine.recognize_records(records[:1])
+        assert "zz" in after[0].votes
+        # The mutated store keeps answering correctly via the fallback
+        # dict index, and matches a flat dictionary grown the same way.
+        flat = recognizer.dictionary_
+        grown = ShardedDictionary.from_flat(flat, 1).to_flat()
+        for fp in fps:
+            if fp is not None:
+                grown.add(fp, "zz_Q")
+        expected = [
+            match_fingerprints(
+                grown, build_fingerprints(r, "nr_mapped_vmstat", 2)
+            )
+            for r in records[:4]
+        ]
+        assert engine.recognize_records(records[:4]) == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mutated_columnar_correct_on_every_backend(
+        self, fitted, backend, tmp_path
+    ):
+        # After a write the columnar store answers through the generic
+        # shard fan-out — including process workers, which must be able
+        # to pickle the lazily-hydrating shard proxies.
+        recognizer, records, _ = fitted
+        store = self._stores(recognizer, 4, tmp_path)["columnar"]
+        fps = build_fingerprints(records[0], "nr_mapped_vmstat", 2)
+        for fp in fps:
+            if fp is not None:
+                store.add(fp, "zz_Q")
+        engine = BatchRecognizer(store, depth=2, backend=backend, n_workers=2)
+        results = engine.recognize_records(records[:6])
+        assert "zz" in results[0].votes
+        fingerprint_lists = [
+            build_fingerprints(r, "nr_mapped_vmstat", 2) for r in records[:6]
+        ]
+        batch, _ = match_fingerprints_batch(
+            store, fingerprint_lists, backend=backend, n_workers=2
+        )
+        assert batch == results
+
+    def test_warm_prebuilds_and_keeps_results_identical(
+        self, fitted, tmp_path
+    ):
+        recognizer, records, sequential = fitted
+        store = self._stores(recognizer, 2, tmp_path)["columnar"]
+        engine = BatchRecognizer(store, depth=2).warm()
+        assert engine._index is not None
+        assert engine.recognize_records(records) == sequential
+        # Session-path warm builds the full-key index without hydration.
+        engine.warm(for_sessions=True)
+        assert store._full_index is not None
+        assert not any(shard.hydrated for shard in store.shards)
+
+    def test_lookup_many_returns_independent_lists(self, fitted, tmp_path):
+        recognizer, records, _ = fitted
+        store = self._stores(recognizer, 2, tmp_path)["columnar"]
+        fp = next(
+            fp for fp in build_fingerprints(records[0], "nr_mapped_vmstat", 2)
+            if fp is not None
+        )
+        first = store.lookup_many([fp])[0]
+        assert first == store.lookup(fp)
+        first.append("poisoned")  # lookup()'s contract permits mutation
+        assert store.lookup_many([fp])[0] == store.lookup(fp)
+
+    def test_empty_batch_returns_empty_on_every_backend(
+        self, fitted, tmp_path
+    ):
+        recognizer, _, _ = fitted
+        for name, store in self._stores(recognizer, 2, tmp_path).items():
+            engine = BatchRecognizer(store, depth=2)
+            assert engine.recognize_records([]) == [], name
+            results, n_hits = match_fingerprints_batch(store, [])
+            assert results == [] and n_hits == 0, name
 
 
 class TestVotePositionHook:
