@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo
+.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke
 
 test:            ## tier-1 correctness suite (the merge gate)
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,9 @@ bench:           ## benchmarks (write reports to benchmarks/output/)
 bench-smoke:     ## columnar codec bench at tiny scale (fast regression gate)
 	BENCH_COLUMNAR_KEYS=20000 $(PYTHON) -m pytest \
 	    benchmarks/test_bench_columnar_scale.py -m bench -q
+
+serve-smoke:     ## boot a UDS listener, replay a tiny stream, assert a verdict
+	$(PYTHON) -m pytest tests/test_serve_net.py -q -k smoke
 
 docs-check:      ## markdown cross-links + examples import health
 	$(PYTHON) -m repro._util.doccheck

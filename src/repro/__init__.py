@@ -50,7 +50,7 @@ from repro.engine import (
     load_sharded,
     save_sharded,
 )
-from repro.serve import IngestService, Sample, ServeConfig
+from repro.serve import IngestService, NetListener, Sample, ServeConfig
 from repro.telemetry.metrics import default_registry
 
 __version__ = "1.0.0"
@@ -84,8 +84,9 @@ __all__ = [
     "ShardedDictionary",
     "save_sharded",
     "load_sharded",
-    # serve (async live-session ingestion)
+    # serve (async live-session ingestion + network listener)
     "IngestService",
+    "NetListener",
     "Sample",
     "ServeConfig",
     # data

@@ -19,11 +19,20 @@ Subcommands
   recognition against a shard directory, either layout), ``info`` (shard
   occupancy and layout, plus ``--stats`` to render a service counter
   snapshot).
-- ``efd serve`` — async live-session recognition: JSONL telemetry
-  samples in (stdin or file), per-job verdicts out, with bounded-queue
-  backpressure; ``--demo`` runs a self-contained synthetic stream.
+- ``efd serve`` — async live-session recognition: NDJSON telemetry
+  samples in (stdin, file, or — with ``--listen``/``--uds`` — many
+  concurrent network producers), per-job verdicts out, with
+  bounded-queue backpressure, optional ``--retention-*`` auto-pruning,
+  and graceful drain on SIGTERM; ``--demo`` runs a self-contained
+  synthetic stream.
+- ``efd replay`` — the producer half: stream a JSONL sample file to a
+  listening ``efd serve`` over TCP (``--connect``) or a Unix socket
+  (``--uds``), optionally split across ``--producers`` concurrent
+  connections.
 
-Every subcommand is documented with examples in ``docs/cli.md``.
+Every subcommand is documented with examples in ``docs/cli.md``; the
+network protocol and serving operations guide live in
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -96,7 +105,8 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
 
     selftest = esub.add_parser(
         "selftest",
-        help="smoke-check shard/batch equivalence against the flat path",
+        help="smoke-check shard/batch/columnar equivalence against the "
+             "flat path",
     )
     selftest.add_argument("--shards", type=int, default=4)
     selftest.add_argument("--seed", type=int, default=7)
@@ -131,7 +141,9 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
                         help="write here instead of converting in place")
 
     recognize = esub.add_parser(
-        "recognize", help="batch-recognize a dataset against a shard directory"
+        "recognize",
+        help="batch-recognize a dataset against a shard directory "
+             "(JSON or columnar layout, auto-detected)",
     )
     recognize.add_argument("--efd-dir", required=True, help="shard directory")
     recognize.add_argument("--data", required=True, help="dataset .npz path")
@@ -144,7 +156,11 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
                            choices=["serial", "thread", "process"])
     recognize.add_argument("--workers", type=int, default=None)
 
-    info = esub.add_parser("info", help="shard occupancy and store statistics")
+    info = esub.add_parser(
+        "info",
+        help="shard directory layout/occupancy, and/or render an "
+             "EngineStats snapshot (--stats)",
+    )
     info.add_argument("--efd-dir", default=None, help="shard directory")
     info.add_argument("--format", default="auto",
                       choices=["auto", "json", "columnar"],
@@ -158,7 +174,8 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
 def _add_serve(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "serve",
-        help="async live-session recognition from a JSONL sample stream",
+        help="async live-session recognition from JSONL sample streams "
+             "(file, stdin, or TCP/UDS network producers)",
     )
     src = p.add_mutually_exclusive_group(required=True)
     src.add_argument("--efd", help="flat dictionary JSON path")
@@ -168,7 +185,20 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                           "a synthetic interleaved multi-job stream")
     p.add_argument("--input", default="-",
                    help="JSONL sample stream: a file path, or '-' for stdin "
-                        "(ignored with --demo)")
+                        "(ignored with --demo/--listen/--uds)")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="accept NDJSON producers over TCP (port 0 binds an "
+                        "ephemeral port; may be combined with --uds)")
+    p.add_argument("--uds", default=None, metavar="PATH",
+                   help="accept NDJSON producers over a Unix domain socket")
+    p.add_argument("--retention-age", type=float, default=None,
+                   metavar="SECONDS",
+                   help="auto-forget completed sessions this long after "
+                        "their verdict (default: retain forever)")
+    p.add_argument("--retention-max-done", type=int, default=None,
+                   metavar="N",
+                   help="retain at most N completed sessions; oldest "
+                        "verdicts are forgotten first")
     p.add_argument("--metric", default="nr_mapped_vmstat")
     p.add_argument("--depth", type=int, default=None,
                    help="rounding depth the dictionary was built with "
@@ -203,6 +233,28 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="--demo dataset seed")
 
 
+def _add_replay(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "replay",
+        help="stream a JSONL sample file to a listening `efd serve` "
+             "over TCP or a Unix socket",
+    )
+    p.add_argument("--input", required=True,
+                   help="JSONL sample file, or '-' for stdin")
+    dst = p.add_mutually_exclusive_group(required=True)
+    dst.add_argument("--connect", default=None, metavar="HOST:PORT",
+                     help="TCP endpoint of the listening server")
+    dst.add_argument("--uds", default=None, metavar="PATH",
+                     help="Unix-domain-socket path of the listening server")
+    p.add_argument("--producers", type=int, default=1,
+                   help="split the stream by job id across this many "
+                        "concurrent connections")
+    p.add_argument("--batch-lines", type=int, default=256,
+                   help="lines written between producer-side drain calls")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the per-connection summary lines")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="efd",
@@ -219,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_info(sub)
     _add_engine(sub)
     _add_serve(sub)
+    _add_replay(sub)
     return parser
 
 
@@ -568,10 +621,22 @@ def _cmd_engine_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_build_engine(args: argparse.Namespace):
+def _parse_hostport(value: str) -> tuple:
+    """``HOST:PORT`` / ``:PORT`` / ``PORT`` -> (host, port)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host = ""
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"invalid HOST:PORT {value!r}")
+
+
+def _serve_build_engine(args: argparse.Namespace, listening: bool = False):
     """Dictionary + depth from --efd / --efd-dir / --demo; returns
     (engine, sample iterable, expected labels or None, file to close
-    or None)."""
+    or None).  In ``listening`` mode samples come over the network, so
+    no local sample source is opened."""
     from repro.engine import BatchRecognizer
     from repro.serve import interleave_records, read_samples
 
@@ -616,7 +681,9 @@ def _serve_build_engine(args: argparse.Namespace):
             from repro.engine import load_sharded
 
             dictionary = load_sharded(args.efd_dir)
-        if args.input == "-":
+        if listening:
+            stream_fh, samples = None, None
+        elif args.input == "-":
             stream_fh = None
             samples = read_samples(sys.stdin)
         else:
@@ -634,7 +701,28 @@ def _serve_build_engine(args: argparse.Namespace):
     return engine, samples, expected, stream_fh
 
 
-async def _serve_run(engine, samples, config, quiet: bool, chunk_size: int = 256):
+class _VerdictReporter:
+    """Shared ``on_verdict`` callback for every serve mode.
+
+    Prints each verdict as it lands (flushed, so piped output streams
+    live) and keeps the delivered-verdict tally — the summary source
+    that stays correct when retention prunes resolved sessions out of
+    ``service.results`` before the run ends.
+    """
+
+    def __init__(self, quiet: bool):
+        self.quiet = quiet
+        self.predictions: dict = {}
+
+    def __call__(self, job, result) -> None:
+        self.predictions[job] = result.prediction
+        if not self.quiet:
+            app = result.prediction or "unknown"
+            print(f"verdict job={job} app={app} votes={dict(result.votes)}",
+                  flush=True)
+
+
+async def _serve_run(engine, samples, config, reporter, chunk_size: int = 256):
     """Feed a (possibly blocking) sample iterator through the service.
 
     ``chunk_size`` is how many samples each executor read pulls; live
@@ -647,13 +735,7 @@ async def _serve_run(engine, samples, config, quiet: bool, chunk_size: int = 256
     from repro.serve import IngestService
 
     loop = asyncio.get_running_loop()
-
-    def on_verdict(job, result):
-        if not quiet:
-            app = result.prediction or "unknown"
-            print(f"verdict job={job} app={app} votes={dict(result.votes)}")
-
-    service = IngestService(engine, config, on_verdict=on_verdict)
+    service = IngestService(engine, config, on_verdict=reporter)
     async with service:
         iterator = iter(samples)
         while True:
@@ -669,13 +751,51 @@ async def _serve_run(engine, samples, config, quiet: bool, chunk_size: int = 256
     return service
 
 
+async def _serve_listen(engine, config, listen, uds, reporter):
+    """Run the service behind a TCP/UDS listener until SIGTERM/SIGINT,
+    then drain gracefully: stop accepting, flush in-flight producer
+    batches, resolve every outstanding session."""
+    import asyncio
+    import signal
+
+    from repro.serve import IngestService, NetListener
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+
+    host, port = _parse_hostport(listen) if listen is not None else (None, None)
+    service = IngestService(engine, config, on_verdict=reporter)
+    try:
+        async with service:
+            listener = NetListener(service, host=host or "127.0.0.1",
+                                   port=port, uds=uds)
+            async with listener:
+                for endpoint in listener.endpoints:
+                    print(f"listening on {endpoint}", flush=True)
+                await stop.wait()
+                print("draining: no longer accepting producers", flush=True)
+            await service.drain()
+    finally:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.remove_signal_handler(sig)
+    return service
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
     from repro.serve import ServeConfig
 
-    engine, samples, expected, stream_fh = _serve_build_engine(args)
+    listening = args.listen is not None or args.uds is not None
+    if listening and args.demo:
+        raise SystemExit("efd serve: --demo cannot be combined with "
+                         "--listen/--uds (producers push real streams)")
+    engine, samples, expected, stream_fh = _serve_build_engine(
+        args, listening=listening
+    )
     config = ServeConfig(
         max_pending_samples=args.queue_size,
         backpressure=args.policy,
@@ -685,25 +805,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session_timeout=args.session_timeout,
         evict=args.evict,
         default_nodes=args.nodes,
+        retention_max_age=args.retention_age,
+        retention_max_done=args.retention_max_done,
     )
-    # Live stdin: read sample-by-sample so verdicts flow as soon as the
-    # interval completes; files/demo streams read in efficient chunks.
-    chunk_size = 1 if (not args.demo and args.input == "-") else 256
-    try:
+    reporter = _VerdictReporter(args.quiet)
+    if listening:
         service = asyncio.run(
-            _serve_run(engine, samples, config, args.quiet, chunk_size)
+            _serve_listen(engine, config, args.listen, args.uds, reporter)
         )
-    finally:
-        if stream_fh is not None:
-            stream_fh.close()
-    results = service.results
-    print(f"served {service.n_sessions} session(s), "
-          f"{len(results)} verdict(s)")
-    print(engine.stats.render())
+    else:
+        # Live stdin: read sample-by-sample so verdicts flow as soon as
+        # the interval completes; files/demo streams read in chunks.
+        chunk_size = 1 if (not args.demo and args.input == "-") else 256
+        try:
+            service = asyncio.run(
+                _serve_run(engine, samples, config, reporter, chunk_size)
+            )
+        finally:
+            if stream_fh is not None:
+                stream_fh.close()
+    # Summarize from the stats gauges and the reporter tally, not the
+    # session table — retention may already have pruned resolved
+    # sessions out of service.results.
+    stats = engine.stats
+    n_served = stats.sessions_active + stats.sessions_retained + stats.n_pruned
+    print(f"served {n_served} session(s), "
+          f"{len(reporter.predictions)} verdict(s)")
+    print(stats.render())
     if expected is not None:
         correct = sum(
-            1 for job, result in results.items()
-            if result.prediction == expected.get(job)
+            1 for job, prediction in reporter.predictions.items()
+            if prediction == expected.get(job)
         )
         total = len(expected)
         print(f"demo accuracy: {correct}/{total} = {correct / total:.3f}"
@@ -713,6 +845,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             json.dump(engine.stats.as_dict(), fh, indent=2)
         print(f"stats snapshot -> {args.stats_out}")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import read_samples, replay_samples
+
+    if args.producers < 1:
+        raise SystemExit("efd replay: --producers must be >= 1")
+    if args.input == "-":
+        samples = list(read_samples(sys.stdin))
+    else:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            samples = list(read_samples(fh))
+    host, port = (None, None)
+    if args.connect is not None:
+        host, port = _parse_hostport(args.connect)
+    summaries = asyncio.run(replay_samples(
+        samples,
+        producers=args.producers,
+        host=host or "127.0.0.1",
+        port=port,
+        uds=args.uds,
+        batch_lines=args.batch_lines,
+    ))
+    accepted = sum(int(s.get("accepted", 0)) for s in summaries)
+    errors = [s["error"] for s in summaries if "error" in s]
+    if not args.quiet:
+        for i, summary in enumerate(summaries):
+            print(f"producer {i}: {summary}")
+    print(f"replayed {len(samples)} sample(s) over {len(summaries)} "
+          f"producer(s): accepted={accepted}, errors={len(errors)}")
+    return 1 if errors else 0
 
 
 _ENGINE_COMMANDS = {
@@ -738,6 +903,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "engine": _cmd_engine,
     "serve": _cmd_serve,
+    "replay": _cmd_replay,
 }
 
 

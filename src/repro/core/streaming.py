@@ -88,9 +88,13 @@ class StreamSession:
         self.unknown_label = unknown_label
         self.session_id = session_id
         self.n_samples = 0
-        self._sums = np.zeros(n_nodes)
-        self._counts = np.zeros(n_nodes, dtype=int)
-        self._latest = np.full(n_nodes, -np.inf)
+        # Plain lists, not numpy: the live path touches one scalar per
+        # sample, and list indexing is several times cheaper than numpy
+        # element access at that granularity.
+        self._sums = [0.0] * self.n_nodes
+        self._counts = [0] * self.n_nodes
+        self._latest = [float("-inf")] * self.n_nodes
+        self._n_past_end = 0  # nodes whose clock crossed the interval end
         self._verdict: Optional[MatchResult] = None
 
     # -- feeding ------------------------------------------------------------
@@ -109,12 +113,15 @@ class StreamSession:
             raise ValueError(f"node {node} outside [0, {self.n_nodes})")
         if self._verdict is not None:
             raise RuntimeError("session already concluded; open a new one")
-        if timestamp > self._latest[node]:
-            self._latest[node] = timestamp
+        start, end = self.interval
+        latest = self._latest
+        if timestamp > latest[node]:
+            if latest[node] < end <= timestamp:
+                self._n_past_end += 1
+            latest[node] = timestamp
         self.n_samples += 1
         if value != value:  # NaN — dropped sample
             return
-        start, end = self.interval
         if start <= timestamp < end:
             self._sums[node] += value
             self._counts[node] += 1
@@ -134,10 +141,14 @@ class StreamSession:
             raise ValueError(f"node {node} outside [0, {self.n_nodes})")
         if self._verdict is not None:
             raise RuntimeError("session already concluded; open a new one")
-        if timestamps.size:
-            self._latest[node] = max(self._latest[node], float(timestamps.max()))
-        self.n_samples += int(timestamps.size)
         start, end = self.interval
+        if timestamps.size:
+            top = float(timestamps.max())
+            if top > self._latest[node]:
+                if self._latest[node] < end <= top:
+                    self._n_past_end += 1
+                self._latest[node] = top
+        self.n_samples += int(timestamps.size)
         mask = (timestamps >= start) & (timestamps < end) & ~np.isnan(values)
         self._sums[node] += float(values[mask].sum())
         self._counts[node] += int(mask.sum())
@@ -148,9 +159,10 @@ class StreamSession:
         """True when every node's clock has passed the interval end.
 
         Readiness is monotone (clocks only advance) and is what gates
-        :meth:`verdict`; services poll it after each accepted sample.
+        :meth:`verdict`; services poll it after each accepted sample —
+        which is why it is an O(1) counter compare, not a scan.
         """
-        return bool((self._latest >= self.interval[1]).all())
+        return self._n_past_end == self.n_nodes
 
     @property
     def concluded(self) -> bool:
@@ -159,7 +171,7 @@ class StreamSession:
 
     def progress(self) -> float:
         """Fraction of nodes whose interval window has fully elapsed."""
-        return float((self._latest >= self.interval[1]).mean())
+        return self._n_past_end / self.n_nodes
 
     def fingerprints(self) -> List[Optional[Fingerprint]]:
         """Current fingerprints (None for nodes with zero valid samples)."""

@@ -51,6 +51,15 @@ class EngineStats:
     n_latencies: int = 0        # verdicts with a measured ready->verdict time
     total_latency: float = 0.0  # summed ready->verdict seconds
     max_latency: float = 0.0    # worst ready->verdict seconds
+    # -- session gauges + retention (fed by IngestService) --------------------
+    sessions_active: int = 0    # sessions open right now (no verdict yet)
+    sessions_retained: int = 0  # completed sessions kept for verdict retrieval
+    n_pruned: int = 0           # retained sessions auto-forgotten by retention
+    # -- network listener counters (fed by repro.serve.net.NetListener) ------
+    conns_accepted: int = 0     # producer connections ever accepted
+    conns_active: int = 0       # producer connections open right now
+    conns_dropped: int = 0      # connections closed on a protocol error
+    n_protocol_errors: int = 0  # malformed / oversized / undecodable lines
 
     def record_batch(
         self,
@@ -101,6 +110,39 @@ class EngineStats:
         self.total_latency += seconds
         if seconds > self.max_latency:
             self.max_latency = seconds
+
+    def record_session_open(self) -> None:
+        """One session opened (first sample of a new job id routed)."""
+        self.sessions_active += 1
+
+    def record_session_done(self) -> None:
+        """One session resolved (verdict or error): active -> retained."""
+        self.sessions_active -= 1
+        self.sessions_retained += 1
+
+    def record_session_forgotten(self, pruned: bool = False) -> None:
+        """One retained session's state reclaimed (``pruned`` when the
+        retention loop did it rather than an explicit ``forget``)."""
+        self.sessions_retained -= 1
+        if pruned:
+            self.n_pruned += 1
+
+    # -- network-listener recorders ------------------------------------------
+    def record_conn_open(self) -> None:
+        """One producer connection accepted by the network listener."""
+        self.conns_accepted += 1
+        self.conns_active += 1
+
+    def record_conn_close(self, dropped: bool = False) -> None:
+        """One producer connection closed (``dropped`` when the close
+        was the listener's doing — a protocol error, not producer EOF)."""
+        self.conns_active -= 1
+        if dropped:
+            self.conns_dropped += 1
+
+    def record_protocol_error(self) -> None:
+        """One line a producer sent that the listener refused."""
+        self.n_protocol_errors += 1
 
     # -- derived -------------------------------------------------------------
     @property
@@ -164,6 +206,13 @@ class EngineStats:
             "latencies": self.n_latencies,
             "total_latency_s": self.total_latency,
             "max_latency_s": self.max_latency,
+            "sessions_active": self.sessions_active,
+            "sessions_retained": self.sessions_retained,
+            "pruned": self.n_pruned,
+            "conns_accepted": self.conns_accepted,
+            "conns_active": self.conns_active,
+            "conns_dropped": self.conns_dropped,
+            "protocol_errors": self.n_protocol_errors,
         }
 
     @classmethod
@@ -193,6 +242,13 @@ class EngineStats:
             n_latencies=_i("latencies"),
             total_latency=float(payload.get("total_latency_s", 0.0)),
             max_latency=float(payload.get("max_latency_s", 0.0)),
+            sessions_active=_i("sessions_active"),
+            sessions_retained=_i("sessions_retained"),
+            n_pruned=_i("pruned"),
+            conns_accepted=_i("conns_accepted"),
+            conns_active=_i("conns_active"),
+            conns_dropped=_i("conns_dropped"),
+            n_protocol_errors=_i("protocol_errors"),
         )
 
     def render(self) -> str:
@@ -221,8 +277,18 @@ class EngineStats:
                 f"late={self.n_late}, evicted={self.n_evicted}"
             )
             lines.append(
+                f"sessions    : active={self.sessions_active}, "
+                f"retained={self.sessions_retained}, pruned={self.n_pruned}"
+            )
+            lines.append(
                 f"latency     : mean={self.mean_latency * 1e3:.1f}ms "
                 f"max={self.max_latency * 1e3:.1f}ms "
                 f"over {self.n_latencies} verdict(s)"
+            )
+        if self.conns_accepted:
+            lines.append(
+                f"connections : accepted={self.conns_accepted}, "
+                f"active={self.conns_active}, dropped={self.conns_dropped}, "
+                f"protocol_errors={self.n_protocol_errors}"
             )
         return "\n".join(lines)

@@ -66,6 +66,35 @@ class ServeConfig:
     default_nodes:
         Node count for sessions whose first sample does not carry an
         explicit ``nodes`` field.
+    retention_max_age:
+        Seconds a *completed* session's verdict is retained after
+        resolution before the retention loop auto-forgets it.  ``None``
+        disables age-based pruning.  A pruned job's
+        :meth:`~repro.serve.service.IngestService.verdict` raises
+        :class:`KeyError` afterwards, so consume verdicts via the
+        awaitable or ``on_verdict`` before they age out.
+    retention_max_done:
+        Cap on completed sessions retained for verdict retrieval; when
+        a verdict resolves past the cap, the oldest completed sessions
+        are forgotten first.  ``None`` disables size-based pruning.
+        This is the knob that bounds memory over a week-long campaign.
+    retention_interval:
+        Seconds between retention sweeps (age-based pruning only; the
+        size cap is enforced immediately at resolution time).
+    net_batch_samples:
+        Per-connection micro-batch size of the network listener: how
+        many parsed samples one connection accumulates before calling
+        :meth:`~repro.serve.service.IngestService.submit_many`.  Larger
+        batches amortize the submit path; smaller ones cut per-sample
+        latency.
+    net_batch_delay:
+        Seconds a connection's batch waits for more lines before a
+        partial batch is submitted anyway — bounds the latency a slow
+        producer adds to its own verdicts.
+    max_line_bytes:
+        Upper bound on one NDJSON line on the wire; a longer line is a
+        protocol error that closes the offending connection (and only
+        that connection).
     """
 
     max_pending_samples: int = 4096
@@ -77,6 +106,12 @@ class ServeConfig:
     session_timeout: Optional[float] = None
     evict: str = "force"
     default_nodes: int = 4
+    retention_max_age: Optional[float] = None
+    retention_max_done: Optional[int] = None
+    retention_interval: float = 0.5
+    net_batch_samples: int = 256
+    net_batch_delay: float = 0.005
+    max_line_bytes: int = 1 << 16
 
     def __post_init__(self) -> None:
         if self.max_pending_samples < 1:
@@ -112,3 +147,30 @@ class ServeConfig:
             )
         if self.default_nodes < 1:
             raise ValueError(f"default_nodes must be >= 1, got {self.default_nodes}")
+        if self.retention_max_age is not None and self.retention_max_age <= 0:
+            raise ValueError(
+                f"retention_max_age must be positive or None, "
+                f"got {self.retention_max_age}"
+            )
+        if self.retention_max_done is not None and self.retention_max_done < 0:
+            raise ValueError(
+                f"retention_max_done must be >= 0 or None, "
+                f"got {self.retention_max_done}"
+            )
+        if self.retention_interval <= 0:
+            raise ValueError(
+                f"retention_interval must be positive, "
+                f"got {self.retention_interval}"
+            )
+        if self.net_batch_samples < 1:
+            raise ValueError(
+                f"net_batch_samples must be >= 1, got {self.net_batch_samples}"
+            )
+        if self.net_batch_delay < 0:
+            raise ValueError(
+                f"net_batch_delay must be >= 0, got {self.net_batch_delay}"
+            )
+        if self.max_line_bytes < 64:
+            raise ValueError(
+                f"max_line_bytes must be >= 64, got {self.max_line_bytes}"
+            )

@@ -36,7 +36,10 @@ Guarantees (property-tested in ``tests/test_serve_service.py``):
 - **Bounded memory** — the ingest queue and the *active* session table
   are the only buffers, both capped by
   :class:`~repro.serve.config.ServeConfig`.  Completed sessions are
-  retained for verdict retrieval until :meth:`IngestService.forget`.
+  retained for verdict retrieval until :meth:`IngestService.forget` —
+  or, with ``retention_max_age`` / ``retention_max_done`` configured,
+  until the retention loop auto-prunes them (the week-long-campaign
+  mode; see ``docs/serving.md``).
 - **Explicit failure** — a recognition worker crash is isolated to the
   failing session and surfaces as a
   :class:`~repro.parallel.pool.WorkerError` carrying that session's job
@@ -47,10 +50,11 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from functools import partial
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.matcher import MatchResult
 from repro.core.streaming import StreamSession
@@ -119,6 +123,7 @@ class _SessionState:
     last_activity: float
     phase: _Phase = _Phase.ACTIVE
     ready_at: float = 0.0
+    done_at: float = 0.0
     forced: bool = False
 
 
@@ -181,6 +186,11 @@ class IngestService:
         self._quiescent: Optional[asyncio.Event] = None
         self._engine_lock = threading.Lock()
         self._running = False
+        # Completed sessions in resolution order, for retention pruning.
+        # Entries are (job, done_at); a manually forgotten job leaves a
+        # stale entry behind, detected by comparing done_at on prune.
+        self._done_order: Deque[Tuple[str, float]] = deque()
+        self._n_done = 0              # DONE sessions still in _sessions
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "IngestService":
@@ -216,6 +226,12 @@ class IngestService:
             self._tasks.append(
                 self._loop.create_task(self._reaper_loop(), name="efd-serve-reaper")
             )
+        if self.config.retention_max_age is not None:
+            self._tasks.append(
+                self._loop.create_task(
+                    self._retention_loop(), name="efd-serve-retention"
+                )
+            )
         return self
 
     async def __aenter__(self) -> "IngestService":
@@ -245,9 +261,16 @@ class IngestService:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
-        for state in self._sessions.values():
+        # _finish may cascade into a size-cap prune, which mutates
+        # _sessions — iterate over a snapshot.
+        for state in list(self._sessions.values()):
             if not state.future.done():
                 state.future.cancel()
+            if state.phase is not _Phase.DONE:
+                # Finalize abandoned sessions (close(force=False) with the
+                # stream mid-flight): without this the active-session
+                # gauge stays pinned and `forget` refuses them forever.
+                self._finish(state)
 
     async def drain(self) -> None:
         """Wait until every accepted sample is ingested and every ready
@@ -434,20 +457,33 @@ class IngestService:
         """Sessions currently tracked (any phase)."""
         return len(self._sessions)
 
-    def forget(self, job: str) -> None:
+    def forget(self, job: str, _pruned: bool = False) -> None:
         """Drop a *completed* session's state (verdict included).
 
         Active sessions are capped by ``max_sessions``, but completed
         ones are retained so :meth:`verdict` stays answerable after the
         fact; a long-running deployment that has consumed a verdict
-        (e.g. via ``on_verdict``) calls this to reclaim the entry.
+        (e.g. via ``on_verdict``) calls this to reclaim the entry — or
+        configures ``retention_max_age`` / ``retention_max_done`` and
+        lets the retention loop do it.  Sessions that never concluded
+        (an errored, evicted, or close-cancelled verdict) are completed
+        too: forgetting them must leave every
+        :class:`~repro.engine.stats.EngineStats` session gauge at its
+        true value.
         """
         state = self._sessions.get(job)
         if state is None:
             return
         if state.phase is not _Phase.DONE:
             raise RuntimeError(f"session {job!r} is still {state.phase.value}")
+        future = state.future
+        if future.done() and not future.cancelled():
+            # Mark an errored verdict retrieved, so discarding it never
+            # trips the event loop's "exception never retrieved" alarm.
+            future.exception()
         del self._sessions[job]
+        self._n_done -= 1
+        self.stats.record_session_forgotten(pruned=_pruned)
 
     # -- internals: routing ---------------------------------------------------
     async def _ingest_loop(self) -> None:
@@ -507,6 +543,7 @@ class IngestService:
         )
         self._sessions[sample.job] = state
         self._n_active += 1
+        self.stats.record_session_open()
         return state
 
     def _queue_ready(self, state: _SessionState, forced: bool = False) -> None:
@@ -607,7 +644,19 @@ class IngestService:
             if self._n_unresolved == 0:
                 self._quiescent.set()
         state.phase = _Phase.DONE
+        state.done_at = self._loop.time()
         self._n_active -= 1
+        self._n_done += 1
+        self.stats.record_session_done()
+        cfg = self.config
+        if (cfg.retention_max_age is not None
+                or cfg.retention_max_done is not None):
+            # Only retention drains this deque; without a knob set,
+            # appending would leak one entry per session forever under
+            # the consume-verdict-then-forget() deployment pattern.
+            self._done_order.append((state.job, state.done_at))
+            if cfg.retention_max_done is not None:
+                self._prune_over_cap()
         self._session_freed.set()
 
     # -- internals: eviction --------------------------------------------------
@@ -629,6 +678,47 @@ class IngestService:
                     self._resolve_error(
                         state, SessionEvicted(state.job, timeout)
                     )
+
+    # -- internals: retention -------------------------------------------------
+    async def _retention_loop(self) -> None:
+        """Age-based auto-prune of completed sessions.
+
+        Runs only when ``retention_max_age`` is set; the size cap
+        (``retention_max_done``) is enforced synchronously in
+        :meth:`_finish`, so a burst between sweeps can never exceed it.
+        """
+        max_age = self.config.retention_max_age
+        tick = min(self.config.retention_interval, max_age / 2)
+        while True:
+            await asyncio.sleep(tick)
+            cutoff = self._loop.time() - max_age
+            self._prune_older_than(cutoff)
+
+    def _pop_done(self, job: str, done_at: float) -> bool:
+        """Forget one completed session from the retention queue.
+
+        Returns False for a stale queue entry: the job was already
+        forgotten manually, or its id was reused by a newer session
+        (detected by ``done_at`` mismatch) — in either case the entry
+        must be skipped, not acted on.
+        """
+        state = self._sessions.get(job)
+        if (state is None or state.phase is not _Phase.DONE
+                or state.done_at != done_at):
+            return False
+        self.forget(job, _pruned=True)
+        return True
+
+    def _prune_older_than(self, cutoff: float) -> None:
+        while self._done_order and self._done_order[0][1] <= cutoff:
+            job, done_at = self._done_order.popleft()
+            self._pop_done(job, done_at)
+
+    def _prune_over_cap(self) -> None:
+        cap = self.config.retention_max_done
+        while self._n_done > cap and self._done_order:
+            job, done_at = self._done_order.popleft()
+            self._pop_done(job, done_at)
 
     # -- misc -----------------------------------------------------------------
     def _check_running(self) -> None:

@@ -25,15 +25,19 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence, TextIO, Union
+from typing import Iterable, Iterator, NamedTuple, Optional, Sequence, TextIO, Union
 
 from repro.data.dataset import ExecutionRecord
 
 
-@dataclass(frozen=True)
-class Sample:
-    """One telemetry observation of one node of one job."""
+class Sample(NamedTuple):
+    """One telemetry observation of one node of one job.
+
+    A ``NamedTuple`` rather than a dataclass on purpose: the network
+    listener constructs one per wire line, and tuple construction is
+    ~3x cheaper than a frozen dataclass ``__init__`` — measurable at
+    hundreds of thousands of samples per second.
+    """
 
     job: str
     node: int

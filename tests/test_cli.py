@@ -230,6 +230,20 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "latency" in out and "ingest" in out
 
+    def test_demo_summary_survives_retention_pruning(self, capsys):
+        """The end-of-run summary and demo accuracy must come from the
+        delivered-verdict tally, not the session table — retention may
+        prune resolved sessions before the run ends."""
+        assert main([
+            "serve", "--demo", "--demo-jobs", "4", "--seed", "9",
+            "--retention-max-done", "1",
+            "--batch-delay", "0.002", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 4 session(s), 4 verdict(s)" in out
+        assert "demo accuracy: 4/4" in out
+        assert "pruned=3" in out
+
     def test_demo_honors_depth_and_interval(self, capsys):
         """--depth/--interval must reach the demo's fitted dictionary,
         not just the serving engine, or verdicts silently miss."""

@@ -1,0 +1,502 @@
+"""Network ingestion tests: the TCP/UDS listener in front of the service.
+
+The headline property mirrors ``tests/test_serve_service.py`` one layer
+out: N producers interleaving the same samples over sockets must yield
+verdicts element-wise identical to the single-stream ``efd serve`` path,
+across backpressure configurations and both transports.  The edge-case
+suites prove the listener's per-connection fault isolation (a malformed
+or oversized line costs exactly one producer its connection — never data
+already parsed, never a peer), the graceful-drain close, and the CLI
+round trip (``efd serve --uds`` + ``efd replay`` + SIGTERM).
+
+``make serve-smoke`` runs the ``smoke``-marked subset: boot a listener
+on an ephemeral UDS, replay a tiny stream, assert one verdict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.recognizer import EFDRecognizer
+from repro.core.streaming import StreamingRecognizer
+from repro.data.taxonomist import DatasetConfig, TaxonomistDatasetGenerator
+from repro.engine import BatchRecognizer
+from repro.serve import (
+    IngestService,
+    NetListener,
+    Sample,
+    ServeConfig,
+    interleave_records,
+    push_samples,
+    replay_samples,
+    split_by_job,
+)
+
+METRIC = "nr_mapped_vmstat"
+DEPTH = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = DatasetConfig(
+        metrics=(METRIC,), repetitions=2, seed=13, duration_cap=150.0,
+        apps=("ft", "mg", "lu", "CoMD"),
+    )
+    return TaxonomistDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def recognizer(dataset):
+    return EFDRecognizer(metric=METRIC, depth=DEPTH).fit(dataset)
+
+
+def _engine(recognizer) -> BatchRecognizer:
+    return BatchRecognizer(recognizer.dictionary_, metric=METRIC, depth=DEPTH)
+
+
+def _reference_verdicts(recognizer, records, job_ids):
+    """The single-stream reference: same samples, synchronous batch."""
+    streaming = StreamingRecognizer.from_recognizer(recognizer)
+    sessions = []
+    for record, job in zip(records, job_ids):
+        session = streaming.open_session(n_nodes=record.n_nodes, session_id=job)
+        for node in range(record.n_nodes):
+            series = record.series(METRIC, node)
+            session.ingest_many(node, series.times, series.values)
+        sessions.append(session)
+    engine = _engine(recognizer)
+    return dict(zip(job_ids, engine.recognize_sessions(sessions, force=True)))
+
+
+async def _serve_net(engine, config, uds=None, port=None, run=None):
+    """Run ``run(listener)`` against a fresh service + listener."""
+    service = IngestService(engine, config)
+    async with service:
+        async with NetListener(service, port=port, uds=uds) as listener:
+            result = await run(listener)
+        await service.drain()
+    return service, result
+
+
+# ---------------------------------------------------------------------------
+# Smoke: the `make serve-smoke` gate
+# ---------------------------------------------------------------------------
+
+class TestSmoke:
+    def test_smoke_uds_one_producer_one_verdict(
+        self, recognizer, dataset, tmp_path
+    ):
+        """Boot the listener on an ephemeral UDS, replay one tiny job
+        stream, and get exactly the single-stream verdict back."""
+        record = list(dataset)[0]
+        reference = _reference_verdicts(recognizer, [record], ["smoke-job"])
+        samples = list(interleave_records([record], METRIC, ["smoke-job"]))
+        sock = str(tmp_path / "efd.sock")
+        engine = _engine(recognizer)
+
+        async def run(listener):
+            return await push_samples(samples, uds=sock)
+
+        service, summary = asyncio.run(_serve_net(
+            engine, ServeConfig(batch_max_delay=0.002), uds=sock, run=run
+        ))
+        assert summary["ok"] is True
+        assert summary["accepted"] == len(samples)
+        assert service.results == {"smoke-job": reference["smoke-job"]}
+        assert engine.stats.conns_accepted == 1
+        assert engine.stats.conns_active == 0
+
+
+# ---------------------------------------------------------------------------
+# Equivalence property: N producers == single stream
+# ---------------------------------------------------------------------------
+
+NET_CONFIGS = [
+    # Tiny ingest queue + blocking backpressure: handlers suspend on
+    # submit_many, the socket buffers fill, producers stall — the
+    # TCP-flow-control path, constantly exercised.
+    ServeConfig(max_pending_samples=8, backpressure="block",
+                batch_max_sessions=3, batch_max_delay=0.002,
+                net_batch_samples=16, net_batch_delay=0.001),
+    # Shed policy with ample capacity: the lossy configuration, sized
+    # so it never actually loses anything.
+    ServeConfig(max_pending_samples=200_000, backpressure="shed",
+                batch_max_sessions=64, batch_max_delay=0.02),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("config", NET_CONFIGS,
+                             ids=["block-tiny-queue", "shed-ample-queue"])
+    @pytest.mark.parametrize("transport", ["uds", "tcp"])
+    def test_three_producers_equal_single_stream(
+        self, recognizer, dataset, tmp_path, config, transport
+    ):
+        records = list(dataset)[:9]
+        job_ids = [f"job-{i:04d}" for i in range(len(records))]
+        reference = _reference_verdicts(recognizer, records, job_ids)
+        samples = list(interleave_records(records, METRIC, job_ids))
+        sock = str(tmp_path / f"efd-{transport}.sock")
+        engine = _engine(recognizer)
+
+        async def run(listener):
+            if transport == "uds":
+                return await replay_samples(samples, producers=3, uds=sock)
+            host, port = listener.tcp_address
+            return await replay_samples(samples, producers=3,
+                                        host=host, port=port)
+
+        service, summaries = asyncio.run(_serve_net(
+            engine, config,
+            uds=sock if transport == "uds" else None,
+            port=0 if transport == "tcp" else None,
+            run=run,
+        ))
+
+        assert len(summaries) == 3
+        assert all(s.get("ok") for s in summaries)
+        assert sum(s["accepted"] for s in summaries) == len(samples)
+        stats = engine.stats
+        assert stats.n_shed == 0
+        assert stats.n_protocol_errors == 0
+        assert stats.conns_accepted == 3
+        assert stats.conns_active == 0
+        results = service.results
+        assert set(results) == set(job_ids)
+        for job in job_ids:
+            assert results[job] == reference[job], job
+
+    def test_tcp_and_uds_serve_concurrently(
+        self, recognizer, dataset, tmp_path
+    ):
+        """One listener, both transports at once, producers split."""
+        records = list(dataset)[:4]
+        job_ids = [f"job-{i}" for i in range(len(records))]
+        reference = _reference_verdicts(recognizer, records, job_ids)
+        streams = split_by_job(
+            list(interleave_records(records, METRIC, job_ids)), 2
+        )
+        sock = str(tmp_path / "both.sock")
+        engine = _engine(recognizer)
+
+        async def run(listener):
+            host, port = listener.tcp_address
+            return await asyncio.gather(
+                push_samples(streams[0], uds=sock),
+                push_samples(streams[1], host=host, port=port),
+            )
+
+        service, summaries = asyncio.run(_serve_net(
+            engine, ServeConfig(batch_max_delay=0.002),
+            uds=sock, port=0, run=run,
+        ))
+        assert all(s.get("ok") for s in summaries)
+        for job in job_ids:
+            assert service.results[job] == reference[job], job
+
+    def test_split_by_job_keeps_per_job_order(self, dataset):
+        records = list(dataset)[:5]
+        samples = list(interleave_records(records, METRIC))
+        streams = split_by_job(samples, 3)
+        assert sum(len(s) for s in streams) == len(samples)
+        # Each job rides exactly one stream, in original sample order.
+        for job in {s.job for s in samples}:
+            homes = [i for i, stream in enumerate(streams)
+                     if any(s.job == job for s in stream)]
+            assert len(homes) == 1
+            mine = [s for s in streams[homes[0]] if s.job == job]
+            assert mine == [s for s in samples if s.job == job]
+        with pytest.raises(ValueError, match="n >= 1"):
+            split_by_job(samples, 0)
+
+
+# ---------------------------------------------------------------------------
+# Per-connection fault isolation
+# ---------------------------------------------------------------------------
+
+async def _raw_uds_exchange(sock: str, payload: bytes) -> bytes:
+    reader, writer = await asyncio.open_unix_connection(sock)
+    writer.write(payload)
+    await writer.drain()
+    writer.write_eof()
+    reply = await reader.readline()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return reply
+
+
+class TestFaultIsolation:
+    def test_malformed_line_closes_only_that_producer(
+        self, recognizer, dataset, tmp_path
+    ):
+        """Producer B sends garbage after its valid samples: B's
+        connection errors out, B's parsed samples are still submitted,
+        and producers A/C are untouched — all verdicts still match the
+        single-stream reference."""
+        records = list(dataset)[:6]
+        job_ids = [f"job-{i}" for i in range(len(records))]
+        reference = _reference_verdicts(recognizer, records, job_ids)
+        streams = split_by_job(
+            list(interleave_records(records, METRIC, job_ids)), 3
+        )
+        sock = str(tmp_path / "poison.sock")
+        engine = _engine(recognizer)
+
+        poison = "\n".join(s.to_json() for s in streams[1])
+        poison += '\n{"job": "evil", "node": not-even-json\n'
+
+        async def run(listener):
+            good_a, bad, good_c = await asyncio.gather(
+                push_samples(streams[0], uds=sock),
+                _raw_uds_exchange(sock, poison.encode()),
+                push_samples(streams[2], uds=sock),
+            )
+            return good_a, json.loads(bad), good_c
+
+        service, (good_a, bad, good_c) = asyncio.run(_serve_net(
+            engine, ServeConfig(batch_max_delay=0.002), uds=sock, run=run
+        ))
+
+        assert good_a.get("ok") and good_c.get("ok")
+        assert "invalid JSON" in bad["error"]
+        # The valid prefix of the poisoned stream was still submitted.
+        assert bad["accepted"] == len(streams[1])
+        stats = engine.stats
+        assert stats.n_protocol_errors == 1
+        assert stats.conns_dropped == 1
+        assert stats.conns_active == 0
+        results = service.results
+        assert set(results) == set(job_ids)
+        for job in job_ids:
+            assert results[job] == reference[job], job
+
+    def test_oversized_line_is_a_protocol_error(self, recognizer, tmp_path):
+        sock = str(tmp_path / "fat.sock")
+        engine = _engine(recognizer)
+        config = ServeConfig(max_line_bytes=128, batch_max_delay=0.002)
+        fat = b'{"job": "fat", "node": 0, "t": 61.0, "value": 1.0, "pad": "' \
+              + b"x" * 400 + b'"}\n'
+
+        async def run(listener):
+            return json.loads(await _raw_uds_exchange(sock, fat))
+
+        _, reply = asyncio.run(_serve_net(engine, config, uds=sock, run=run))
+        assert "max_line_bytes" in reply["error"]
+        assert engine.stats.n_protocol_errors == 1
+        assert engine.stats.conns_dropped == 1
+
+    def test_valid_lines_sharing_a_chunk_with_oversized_tail_survive(
+        self, recognizer, tmp_path
+    ):
+        """Acceptance must not depend on TCP chunk boundaries: valid
+        complete lines delivered in the same read as an oversized
+        unterminated tail are still submitted before the error."""
+        sock = str(tmp_path / "tail.sock")
+        engine = _engine(recognizer)
+        config = ServeConfig(max_line_bytes=128, batch_max_delay=0.002)
+        good = b'{"job": "ok", "node": 0, "t": 61.0, "value": 1.0, "nodes": 1}\n'
+        payload = good + good + b'{"job": "fat", "pad": "' + b"x" * 400
+
+        async def run(listener):
+            return json.loads(await _raw_uds_exchange(sock, payload))
+
+        service, reply = asyncio.run(
+            _serve_net(engine, config, uds=sock, run=run)
+        )
+        assert "max_line_bytes" in reply["error"]
+        assert reply["accepted"] == 2
+        assert service.n_sessions == 1  # job "ok" opened from the prefix
+
+    def test_push_samples_reports_server_refusal_without_crashing(
+        self, recognizer, tmp_path
+    ):
+        """A server that refuses a line and hangs up mid-stream must
+        surface as an {"error": ...} summary from push_samples — not an
+        unhandled ConnectionError killing the whole replay."""
+        sock = str(tmp_path / "refused.sock")
+        engine = _engine(recognizer)
+        config = ServeConfig(max_line_bytes=96, batch_max_delay=0.002)
+        # One oversized sample early, then a long tail the producer
+        # will still be writing when the server closes on it.
+        fat_job = "f" * 200
+        stream = [Sample(job=fat_job, node=0, time=61.0, value=1.0, n_nodes=1)]
+        stream += [
+            Sample(job="bulk", node=0, time=float(t), value=1.0, n_nodes=1)
+            for t in range(50_000)
+        ]
+
+        async def run(listener):
+            return await push_samples(stream, uds=sock, batch_lines=64)
+
+        _, summary = asyncio.run(_serve_net(engine, config, uds=sock, run=run))
+        assert "error" in summary
+        assert engine.stats.n_protocol_errors == 1
+
+    def test_blank_lines_and_comments_are_skipped(self, recognizer, tmp_path):
+        sock = str(tmp_path / "blank.sock")
+        engine = _engine(recognizer)
+        payload = (
+            b"# a relay header\n"
+            b"\n"
+            b'{"job": "j", "node": 0, "t": 61.0, "value": 1.0, "nodes": 1}\n'
+        )
+
+        async def run(listener):
+            return json.loads(await _raw_uds_exchange(sock, payload))
+
+        service, reply = asyncio.run(_serve_net(
+            engine, ServeConfig(batch_max_delay=0.002), uds=sock, run=run
+        ))
+        assert reply["ok"] is True
+        assert reply["accepted"] == 1
+        assert reply["lines"] == 3
+        assert service.n_sessions == 1
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+class TestGracefulDrain:
+    def test_close_abort_flushes_parsed_samples(self, recognizer, tmp_path):
+        """close(abort=True) mid-stream must not lose samples already
+        parsed: the producer's open connection is flushed and answered,
+        and the session state reflects every line sent so far."""
+        sock = str(tmp_path / "drain.sock")
+        engine = _engine(recognizer)
+
+        async def run():
+            config = ServeConfig(batch_max_delay=0.002,
+                                 net_batch_samples=1024,
+                                 net_batch_delay=5.0)
+            service = IngestService(engine, config)
+            async with service:
+                listener = NetListener(service, uds=sock)
+                await listener.start()
+                reader, writer = await asyncio.open_unix_connection(sock)
+                for t in range(61, 71):
+                    writer.write((Sample(
+                        job="inflight", node=0, time=float(t),
+                        value=1.0, n_nodes=1,
+                    ).to_json() + "\n").encode())
+                await writer.drain()
+                # No EOF: the handler is parked mid-batch (the huge
+                # net_batch_delay guarantees nothing was submitted yet).
+                while engine.stats.conns_active < 1:
+                    await asyncio.sleep(0.001)
+                await asyncio.sleep(0.05)
+                await listener.close(abort=True)
+                reply = json.loads(await reader.readline())
+                writer.close()
+                await service.drain()
+                # Stream cut mid-interval: decide it from what arrived.
+                state = service._sessions["inflight"]
+                assert state.session.n_samples == 10
+                return reply
+
+        reply = asyncio.run(run())
+        assert reply["ok"] is True
+        assert reply["accepted"] == 10
+        assert engine.stats.conns_active == 0
+        assert engine.stats.conns_dropped == 0
+        assert not os.path.exists(sock)  # close() removed the UDS file
+
+    def test_closed_listener_refuses_new_producers(
+        self, recognizer, tmp_path
+    ):
+        sock = str(tmp_path / "closed.sock")
+        engine = _engine(recognizer)
+
+        async def run():
+            async with IngestService(engine, ServeConfig()) as service:
+                listener = NetListener(service, uds=sock)
+                await listener.start()
+                await listener.close()
+                with pytest.raises((ConnectionError, FileNotFoundError)):
+                    await asyncio.open_unix_connection(sock)
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# CLI round trip: efd serve --uds + efd replay + SIGTERM
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    def test_serve_uds_replay_sigterm_round_trip(self, tmp_path):
+        from repro.cli import main
+
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        stream = str(tmp_path / "stream.jsonl")
+        sock = str(tmp_path / "cli.sock")
+        assert main(["generate", "--out", data, "--repetitions", "2",
+                     "--duration-cap", "150", "--seed", "11"]) == 0
+        assert main(["fit", "--data", data, "--out", efd,
+                     "--depth", "2"]) == 0
+
+        from repro.data.io import load_dataset
+        from repro.serve import interleave_records as ir
+
+        records = list(load_dataset(data))[:4]
+        with open(stream, "w", encoding="utf-8") as fh:
+            for sample in ir(records, METRIC):
+                fh.write(sample.to_json() + "\n")
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--efd", efd,
+             "--depth", "2", "--uds", sock, "--batch-delay", "0.002",
+             "--retention-max-done", "100"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            deadline = time.time() + 30
+            while not os.path.exists(sock):
+                assert proc.poll() is None, proc.stdout.read()
+                assert time.time() < deadline, "listener never bound its UDS"
+                time.sleep(0.05)
+
+            assert main(["replay", "--input", stream, "--uds", sock,
+                         "--producers", "2", "--quiet"]) == 0
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        assert proc.returncode == 0, out
+        assert "listening on unix://" in out
+        assert "verdict job=" in out
+        assert "draining" in out
+        assert "served 4 session(s), 4 verdict(s)" in out
+        assert "connections : accepted=2" in out
+
+    def test_replay_parser_requires_endpoint(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--input", "x.jsonl"])
+
+    def test_serve_rejects_demo_with_listen(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--demo"):
+            main(["serve", "--demo", "--uds", "/tmp/never-used.sock"])

@@ -518,6 +518,60 @@ class TestHousekeeping:
 
         asyncio.run(run())
 
+    def test_forget_never_concluded_job_clears_session_gauges(
+        self, recognizer
+    ):
+        """Regression: a job whose session never concluded (stream cut,
+        close(force=False) cancelled its verdict) must still be
+        forgettable, and forgetting it must zero the EngineStats session
+        gauges — not leave a phantom active session counted forever."""
+        engine = _engine(recognizer)
+
+        async def run():
+            service = IngestService(engine, ServeConfig())
+            await service.start()
+            await service.submit(_sample("ghost", 5.0))
+            await service._ingest_q.join()
+            assert engine.stats.sessions_active == 1
+            # Not force=True: the session is abandoned, not decided.
+            await service.close(force=False)
+            return service
+
+        service = asyncio.run(run())
+        assert engine.stats.sessions_active == 0
+        assert engine.stats.sessions_retained == 1
+        service.forget("ghost")  # must not raise "still active"
+        assert service.n_sessions == 0
+        assert engine.stats.sessions_retained == 0
+        assert engine.stats.sessions_active == 0
+
+    def test_session_gauges_track_lifecycle(self, recognizer, dataset):
+        records = list(dataset)[:3]
+        engine = _engine(recognizer)
+
+        async def run():
+            config = ServeConfig(batch_max_delay=0.002)
+            async with IngestService(engine, config) as service:
+                await service.submit_many(
+                    interleave_records(records, METRIC, ["a", "b", "c"])
+                )
+                await service.drain()
+                return service
+
+        service = asyncio.run(run())
+        stats = engine.stats
+        assert stats.sessions_active == 0
+        assert stats.sessions_retained == 3
+        service.forget("b")
+        assert stats.sessions_retained == 2
+        assert stats.n_pruned == 0  # manual forget is not a prune
+        snapshot = type(stats).from_dict(stats.as_dict())
+        assert snapshot.sessions_retained == 2
+        # Without retention configured nothing drains the retention
+        # queue, so nothing may be enqueued either (the manual-forget
+        # deployment pattern must not leak an entry per session).
+        assert len(service._done_order) == 0
+
     def test_late_samples_dropped_and_counted(self, recognizer, dataset):
         record = list(dataset)[0]
 
@@ -540,6 +594,87 @@ class TestHousekeeping:
         asyncio.run(run())
 
 
+class TestRetention:
+    def test_size_cap_prunes_oldest_completed_sessions(
+        self, recognizer, dataset
+    ):
+        records = list(dataset)[:5]
+        job_ids = [f"job-{i}" for i in range(len(records))]
+        engine = _engine(recognizer)
+
+        async def run():
+            config = ServeConfig(batch_max_delay=0.002, retention_max_done=2)
+            async with IngestService(engine, config) as service:
+                await service.submit_many(
+                    interleave_records(records, METRIC, job_ids)
+                )
+                await service.drain()
+                return service
+
+        service = asyncio.run(run())
+        stats = engine.stats
+        assert service.n_sessions == 2
+        assert stats.n_pruned == 3
+        assert stats.sessions_retained == 2
+        # The *newest* verdicts are the retained ones.
+        assert len(service.results) == 2
+
+    def test_age_based_prune_reclaims_verdicts(self, recognizer, dataset):
+        record = list(dataset)[0]
+        engine = _engine(recognizer)
+
+        async def run():
+            config = ServeConfig(
+                batch_max_delay=0.002,
+                retention_max_age=0.05, retention_interval=0.02,
+            )
+            async with IngestService(engine, config) as service:
+                await service.submit_many(
+                    interleave_records([record], METRIC, ["aging"])
+                )
+                await service.drain()
+                assert "aging" in service.results
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while service.n_sessions:
+                    assert asyncio.get_running_loop().time() < deadline, \
+                        "retention loop never pruned the aged session"
+                    await asyncio.sleep(0.02)
+                with pytest.raises(KeyError):
+                    await service.verdict("aging")
+                return service
+
+        asyncio.run(run())
+        assert engine.stats.n_pruned == 1
+        assert engine.stats.sessions_retained == 0
+
+    def test_reused_job_id_is_not_pruned_by_stale_entry(
+        self, recognizer, dataset
+    ):
+        """After forgetting a job id, a *new* session under the same id
+        must not be reaped by the old id's leftover retention entry."""
+        record = list(dataset)[0]
+        engine = _engine(recognizer)
+
+        async def run():
+            config = ServeConfig(batch_max_delay=0.002, retention_max_done=1)
+            async with IngestService(engine, config) as service:
+                await service.submit_many(
+                    interleave_records([record], METRIC, ["recycled"])
+                )
+                await service.drain()
+                first = await service.verdict("recycled")
+                service.forget("recycled")
+                await service.submit_many(
+                    interleave_records([record], METRIC, ["recycled"])
+                )
+                await service.drain()
+                assert await service.verdict("recycled") == first
+                return service
+
+        service = asyncio.run(run())
+        assert service.n_sessions == 1
+
+
 class TestServeConfigValidation:
     @pytest.mark.parametrize("kwargs", [
         {"max_pending_samples": 0},
@@ -551,6 +686,12 @@ class TestServeConfigValidation:
         {"session_timeout": 0.0},
         {"evict": "maybe"},
         {"default_nodes": 0},
+        {"retention_max_age": 0.0},
+        {"retention_max_done": -1},
+        {"retention_interval": 0.0},
+        {"net_batch_samples": 0},
+        {"net_batch_delay": -0.1},
+        {"max_line_bytes": 16},
     ])
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
