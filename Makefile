@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke
+.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke
 
 test:            ## tier-1 correctness suite (the merge gate)
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +18,13 @@ bench-smoke:     ## columnar codec bench at tiny scale (fast regression gate)
 
 serve-smoke:     ## boot a UDS listener, replay a tiny stream, assert a verdict
 	$(PYTHON) -m pytest tests/test_serve_net.py -q -k smoke
+
+reshard-smoke:   ## reshard N->M->N byte-identity + verdict equivalence gate
+	$(PYTHON) -m pytest tests/test_reshard.py -q
+
+mutation-smoke:  ## delta-log write-throughput bench at tiny scale
+	BENCH_MUTATION_KEYS=20000 BENCH_MUTATION_APPENDS=200 $(PYTHON) -m pytest \
+	    benchmarks/test_bench_mutation.py -m bench -q
 
 docs-check:      ## markdown cross-links + examples import health
 	$(PYTHON) -m repro._util.doccheck

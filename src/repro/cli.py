@@ -15,9 +15,12 @@ Subcommands
   (smoke-check shard/batch/columnar equivalence), ``shard`` (partition a
   flat dictionary JSON into a shard directory, ``--format json|columnar``),
   ``compact``/``expand`` (convert a shard directory between the JSON and
-  columnar npz layouts, in place or to ``--out``), ``recognize`` (batch
-  recognition against a shard directory, either layout), ``info`` (shard
-  occupancy and layout, plus ``--stats`` to render a service counter
+  columnar npz layouts, in place or to ``--out``; ``compact`` also folds
+  a columnar directory's pending delta-log, and ``expand`` refuses one),
+  ``reshard`` (rewrite a directory at a new shard count without a
+  relearn), ``recognize`` (batch recognition against a shard directory,
+  either layout), ``info`` (shard occupancy, layout, and pending
+  delta-log records, plus ``--stats`` to render a service counter
   snapshot).
 - ``efd serve`` — async live-session recognition: NDJSON telemetry
   samples in (stdin, file, or — with ``--listen``/``--uds`` — many
@@ -124,21 +127,38 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
 
     compact = esub.add_parser(
         "compact",
-        help="convert a JSON shard directory to the columnar (npz) layout",
+        help="convert a JSON shard directory to the columnar (npz) "
+             "layout, or fold a columnar directory's pending delta-log "
+             "into its base",
     )
     compact.add_argument("--dir", required=True, dest="directory",
-                         help="JSON shard directory to convert")
+                         help="JSON shard directory to convert, or a "
+                              "columnar directory with a pending delta-log")
     compact.add_argument("--out", default=None,
                          help="write here instead of converting in place")
 
     expand = esub.add_parser(
         "expand",
-        help="convert a columnar directory back to the JSON shard layout",
+        help="convert a columnar directory back to the JSON shard layout "
+             "(refused while a delta-log segment is unfolded)",
     )
     expand.add_argument("--dir", required=True, dest="directory",
                         help="columnar shard directory to convert")
     expand.add_argument("--out", default=None,
                         help="write here instead of converting in place")
+
+    reshard = esub.add_parser(
+        "reshard",
+        help="rewrite a shard directory at a new shard count without a "
+             "relearn (layout preserved; only keys whose stable hash "
+             "changes assignment move)",
+    )
+    reshard.add_argument("--dir", required=True, dest="directory",
+                         help="shard directory (JSON or columnar layout)")
+    reshard.add_argument("--shards", type=int, required=True,
+                         help="new shard count")
+    reshard.add_argument("--out", default=None,
+                         help="write here instead of resharding in place")
 
     recognize = esub.add_parser(
         "recognize",
@@ -223,6 +243,9 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    choices=["serial", "thread", "process"],
                    help="engine shard fan-out backend")
     p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--no-compact-on-close", action="store_true",
+                   help="leave a columnar dictionary's pending delta-log "
+                        "unfolded at shutdown (records replay on next load)")
     p.add_argument("--stats-out", default=None, metavar="JSON",
                    help="write the final EngineStats snapshot here")
     p.add_argument("--quiet", action="store_true",
@@ -528,6 +551,14 @@ def _cmd_engine_compact(args: argparse.Namespace) -> int:
     from repro.engine import compact_shards
 
     summary = compact_shards(args.directory, out=args.out)
+    if "folded_records" in summary:
+        print(
+            f"folded {summary['folded_records']} delta-log record(s) into "
+            f"{summary['n_keys']} keys across {summary['n_shards']} "
+            f"shard(s): {summary['columnar_bytes']} B columnar at "
+            f"{summary['directory']}"
+        )
+        return 0
     ratio = (summary["json_bytes"] / summary["columnar_bytes"]
              if summary["columnar_bytes"] else float("inf"))
     print(
@@ -541,14 +572,31 @@ def _cmd_engine_compact(args: argparse.Namespace) -> int:
 
 
 def _cmd_engine_expand(args: argparse.Namespace) -> int:
-    from repro.engine import expand_shards
+    from repro.engine import PendingDeltaError, expand_shards
 
-    summary = expand_shards(args.directory, out=args.out)
+    try:
+        summary = expand_shards(args.directory, out=args.out)
+    except PendingDeltaError as exc:
+        print(f"engine expand: {exc}", file=sys.stderr)
+        return 2
     print(
         f"expanded {summary['n_keys']} keys across "
         f"{summary['n_shards']} shard(s): "
         f"{summary['columnar_bytes']} B columnar -> "
         f"{summary['json_bytes']} B JSON at {summary['directory']}"
+    )
+    return 0
+
+
+def _cmd_engine_reshard(args: argparse.Namespace) -> int:
+    from repro.engine import reshard
+
+    summary = reshard(args.directory, args.shards, out=args.out)
+    print(
+        f"resharded {summary['n_keys']} keys [{summary['layout']}]: "
+        f"{summary['old_shards']} -> {summary['new_shards']} shard(s), "
+        f"{summary['moved_keys']} key(s) moved, occupancy "
+        f"{summary['shard_sizes']} at {summary['directory']}"
     )
     return 0
 
@@ -599,6 +647,10 @@ def _cmd_engine_info(args: argparse.Namespace) -> int:
         stats = sharded.stats()
         print(f"sharded EFD at {args.efd_dir}")
         print(f"layout      : {layout}")
+        pending = getattr(sharded, "delta_pending", 0)
+        if pending:
+            print(f"delta-log   : {pending} pending record(s) "
+                  f"(fold with `efd engine compact`)")
         print(f"shards      : {sharded.n_shards}, occupancy {sharded.shard_sizes()}")
         print(
             f"keys        : {stats.n_keys} from {stats.n_insertions} insertions "
@@ -807,6 +859,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_nodes=args.nodes,
         retention_max_age=args.retention_age,
         retention_max_done=args.retention_max_done,
+        compact_on_close=not args.no_compact_on_close,
     )
     reporter = _VerdictReporter(args.quiet)
     if listening:
@@ -885,6 +938,7 @@ _ENGINE_COMMANDS = {
     "shard": _cmd_engine_shard,
     "compact": _cmd_engine_compact,
     "expand": _cmd_engine_expand,
+    "reshard": _cmd_engine_reshard,
     "recognize": _cmd_engine_recognize,
     "info": _cmd_engine_info,
 }

@@ -129,16 +129,28 @@ class ExecutionFingerprintDictionary:
                 n += 1
         return n
 
-    def merge(self, other: "ExecutionFingerprintDictionary") -> None:
+    def merge(self, other) -> None:
         """Fold another dictionary's observations into this one.
+
+        ``other`` may be any storage backend satisfying
+        :class:`repro.engine.backend.DictionaryBackend` — another flat
+        dictionary, a sharded store, or a columnar directory — consumed
+        through the protocol surface (``labels``/``entries``/
+        ``lookup_counts``), never through its internals.  The other
+        store's label registration order is replayed first: string-table
+        order is part of the contract (tie-breaking evaluates "the first
+        application of the array"), so a merge must preserve it even for
+        labels no key references yet.
 
         Built on :meth:`add_repeated`, so the mutation counter advances
         once per (key, label) entry — not once per absorbed observation,
         which at production repetition counts would make every merge
         needlessly invalidate caches millions of times over.
         """
-        for fp, labels in other._store.items():
-            for label, count in labels.items():
+        for label in other.labels():
+            self.register_label(label)
+        for fp, _ in other.entries():
+            for label, count in other.lookup_counts(fp).items():
                 self.add_repeated(fp, label, count)
 
     # -- reading ------------------------------------------------------------
@@ -160,6 +172,19 @@ class ExecutionFingerprintDictionary:
         if fingerprint is None:
             return {}
         return dict(self._store.get(fingerprint, {}))
+
+    def lookup_many(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Optional[List[List[str]]]:
+        """One label list per fingerprint (the batch-session entry point).
+
+        The flat store has no vectorized path, but it always reflects
+        its live state, so this never returns ``None`` — backends whose
+        batch index can go stale (see
+        :meth:`repro.engine.columnar.ColumnarDictionary.lookup_many`)
+        return ``None`` to send callers to the per-key path.
+        """
+        return [self.lookup(fp) for fp in fingerprints]
 
     def entries(self) -> Iterator[Tuple[Fingerprint, List[str]]]:
         """All (key, labels) pairs in insertion order (Table 4 layout)."""

@@ -45,19 +45,46 @@ COLUMN_NAMES = (
 )
 
 
+def fingerprint_to_record(fp: Fingerprint) -> Dict[str, object]:
+    """One fingerprint key as a JSON-ready mapping.
+
+    The shared key encoding of the JSON shard codec and the engine's
+    mutation delta-log (:mod:`repro.engine.deltalog`): metric, node,
+    interval endpoints, and the raw float value, coerced to canonical
+    Python types so numpy-typed fingerprints serialize like their plain
+    equals.
+    """
+    return {
+        "metric": str(fp.metric),
+        "node": int(fp.node),
+        "interval": [float(fp.interval[0]), float(fp.interval[1])],
+        "value": float(fp.value),
+    }
+
+
+def fingerprint_from_record(record: Dict[str, object]) -> Fingerprint:
+    """Rebuild a fingerprint key from :func:`fingerprint_to_record`.
+
+    Raises the underlying :class:`KeyError` / :class:`TypeError` /
+    :class:`ValueError` on a malformed record — callers wrap these with
+    the offending file/line context.
+    """
+    interval = record["interval"]
+    return Fingerprint(
+        metric=str(record["metric"]),
+        node=int(record["node"]),
+        interval=(float(interval[0]), float(interval[1])),
+        value=float(record["value"]),
+    )
+
+
 def dictionary_to_json(efd: ExecutionFingerprintDictionary) -> str:
     """Serialize ``efd`` to a JSON string (insertion order preserved)."""
     entries = []
     for fp, _ in efd.entries():
-        entries.append(
-            {
-                "metric": fp.metric,
-                "node": fp.node,
-                "interval": [fp.interval[0], fp.interval[1]],
-                "value": fp.value,
-                "labels": efd.lookup_counts(fp),
-            }
-        )
+        record = fingerprint_to_record(fp)
+        record["labels"] = efd.lookup_counts(fp)
+        entries.append(record)
     return json.dumps(
         {
             "format_version": _FORMAT_VERSION,
@@ -88,12 +115,10 @@ def dictionary_from_json(text: str) -> ExecutionFingerprintDictionary:
     for label in payload.get("label_order", []):
         efd.register_label(label)
     for entry in payload["entries"]:
-        fp = Fingerprint(
-            metric=entry["metric"],
-            node=int(entry["node"]),
-            interval=(float(entry["interval"][0]), float(entry["interval"][1])),
-            value=float(entry["value"]),
-        )
+        try:
+            fp = fingerprint_from_record(entry)
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise ValueError(f"malformed entry: {exc}") from exc
         labels = entry["labels"]
         if not isinstance(labels, dict) or not labels:
             raise ValueError(f"entry for {fp} has no labels")

@@ -39,6 +39,14 @@ would run.  ``repro.engine`` is the scale-out layer:
   ``efd engine ...`` / ``efd serve`` CLI commands and exportable as a
   JSON snapshot (``efd engine info --stats``).
 
+- :mod:`repro.engine.backend` formalizes the storage contract all of
+  the above share: :class:`~repro.engine.backend.DictionaryBackend`
+  is a runtime-checkable protocol (writes, reads, string tables,
+  analysis, the ``version`` cache counter) satisfied by the flat,
+  sharded, and columnar stores alike, with
+  :func:`~repro.engine.backend.merge_into` as the one canonical
+  cross-backend merge.
+
 - :mod:`repro.engine.columnar` is the storage fast path for that
   machinery: a column-oriented shard codec (``shard-NN.npz`` parallel
   arrays + a small JSON manifest with interned string tables and
@@ -49,6 +57,20 @@ would run.  ``repro.engine`` is the scale-out layer:
   Python dict construction with a handful of NumPy calls.
   ``efd engine compact|expand`` convert between the JSON and columnar
   layouts losslessly; :func:`load_sharded` auto-detects either.
+
+- :mod:`repro.engine.deltalog` makes columnar writes first-class: every
+  mutation appends to a write-ahead ``delta-log.jsonl`` and lands in a
+  small in-memory overlay, reads answer ``base ∪ overlay`` (the
+  vectorized index stays hot under a trickle of new learnings), and
+  compaction folds the log back into the ``.npz`` base — triggered by
+  a pending-record threshold, ``efd engine compact``, or serve
+  shutdown.
+
+- :mod:`repro.engine.reshard` changes a directory's shard count without
+  a relearn (``efd engine reshard``): the movement is computed offline
+  from the stable-hash routing — only keys whose ``hash % N`` differs
+  from ``hash % M`` move — and every global order is preserved
+  byte-identically, in both layouts.
 
 Shard layouts on disk::
 
@@ -63,6 +85,7 @@ Equivalence with the flat dictionary is enforced by property tests
 ({flat, sharded-JSON, columnar}), shard counts, and pool backends.
 """
 
+from repro.engine.backend import DictionaryBackend, merge_into
 from repro.engine.batch import BatchRecognizer, match_fingerprints_batch
 from repro.engine.columnar import (
     ColumnarDictionary,
@@ -72,6 +95,12 @@ from repro.engine.columnar import (
     load_columnar,
     save_columnar,
 )
+from repro.engine.deltalog import (
+    DeltaLog,
+    PendingDeltaError,
+    pending_records,
+)
+from repro.engine.reshard import count_moved_keys, reshard, reshard_store
 from repro.engine.sharded import (
     ShardedDictionary,
     load_sharded,
@@ -83,14 +112,22 @@ from repro.engine.stats import EngineStats
 __all__ = [
     "BatchRecognizer",
     "ColumnarDictionary",
+    "DeltaLog",
+    "DictionaryBackend",
     "EngineStats",
+    "PendingDeltaError",
     "ShardedDictionary",
     "compact_shards",
+    "count_moved_keys",
     "expand_shards",
     "is_columnar",
     "load_columnar",
     "load_sharded",
     "match_fingerprints_batch",
+    "merge_into",
+    "pending_records",
+    "reshard",
+    "reshard_store",
     "save_columnar",
     "save_sharded",
     "shard_index",

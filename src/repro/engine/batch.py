@@ -79,21 +79,30 @@ def _batch_lookup(
     unique: List[Fingerprint],
     backend: str,
     n_workers: Optional[int],
+    stats: Optional[EngineStats] = None,
 ) -> Dict[Fingerprint, List[str]]:
     """Resolve each unique fingerprint to its label list.
 
     For a columnar store the whole batch resolves vectorized against the
-    column arrays — no shard is hydrated and no pool is spun up.  For a
-    sharded store the work units are the shards themselves (each worker
-    queries only the shard that owns its keys); a flat store is split
-    into even chunks.
+    column arrays (``base ∪ delta overlay``) — no shard is hydrated and
+    no pool is spun up.  For a sharded store the work units are the
+    shards themselves (each worker queries only the shard that owns its
+    keys); a flat store is split into even chunks.
     """
+    overlay_keys: frozenset = frozenset()
     if isinstance(dictionary, ColumnarDictionary):
         label_lists = dictionary.lookup_many(unique)
         if label_lists is not None:
             return dict(zip(unique, label_lists))
-        # Mutated since load (or rank-space overflow): fall through to
-        # the generic shard-bucket path, which sees the live state.
+        # A shard was mutated behind the delta-log (or the rank space
+        # overflowed): fall through to the generic shard-bucket path,
+        # which sees the live shard state — and count the demotion so
+        # `efd engine info --stats` surfaces the lost fast path.
+        if stats is not None:
+            stats.record_index_demotion()
+        # The shard buckets below cannot see pending overlay keys;
+        # their slots are patched from the merged point path after.
+        overlay_keys = frozenset(dictionary.overlay_keys())
     if isinstance(dictionary, ShardedDictionary):
         buckets: List[List[Fingerprint]] = [
             [] for _ in range(dictionary.n_shards)
@@ -116,6 +125,10 @@ def _batch_lookup(
     for (_, fps), labels in zip(tasks, label_lists):
         for fp, found in zip(fps, labels):
             table[fp] = found
+    if overlay_keys:
+        for fp in unique:
+            if fp in overlay_keys:
+                table[fp] = dictionary.lookup(fp)  # merged live state
     return table
 
 
@@ -130,20 +143,23 @@ def match_fingerprints_batch(
     fingerprint_lists: Sequence[Sequence[Optional[Fingerprint]]],
     backend: str = "serial",
     n_workers: Optional[int] = None,
+    stats: Optional[EngineStats] = None,
 ) -> Tuple[List[MatchResult], int]:
     """Match many executions' fingerprints in one pass.
 
     Returns ``(results, n_hits)`` where ``results[i]`` equals
     ``match_fingerprints(dictionary, fingerprint_lists[i])`` and
     ``n_hits`` counts lookups (fingerprint occurrences) that matched at
-    least one label.
+    least one label.  ``stats``, when given, receives the
+    index-demotion counter (the only stat this function can observe
+    that its caller cannot).
     """
     unique: Dict[Fingerprint, None] = {}
     for fps in fingerprint_lists:
         for fp in fps:
             if fp is not None:
                 unique.setdefault(fp, None)
-    table = _batch_lookup(dictionary, list(unique), backend, n_workers)
+    table = _batch_lookup(dictionary, list(unique), backend, n_workers, stats)
     position = {app: i for i, app in enumerate(dictionary.app_names())}
     results: List[MatchResult] = []
     n_hits = 0
@@ -480,12 +496,14 @@ class BatchRecognizer:
         version = self.dictionary.version
         if self._index is not None and self._index_version == version:
             return self._index
-        if isinstance(self.dictionary, ColumnarDictionary):
+        columnar = isinstance(self.dictionary, ColumnarDictionary)
+        if columnar:
             index = self.dictionary.batch_index(self.metric, self.interval)
             if index is not None:
                 self._index = index
                 self._index_version = version
                 return index
+            self.stats.record_index_demotion()
         if isinstance(self.dictionary, ShardedDictionary):
             tasks = [
                 (shard, self.metric, self.interval)
@@ -502,6 +520,13 @@ class BatchRecognizer:
         index: TupleIndex = {}
         for partial in partials:
             index.update(partial)
+        if columnar:
+            # The shard scan cannot see pending delta-overlay keys.
+            index.update(
+                self.dictionary.overlay_tuple_entries(
+                    self.metric, self.interval
+                )
+            )
         self._index = index
         self._index_version = version
         return index
@@ -548,6 +573,7 @@ class BatchRecognizer:
             fingerprint_lists,
             backend=self.backend,
             n_workers=self.n_workers,
+            stats=self.stats,
         )
         self._record_stats(results, n_hits)
         return results

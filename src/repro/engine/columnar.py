@@ -30,18 +30,31 @@ paper-faithful reference:
   Python objects only for rows actually probed.
   :meth:`ColumnarDictionary.lookup_many` does the same for full
   fingerprint keys (the streaming-session batch path).
+- **First-class writes** — mutations route through the write-ahead
+  delta-log (:mod:`repro.engine.deltalog`): every ``add`` appends one
+  JSONL record to ``delta-log.jsonl`` and lands in a small in-memory
+  overlay, and the batch paths answer from ``base ∪ overlay`` — the
+  rank-packed base indexes stay hot under a trickle of new learnings
+  instead of demoting to the generic dict index.
+  :meth:`ColumnarDictionary.compact_delta` folds the log back into the
+  ``shard-NN.npz`` base (auto-triggered past a pending threshold, or
+  via ``efd engine compact`` / serve shutdown).
 
 Results are element-wise identical to the flat path — enforced together
-with the JSON-sharded backend by ``tests/test_engine_properties.py``.
+with the JSON-sharded backend by ``tests/test_engine_properties.py``;
+the backend satisfies :class:`repro.engine.backend.DictionaryBackend`.
 
 Directory layout::
 
     efd-columnar/
-      manifest.json     # layout="columnar", string tables, checksums
+      manifest.json     # layout="columnar", string tables, checksums,
+                        # delta_generation
       key-order.npz     # global key insertion order as (shard, pos) columns
       shard-00.npz      # node/value/metric_id/interval_id + CSR label cols
       shard-01.npz      # (compressed, integer columns narrowed to int32
       ...               #  where values allow — the reader upcasts)
+      delta-log.jsonl   # pending mutations since the last compaction
+                        # (absent on a clean directory)
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.dictionary import (
+    DictionaryStats,
     ExecutionFingerprintDictionary,
     app_of_label,
 )
@@ -64,7 +78,17 @@ from repro.core.serialization import (
     dictionary_from_columns,
     dictionary_to_columns,
 )
-from repro.engine.sharded import ShardedDictionary, shard_index
+from repro.engine.deltalog import (
+    DEFAULT_MAX_PENDING,
+    DeltaLog,
+    PendingDeltaError,
+    pending_records,
+)
+from repro.engine.sharded import (
+    ShardedDictionary,
+    merged_if_pending,
+    shard_index,
+)
 
 _MANIFEST_NAME = "manifest.json"
 _KEY_ORDER_NAME = "key-order.npz"
@@ -80,8 +104,23 @@ def _checksum_bytes(data: bytes) -> str:
     return hashlib.blake2b(data, digest_size=16).hexdigest()
 
 
-def _npz_filename(index: int) -> str:
+def _npz_filename(index: int, generation: int = 0) -> str:
+    """Shard file name; generations > 0 get a distinguishing suffix.
+
+    Compaction rewrites the base under *new* names and commits the
+    switch with one atomic manifest replace — a crash mid-rewrite can
+    therefore never mix new shard bytes with a manifest that expects
+    the old checksums.  Generation 0 keeps the plain historical name.
+    """
+    if generation:
+        return f"shard-{index:02d}.g{generation}.npz"
     return f"shard-{index:02d}.npz"
+
+
+def _key_order_filename(generation: int = 0) -> str:
+    if generation:
+        return f"key-order.g{generation}.npz"
+    return _KEY_ORDER_NAME
 
 
 def _value_bits(values: np.ndarray) -> np.ndarray:
@@ -118,7 +157,7 @@ def _narrowed(columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
 # Saving
 # ---------------------------------------------------------------------------
 
-def save_columnar(sharded, directory: str) -> None:
+def save_columnar(sharded, directory: str, generation: int = 0) -> None:
     """Write a sharded dictionary as a columnar (npz) directory.
 
     Accepts any :class:`~repro.engine.sharded.ShardedDictionary`
@@ -127,7 +166,25 @@ def save_columnar(sharded, directory: str) -> None:
     seeded with the store's global first-seen label order before any
     shard is encoded, so label ids are consistent across shards and the
     manifest preserves the order that drives tie-breaking.
+
+    A :class:`ColumnarDictionary` carrying pending delta-log records is
+    saved as its *merged* live state (base ∪ overlay) — a save can never
+    silently drop appends.  Saving such a store onto its *own* directory
+    is a compaction and is routed through
+    :meth:`ColumnarDictionary.compact_delta` (generation advanced,
+    segment removed, live object reloaded) — otherwise the leftover log
+    would replay on top of the already-folded base at the next load and
+    double-count every pending record.  ``generation`` is the delta-log
+    generation stamped into the manifest; compaction advances it so a
+    log segment orphaned by a crash is recognized as already folded.
     """
+    delta = getattr(sharded, "_delta", None)
+    if delta is not None and delta.pending:
+        own = getattr(sharded, "_directory", None)
+        if own is not None and os.path.abspath(own) == os.path.abspath(directory):
+            sharded.compact_delta()
+            return
+    sharded = merged_if_pending(sharded)
     os.makedirs(directory, exist_ok=True)
     label_index: Dict[str, int] = {}
     metric_index: Dict[str, int] = {}
@@ -143,7 +200,7 @@ def save_columnar(sharded, directory: str) -> None:
         buffer = io.BytesIO()
         np.savez_compressed(buffer, **_narrowed(columns))
         data = buffer.getvalue()
-        name = _npz_filename(i)
+        name = _npz_filename(i, generation)
         with open(os.path.join(directory, name), "wb") as fh:
             fh.write(data)
         shard_meta.append(
@@ -171,24 +228,32 @@ def save_columnar(sharded, directory: str) -> None:
         buffer, **_narrowed({"shard": key_shard, "pos": key_pos})
     )
     key_order_data = buffer.getvalue()
-    with open(os.path.join(directory, _KEY_ORDER_NAME), "wb") as fh:
+    key_order_name = _key_order_filename(generation)
+    with open(os.path.join(directory, key_order_name), "wb") as fh:
         fh.write(key_order_data)
     manifest = {
         "format_version": _COLUMNAR_FORMAT_VERSION,
         "layout": _COLUMNAR_LAYOUT,
+        "delta_generation": int(generation),
         "n_shards": sharded.n_shards,
         "label_order": list(label_index),
         "app_order": sharded.app_names(),
         "metric_table": list(metric_index),
         "interval_table": [list(iv) for iv in interval_index],
         "key_order_file": {
-            "file": _KEY_ORDER_NAME,
+            "file": key_order_name,
             "checksum": _checksum_bytes(key_order_data),
         },
         "shards": shard_meta,
     }
-    with open(os.path.join(directory, _MANIFEST_NAME), "w", encoding="utf-8") as fh:
+    # Atomic commit: every data file above is fully written before the
+    # manifest switches to it, so a reader (or a crash) always sees a
+    # manifest whose checksums match the files it names.
+    manifest_path = os.path.join(directory, _MANIFEST_NAME)
+    tmp_path = f"{manifest_path}.tmp-{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=2)
+    os.replace(tmp_path, manifest_path)
 
 
 # ---------------------------------------------------------------------------
@@ -418,6 +483,42 @@ class ColumnarBatchIndex:
         return out
 
 
+class _PatchedBatchIndex(ColumnarBatchIndex):
+    """A pristine base index plus the delta overlay's few keys.
+
+    The expensive half — the rank-packed, sorted base table — is shared
+    and never rebuilt; only the patch dict (one entry per overlay key of
+    this (metric, interval), with fully merged ``base ∪ overlay``
+    labels) is recomputed when the overlay changes.  Patch entries
+    simply override base hits, so a probe that matches an updated key
+    sees the merged labels and a probe of a brand-new key hits at all.
+    """
+
+    __slots__ = ("_base", "_patch")
+
+    def __init__(self, base: ColumnarBatchIndex, patch: Dict[Tuple[int, float], Entry]):
+        self._base = base
+        self._patch = patch
+
+    def resolve_probes(
+        self, nodes: np.ndarray, values: np.ndarray
+    ) -> Dict[Tuple[int, float], Entry]:
+        out = self._base.resolve_probes(nodes, values)
+        out.update(self._patch)
+        return out
+
+
+def _merge_labels(base: List[str], extra: Sequence[str]) -> List[str]:
+    """``base`` plus the labels of ``extra`` it lacks, first-seen order."""
+    if not base:
+        return list(extra)
+    merged = list(base)
+    for label in extra:
+        if label not in merged:
+            merged.append(label)
+    return merged
+
+
 # ---------------------------------------------------------------------------
 # The columnar store
 # ---------------------------------------------------------------------------
@@ -426,22 +527,37 @@ class ColumnarDictionary(ShardedDictionary):
     """Sharded EFD backed by a columnar directory, hydrated lazily.
 
     Mirrors the full :class:`~repro.engine.sharded.ShardedDictionary`
-    contract — every read and write works — but holds no per-key Python
-    objects at load time.  Point operations hydrate exactly the shard
-    they touch; the batch engine bypasses hydration entirely through
-    :meth:`batch_index` / :meth:`lookup_many`.
+    contract (and thereby
+    :class:`repro.engine.backend.DictionaryBackend`) — every read and
+    write works — but holds no per-key Python objects at load time.
+    Point operations hydrate exactly the shard they touch; the batch
+    engine bypasses hydration entirely through :meth:`batch_index` /
+    :meth:`lookup_many`.
 
-    Mutations are supported (the touched shard hydrates and behaves like
-    a flat dictionary), but a mutated store stops answering through the
-    pristine column caches: ``batch_index``/``lookup_many`` return
-    ``None`` and the engine falls back to the generic dict-index path,
-    which sees the new state.  Re-save with :func:`save_columnar` to get
-    the fast path back.
+    Mutations route through the write-ahead delta-log
+    (:mod:`repro.engine.deltalog`): an ``add`` appends one JSONL record
+    to the directory's ``delta-log.jsonl`` and folds into a small
+    in-memory overlay; the base ``shard-NN.npz`` columns — and the
+    vectorized indexes built on them — are never touched.  Every read
+    answers from ``base ∪ overlay``, so a store under a sustained write
+    trickle keeps the rank-packed ``searchsorted`` fast path, and a
+    restart replays the pending log.  :meth:`compact_delta` folds the
+    log back into the base files (automatic past
+    ``DeltaLog.max_pending`` records; also ``efd engine compact`` and
+    serve shutdown).
+
+    The one remaining fallback: mutating a shard object *directly*
+    (``store.shards[i].add(...)``) bypasses the log, so the base column
+    caches no longer reflect live state — ``batch_index`` /
+    ``lookup_many`` then return ``None``, the engine counts an
+    ``index_demotion`` and answers through the generic dict-index path,
+    which merges the overlay explicitly.
     """
 
     def __init__(self, directory: str, manifest: dict,
                  key_shard: np.ndarray, key_pos: np.ndarray,
-                 validate: bool = True):
+                 validate: bool = True,
+                 delta_max_pending: int = DEFAULT_MAX_PENDING):
         self.n_shards = int(manifest["n_shards"])
         self._directory = directory
         self._validate = bool(validate)
@@ -479,6 +595,45 @@ class ColumnarDictionary(ShardedDictionary):
         self._full_index: object = None
         self._row_labels: Dict[int, List[str]] = {}
         self._row_entries: Dict[int, Entry] = {}
+        # -- delta-log state -------------------------------------------------
+        # Preserves version monotonicity across in-place compactions so
+        # engine-side caches keyed on `version` can never alias a stale
+        # index onto a post-compaction state.
+        self._version_base = 0
+        self._delta = DeltaLog(
+            directory,
+            generation=int(manifest.get("delta_generation", 0)),
+            max_pending=delta_max_pending,
+        )
+        # Overlay keys absent from the base columns, insertion-ordered
+        # (the tail of the global key order), plus their per-shard tally
+        # (shard_sizes / occupancy gauges must include them).
+        self._delta_new_keys: Dict[Fingerprint, None] = {}
+        self._new_per_shard: List[int] = [0] * self.n_shards
+        self._patch_cache: Dict[object, Dict[Tuple[int, float], Entry]] = {}
+        replayed = self._delta.replay()
+        if replayed:
+            # One vectorized membership pass over the distinct replayed
+            # keys — per-record resolves would make reopening a store
+            # with a large pending segment O(records) numpy round-trips.
+            distinct = list(dict.fromkeys(fp for fp, _, _ in replayed))
+            rows = self._base_resolve(distinct)
+            if rows is None:  # rank-space overflow: per-shard membership
+                in_base = [
+                    ShardedDictionary.__contains__(self, fp)
+                    for fp in distinct
+                ]
+            else:
+                in_base = (rows >= 0).tolist()
+            for fp, present in zip(distinct, in_base):
+                if not present:
+                    self._delta_new_keys[fp] = None
+                    self._new_per_shard[
+                        shard_index(fp, self.n_shards)
+                    ] += 1
+        for label in self._delta.overlay.labels():
+            self._label_order.setdefault(label, None)
+            self._app_order.setdefault(app_of_label(label), None)
 
     # -- lazy key order ------------------------------------------------------
     @property
@@ -492,6 +647,8 @@ class ColumnarDictionary(ShardedDictionary):
                 self._key_shard.tolist(), self._key_pos.tolist()
             ):
                 order.setdefault(per_shard[i][pos], None)
+            for fp in self._delta_new_keys:
+                order.setdefault(fp, None)
             self._key_order_cache = order
         return self._key_order_cache
 
@@ -537,11 +694,240 @@ class ColumnarDictionary(ShardedDictionary):
                     )
         return efd
 
+    # -- the delta-log write path --------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter: base epoch + overlay + shards."""
+        return (
+            self._version_base
+            + self._delta.overlay.version
+            + sum(s.version for s in self.shards)
+        )
+
+    @property
+    def delta_pending(self) -> int:
+        """Unfolded delta-log records (0 on a clean store)."""
+        return self._delta.n_records
+
+    def _base_mutated(self) -> bool:
+        """True when a shard was mutated *behind* the delta-log.
+
+        Routed writes never touch the shards, so any post-load shard
+        version means the base column caches no longer reflect live
+        state — the vectorized paths must stand down.
+        """
+        return any(s.version for s in self.shards)
+
+    def _note_delta_key(self, fingerprint: Fingerprint) -> None:
+        """Track an overlay key's first sighting (new-key bookkeeping)."""
+        if fingerprint in self._delta_new_keys or self._base_has(fingerprint):
+            return
+        self._delta_new_keys[fingerprint] = None
+        self._new_per_shard[shard_index(fingerprint, self.n_shards)] += 1
+        if self._key_order_cache is not None:
+            self._key_order_cache.setdefault(fingerprint, None)
+
+    def _delta_apply(self, fingerprint: Fingerprint, label: str,
+                     count: int) -> None:
+        first_sight = fingerprint not in self._delta.overlay
+        self._delta.append_add(fingerprint, label, count)
+        if first_sight:
+            self._note_delta_key(fingerprint)
+        self._label_order.setdefault(label, None)
+        self._app_order.setdefault(app_of_label(label), None)
+        self._patch_cache.clear()
+        if self._delta.over_threshold:
+            self.compact_delta()
+
+    def add(self, fingerprint: Fingerprint, label: str) -> None:
+        """Insert one observation through the delta-log."""
+        self._delta_apply(fingerprint, label, 1)
+
+    def add_repeated(self, fingerprint: Fingerprint, label: str,
+                     count: int) -> None:
+        """Insert ``count`` repetitions through the delta-log, O(1)."""
+        self._delta_apply(fingerprint, label, count)
+
+    def register_label(self, label: str) -> None:
+        """Record ``label`` in the first-seen orders (delta-logged)."""
+        if not label:
+            raise ValueError("label must be non-empty")
+        if label not in self._label_order:
+            self._delta.append_label(label)
+        self._label_order.setdefault(label, None)
+        self._app_order.setdefault(app_of_label(label), None)
+
+    def bulk_add(self, pairs, backend: str = "serial",
+                 n_workers: Optional[int] = None) -> int:
+        """Insert many pairs through the delta-log.
+
+        The sharded bucketing fan-out would bypass the log (it merges
+        into the shard objects directly), so the columnar store takes
+        the sequential routed path — the JSONL append dominates either
+        way.  ``None`` fingerprints still register their label.
+        """
+        n = 0
+        for fp, label in pairs:
+            if fp is None:
+                self.register_label(label)
+                continue
+            self.add(fp, label)
+            n += 1
+        return n
+
+    def compact_delta(self) -> int:
+        """Fold pending delta-log records into the base columns, in place.
+
+        Rewrites the directory from the merged live state with the
+        delta generation advanced, removes the log segment and the
+        superseded base files, and re-opens the store on the fresh base
+        (version stays monotonic, so engine caches rebuild rather than
+        alias).  Crash-safe at every step: the new base is written
+        under generation-suffixed names and committed by one atomic
+        manifest replace, so before the commit the old base + replaying
+        log are intact, and after it an orphaned segment's stale
+        generation marks it already-folded (old base files linger as
+        harmless orphans at worst).  Returns the records folded.
+        """
+        if not self._delta.pending:
+            return 0
+        folded = self._delta.n_records
+        merged = ShardedDictionary(self.n_shards)
+        merged.merge(self)
+        generation = self._delta.generation + 1
+        version_base = self.version + 1  # strictly advance: caches rebuild
+        old_manifest = _read_manifest(self._directory)
+        save_columnar(merged, self._directory, generation=generation)
+        self._delta.clear()
+        _remove_superseded_files(
+            self._directory, old_manifest, _read_manifest(self._directory)
+        )
+        self._reload(version_base)
+        return folded
+
+    def _reload(self, version_base: int) -> None:
+        """Re-open the on-disk state in place (post-compaction)."""
+        fresh = load_columnar(
+            self._directory,
+            validate=self._validate,
+            delta_max_pending=self._delta.max_pending,
+        )
+        self.__dict__.clear()
+        self.__dict__.update(fresh.__dict__)
+        for shard in self.shards:
+            shard._owner = self
+        self._version_base = version_base
+
+    # -- overlay-merged point reads ------------------------------------------
+    def __len__(self) -> int:
+        return super().__len__() + len(self._delta_new_keys)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        if fingerprint in self._delta.overlay:
+            return True
+        return super().__contains__(fingerprint)
+
+    def shard_sizes(self) -> List[int]:
+        """Key count per shard, overlay keys included."""
+        return [
+            len(s) + extra
+            for s, extra in zip(self.shards, self._new_per_shard)
+        ]
+
+    def lookup(self, fingerprint: Optional[Fingerprint]) -> List[str]:
+        """Labels for one key, ``base ∪ overlay``, first-seen order."""
+        if fingerprint is None:
+            return []
+        overlay = self._delta.overlay
+        if fingerprint in self._delta_new_keys and not self._base_mutated():
+            # Known absent from the pristine base: skip the shard probe
+            # (a direct shard mutation voids that knowledge — the key
+            # may have been added behind the log, so fall through).
+            return overlay.lookup(fingerprint)
+        base = super().lookup(fingerprint)
+        if len(overlay) == 0 or fingerprint not in overlay:
+            return base
+        return _merge_labels(base, overlay.lookup(fingerprint))
+
+    def lookup_counts(self, fingerprint: Optional[Fingerprint]) -> Dict[str, int]:
+        """Repetition counts for one key, ``base ∪ overlay`` (summed)."""
+        if fingerprint is None:
+            return {}
+        overlay = self._delta.overlay
+        if fingerprint in self._delta_new_keys and not self._base_mutated():
+            return overlay.lookup_counts(fingerprint)
+        base = super().lookup_counts(fingerprint)
+        if len(overlay) == 0 or fingerprint not in overlay:
+            return base
+        merged = dict(base)
+        for label, count in overlay.lookup_counts(fingerprint).items():
+            merged[label] = merged.get(label, 0) + count
+        return merged
+
+    def overlay_keys(self) -> List[Fingerprint]:
+        """Keys with pending overlay observations (append order)."""
+        return [fp for fp, _ in self._delta.overlay.entries()]
+
+    def overlay_tuple_entries(
+        self, metric: str, interval: Tuple[float, float]
+    ) -> Dict[Tuple[int, float], Entry]:
+        """Merged ``(node, value)`` entries for the overlay's keys of one
+        (metric, interval), computed from *live* state via :meth:`lookup`
+        — the patch the generic fallback dict index needs, valid even
+        when a shard was mutated behind the delta-log.
+        """
+        overlay = self._delta.overlay
+        out: Dict[Tuple[int, float], Entry] = {}
+        if len(overlay) == 0:
+            return out
+        key_interval = (float(interval[0]) + 0.0, float(interval[1]) + 0.0)
+        for fp, _ in overlay.entries():
+            if str(fp.metric) != str(metric):
+                continue
+            if (float(fp.interval[0]) + 0.0,
+                    float(fp.interval[1]) + 0.0) != key_interval:
+                continue
+            labels = self.lookup(fp)
+            apps = tuple(dict.fromkeys(app_of_label(l) for l in labels))
+            out[(fp.node, fp.value)] = (labels, apps)
+        return out
+
+    def stats(self) -> DictionaryStats:
+        if not self._delta.pending:
+            return super().stats()
+        # Merged scan: base per-shard stats cannot be adjusted without
+        # per-key overlay merging anyway, so walk the merged view once.
+        n_keys = 0
+        n_insertions = 0
+        colliding = 0
+        max_labels = 0
+        all_labels: Dict[str, None] = {}
+        for fp, labels in self.entries():
+            n_keys += 1
+            n_insertions += sum(self.lookup_counts(fp).values())
+            apps = {app_of_label(l) for l in labels}
+            if len(apps) > 1:
+                colliding += 1
+            max_labels = max(max_labels, len(labels))
+            for label in labels:
+                all_labels.setdefault(label, None)
+        return DictionaryStats(
+            n_keys=n_keys,
+            n_insertions=n_insertions,
+            n_labels=len(all_labels),
+            n_colliding_keys=colliding,
+            max_labels_per_key=max_labels,
+        )
+
     # -- vectorized lookup ---------------------------------------------------
     @property
     def pristine(self) -> bool:
-        """True until the first post-load mutation of any shard."""
-        return self.version == 0
+        """True while the base columns reflect every shard's live state.
+
+        Delta-routed writes keep the store pristine (they never touch
+        the shards); only a direct shard mutation clears it.
+        """
+        return not self._base_mutated()
 
     def _concat(self) -> Dict[str, np.ndarray]:
         """All shards' columns concatenated (global row = shard-major)."""
@@ -589,52 +975,81 @@ class ColumnarDictionary(ShardedDictionary):
     ) -> Optional[ColumnarBatchIndex]:
         """Vectorized ``(node, value)`` index for one (metric, interval).
 
-        ``None`` when the store has been mutated since load (the column
-        caches would be stale) or the rank space cannot pack into 64
-        bits — callers fall back to the generic dict index.
+        With pending overlay keys the sorted base table is reused as-is
+        and wrapped with a per-key patch (:class:`_PatchedBatchIndex`)
+        — a write trickle never rebuilds the expensive half.  ``None``
+        when a shard was mutated behind the delta-log (the base columns
+        are stale) or the rank space cannot pack into 64 bits — callers
+        fall back to the generic dict index and count a demotion.
         """
-        if not self.pristine:
+        if self._base_mutated():
             return None
         key = (
             str(metric),
             (float(interval[0]) + 0.0, float(interval[1]) + 0.0),
         )
         if key in self._batch_indices:
-            return self._batch_indices[key]
-        columns = self._concat()
-        metric_id = self._metric_map.get(key[0])
-        interval_id = self._interval_map.get(key[1])
-        if metric_id is None or interval_id is None:
-            rows = np.empty(0, dtype=np.int64)
+            base = self._batch_indices[key]
         else:
-            rows = np.nonzero(
-                (columns["metric_id"] == metric_id)
-                & (columns["interval_id"] == interval_id)
-            )[0].astype(np.int64)
-        try:
-            index: Optional[ColumnarBatchIndex] = ColumnarBatchIndex(
-                self,
-                columns["node"][rows],
-                _value_bits(columns["value"][rows]),
-                rows,
-            )
-        except OverflowError:
-            index = None
-        self._batch_indices[key] = index
-        return index
-
-    def lookup_many(
-        self, fingerprints: Sequence[Fingerprint]
-    ) -> Optional[List[List[str]]]:
-        """Label lists for many full keys, resolved against the columns.
-
-        Equivalent to ``[self.lookup(fp) for fp in fingerprints]`` but
-        without hydrating any shard.  ``None`` when the store has been
-        mutated since load or the rank space overflows — callers fall
-        back to per-shard Python lookups.
-        """
-        if not self.pristine:
+            columns = self._concat()
+            metric_id = self._metric_map.get(key[0])
+            interval_id = self._interval_map.get(key[1])
+            if metric_id is None or interval_id is None:
+                rows = np.empty(0, dtype=np.int64)
+            else:
+                rows = np.nonzero(
+                    (columns["metric_id"] == metric_id)
+                    & (columns["interval_id"] == interval_id)
+                )[0].astype(np.int64)
+            try:
+                base: Optional[ColumnarBatchIndex] = ColumnarBatchIndex(
+                    self,
+                    columns["node"][rows],
+                    _value_bits(columns["value"][rows]),
+                    rows,
+                )
+            except OverflowError:
+                base = None
+            self._batch_indices[key] = base
+        if base is None:
             return None
+        patch = self._overlay_patch(key)
+        if not patch:
+            return base
+        return _PatchedBatchIndex(base, patch)
+
+    def _overlay_patch(
+        self, key: Tuple[str, Tuple[float, float]]
+    ) -> Dict[Tuple[int, float], Entry]:
+        """Merged entries for the overlay's keys of one (metric, interval).
+
+        Invalidated wholesale on every write (the overlay is small, so
+        a rebuild is O(pending) against the vectorized base resolve).
+        """
+        overlay = self._delta.overlay
+        if len(overlay) == 0:
+            return {}
+        cached = self._patch_cache.get(key)
+        if cached is not None:
+            return cached
+        metric, interval = key
+        fps = [
+            fp for fp, _ in overlay.entries()
+            if str(fp.metric) == metric
+            and (float(fp.interval[0]) + 0.0,
+                 float(fp.interval[1]) + 0.0) == interval
+        ]
+        patch: Dict[Tuple[int, float], Entry] = {}
+        for fp, base_labels in zip(fps, self._base_labels_many(fps)):
+            labels = _merge_labels(base_labels, overlay.lookup(fp))
+            apps = tuple(dict.fromkeys(app_of_label(l) for l in labels))
+            patch[(int(fp.node), float(fp.value))] = (labels, apps)
+        self._patch_cache[key] = patch
+        return patch
+
+    def _ensure_full_index(self) -> object:
+        """The base columns' full-key index (``"overflow"`` sentinel when
+        the rank space cannot pack into 64 bits)."""
         if self._full_index is None:
             columns = self._concat()
             try:
@@ -649,7 +1064,15 @@ class ColumnarDictionary(ShardedDictionary):
                 )
             except OverflowError:
                 self._full_index = "overflow"
-        if self._full_index == "overflow":
+        return self._full_index
+
+    def _base_resolve(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Optional[np.ndarray]:
+        """Base-column row per fingerprint (-1 on miss); ``None`` on
+        rank-space overflow."""
+        index = self._ensure_full_index()
+        if index == "overflow":
             return None
         n = len(fingerprints)
         metric_id = np.empty(n, dtype=np.int64)
@@ -664,15 +1087,66 @@ class ColumnarDictionary(ShardedDictionary):
             )
             node[i] = int(fp.node)
             value[i] = float(fp.value)
-        rows = self._full_index.resolve(
+        return index.resolve(
             [metric_id, interval_id, node, _value_bits(value)]
         )
-        # Fresh list per result, like lookup() — callers may mutate
-        # theirs; the row cache must never alias out.
+
+    def _base_has(self, fingerprint: Fingerprint) -> bool:
+        """Base-column membership without hydrating a shard.
+
+        The write path calls this once per first-seen overlay key; the
+        full-key index answers from the column arrays (built on first
+        use).  Under rank-space overflow it falls back to hydrating the
+        owning shard.
+        """
+        rows = self._base_resolve([fingerprint])
+        if rows is None:
+            return ShardedDictionary.__contains__(self, fingerprint)
+        return bool(rows[0] >= 0)
+
+    def _base_labels_many(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> List[List[str]]:
+        """Base-column label list per fingerprint ([] on miss)."""
+        rows = self._base_resolve(fingerprints)
+        if rows is None:
+            return [
+                ShardedDictionary.lookup(self, fp) for fp in fingerprints
+            ]
         return [
             list(self._labels_of_row(int(row))) if row >= 0 else []
             for row in rows.tolist()
         ]
+
+    def lookup_many(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Optional[List[List[str]]]:
+        """Label lists for many full keys, ``base ∪ overlay``, vectorized.
+
+        Equivalent to ``[self.lookup(fp) for fp in fingerprints]`` but
+        without hydrating any shard: base keys resolve through the
+        rank-packed full-key index, then the overlay's few keys patch
+        their slots.  ``None`` when a shard was mutated behind the
+        delta-log or the rank space overflows — callers fall back to
+        per-shard Python lookups.
+        """
+        if self._base_mutated():
+            return None
+        rows = self._base_resolve(fingerprints)
+        if rows is None:
+            return None
+        # Fresh list per result, like lookup() — callers may mutate
+        # theirs; the row cache must never alias out.
+        results = [
+            list(self._labels_of_row(int(row))) if row >= 0 else []
+            for row in rows.tolist()
+        ]
+        overlay = self._delta.overlay
+        if len(overlay):
+            for i, fp in enumerate(fingerprints):
+                if fp in overlay:
+                    results[i] = _merge_labels(results[i], overlay.lookup(fp))
+        return results
 
     def __repr__(self) -> str:
         hydrated = sum(1 for s in self.shards if s.hydrated)
@@ -706,16 +1180,24 @@ def is_columnar(directory: str) -> bool:
     return _read_manifest(directory).get("layout") == _COLUMNAR_LAYOUT
 
 
-def load_columnar(directory: str, validate: bool = True) -> ColumnarDictionary:
+def load_columnar(
+    directory: str,
+    validate: bool = True,
+    delta_max_pending: int = DEFAULT_MAX_PENDING,
+) -> ColumnarDictionary:
     """Open a columnar directory written by :func:`save_columnar`.
 
     Only the manifest is read here — O(shards) work, no per-key Python
-    objects.  Shard files are read, checksummed, and decoded on first
-    probe; with ``validate`` (default) hydration additionally checks
-    that every decoded key hashes to its host shard, catching renamed or
-    swapped ``.npz`` files exactly like the JSON loader does.  Structural
-    manifest damage (wrong counts, out-of-range or duplicate key-order
-    entries, inconsistent app order) is rejected eagerly.
+    objects — unless a pending ``delta-log.jsonl`` exists, in which case
+    its records replay into the in-memory overlay (column files are
+    consulted for membership, still no per-key hydration).  Shard files
+    are read, checksummed, and decoded on first probe; with ``validate``
+    (default) hydration additionally checks that every decoded key
+    hashes to its host shard, catching renamed or swapped ``.npz`` files
+    exactly like the JSON loader does.  Structural manifest damage
+    (wrong counts, out-of-range or duplicate key-order entries,
+    inconsistent app order) is rejected eagerly.  ``delta_max_pending``
+    is the pending-record count at which a write auto-compacts.
     """
     manifest = _read_manifest(directory)
     if manifest.get("layout") != _COLUMNAR_LAYOUT:
@@ -753,7 +1235,8 @@ def load_columnar(directory: str, validate: bool = True) -> ColumnarDictionary:
         directory, manifest, sum(n_keys_per_shard), n_keys_per_shard, n_shards
     )
     return ColumnarDictionary(
-        directory, manifest, key_shard, key_pos, validate=validate
+        directory, manifest, key_shard, key_pos, validate=validate,
+        delta_max_pending=delta_max_pending,
     )
 
 
@@ -816,6 +1299,28 @@ def _read_key_order(directory, manifest, n_total, n_keys_per_shard, n_shards):
     return key_shard, key_pos
 
 
+def _manifest_files(manifest: dict) -> List[str]:
+    """Every data file a columnar manifest references."""
+    names = [meta["file"] for meta in manifest.get("shards", [])]
+    key_order = manifest.get("key_order_file")
+    if key_order is not None:
+        names.append(key_order["file"])
+    return names
+
+
+def _remove_superseded_files(directory: str, old_manifest: dict,
+                             new_manifest: dict) -> None:
+    """Delete data files the old manifest named but the new one does not
+    (post-commit cleanup of a compaction or reshard rewrite)."""
+    keep = set(_manifest_files(new_manifest))
+    for name in _manifest_files(old_manifest):
+        if name in keep:
+            continue
+        path = os.path.join(directory, name)
+        if os.path.isfile(path):
+            os.remove(path)
+
+
 def _in_place(directory: str, out: Optional[str]) -> bool:
     return out is None or os.path.abspath(out) == os.path.abspath(directory)
 
@@ -830,18 +1335,50 @@ def _dir_bytes(directory: str, names: Sequence[str]) -> int:
 
 
 def compact_shards(directory: str, out: Optional[str] = None) -> dict:
-    """Convert a JSON shard directory to the columnar (npz) layout.
+    """Convert a JSON shard directory to the columnar (npz) layout —
+    or fold a columnar directory's pending delta-log into its base.
 
     In place by default (the JSON shard files are removed after the
     columnar files are written); pass ``out`` to write the columnar
     directory elsewhere and leave the source untouched.  Returns a
     summary dict with key counts and on-disk byte sizes of both layouts.
+
+    On a directory that is *already* columnar: if a pending
+    ``delta-log.jsonl`` exists its records are folded into the
+    ``shard-NN.npz`` base (the delta-log's compaction step; the summary
+    carries ``folded_records``); a clean columnar directory is an error,
+    as before.
     """
     from repro.engine.sharded import load_sharded
 
     manifest = _read_manifest(directory)
     if manifest.get("layout") == _COLUMNAR_LAYOUT:
-        raise ValueError(f"sharded EFD at {directory!r} is already columnar")
+        generation = int(manifest.get("delta_generation", 0))
+        if not pending_records(directory, generation):
+            raise ValueError(
+                f"sharded EFD at {directory!r} is already columnar "
+                f"(and has no pending delta-log to fold)"
+            )
+        store = load_columnar(directory)
+        if _in_place(directory, out):
+            folded = store.compact_delta()
+            target = directory
+        else:
+            folded = store.delta_pending
+            save_columnar(store, out)  # merged view; no pending log at out
+            target = out
+        new_manifest = _read_manifest(target)
+        columnar_files = [meta["file"] for meta in new_manifest["shards"]]
+        columnar_files.append(new_manifest["key_order_file"]["file"])
+        return {
+            "n_keys": len(store),
+            "n_shards": store.n_shards,
+            "folded_records": folded,
+            "columnar_bytes": _dir_bytes(
+                target, columnar_files + [_MANIFEST_NAME]
+            ),
+            "directory": target,
+        }
     sharded = load_sharded(directory)
     json_files = [meta["file"] for meta in manifest.get("shards", [])]
     json_bytes = _dir_bytes(directory, json_files + [_MANIFEST_NAME])
@@ -872,11 +1409,21 @@ def expand_shards(directory: str, out: Optional[str] = None) -> dict:
     directory loads to a dictionary equal to the original (keys, label
     orders, repetition counts).  In place by default; returns the same
     summary shape as :func:`compact_shards`.
+
+    A directory with an unfolded delta-log segment is refused with
+    :class:`~repro.engine.deltalog.PendingDeltaError` — the JSON layout
+    has no delta-log, so expanding only the base columns would silently
+    drop every append since the last compaction.  Compact first.
     """
     from repro.engine.sharded import save_sharded
 
-    columnar = load_columnar(directory)
     manifest = _read_manifest(directory)
+    if manifest.get("layout") == _COLUMNAR_LAYOUT:
+        generation = int(manifest.get("delta_generation", 0))
+        n_pending = pending_records(directory, generation)
+        if n_pending:
+            raise PendingDeltaError(directory, n_pending)
+    columnar = load_columnar(directory)
     npz_files = [meta["file"] for meta in manifest["shards"]]
     npz_files.append(manifest["key_order_file"]["file"])
     columnar_bytes = _dir_bytes(directory, npz_files + [_MANIFEST_NAME])

@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro._util.hashing import stable_hash
 from repro.core.dictionary import (
@@ -34,7 +34,6 @@ from repro.parallel.pool import parallel_map
 _MANIFEST_NAME = "manifest.json"
 _SHARD_FORMAT_VERSION = 1
 
-DictionaryLike = Union[ExecutionFingerprintDictionary, "ShardedDictionary"]
 
 
 def shard_index(fingerprint: Fingerprint, n_shards: int) -> int:
@@ -117,24 +116,13 @@ class ShardedDictionary:
     ) -> "ShardedDictionary":
         """Partition an existing flat dictionary (orders preserved)."""
         sharded = cls(n_shards)
-        for label in efd.labels():
-            sharded.register_label(label)
-        for fp, _ in efd.entries():
-            shard = sharded.shards[shard_index(fp, n_shards)]
-            for label, count in efd.lookup_counts(fp).items():
-                shard.add_repeated(fp, label, count)
-            sharded._key_order.setdefault(fp, None)
+        sharded.merge(efd)
         return sharded
 
     def to_flat(self) -> ExecutionFingerprintDictionary:
         """Collapse back into one flat dictionary (orders preserved)."""
         efd = ExecutionFingerprintDictionary()
-        for label in self.labels():
-            efd.register_label(label)
-        for fp in self._key_order:
-            shard = self.shards[shard_index(fp, self.n_shards)]
-            for label, count in shard.lookup_counts(fp).items():
-                efd.add_repeated(fp, label, count)
+        efd.merge(self)
         return efd
 
     # -- writing -----------------------------------------------------------
@@ -144,6 +132,12 @@ class ShardedDictionary:
     def add(self, fingerprint: Fingerprint, label: str) -> None:
         """Insert one (fingerprint, label) observation."""
         self.shard_of(fingerprint).add(fingerprint, label)
+        self._key_order.setdefault(fingerprint, None)
+        self.register_label(label)
+
+    def add_repeated(self, fingerprint: Fingerprint, label: str, count: int) -> None:
+        """Insert ``count`` repetitions of one observation in O(1)."""
+        self.shard_of(fingerprint).add_repeated(fingerprint, label, count)
         self._key_order.setdefault(fingerprint, None)
         self.register_label(label)
 
@@ -178,7 +172,9 @@ class ShardedDictionary:
         results are merged shard-by-shard.  Global orders are fixed from
         the pair sequence *before* dispatch, so the outcome is identical
         to a sequential :meth:`add` loop for every backend.  ``None``
-        fingerprints are skipped; returns the number inserted.
+        fingerprints are skipped (their label still registers, so the
+        first-seen orders match every other backend's ``bulk_add``);
+        returns the number inserted.
         """
         buckets: List[List[Tuple[Fingerprint, str]]] = [
             [] for _ in range(self.n_shards)
@@ -186,6 +182,7 @@ class ShardedDictionary:
         n = 0
         for fp, label in pairs:
             if fp is None:
+                self.register_label(label)
                 continue
             self._key_order.setdefault(fp, None)
             self.register_label(label)
@@ -202,19 +199,18 @@ class ShardedDictionary:
             self.shards[i].merge(efd)
         return n
 
-    def merge(self, other: DictionaryLike) -> None:
-        """Fold another dictionary's observations into this one.
+    def merge(self, other) -> None:
+        """Fold another backend's observations into this one.
 
-        Accepts a flat or a sharded dictionary (shard counts need not
-        match — keys are re-routed by hash).
+        Accepts any :class:`~repro.engine.backend.DictionaryBackend` —
+        flat, sharded, or columnar; shard counts need not match (keys
+        are re-routed by hash).  Delegates to
+        :func:`repro.engine.backend.merge_into`, the one canonical
+        cross-backend merge routine.
         """
-        for label in other.labels():
-            self.register_label(label)
-        for fp, _ in other.entries():
-            self._key_order.setdefault(fp, None)
-            shard = self.shard_of(fp)
-            for label, count in other.lookup_counts(fp).items():
-                shard.add_repeated(fp, label, count)
+        from repro.engine.backend import merge_into
+
+        merge_into(self, other)
 
     # -- reading ------------------------------------------------------------
     @property
@@ -240,10 +236,22 @@ class ShardedDictionary:
             return {}
         return self.shard_of(fingerprint).lookup_counts(fingerprint)
 
+    def lookup_many(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Optional[List[List[str]]]:
+        """One label list per fingerprint, routed per owning shard.
+
+        Always reflects live state (never ``None``); the columnar
+        subclass overrides this with the vectorized column path.
+        """
+        return [self.lookup(fp) for fp in fingerprints]
+
     def entries(self) -> Iterator[Tuple[Fingerprint, List[str]]]:
         """All (key, labels) pairs in global insertion order."""
+        # Through self.lookup (not the shard directly) so subclasses
+        # that overlay pending mutations stay correct.
         for fp in self._key_order:
-            yield fp, self.shard_of(fp).lookup(fp)
+            yield fp, self.lookup(fp)
 
     def labels(self) -> List[str]:
         return list(self._label_order)
@@ -318,8 +326,30 @@ def _checksum(text: str) -> str:
     return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
 
 
+def merged_if_pending(sharded: ShardedDictionary) -> ShardedDictionary:
+    """``sharded``, or its merged live view when a delta-log pends.
+
+    The shared guard of both save paths: a columnar store carrying
+    pending delta-log records must be persisted as ``base ∪ overlay``
+    (a fresh plain store built through the backend protocol), or a save
+    would silently drop every append since the last compaction.  Any
+    other store is returned unchanged.
+    """
+    delta = getattr(sharded, "_delta", None)
+    if delta is not None and delta.pending:
+        merged = ShardedDictionary(sharded.n_shards)
+        merged.merge(sharded)
+        return merged
+    return sharded
+
+
 def save_sharded(sharded: ShardedDictionary, directory: str) -> None:
-    """Write ``sharded`` as ``directory/manifest.json`` + shard files."""
+    """Write ``sharded`` as ``directory/manifest.json`` + shard files.
+
+    A columnar store carrying pending delta-log records is saved as its
+    merged live state (base ∪ overlay) — a save never drops appends.
+    """
+    sharded = merged_if_pending(sharded)
     os.makedirs(directory, exist_ok=True)
     shard_meta = []
     shard_positions: List[Dict[Fingerprint, int]] = []

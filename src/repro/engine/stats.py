@@ -41,6 +41,9 @@ class EngineStats:
     n_ties: int = 0             # executions whose verdict was a tie array
     n_unknowns: int = 0         # executions with zero matches
     max_batch: int = 0          # largest batch resolved in one call
+    index_demotions: int = 0    # batches answered by the generic dict index
+                                # because a store's vectorized index no
+                                # longer reflected its live state
     shard_occupancy: List[int] = field(default_factory=list)
     # -- serving counters (fed by repro.serve.IngestService) ------------------
     queue_depth: int = 0        # ingest-queue depth at the last submit
@@ -83,6 +86,14 @@ class EngineStats:
                     self.n_ties += 1
         if shard_occupancy is not None:
             self.shard_occupancy = list(shard_occupancy)
+
+    def record_index_demotion(self) -> None:
+        """One batch fell back from a store's vectorized lookup index to
+        the generic dict index (e.g. a columnar shard mutated behind the
+        delta-log, or a rank-space overflow).  A persistently non-zero
+        counter on a columnar deployment means the fast path is lost —
+        re-save or compact the store."""
+        self.index_demotions += 1
 
     # -- serving-side recorders ----------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
@@ -197,6 +208,7 @@ class EngineStats:
             "unknowns": self.n_unknowns,
             "unknown_rate": round(self.unknown_rate, 4),
             "max_batch": self.max_batch,
+            "index_demotions": self.index_demotions,
             "shard_occupancy": list(self.shard_occupancy),
             "queue_depth": self.queue_depth,
             "queue_peak": self.queue_peak,
@@ -233,6 +245,7 @@ class EngineStats:
             n_ties=_i("ties"),
             n_unknowns=_i("unknowns"),
             max_batch=_i("max_batch"),
+            index_demotions=_i("index_demotions"),
             shard_occupancy=[int(n) for n in payload.get("shard_occupancy", [])],
             queue_depth=_i("queue_depth"),
             queue_peak=_i("queue_peak"),
@@ -263,6 +276,12 @@ class EngineStats:
             f"(hits={self.n_hits}, hit_rate={self.hit_rate:.3f}, "
             f"missing_nodes={self.n_missing})",
         ]
+        if self.index_demotions:
+            lines.append(
+                f"demotions   : {self.index_demotions} batch(es) answered by "
+                f"the generic dict index (vectorized index stale — re-save "
+                f"or compact the store)"
+            )
         if self.shard_occupancy:
             total = sum(self.shard_occupancy) or 1
             occ = ", ".join(

@@ -95,6 +95,13 @@ class ServeConfig:
         Upper bound on one NDJSON line on the wire; a longer line is a
         protocol error that closes the offending connection (and only
         that connection).
+    compact_on_close:
+        When the engine's dictionary is a columnar store with pending
+        delta-log records (a learn-while-serving deployment), fold the
+        log into the ``shard-NN.npz`` base at service shutdown so the
+        next boot opens a clean directory.  The log is write-ahead, so
+        disabling this loses nothing — the records replay on the next
+        load; it only defers the fold.
     """
 
     max_pending_samples: int = 4096
@@ -112,6 +119,7 @@ class ServeConfig:
     net_batch_samples: int = 256
     net_batch_delay: float = 0.005
     max_line_bytes: int = 1 << 16
+    compact_on_close: bool = True
 
     def __post_init__(self) -> None:
         if self.max_pending_samples < 1:

@@ -271,6 +271,18 @@ class IngestService:
                 # stream mid-flight): without this the active-session
                 # gauge stays pinned and `forget` refuses them forever.
                 self._finish(state)
+        if self.config.compact_on_close:
+            # Learn-while-serving leaves pending delta-log records on a
+            # columnar dictionary; fold them into the base so the next
+            # boot opens a clean directory.  No-op on other backends.
+            compact = getattr(self.engine.dictionary, "compact_delta", None)
+            if compact is not None:
+
+                def _fold() -> int:
+                    with self._engine_lock:
+                        return compact()
+
+                await self._loop.run_in_executor(None, _fold)
 
     async def drain(self) -> None:
         """Wait until every accepted sample is ingested and every ready
@@ -456,6 +468,43 @@ class IngestService:
     def n_sessions(self) -> int:
         """Sessions currently tracked (any phase)."""
         return len(self._sessions)
+
+    async def learn(self, job: str, label: str) -> int:
+        """Fold a resolved session's fingerprints into the dictionary.
+
+        This is the paper's learn-while-recognizing loop at serving
+        time: once ``job``'s verdict is out (and, say, confirmed by an
+        operator or the scheduler's ground truth), its fingerprints
+        become dictionary observations under ``label`` — the very next
+        micro-batch sees them.  Works against every storage backend
+        through the :class:`~repro.engine.backend.DictionaryBackend`
+        write surface; on a columnar store the observations land in the
+        write-ahead delta-log, so the vectorized lookup index stays hot
+        and the learnings survive a restart (folded into the base by
+        ``compact_on_close`` or ``efd engine compact``).
+
+        Returns the number of fingerprints inserted (nodes without a
+        usable fingerprint are skipped).  Raises :class:`KeyError` for
+        an unknown job and :class:`RuntimeError` for a session that has
+        not resolved yet — learning from an undecided session would
+        race the recognition worker that is still reading it.
+        """
+        state = self._sessions.get(job)
+        if state is None:
+            raise KeyError(f"unknown job {job!r}: no samples ever accepted")
+        if state.phase is not _Phase.DONE:
+            raise RuntimeError(
+                f"session {job!r} is still {state.phase.value}: learn only "
+                f"after its verdict resolves"
+            )
+        fingerprints = state.session.fingerprints()
+        engine = self.engine
+
+        def _apply() -> int:
+            with self._engine_lock:
+                return engine.dictionary.add_many(fingerprints, label)
+
+        return await self._loop.run_in_executor(None, _apply)
 
     def forget(self, job: str, _pruned: bool = False) -> None:
         """Drop a *completed* session's state (verdict included).

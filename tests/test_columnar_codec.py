@@ -472,7 +472,10 @@ class TestLazyHydration:
         ]
         assert not any(shard.hydrated for shard in loaded.shards)
 
-    def test_mutation_disables_column_caches_but_stays_correct(self, tmp_path):
+    def test_routed_writes_keep_column_caches_live(self, tmp_path):
+        # The delta-log contract: a public write lands in the overlay,
+        # never touches the base columns, and every vectorized path
+        # keeps answering — merged with the new observation.
         sharded = _sample_sharded()
         directory = str(tmp_path / "col")
         save_columnar(sharded, directory)
@@ -480,11 +483,28 @@ class TestLazyHydration:
         assert loaded.pristine
         new_key = _fp(987654.0, 2)
         loaded.add(new_key, "zz_Q")
-        assert not loaded.pristine
-        assert loaded.batch_index("m", (60.0, 120.0)) is None
-        assert loaded.lookup_many([new_key]) is None
+        assert loaded.pristine          # base columns untouched
+        assert loaded.delta_pending == 1
+        assert loaded.batch_index("m", (60.0, 120.0)) is not None
+        assert loaded.lookup_many([new_key]) == [["zz_Q"]]
         assert loaded.lookup(new_key) == ["zz_Q"]
         assert "zz_Q" in loaded.labels()
+        assert not any(shard.hydrated for shard in loaded.shards)
+
+    def test_direct_shard_mutation_disables_column_caches(self, tmp_path):
+        # Mutating a shard object directly bypasses the delta-log: the
+        # base caches are stale, so the vectorized paths must stand
+        # down (the engine then falls back and counts a demotion).
+        sharded = _sample_sharded()
+        directory = str(tmp_path / "col")
+        save_columnar(sharded, directory)
+        loaded = load_columnar(directory)
+        victim = next(fp for fp, _ in sharded.entries())
+        loaded.shards[shard_index(victim, 4)].add(victim, "zz_Q")
+        assert not loaded.pristine
+        assert loaded.batch_index("m", (60.0, 120.0)) is None
+        assert loaded.lookup_many([victim]) is None
+        assert "zz_Q" in loaded.lookup(victim)
 
 
 class TestConversion:

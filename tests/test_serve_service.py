@@ -696,3 +696,144 @@ class TestServeConfigValidation:
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
             ServeConfig(**kwargs)
+
+
+class TestLearnWhileServing:
+    """The paper's learn-while-recognizing loop at serving time.
+
+    ``IngestService.learn`` folds a resolved session's fingerprints into
+    the engine's dictionary through the ``DictionaryBackend`` write
+    surface; on a columnar store the observations ride the write-ahead
+    delta-log (vectorized index stays hot) and ``compact_on_close``
+    folds them into the base at shutdown.
+    """
+
+    def _columnar_engine(self, recognizer, tmp_path, **load_kwargs):
+        from repro.engine import load_columnar, save_columnar
+
+        directory = str(tmp_path / "efd-col")
+        save_columnar(
+            ShardedDictionary.from_flat(recognizer.dictionary_, 4), directory
+        )
+        store = load_columnar(directory, **load_kwargs)
+        return BatchRecognizer(store, metric=METRIC, depth=DEPTH), directory
+
+    def test_learn_lands_in_delta_log_and_folds_on_close(
+        self, recognizer, dataset, tmp_path
+    ):
+        from repro.engine import load_columnar, pending_records
+
+        engine, directory = self._columnar_engine(recognizer, tmp_path)
+        records = list(dataset)[:3]
+        job_ids = [f"job-{i}" for i in range(len(records))]
+        samples = interleave_records(records, METRIC, job_ids)
+
+        async def run():
+            async with IngestService(engine, ServeConfig()) as service:
+                await service.submit_many(samples)
+                await service.drain()
+                learned = await service.learn("job-0", "learned_L")
+                assert learned > 0
+                # The learnings are pending in the log, base untouched,
+                # and the very next lookup sees them.
+                assert engine.dictionary.delta_pending > 0
+                assert engine.dictionary.pristine
+                assert "learned_L" in engine.dictionary.labels()
+            # __aexit__ ran close(): compact_on_close folded the log.
+            return learned
+
+        asyncio.run(run())
+        assert pending_records(directory, generation=1) == 0
+        reopened = load_columnar(directory)
+        assert reopened.delta_pending == 0
+        assert "learned_L" in reopened.labels()
+        assert engine.stats.index_demotions == 0
+
+    def test_no_compact_on_close_leaves_log_for_replay(
+        self, recognizer, dataset, tmp_path
+    ):
+        from repro.engine import load_columnar
+
+        engine, directory = self._columnar_engine(recognizer, tmp_path)
+        record = list(dataset)[0]
+        samples = interleave_records([record], METRIC, ["job-0"])
+
+        async def run():
+            config = ServeConfig(compact_on_close=False)
+            async with IngestService(engine, config) as service:
+                await service.submit_many(samples)
+                await service.drain()
+                await service.learn("job-0", "learned_L")
+
+        asyncio.run(run())
+        reopened = load_columnar(directory)
+        assert reopened.delta_pending > 0        # replayed, not lost
+        assert "learned_L" in reopened.labels()
+
+    def test_learn_verdict_feedback_changes_next_recognition(
+        self, recognizer, dataset, tmp_path
+    ):
+        engine, _ = self._columnar_engine(recognizer, tmp_path)
+        record = list(dataset)[0]
+
+        async def run():
+            config = ServeConfig(compact_on_close=False)
+            async with IngestService(engine, config) as service:
+                await service.submit_many(
+                    interleave_records([record], METRIC, ["first"])
+                )
+                await service.drain()
+                await service.learn("first", "taught_T")
+                # Replay the same telemetry as a new job: the taught
+                # label must now participate in its verdict.
+                await service.submit_many(
+                    interleave_records([record], METRIC, ["second"])
+                )
+                await service.drain()
+                verdict = await service.verdict("second")
+                assert "taught_T" in verdict.matched_labels
+            return True
+
+        assert asyncio.run(run())
+        assert engine.stats.index_demotions == 0
+
+    def test_learn_works_on_flat_and_sharded_backends(
+        self, recognizer, dataset
+    ):
+        record = list(dataset)[0]
+        for n_shards in (1, 4):
+            engine = _engine(recognizer, n_shards)
+
+            async def run():
+                config = ServeConfig(compact_on_close=False)
+                async with IngestService(engine, config) as service:
+                    await service.submit_many(
+                        interleave_records([record], METRIC, ["j"])
+                    )
+                    await service.drain()
+                    return await service.learn("j", "taught_T")
+
+            assert asyncio.run(run()) > 0
+            assert "taught_T" in engine.dictionary.labels()
+
+    def test_learn_rejects_unknown_and_unresolved_jobs(
+        self, recognizer, dataset
+    ):
+        engine = _engine(recognizer)
+        record = list(dataset)[0]
+        samples = list(interleave_records([record], METRIC, ["j"]))
+
+        async def run():
+            async with IngestService(engine, ServeConfig()) as service:
+                with pytest.raises(KeyError, match="no samples ever"):
+                    await service.learn("ghost", "x_L")
+                # Feed only the first few samples: session open, no verdict.
+                await service.submit_many(samples[:4])
+                await service.drain()
+                with pytest.raises(RuntimeError, match="still"):
+                    await service.learn("j", "x_L")
+                await service.submit_many(samples[4:])
+                await service.drain()
+                assert await service.learn("j", "x_L") > 0
+
+        asyncio.run(run())
