@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke
+.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke faultinject-smoke
 
 test:            ## tier-1 correctness suite (the merge gate)
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,9 @@ serve-smoke:     ## boot a UDS listener, replay a tiny stream, assert a verdict
 
 reshard-smoke:   ## reshard N->M->N byte-identity + verdict equivalence gate
 	$(PYTHON) -m pytest tests/test_reshard.py -q
+
+faultinject-smoke: ## crash/fault-injection sweep over the columnar write paths
+	$(PYTHON) -m pytest tests/test_faultinject.py -q
 
 mutation-smoke:  ## delta-log write-throughput bench at tiny scale
 	BENCH_MUTATION_KEYS=20000 BENCH_MUTATION_APPENDS=200 $(PYTHON) -m pytest \

@@ -121,21 +121,31 @@ def _add_engine(sub: argparse._SubParsersAction) -> None:
     shard.add_argument("--out", required=True, help="output shard directory")
     shard.add_argument("--shards", type=int, default=8)
     shard.add_argument("--format", default="json",
-                       choices=["json", "columnar"],
-                       help="on-disk layout: diffable JSON shards, or the "
-                            "columnar npz codec (smaller, faster to load)")
+                       choices=["json", "columnar", "mmap"],
+                       help="on-disk layout: diffable JSON shards, the "
+                            "columnar npz codec (smaller, faster to load), "
+                            "or columnar with raw memory-mapped shards "
+                            "(query-ready instantly, page-cache shared)")
 
     compact = esub.add_parser(
         "compact",
-        help="convert a JSON shard directory to the columnar (npz) "
-             "layout, or fold a columnar directory's pending delta-log "
-             "into its base",
+        help="convert a JSON shard directory to the columnar layout, "
+             "fold a columnar directory's pending delta-log into its "
+             "base, or switch the columnar storage (--layout)",
     )
     compact.add_argument("--dir", required=True, dest="directory",
                          help="JSON shard directory to convert, or a "
-                              "columnar directory with a pending delta-log")
+                              "columnar directory with a pending delta-log "
+                              "or a different --layout")
     compact.add_argument("--out", default=None,
                          help="write here instead of converting in place")
+    compact.add_argument("--layout", default=None,
+                         choices=["npz", "mmap"],
+                         help="columnar storage: compressed npz archives "
+                              "(archival) or raw memory-mapped files "
+                              "(serving; shared page-cache copy). Default: "
+                              "npz for a JSON source, keep the current "
+                              "storage for a columnar one")
 
     expand = esub.add_parser(
         "expand",
@@ -536,8 +546,11 @@ def _cmd_engine_shard(args: argparse.Namespace) -> int:
 
     flat = load_dictionary(args.efd)
     sharded = ShardedDictionary.from_flat(flat, args.shards)
-    if args.format == "columnar":
-        save_columnar(sharded, args.out)
+    if args.format in ("columnar", "mmap"):
+        save_columnar(
+            sharded, args.out,
+            storage="mmap" if args.format == "mmap" else "npz",
+        )
     else:
         save_sharded(sharded, args.out)
     print(
@@ -550,13 +563,19 @@ def _cmd_engine_shard(args: argparse.Namespace) -> int:
 def _cmd_engine_compact(args: argparse.Namespace) -> int:
     from repro.engine import compact_shards
 
-    summary = compact_shards(args.directory, out=args.out)
+    try:
+        summary = compact_shards(
+            args.directory, out=args.out, layout=args.layout
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"engine compact: {exc}", file=sys.stderr)
+        return 2
     if "folded_records" in summary:
         print(
             f"folded {summary['folded_records']} delta-log record(s) into "
             f"{summary['n_keys']} keys across {summary['n_shards']} "
-            f"shard(s): {summary['columnar_bytes']} B columnar at "
-            f"{summary['directory']}"
+            f"shard(s): {summary['columnar_bytes']} B columnar "
+            f"[{summary['storage']}] at {summary['directory']}"
         )
         return 0
     ratio = (summary["json_bytes"] / summary["columnar_bytes"]
@@ -565,7 +584,7 @@ def _cmd_engine_compact(args: argparse.Namespace) -> int:
         f"compacted {summary['n_keys']} keys across "
         f"{summary['n_shards']} shard(s): "
         f"{summary['json_bytes']} B JSON -> "
-        f"{summary['columnar_bytes']} B columnar "
+        f"{summary['columnar_bytes']} B columnar [{summary['storage']}] "
         f"({ratio:.1f}x smaller) at {summary['directory']}"
     )
     return 0
@@ -643,10 +662,26 @@ def _cmd_engine_info(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        sharded = load_sharded(args.efd_dir)
-        stats = sharded.stats()
+        try:
+            sharded = load_sharded(args.efd_dir)
+            stats = sharded.stats()
+        except (FileNotFoundError, ValueError) as exc:
+            # A manifest referencing a missing/corrupt shard, filter,
+            # or key-order file names the offender — report it, don't
+            # traceback.
+            print(f"engine info: {exc}", file=sys.stderr)
+            return 2
+        storage = getattr(sharded, "storage", None)
         print(f"sharded EFD at {args.efd_dir}")
-        print(f"layout      : {layout}")
+        print(f"layout      : {layout}"
+              + (f" ({storage})" if storage else ""))
+        filters = getattr(sharded, "filter_info", None)
+        if filters is not None:
+            info = filters()
+            if info is not None:
+                print(f"filters     : per-shard Bloom, "
+                      f"{info['bits_per_key']} bits/key, "
+                      f"fp_bound={info['fp_bound']:.4f}")
         pending = getattr(sharded, "delta_pending", 0)
         if pending:
             print(f"delta-log   : {pending} pending record(s) "

@@ -10,9 +10,13 @@ process restarts.  Two codecs share this module:
   :func:`dictionary_from_columns`): one flat EFD as parallel NumPy
   arrays — node ids, rounded values, interned metric/interval ids, and
   CSR-style offsets into a label-id column with repetition counts.
-  This is the per-shard payload of the engine's ``.npz`` shard codec
-  (:mod:`repro.engine.columnar`); string tables are interned by the
+  This is the per-shard payload of the engine's shard codecs — the
+  compressed ``.npz`` archival layout and the raw memory-mapped
+  ``.mmap`` serving layout (:mod:`repro.engine.columnar` /
+  :mod:`repro.engine.mmapstore`); string tables are interned by the
   caller so label ids stay globally consistent across shards.
+  :data:`COLUMN_DTYPES` and :func:`column_lengths` pin the wire schema
+  both shard codecs share.
 
 Both codecs are lossless: keys, per-key label lists (first-seen order),
 repetition counts, and the dictionary's own label registration order
@@ -43,6 +47,41 @@ COLUMN_NAMES = (
     "label_counts",  # int64[total]       repetition count per label entry
     "label_order",   # int64[n_labels]    this EFD's label registration order
 )
+
+#: Canonical little-endian element type per column — the wire dtype of
+#: the raw mmap shard layout, and what every reader upcasts/views to.
+COLUMN_DTYPES: Dict[str, str] = {
+    "node": "<i8",
+    "value": "<f8",
+    "metric_id": "<i8",
+    "interval_id": "<i8",
+    "label_offsets": "<i8",
+    "label_ids": "<i8",
+    "label_counts": "<i8",
+    "label_order": "<i8",
+}
+
+
+def column_lengths(
+    n_keys: int, n_label_entries: int, n_label_order: int
+) -> Dict[str, int]:
+    """Element count per column, derived from the three shard scalars.
+
+    Every column's length is a pure function of ``(n_keys,
+    n_label_entries, n_label_order)`` — which is what lets the mmap
+    shard layout store three scalars in its header instead of a
+    per-column table, and lets readers detect truncation by size alone.
+    """
+    return {
+        "node": n_keys,
+        "value": n_keys,
+        "metric_id": n_keys,
+        "interval_id": n_keys,
+        "label_offsets": n_keys + 1,
+        "label_ids": n_label_entries,
+        "label_counts": n_label_entries,
+        "label_order": n_label_order,
+    }
 
 
 def fingerprint_to_record(fp: Fingerprint) -> Dict[str, object]:

@@ -48,23 +48,28 @@ would run.  ``repro.engine`` is the scale-out layer:
   cross-backend merge.
 
 - :mod:`repro.engine.columnar` is the storage fast path for that
-  machinery: a column-oriented shard codec (``shard-NN.npz`` parallel
-  arrays + a small JSON manifest with interned string tables and
-  checksums), lazy shard hydration
-  (:class:`~repro.engine.columnar.ColumnarDictionary` reads a shard
-  file only when it is actually probed), and a vectorized
-  rank-packed lookup index that replaces the batch engine's per-key
-  Python dict construction with a handful of NumPy calls.
-  ``efd engine compact|expand`` convert between the JSON and columnar
-  layouts losslessly; :func:`load_sharded` auto-detects either.
+  machinery: a column-oriented shard codec (parallel arrays + a small
+  JSON manifest with interned string tables and checksums) in two
+  storages — compressed ``shard-NN.npz`` archives and raw memory-mapped
+  ``shard-NN.mmap`` files (:mod:`repro.engine.mmapstore`) that N
+  serving processes share through one page-cache copy — lazy shard
+  hydration (:class:`~repro.engine.columnar.ColumnarDictionary` reads a
+  shard file only when it is actually probed), per-shard Bloom filters
+  (:mod:`repro.engine.keyfilter`) that answer unknown-heavy batches
+  without touching any column file, and a vectorized rank-packed lookup
+  index that replaces the batch engine's per-key Python dict
+  construction with a handful of NumPy calls.  ``efd engine
+  compact|expand`` convert between the JSON and columnar layouts
+  losslessly (``compact --layout`` picks the storage);
+  :func:`load_sharded` auto-detects either.
 
 - :mod:`repro.engine.deltalog` makes columnar writes first-class: every
   mutation appends to a write-ahead ``delta-log.jsonl`` and lands in a
   small in-memory overlay, reads answer ``base ∪ overlay`` (the
   vectorized index stays hot under a trickle of new learnings), and
-  compaction folds the log back into the ``.npz`` base — triggered by
-  a pending-record threshold, ``efd engine compact``, or serve
-  shutdown.
+  compaction folds the log back into the columnar base (either
+  storage) — triggered by a pending-record threshold, ``efd engine
+  compact``, or serve shutdown.
 
 - :mod:`repro.engine.reshard` changes a directory's shard count without
   a relearn (``efd engine reshard``): the movement is computed offline
@@ -75,14 +80,16 @@ would run.  ``repro.engine`` is the scale-out layer:
 Shard layouts on disk::
 
     efd-shards/                       efd-columnar/
-      manifest.json                     manifest.json   # layout="columnar"
-      shard-00.json   # flat EFD JSON   shard-00.npz    # parallel arrays
-      shard-01.json                     shard-01.npz
-      ...                               ...
+      manifest.json                     manifest.json   # layout="columnar",
+      shard-00.json   # flat EFD JSON                   # storage="npz"|"mmap"
+      shard-01.json                     shard-00.npz    # parallel arrays
+      ...                               shard-00.filter # Bloom sidecar
+                                        shard-00.hashidx # sorted-hash index
+                                        ...
 
 Equivalence with the flat dictionary is enforced by property tests
 (``tests/test_engine_properties.py``) across storage backends
-({flat, sharded-JSON, columnar}), shard counts, and pool backends.
+({flat, sharded-JSON, npz, mmap}), shard counts, and pool backends.
 """
 
 from repro.engine.backend import DictionaryBackend, merge_into
@@ -100,6 +107,7 @@ from repro.engine.deltalog import (
     PendingDeltaError,
     pending_records,
 )
+from repro.engine.keyfilter import KeyFilter
 from repro.engine.reshard import count_moved_keys, reshard, reshard_store
 from repro.engine.sharded import (
     ShardedDictionary,
@@ -115,6 +123,7 @@ __all__ = [
     "DeltaLog",
     "DictionaryBackend",
     "EngineStats",
+    "KeyFilter",
     "PendingDeltaError",
     "ShardedDictionary",
     "compact_shards",

@@ -40,6 +40,10 @@ that currently reflects its live state (callers fall back to per-key
 ``lookup``).  The flat and sharded stores always answer; the columnar
 store answers from its vectorized index unless its base columns were
 mutated behind the delta-log's back (see :mod:`repro.engine.deltalog`).
+A backend may resolve misses early — the columnar store consults
+per-shard negative-lookup filters (:mod:`repro.engine.keyfilter`)
+before hydrating any column file — as long as the answers stay
+element-wise identical to per-key ``lookup``.
 """
 
 from __future__ import annotations

@@ -343,7 +343,11 @@ class BatchRecognizer:
         """
         if for_sessions:
             if isinstance(self.dictionary, ColumnarDictionary):
-                self.dictionary.lookup_many([])  # builds the full-key index
+                # Explicitly build the full-key index: cold lookups
+                # would otherwise answer through the negative-lookup
+                # filters and defer the build until a batch actually
+                # needs it.
+                self.dictionary.warm_index()
         else:
             self._tuple_index()
         return self

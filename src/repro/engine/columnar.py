@@ -8,13 +8,35 @@ for that regime, while the flat
 paper-faithful reference:
 
 - **Shard codec** — :func:`save_columnar` writes a directory of
-  ``shard-NN.npz`` files (the parallel arrays of
+  shard files (the parallel arrays of
   :func:`repro.core.serialization.dictionary_to_columns`) plus a small
   ``manifest.json`` header holding the interned label/app/metric/interval
   string tables in global first-seen order, the global key order, a
-  format version, and per-shard checksums.  Conversion to and from the
-  JSON shard layout is lossless (:func:`compact_shards` /
-  :func:`expand_shards`, surfaced as ``efd engine compact|expand``).
+  format version, and per-shard checksums.  Two storages share the
+  manifest format: compressed ``shard-NN.npz`` archives (``storage=
+  "npz"``, the default) and raw aligned little-endian ``shard-NN.mmap``
+  files (``storage="mmap"``, :mod:`repro.engine.mmapstore`) that open
+  zero-copy through :func:`numpy.memmap` — query-ready in O(manifest),
+  one OS page-cache copy shared across serving processes.  Conversion
+  between the JSON shard layout and either storage is lossless
+  (:func:`compact_shards` / :func:`expand_shards`, surfaced as ``efd
+  engine compact --layout npz|mmap`` / ``efd engine expand``).
+- **Negative-lookup filters** — every shard (both storages) is fronted
+  by a small per-shard Bloom filter over its full-key hashes
+  (:mod:`repro.engine.keyfilter`, ``shard-NN.filter`` sidecars,
+  checksummed in the manifest) and by a ``shard-NN.hashidx`` sidecar
+  holding the same hashes sorted with their row permutation.
+  :meth:`ColumnarDictionary.lookup_many` and
+  :meth:`ColumnarDictionary.batch_index` consult the filters *before*
+  any hydration or index build, so unknown-heavy traffic — the
+  dominant case of the paper's unknown-detection evaluation — resolves
+  at filter speed without touching a column file; the few survivors
+  (hits plus the ~1% Bloom false positives) resolve by ``searchsorted``
+  into their routed shard's hash index and are verified against only
+  that shard's columns.  Overlay
+  keys from the delta-log are checked first (never a false negative
+  under learn-while-serving), and compaction/reshard rebuild the
+  filters generation-tagged under the same atomic manifest replace.
 - **Lazy shards** — :func:`load_columnar` (also reached through
   :func:`repro.engine.sharded.load_sharded`, which dispatches on the
   manifest) opens a directory by reading only the manifest.  Each
@@ -47,12 +69,18 @@ the backend satisfies :class:`repro.engine.backend.DictionaryBackend`.
 Directory layout::
 
     efd-columnar/
-      manifest.json     # layout="columnar", string tables, checksums,
-                        # delta_generation
+      manifest.json     # layout="columnar", storage="npz"|"mmap",
+                        # string tables, checksums, delta_generation
       key-order.npz     # global key insertion order as (shard, pos) columns
       shard-00.npz      # node/value/metric_id/interval_id + CSR label cols
       shard-01.npz      # (compressed, integer columns narrowed to int32
-      ...               #  where values allow — the reader upcasts)
+      ...               #  where values allow — the reader upcasts;
+                        #  storage="mmap" writes shard-NN.mmap instead:
+                        #  raw aligned LE columns opened with np.memmap)
+      shard-00.filter   # per-shard Bloom filter over full-key hashes
+      shard-00.hashidx  # the same hashes sorted + row permutation —
+      ...               # filter survivors resolve by searchsorted
+                        # (negative lookups answer without hydration)
       delta-log.jsonl   # pending mutations since the last compaction
                         # (absent on a clean directory)
 """
@@ -84,6 +112,20 @@ from repro.engine.deltalog import (
     PendingDeltaError,
     pending_records,
 )
+from repro.engine.keyfilter import (
+    DEFAULT_BITS_PER_KEY,
+    KeyFilter,
+    filter_filename,
+    hash_index_filename,
+    key_hashes,
+    pack_hash_index,
+    unpack_hash_index,
+)
+from repro.engine.mmapstore import (
+    MmapShardFile,
+    mmap_filename,
+    write_mmap_shard,
+)
 from repro.engine.sharded import (
     ShardedDictionary,
     merged_if_pending,
@@ -94,6 +136,12 @@ _MANIFEST_NAME = "manifest.json"
 _KEY_ORDER_NAME = "key-order.npz"
 _COLUMNAR_LAYOUT = "columnar"
 _COLUMNAR_FORMAT_VERSION = 1
+#: Manifest ``storage`` values: compressed archives vs. raw mmap files.
+COLUMNAR_STORAGES = ("npz", "mmap")
+#: Filter-passing probe count up to which a cold ``lookup_many`` batch
+#: resolves by hash-scanning the columns instead of building the full
+#: rank-packed index (the scan is one pass; the index build sorts).
+_SCAN_MAX = 256
 
 #: A resolved index entry: (label list, distinct apps) — what ``vote()``
 #: needs per matched key, precomputed once per probed row.
@@ -115,6 +163,13 @@ def _npz_filename(index: int, generation: int = 0) -> str:
     if generation:
         return f"shard-{index:02d}.g{generation}.npz"
     return f"shard-{index:02d}.npz"
+
+
+def _shard_filename(index: int, generation: int, storage: str) -> str:
+    """Shard file name for either storage, generation-suffixed alike."""
+    if storage == "mmap":
+        return mmap_filename(index, generation)
+    return _npz_filename(index, generation)
 
 
 def _key_order_filename(generation: int = 0) -> str:
@@ -157,8 +212,11 @@ def _narrowed(columns: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
 # Saving
 # ---------------------------------------------------------------------------
 
-def save_columnar(sharded, directory: str, generation: int = 0) -> None:
-    """Write a sharded dictionary as a columnar (npz) directory.
+def save_columnar(sharded, directory: str, generation: int = 0,
+                  storage: Optional[str] = None,
+                  filters: bool = True,
+                  filter_bits_per_key: int = DEFAULT_BITS_PER_KEY) -> None:
+    """Write a sharded dictionary as a columnar directory.
 
     Accepts any :class:`~repro.engine.sharded.ShardedDictionary`
     (including a :class:`ColumnarDictionary`, whose shards hydrate on
@@ -166,6 +224,18 @@ def save_columnar(sharded, directory: str, generation: int = 0) -> None:
     seeded with the store's global first-seen label order before any
     shard is encoded, so label ids are consistent across shards and the
     manifest preserves the order that drives tie-breaking.
+
+    ``storage`` picks the shard codec: ``"npz"`` (compressed archival
+    files, the default) or ``"mmap"`` (raw aligned little-endian files
+    opened zero-copy, :mod:`repro.engine.mmapstore`); ``None`` keeps
+    the source store's storage when it is itself columnar.  Unless
+    ``filters=False``, each shard is fronted by a Bloom filter over its
+    full-key hashes (``filter_bits_per_key`` bits per key) written as a
+    ``shard-NN.filter`` sidecar, plus a ``shard-NN.hashidx`` sidecar
+    holding the same hashes pre-sorted with their row permutation; both
+    are checksummed in the manifest — the negative-lookup fast path of
+    :meth:`ColumnarDictionary.lookup_many` and
+    :meth:`ColumnarDictionary.batch_index`.
 
     A :class:`ColumnarDictionary` carrying pending delta-log records is
     saved as its *merged* live state (base ∪ overlay) — a save can never
@@ -178,6 +248,13 @@ def save_columnar(sharded, directory: str, generation: int = 0) -> None:
     generation stamped into the manifest; compaction advances it so a
     log segment orphaned by a crash is recognized as already folded.
     """
+    if storage is None:
+        storage = getattr(sharded, "storage", None) or "npz"
+    if storage not in COLUMNAR_STORAGES:
+        raise ValueError(
+            f"unknown columnar storage {storage!r} "
+            f"(expected one of {COLUMNAR_STORAGES})"
+        )
     delta = getattr(sharded, "_delta", None)
     if delta is not None and delta.pending:
         own = getattr(sharded, "_directory", None)
@@ -192,24 +269,56 @@ def save_columnar(sharded, directory: str, generation: int = 0) -> None:
     for label in sharded.labels():
         label_index.setdefault(label, len(label_index))
     shard_meta = []
+    filter_meta = []
     shard_positions: List[Dict[Fingerprint, int]] = []
     for i, shard in enumerate(sharded.shards):
         columns = dictionary_to_columns(
             shard, label_index, metric_index, interval_index
         )
-        buffer = io.BytesIO()
-        np.savez_compressed(buffer, **_narrowed(columns))
-        data = buffer.getvalue()
-        name = _npz_filename(i, generation)
-        with open(os.path.join(directory, name), "wb") as fh:
-            fh.write(data)
+        name = _shard_filename(i, generation, storage)
+        if storage == "mmap":
+            checksum = write_mmap_shard(
+                os.path.join(directory, name), columns
+            )
+        else:
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **_narrowed(columns))
+            data = buffer.getvalue()
+            with open(os.path.join(directory, name), "wb") as fh:
+                fh.write(data)
+            checksum = _checksum_bytes(data)
         shard_meta.append(
-            {
-                "file": name,
-                "n_keys": len(shard),
-                "checksum": _checksum_bytes(data),
-            }
+            {"file": name, "n_keys": len(shard), "checksum": checksum}
         )
+        if filters:
+            hashes = key_hashes(
+                columns["metric_id"],
+                columns["interval_id"],
+                columns["node"],
+                _value_bits(columns["value"]),
+            )
+            built = KeyFilter.build(
+                hashes, bits_per_key=filter_bits_per_key
+            )
+            filter_name = filter_filename(i, generation)
+            filter_data = built.to_bytes()
+            with open(os.path.join(directory, filter_name), "wb") as fh:
+                fh.write(filter_data)
+            # The exact-membership companion: the same hashes, sorted
+            # here so a cold scan is a searchsorted, not a sort.
+            hash_name = hash_index_filename(i, generation)
+            hash_data = pack_hash_index(hashes)
+            with open(os.path.join(directory, hash_name), "wb") as fh:
+                fh.write(hash_data)
+            filter_meta.append(
+                {
+                    "file": filter_name,
+                    "n_keys": len(shard),
+                    "checksum": _checksum_bytes(filter_data),
+                    "hash_file": hash_name,
+                    "hash_checksum": _checksum_bytes(hash_data),
+                }
+            )
         shard_positions.append(
             {fp: pos for pos, (fp, _) in enumerate(shard.entries())}
         )
@@ -234,6 +343,7 @@ def save_columnar(sharded, directory: str, generation: int = 0) -> None:
     manifest = {
         "format_version": _COLUMNAR_FORMAT_VERSION,
         "layout": _COLUMNAR_LAYOUT,
+        "storage": storage,
         "delta_generation": int(generation),
         "n_shards": sharded.n_shards,
         "label_order": list(label_index),
@@ -246,6 +356,11 @@ def save_columnar(sharded, directory: str, generation: int = 0) -> None:
         },
         "shards": shard_meta,
     }
+    if filters:
+        manifest["filters"] = {
+            "bits_per_key": int(filter_bits_per_key),
+            "shards": filter_meta,
+        }
     # Atomic commit: every data file above is fully written before the
     # manifest switches to it, so a reader (or a crash) always sees a
     # manifest whose checksums match the files it names.
@@ -312,6 +427,12 @@ class _ShardFile:
             )
         self._columns = columns
         return columns
+
+    def peek_columns(self) -> Dict[str, np.ndarray]:
+        """Same as :meth:`columns` — decompression is a full (and
+        checksummed) read anyway; only the mmap codec has a cheaper
+        few-row path."""
+        return self.columns()
 
 
 class _LazyShard:
@@ -483,6 +604,58 @@ class ColumnarBatchIndex:
         return out
 
 
+class _FilterGuardedBatchIndex(ColumnarBatchIndex):
+    """A batch index that consults the shard filters before existing.
+
+    Returned by :meth:`ColumnarDictionary.batch_index` on a filtered
+    store whose real ``(metric, interval)`` index has not been built
+    yet: a batch whose probes all fail the per-shard Bloom filters is
+    answered ``{}`` without reading a single column file, so a cold
+    store serving unknown-heavy record traffic never pays the column
+    read + rank-pack sort at all.  The first batch with a surviving
+    probe builds (and caches) the real index and delegates to it; under
+    rank-space overflow it delegates to the owner's exact dict fallback
+    instead of demoting the engine.
+    """
+
+    __slots__ = ("_key", "_metric_id", "_interval_id")
+
+    def __init__(self, owner: "ColumnarDictionary",
+                 key: Tuple[str, Tuple[float, float]]):
+        self._owner = owner
+        self._key = key
+        self._metric_id = owner._metric_map.get(key[0])
+        self._interval_id = owner._interval_map.get(key[1])
+
+    def resolve_probes(
+        self, nodes: np.ndarray, values: np.ndarray
+    ) -> Dict[Tuple[int, float], Entry]:
+        if self._metric_id is None or self._interval_id is None:
+            return {}
+        owner = self._owner
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if self._key in owner._batch_indices:
+            base = owner._batch_indices[self._key]
+        else:
+            usable = np.nonzero(values == values)[0]
+            if len(usable) == 0:
+                return {}
+            n = len(usable)
+            hashes = key_hashes(
+                np.full(n, self._metric_id, dtype=np.int64),
+                np.full(n, self._interval_id, dtype=np.int64),
+                nodes[usable],
+                _value_bits(values[usable]),
+            )
+            if not owner._filter_might(hashes).any():
+                return {}
+            base = owner._built_batch_index(self._key)
+        if base is None:
+            return owner._overflow_resolve(self._key, nodes, values)
+        return base.resolve_probes(nodes, values)
+
+
 class _PatchedBatchIndex(ColumnarBatchIndex):
     """A pristine base index plus the delta overlay's few keys.
 
@@ -561,6 +734,7 @@ class ColumnarDictionary(ShardedDictionary):
         self.n_shards = int(manifest["n_shards"])
         self._directory = directory
         self._validate = bool(validate)
+        self.storage = str(manifest.get("storage", "npz"))
         self._label_table: List[str] = list(manifest["label_order"])
         self._metric_table: List[str] = [
             str(m) for m in manifest["metric_table"]
@@ -569,8 +743,9 @@ class ColumnarDictionary(ShardedDictionary):
             (float(iv[0]) + 0.0, float(iv[1]) + 0.0)
             for iv in manifest["interval_table"]
         ]
+        shard_file = MmapShardFile if self.storage == "mmap" else _ShardFile
         self._files = [
-            _ShardFile(
+            shard_file(
                 path=os.path.join(directory, meta["file"]),
                 name=meta["file"],
                 checksum=meta.get("checksum"),
@@ -579,6 +754,62 @@ class ColumnarDictionary(ShardedDictionary):
             for meta in manifest["shards"]
         ]
         self.shards = [_LazyShard(self, i) for i in range(self.n_shards)]
+        # Per-shard Bloom filters (absent on pre-filter directories):
+        # tiny, so they load — and checksum — eagerly; a store is only
+        # "query-ready" once its negative-lookup path is armed, and a
+        # missing or damaged sidecar must surface at open, by name.
+        self._filters: Optional[List[KeyFilter]] = None
+        self._filter_bits_per_key = DEFAULT_BITS_PER_KEY
+        filter_manifest = manifest.get("filters")
+        if filter_manifest is not None:
+            entries = filter_manifest.get("shards", [])
+            if len(entries) != self.n_shards:
+                raise ValueError(
+                    f"manifest lists {len(entries)} filter files for "
+                    f"n_shards={self.n_shards} — manifest is corrupt"
+                )
+            self._filter_bits_per_key = int(
+                filter_manifest.get("bits_per_key", DEFAULT_BITS_PER_KEY)
+            )
+            loaded = []
+            for meta in entries:
+                name = meta["file"]
+                path = os.path.join(directory, name)
+                if not os.path.isfile(path):
+                    raise FileNotFoundError(
+                        f"columnar EFD is incomplete: missing filter "
+                        f"file {name!r}"
+                    )
+                with open(path, "rb") as fh:
+                    data = fh.read()
+                expected = meta.get("checksum")
+                if expected is not None and _checksum_bytes(data) != expected:
+                    raise ValueError(
+                        f"filter file {name!r} is corrupt: checksum "
+                        f"mismatch (expected {expected})"
+                    )
+                loaded.append(KeyFilter.from_bytes(data, name))
+                # The sorted hash-index sidecar reads lazily (first
+                # scan), but a missing file must still surface at open,
+                # by name, like every other manifest-listed sidecar.
+                hash_name = meta.get("hash_file")
+                if hash_name is not None and not os.path.isfile(
+                    os.path.join(directory, hash_name)
+                ):
+                    raise FileNotFoundError(
+                        f"columnar EFD is incomplete: missing hash-index "
+                        f"file {hash_name!r}"
+                    )
+            self._filters = loaded
+            self._filter_hash_meta = list(entries)
+        else:
+            self._filter_hash_meta = None
+        self._hash_index_cache: Dict[
+            int, Tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._shard_starts: Optional[np.ndarray] = None
+        self._overflow_dicts: Dict[object, Dict] = {}
+        self._guard_indices: Dict[object, "_FilterGuardedBatchIndex"] = {}
         self._label_order = {label: None for label in self._label_table}
         self._app_order: Dict[str, None] = {}
         for label in self._label_table:
@@ -797,7 +1028,12 @@ class ColumnarDictionary(ShardedDictionary):
         generation = self._delta.generation + 1
         version_base = self.version + 1  # strictly advance: caches rebuild
         old_manifest = _read_manifest(self._directory)
-        save_columnar(merged, self._directory, generation=generation)
+        save_columnar(
+            merged, self._directory, generation=generation,
+            storage=self.storage,
+            filters=self._filters is not None,
+            filter_bits_per_key=self._filter_bits_per_key,
+        )
         self._delta.clear()
         _remove_superseded_files(
             self._directory, old_manifest, _read_manifest(self._directory)
@@ -825,6 +1061,8 @@ class ColumnarDictionary(ShardedDictionary):
     def __contains__(self, fingerprint: Fingerprint) -> bool:
         if fingerprint in self._delta.overlay:
             return True
+        if self._filter_definitely_absent(fingerprint):
+            return False
         return super().__contains__(fingerprint)
 
     def shard_sizes(self) -> List[int]:
@@ -844,6 +1082,12 @@ class ColumnarDictionary(ShardedDictionary):
             # (a direct shard mutation voids that knowledge — the key
             # may have been added behind the log, so fall through).
             return overlay.lookup(fingerprint)
+        if self._filter_definitely_absent(fingerprint):
+            # Overlay first — a key learned since the last compaction
+            # must answer even though the base filters reject it.
+            if fingerprint in overlay:
+                return overlay.lookup(fingerprint)
+            return []
         base = super().lookup(fingerprint)
         if len(overlay) == 0 or fingerprint not in overlay:
             return base
@@ -856,6 +1100,10 @@ class ColumnarDictionary(ShardedDictionary):
         overlay = self._delta.overlay
         if fingerprint in self._delta_new_keys and not self._base_mutated():
             return overlay.lookup_counts(fingerprint)
+        if self._filter_definitely_absent(fingerprint):
+            if fingerprint in overlay:
+                return overlay.lookup_counts(fingerprint)
+            return {}
         base = super().lookup_counts(fingerprint)
         if len(overlay) == 0 or fingerprint not in overlay:
             return base
@@ -933,6 +1181,12 @@ class ColumnarDictionary(ShardedDictionary):
         """All shards' columns concatenated (global row = shard-major)."""
         if self._concat_cache is None:
             parts = [self._files[i].columns() for i in range(self.n_shards)]
+            if len(parts) == 1:
+                # Zero-copy: with one shard the global rows *are* the
+                # shard's rows, so the vectorized indexes build directly
+                # over the (for mmap storage, memory-mapped) arrays.
+                self._concat_cache = parts[0]
+                return self._concat_cache
             offsets = [np.zeros(1, dtype=np.int64)]
             shift = 0
             for part in parts:
@@ -977,10 +1231,16 @@ class ColumnarDictionary(ShardedDictionary):
 
         With pending overlay keys the sorted base table is reused as-is
         and wrapped with a per-key patch (:class:`_PatchedBatchIndex`)
-        — a write trickle never rebuilds the expensive half.  ``None``
-        when a shard was mutated behind the delta-log (the base columns
-        are stale) or the rank space cannot pack into 64 bits — callers
-        fall back to the generic dict index and count a demotion.
+        — a write trickle never rebuilds the expensive half.  On a
+        filtered store the returned index is additionally guarded
+        (:class:`_FilterGuardedBatchIndex`): the real index is not
+        built — no column file is even read — until a batch carries a
+        probe that survives the per-shard Bloom filters, so unknown-
+        heavy record traffic resolves at filter speed.  ``None`` when a
+        shard was mutated behind the delta-log (the base columns are
+        stale) or the rank space cannot pack into 64 bits on an
+        unfiltered store — callers fall back to the generic dict index
+        and count a demotion.
         """
         if self._base_mutated():
             return None
@@ -988,35 +1248,89 @@ class ColumnarDictionary(ShardedDictionary):
             str(metric),
             (float(interval[0]) + 0.0, float(interval[1]) + 0.0),
         )
-        if key in self._batch_indices:
-            base = self._batch_indices[key]
-        else:
-            columns = self._concat()
-            metric_id = self._metric_map.get(key[0])
-            interval_id = self._interval_map.get(key[1])
-            if metric_id is None or interval_id is None:
-                rows = np.empty(0, dtype=np.int64)
+        if self._filters is not None:
+            built = self._batch_indices.get(key)
+            if built is not None:
+                base: Optional[ColumnarBatchIndex] = built
             else:
-                rows = np.nonzero(
-                    (columns["metric_id"] == metric_id)
-                    & (columns["interval_id"] == interval_id)
-                )[0].astype(np.int64)
-            try:
-                base: Optional[ColumnarBatchIndex] = ColumnarBatchIndex(
-                    self,
-                    columns["node"][rows],
-                    _value_bits(columns["value"][rows]),
-                    rows,
-                )
-            except OverflowError:
-                base = None
-            self._batch_indices[key] = base
+                base = self._guard_indices.get(key)
+                if base is None:
+                    base = _FilterGuardedBatchIndex(self, key)
+                    self._guard_indices[key] = base
+        else:
+            base = self._built_batch_index(key)
         if base is None:
             return None
         patch = self._overlay_patch(key)
         if not patch:
             return base
         return _PatchedBatchIndex(base, patch)
+
+    def _built_batch_index(
+        self, key: Tuple[str, Tuple[float, float]]
+    ) -> Optional[ColumnarBatchIndex]:
+        """The real (eagerly built) index for ``key``; ``None`` on
+        rank-space overflow.  Cached — the sort runs once per key."""
+        if key in self._batch_indices:
+            return self._batch_indices[key]
+        columns = self._concat()
+        metric_id = self._metric_map.get(key[0])
+        interval_id = self._interval_map.get(key[1])
+        if metric_id is None or interval_id is None:
+            rows = np.empty(0, dtype=np.int64)
+        else:
+            rows = np.nonzero(
+                (columns["metric_id"] == metric_id)
+                & (columns["interval_id"] == interval_id)
+            )[0].astype(np.int64)
+        try:
+            base: Optional[ColumnarBatchIndex] = ColumnarBatchIndex(
+                self,
+                columns["node"][rows],
+                _value_bits(columns["value"][rows]),
+                rows,
+            )
+        except OverflowError:
+            base = None
+        self._batch_indices[key] = base
+        return base
+
+    def _overflow_resolve(
+        self, key: Tuple[str, Tuple[float, float]],
+        nodes: np.ndarray, values: np.ndarray,
+    ) -> Dict[Tuple[int, float], Entry]:
+        """Exact ``(node, value)`` resolution without rank-packing.
+
+        The guard's fallback when the real index cannot be built
+        (rank-space overflow — astronomically large stores): a plain
+        dict over the key's rows, built once from the columns.
+        """
+        table = self._overflow_dicts.get(key)
+        if table is None:
+            table = {}
+            columns = self._concat()
+            metric_id = self._metric_map.get(key[0])
+            interval_id = self._interval_map.get(key[1])
+            if metric_id is not None and interval_id is not None:
+                rows = np.nonzero(
+                    (columns["metric_id"] == metric_id)
+                    & (columns["interval_id"] == interval_id)
+                )[0]
+                row_nodes = columns["node"][rows]
+                row_values = columns["value"][rows] + 0.0
+                for n_, v_, r_ in zip(
+                    row_nodes.tolist(), row_values.tolist(), rows.tolist()
+                ):
+                    table[(int(n_), float(v_))] = int(r_)
+            self._overflow_dicts[key] = table
+        out: Dict[Tuple[int, float], Entry] = {}
+        usable = np.nonzero(values == values)[0]
+        for i in usable.tolist():
+            probe = (int(nodes[i]), float(values[i]))
+            row = table.get(probe)
+            if row is not None:
+                out[probe] = self._entry(row)
+        return out
 
     def _overlay_patch(
         self, key: Tuple[str, Tuple[float, float]]
@@ -1066,14 +1380,12 @@ class ColumnarDictionary(ShardedDictionary):
                 self._full_index = "overflow"
         return self._full_index
 
-    def _base_resolve(
+    def _probe_arrays(
         self, fingerprints: Sequence[Fingerprint]
-    ) -> Optional[np.ndarray]:
-        """Base-column row per fingerprint (-1 on miss); ``None`` on
-        rank-space overflow."""
-        index = self._ensure_full_index()
-        if index == "overflow":
-            return None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fingerprints as the (metric_id, interval_id, node, value_bits)
+        component arrays every vectorized path consumes; unknown metric/
+        interval strings map to id ``-1`` (a guaranteed miss)."""
         n = len(fingerprints)
         metric_id = np.empty(n, dtype=np.int64)
         interval_id = np.empty(n, dtype=np.int64)
@@ -1087,22 +1399,262 @@ class ColumnarDictionary(ShardedDictionary):
             )
             node[i] = int(fp.node)
             value[i] = float(fp.value)
-        return index.resolve(
-            [metric_id, interval_id, node, _value_bits(value)]
-        )
+        return metric_id, interval_id, node, _value_bits(value)
+
+    def _base_resolve(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Optional[np.ndarray]:
+        """Base-column row per fingerprint (-1 on miss); ``None`` on
+        rank-space overflow."""
+        index = self._ensure_full_index()
+        if index == "overflow":
+            return None
+        metric_id, interval_id, node, bits = self._probe_arrays(fingerprints)
+        return index.resolve([metric_id, interval_id, node, bits])
 
     def _base_has(self, fingerprint: Fingerprint) -> bool:
         """Base-column membership without hydrating a shard.
 
-        The write path calls this once per first-seen overlay key; the
-        full-key index answers from the column arrays (built on first
-        use).  Under rank-space overflow it falls back to hydrating the
-        owning shard.
+        The write path calls this once per first-seen overlay key; a
+        "definitely absent" filter answer settles it without touching a
+        column file, otherwise the full-key index answers from the
+        column arrays (built on first use).  Under rank-space overflow
+        it falls back to hydrating the owning shard.
         """
+        if self._filter_definitely_absent(fingerprint):
+            return False
         rows = self._base_resolve([fingerprint])
         if rows is None:
             return ShardedDictionary.__contains__(self, fingerprint)
         return bool(rows[0] >= 0)
+
+    # -- negative-lookup filters ---------------------------------------------
+    def _filter_might(self, hashes: np.ndarray) -> np.ndarray:
+        """Boolean per probe hash: could *any* shard's base hold it?
+
+        The union over the per-shard filters — sound because a key
+        absent from every shard filter is absent from the base (Bloom
+        filters have no false negatives).  Probing all shards instead
+        of stable-hash-routing each probe keeps the check one NumPy
+        gather per (shard, hash function) with no Python per-key work.
+        """
+        out = np.zeros(len(hashes), dtype=bool)
+        for built in self._filters:
+            out |= built.might_contain(hashes)
+        return out
+
+    def _filter_definitely_absent(self, fingerprint: Fingerprint) -> bool:
+        """True when the filters prove the base lacks this key (exact).
+
+        False when filters are absent, a shard was mutated behind the
+        delta-log (the filters describe stale columns), or the key
+        *might* be present — callers then take the exact path.
+        """
+        if self._filters is None or self._base_mutated():
+            return False
+        metric_id = self._metric_map.get(str(fingerprint.metric))
+        if metric_id is None:
+            return True
+        interval_id = self._interval_map.get(
+            (float(fingerprint.interval[0]) + 0.0,
+             float(fingerprint.interval[1]) + 0.0)
+        )
+        if interval_id is None:
+            return True
+        hashes = key_hashes(
+            np.asarray([metric_id], dtype=np.int64),
+            np.asarray([interval_id], dtype=np.int64),
+            np.asarray([int(fingerprint.node)], dtype=np.int64),
+            _value_bits(np.asarray([float(fingerprint.value)])),
+        )
+        return not bool(self._filter_might(hashes)[0])
+
+    def _shard_start_rows(self) -> np.ndarray:
+        """Global row of each shard's first key (shard-major concat)."""
+        if self._shard_starts is None:
+            counts = np.asarray(
+                [f.n_keys for f in self._files], dtype=np.int64
+            )
+            starts = np.zeros(self.n_shards, dtype=np.int64)
+            np.cumsum(counts[:-1], out=starts[1:])
+            self._shard_starts = starts
+        return self._shard_starts
+
+    def _shard_hash_index(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Shard ``i``'s ``(sorted hashes, row order)`` table (cached).
+
+        Read from the ``shard-NN.hashidx`` sidecar written at save time
+        — no per-row hashing, no sort, no column bytes.  Directories
+        written before the sidecar existed fall back to computing the
+        table from the shard's (checksummed) columns; either way the
+        base is immutable, so the cache never invalidates.
+        """
+        found = self._hash_index_cache.get(i)
+        if found is not None:
+            return found
+        meta = (
+            self._filter_hash_meta[i]
+            if self._filter_hash_meta is not None else {}
+        )
+        name = meta.get("hash_file")
+        if name is None:
+            columns = self._files[i].columns()
+            hashes = key_hashes(
+                columns["metric_id"],
+                columns["interval_id"],
+                columns["node"],
+                _value_bits(columns["value"]),
+            )
+            order = np.argsort(hashes, kind="stable")
+            found = (hashes[order], order)
+        else:
+            path = os.path.join(self._directory, name)
+            if not os.path.isfile(path):
+                raise FileNotFoundError(
+                    f"columnar EFD is incomplete: missing hash-index "
+                    f"file {name!r}"
+                )
+            with open(path, "rb") as fh:
+                data = fh.read()
+            expected = meta.get("hash_checksum")
+            if expected is not None and _checksum_bytes(data) != expected:
+                raise ValueError(
+                    f"hash-index file {name!r} is corrupt: checksum "
+                    f"mismatch (expected {expected})"
+                )
+            found = unpack_hash_index(data, name)
+            if len(found[0]) != self._files[i].n_keys:
+                raise ValueError(
+                    f"hash-index file {name!r} lists {len(found[0])} keys "
+                    f"but the manifest expects {self._files[i].n_keys}"
+                )
+        self._hash_index_cache[i] = found
+        return found
+
+    def _labels_of_base_row(self, shard: int, local: int) -> List[str]:
+        """Labels of one base row, reading only its own shard.
+
+        Shares the global-row cache with :meth:`_labels_of_row` but
+        hydrates nothing beyond the touched shard — for the mmap
+        storage only the faulted pages, via ``peek_columns`` (the
+        whole-file checksum still runs on the first bulk access).
+        """
+        row = int(self._shard_start_rows()[shard]) + local
+        found = self._row_labels.get(row)
+        if found is None:
+            columns = self._files[shard].peek_columns()
+            lo = columns["label_offsets"][local]
+            hi = columns["label_offsets"][local + 1]
+            table = self._label_table
+            found = [table[j] for j in columns["label_ids"][lo:hi].tolist()]
+            self._row_labels[row] = found
+        return found
+
+    def _hash_scan(self, shards, metric_id, interval_id, node, bits):
+        """``(shard, row-in-shard)`` per probe (``-1`` on miss), exact.
+
+        For a handful of filter-passing probes, a ``searchsorted`` into
+        each routed shard's persisted sorted-hash table beats building
+        the full rank-packed index (which must read and sort every
+        column).  Hash matches are verified against the real columns —
+        of that shard only — so the result is exact even across hash
+        collisions.
+        """
+        probe_hashes = key_hashes(metric_id, interval_id, node, bits)
+        out_shard = np.full(len(probe_hashes), -1, dtype=np.int64)
+        out_row = np.full(len(probe_hashes), -1, dtype=np.int64)
+        for s in np.unique(shards).tolist():
+            mine = np.flatnonzero(shards == s)
+            table, order = self._shard_hash_index(s)
+            left = np.searchsorted(table, probe_hashes[mine], side="left")
+            right = np.searchsorted(table, probe_hashes[mine], side="right")
+            matched = np.flatnonzero(right > left)
+            if len(matched) == 0:
+                continue
+            columns = self._files[s].peek_columns()
+            for j in matched.tolist():
+                i = int(mine[j])
+                want = (int(metric_id[i]), int(interval_id[i]),
+                        int(node[i]), int(bits[i]))
+                for local in order[left[j]:right[j]].tolist():
+                    got = (
+                        int(columns["metric_id"][local]),
+                        int(columns["interval_id"][local]),
+                        int(columns["node"][local]),
+                        int(_value_bits(columns["value"][local:local + 1])[0]),
+                    )
+                    if got == want:
+                        out_shard[i] = s
+                        out_row[i] = local
+                        break
+        return out_shard, out_row
+
+    def _filtered_resolve(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Optional[List[List[str]]]:
+        """Base label lists via the filters, or ``None`` to defer.
+
+        The cold-path resolver behind :meth:`lookup_many`: probes that
+        fail every shard filter are exact misses and cost no column
+        access; a small surviving set (``<= _SCAN_MAX`` — real hits
+        plus the filters' ~1% false positives) resolves by hash-scan.
+        A larger surviving set means the batch is hit-heavy and the
+        full rank-packed index is worth building — ``None`` sends the
+        caller there.
+        """
+        metric_id, interval_id, node, bits = self._probe_arrays(fingerprints)
+        might = (metric_id >= 0) & (interval_id >= 0)
+        if might.any():
+            hashes = key_hashes(metric_id, interval_id, node, bits)
+            might &= self._filter_might(hashes)
+        survivors = np.flatnonzero(might)
+        results: List[List[str]] = [[] for _ in range(len(fingerprints))]
+        if len(survivors) == 0:
+            return results
+        if len(survivors) > _SCAN_MAX:
+            return None
+        # Keys live only in their stable-hash shard, so each survivor
+        # probes exactly one shard's hash table — untouched shards stay
+        # unread (for npz, undecompressed).
+        routes = np.asarray(
+            [shard_index(fingerprints[i], self.n_shards)
+             for i in survivors.tolist()],
+            dtype=np.int64,
+        )
+        found_shard, found_row = self._hash_scan(
+            routes, metric_id[survivors], interval_id[survivors],
+            node[survivors], bits[survivors],
+        )
+        for probe, s, local in zip(
+            survivors.tolist(), found_shard.tolist(), found_row.tolist()
+        ):
+            if local >= 0:
+                results[probe] = list(self._labels_of_base_row(s, local))
+        return results
+
+    def warm_index(self) -> None:
+        """Prebuild the session batch path to steady-state shape.
+
+        What serve warm-start calls: builds the full-key rank-packed
+        index (and thereby reads — for mmap, prefaults — every column),
+        so the first live micro-batch resolves at steady-state latency
+        whether it is hit- or miss-heavy.  The filters are already
+        resident from load.
+        """
+        self._ensure_full_index()
+
+    def filter_info(self) -> Optional[dict]:
+        """Summary of the negative-lookup filters; None if this store
+        predates them (``efd engine info`` renders this)."""
+        if self._filters is None:
+            return None
+        return {
+            "bits_per_key": self._filter_bits_per_key,
+            "n_shards": len(self._filters),
+            "n_keys": sum(f.n_keys for f in self._filters),
+            "fp_bound": max((f.fp_bound for f in self._filters),
+                            default=0.0),
+        }
 
     def _base_labels_many(
         self, fingerprints: Sequence[Fingerprint]
@@ -1126,21 +1678,30 @@ class ColumnarDictionary(ShardedDictionary):
         Equivalent to ``[self.lookup(fp) for fp in fingerprints]`` but
         without hydrating any shard: base keys resolve through the
         rank-packed full-key index, then the overlay's few keys patch
-        their slots.  ``None`` when a shard was mutated behind the
-        delta-log or the rank space overflows — callers fall back to
-        per-shard Python lookups.
+        their slots.  On a filtered store that has not yet built that
+        index, the per-shard Bloom filters are consulted *first*: an
+        unknown-heavy batch resolves at filter speed (plus a hash-scan
+        for the few filter-passing probes) without paying the index's
+        column read and sort — the cold negative-lookup fast path.
+        ``None`` when a shard was mutated behind the delta-log or the
+        rank space overflows — callers fall back to per-shard Python
+        lookups.
         """
         if self._base_mutated():
             return None
-        rows = self._base_resolve(fingerprints)
-        if rows is None:
-            return None
-        # Fresh list per result, like lookup() — callers may mutate
-        # theirs; the row cache must never alias out.
-        results = [
-            list(self._labels_of_row(int(row))) if row >= 0 else []
-            for row in rows.tolist()
-        ]
+        results: Optional[List[List[str]]] = None
+        if self._filters is not None and self._full_index is None:
+            results = self._filtered_resolve(fingerprints)
+        if results is None:
+            rows = self._base_resolve(fingerprints)
+            if rows is None:
+                return None
+            # Fresh list per result, like lookup() — callers may mutate
+            # theirs; the row cache must never alias out.
+            results = [
+                list(self._labels_of_row(int(row))) if row >= 0 else []
+                for row in rows.tolist()
+            ]
         overlay = self._delta.overlay
         if len(overlay):
             for i, fp in enumerate(fingerprints):
@@ -1210,6 +1771,12 @@ def load_columnar(
         raise ValueError(
             f"unsupported columnar EFD format version {version!r} "
             f"(expected {_COLUMNAR_FORMAT_VERSION})"
+        )
+    storage = manifest.get("storage", "npz")
+    if storage not in COLUMNAR_STORAGES:
+        raise ValueError(
+            f"unsupported columnar storage {storage!r} "
+            f"(expected one of {COLUMNAR_STORAGES})"
         )
     n_shards = int(manifest["n_shards"])
     if n_shards < 1:
@@ -1285,14 +1852,22 @@ def _read_key_order(directory, manifest, n_total, n_keys_per_shard, n_shards):
                 "key_order entry is out of range — manifest and shard "
                 "files disagree"
             )
-        limits = np.asarray(n_keys_per_shard, dtype=np.int64)[key_shard]
+        counts = np.asarray(n_keys_per_shard, dtype=np.int64)
+        limits = counts[key_shard]
         if np.any((key_pos < 0) | (key_pos >= limits)):
             raise ValueError(
                 "key_order entry is out of range — manifest and shard "
                 "files disagree"
             )
-        packed = key_shard * (int(limits.max()) + 1) + key_pos
-        if len(np.unique(packed)) != n_total:
+        # Duplicate check without sorting: the range checks above bound
+        # every (shard, pos) pair into a dense [0, n_total) slot, so a
+        # boolean scatter covering fewer than n_total slots proves a
+        # repeat.  (np.unique here cost ~0.4 s on a 1M-key open.)
+        starts = np.zeros(n_shards, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        seen = np.zeros(n_total, dtype=bool)
+        seen[starts[key_shard] + key_pos] = True
+        if int(np.count_nonzero(seen)) != n_total:
             raise ValueError(
                 "key_order lists an entry twice — manifest is corrupt"
             )
@@ -1300,11 +1875,17 @@ def _read_key_order(directory, manifest, n_total, n_keys_per_shard, n_shards):
 
 
 def _manifest_files(manifest: dict) -> List[str]:
-    """Every data file a columnar manifest references."""
+    """Every data file a columnar manifest references (filters included)."""
     names = [meta["file"] for meta in manifest.get("shards", [])]
     key_order = manifest.get("key_order_file")
     if key_order is not None:
         names.append(key_order["file"])
+    filters = manifest.get("filters")
+    if filters is not None:
+        for meta in filters.get("shards", []):
+            names.append(meta["file"])
+            if meta.get("hash_file") is not None:
+                names.append(meta["hash_file"])
     return names
 
 
@@ -1334,48 +1915,82 @@ def _dir_bytes(directory: str, names: Sequence[str]) -> int:
     return total
 
 
-def compact_shards(directory: str, out: Optional[str] = None) -> dict:
-    """Convert a JSON shard directory to the columnar (npz) layout —
-    or fold a columnar directory's pending delta-log into its base.
+def compact_shards(directory: str, out: Optional[str] = None,
+                   layout: Optional[str] = None) -> dict:
+    """Convert a JSON shard directory to the columnar layout — or fold
+    a columnar directory's pending delta-log into its base, or switch a
+    columnar directory between the npz and mmap storages.
 
-    In place by default (the JSON shard files are removed after the
-    columnar files are written); pass ``out`` to write the columnar
-    directory elsewhere and leave the source untouched.  Returns a
-    summary dict with key counts and on-disk byte sizes of both layouts.
+    ``layout`` picks the columnar storage (``"npz"`` compressed
+    archives, ``"mmap"`` raw memory-mapped files); ``None`` means npz
+    for a JSON source and "keep the current storage" for a columnar
+    one.  In place by default (the superseded files are removed after
+    the new ones are committed); pass ``out`` to write elsewhere and
+    leave the source untouched.  Returns a summary dict with key
+    counts, the resulting storage, and on-disk byte sizes.
 
-    On a directory that is *already* columnar: if a pending
-    ``delta-log.jsonl`` exists its records are folded into the
-    ``shard-NN.npz`` base (the delta-log's compaction step; the summary
-    carries ``folded_records``); a clean columnar directory is an error,
-    as before.
+    On a directory that is *already* columnar: a pending
+    ``delta-log.jsonl`` is folded into the base (the summary carries
+    ``folded_records``), and a ``layout`` differing from the current
+    storage rewrites the base files in the requested storage — with
+    filters, generation advanced, committed by one atomic manifest
+    replace exactly like a compaction.  A clean columnar directory with
+    no storage change requested is an error, as before.
     """
+    from repro.engine.deltalog import segment_path
     from repro.engine.sharded import load_sharded
 
+    if layout is not None and layout not in COLUMNAR_STORAGES:
+        raise ValueError(
+            f"unknown columnar storage {layout!r} "
+            f"(expected one of {COLUMNAR_STORAGES})"
+        )
     manifest = _read_manifest(directory)
     if manifest.get("layout") == _COLUMNAR_LAYOUT:
+        current = manifest.get("storage", "npz")
+        target_storage = layout or current
         generation = int(manifest.get("delta_generation", 0))
-        if not pending_records(directory, generation):
+        n_pending = pending_records(directory, generation)
+        if not n_pending and target_storage == current:
             raise ValueError(
                 f"sharded EFD at {directory!r} is already columnar "
-                f"(and has no pending delta-log to fold)"
+                f"({current} storage, no pending delta-log to fold)"
             )
         store = load_columnar(directory)
-        if _in_place(directory, out):
-            folded = store.compact_delta()
-            target = directory
-        else:
+        in_place = _in_place(directory, out)
+        target = directory if in_place else out
+        if not in_place:
             folded = store.delta_pending
-            save_columnar(store, out)  # merged view; no pending log at out
-            target = out
+            save_columnar(store, out, storage=target_storage)
+        elif target_storage == current:
+            folded = store.compact_delta()
+        else:
+            # Storage switch (folding any pending records with it):
+            # the new base lands under generation-suffixed names and
+            # one atomic manifest replace commits it, exactly like a
+            # compaction — a crash mid-switch leaves the old storage
+            # loading cleanly.
+            folded = store.delta_pending
+            merged = ShardedDictionary(store.n_shards)
+            merged.merge(store)
+            save_columnar(
+                merged, directory, generation=generation + 1,
+                storage=target_storage,
+            )
+            _remove_superseded_files(
+                directory, manifest, _read_manifest(directory)
+            )
+            segment = segment_path(directory)
+            if os.path.isfile(segment):
+                os.remove(segment)
         new_manifest = _read_manifest(target)
-        columnar_files = [meta["file"] for meta in new_manifest["shards"]]
-        columnar_files.append(new_manifest["key_order_file"]["file"])
         return {
             "n_keys": len(store),
             "n_shards": store.n_shards,
             "folded_records": folded,
+            "storage": new_manifest.get("storage", "npz"),
             "columnar_bytes": _dir_bytes(
-                target, columnar_files + [_MANIFEST_NAME]
+                target, _manifest_files(new_manifest) + [_MANIFEST_NAME]
             ),
             "directory": target,
         }
@@ -1383,11 +1998,11 @@ def compact_shards(directory: str, out: Optional[str] = None) -> dict:
     json_files = [meta["file"] for meta in manifest.get("shards", [])]
     json_bytes = _dir_bytes(directory, json_files + [_MANIFEST_NAME])
     target = directory if _in_place(directory, out) else out
-    save_columnar(sharded, target)
+    save_columnar(sharded, target, storage=layout or "npz")
     new_manifest = _read_manifest(target)
-    columnar_files = [meta["file"] for meta in new_manifest["shards"]]
-    columnar_files.append(new_manifest["key_order_file"]["file"])
-    columnar_bytes = _dir_bytes(target, columnar_files + [_MANIFEST_NAME])
+    columnar_bytes = _dir_bytes(
+        target, _manifest_files(new_manifest) + [_MANIFEST_NAME]
+    )
     if _in_place(directory, out):
         for name in json_files:
             path = os.path.join(directory, name)
@@ -1397,6 +2012,7 @@ def compact_shards(directory: str, out: Optional[str] = None) -> dict:
         "n_keys": len(sharded),
         "n_shards": sharded.n_shards,
         "json_bytes": json_bytes,
+        "storage": new_manifest.get("storage", "npz"),
         "columnar_bytes": columnar_bytes,
         "directory": target,
     }
@@ -1424,16 +2040,15 @@ def expand_shards(directory: str, out: Optional[str] = None) -> dict:
         if n_pending:
             raise PendingDeltaError(directory, n_pending)
     columnar = load_columnar(directory)
-    npz_files = [meta["file"] for meta in manifest["shards"]]
-    npz_files.append(manifest["key_order_file"]["file"])
-    columnar_bytes = _dir_bytes(directory, npz_files + [_MANIFEST_NAME])
+    columnar_files = _manifest_files(manifest)
+    columnar_bytes = _dir_bytes(directory, columnar_files + [_MANIFEST_NAME])
     target = directory if _in_place(directory, out) else out
     save_sharded(columnar, target)
     new_manifest = _read_manifest(target)
     json_files = [meta["file"] for meta in new_manifest["shards"]]
     json_bytes = _dir_bytes(target, json_files + [_MANIFEST_NAME])
     if _in_place(directory, out):
-        for name in npz_files:
+        for name in columnar_files:
             path = os.path.join(directory, name)
             if os.path.isfile(path):
                 os.remove(path)

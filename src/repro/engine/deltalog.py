@@ -13,8 +13,12 @@ first-class instead:
 - reads answer from ``base ∪ overlay``: the base column caches and the
   rank-packed ``searchsorted`` indexes stay hot forever, and the batch
   engine patches in the overlay's few keys per batch — a trickle of new
-  learnings never costs the vectorized path;
-- **compaction** folds the log back into the ``shard-NN.npz`` files and
+  learnings never costs the vectorized path.  Overlay keys are checked
+  *before* the per-shard negative-lookup filters, so a key learned
+  after the last compaction can never be filtered out as absent;
+- **compaction** folds the log back into the base shard files —
+  ``shard-NN.npz`` or ``shard-NN.mmap``, whichever storage the
+  directory uses, with the filter sidecars rebuilt alongside — and
   truncates it.  It triggers on a pending-record threshold
   (:attr:`DeltaLog.max_pending`), explicitly via ``efd engine compact``,
   or at serve shutdown (``ServeConfig.compact_on_close``).

@@ -177,6 +177,91 @@ class TestEngineCommands:
         assert os.path.exists(os.path.join(shards, "shard-00.json"))
         assert not os.path.exists(os.path.join(shards, "shard-00.npz"))
 
+    def _columnar_dir(self, tmp_path, storage="npz", n=60):
+        from repro.core.fingerprint import Fingerprint
+        from repro.engine import ShardedDictionary, save_columnar
+
+        sharded = ShardedDictionary(3)
+        for i in range(n):
+            sharded.add(
+                Fingerprint(f"m{i % 2}", i % 4, (0.0, 60.0), float(i)),
+                f"app{i % 5}_X",
+            )
+        directory = str(tmp_path / "efd-dir")
+        save_columnar(sharded, directory, storage=storage)
+        return directory
+
+    def test_mmap_layout_round_trip(self, tmp_path, capsys):
+        directory = self._columnar_dir(tmp_path, storage="mmap")
+        assert os.path.exists(os.path.join(directory, "shard-00.mmap"))
+        assert os.path.exists(os.path.join(directory, "shard-00.filter"))
+
+        assert main(["engine", "info", "--efd-dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "layout      : columnar (mmap)" in out
+        assert "filters     : per-shard Bloom" in out
+
+        # --layout switches the storage in place ...
+        assert main([
+            "engine", "compact", "--dir", directory, "--layout", "npz",
+        ]) == 0
+        assert "[npz]" in capsys.readouterr().out
+        assert main(["engine", "info", "--efd-dir", directory]) == 0
+        assert "columnar (npz)" in capsys.readouterr().out
+        # ... and a no-op switch is a named refusal, not a traceback.
+        assert main([
+            "engine", "compact", "--dir", directory, "--layout", "npz",
+        ]) == 2
+        assert "already columnar" in capsys.readouterr().err
+
+    def test_shard_format_mmap(self, tmp_path, capsys):
+        data = str(tmp_path / "ds.npz")
+        efd = str(tmp_path / "efd.json")
+        out_dir = str(tmp_path / "efd-mmap")
+        main(["generate", "--out", data, "--repetitions", "2",
+              "--duration-cap", "150", "--seed", "11"])
+        main(["fit", "--data", data, "--out", efd, "--depth", "2"])
+        capsys.readouterr()
+        assert main([
+            "engine", "shard", "--efd", efd, "--out", out_dir,
+            "--shards", "4", "--format", "mmap",
+        ]) == 0
+        assert "[mmap]" in capsys.readouterr().out
+        assert main([
+            "engine", "recognize", "--efd-dir", out_dir, "--data", data,
+            "--depth", "2",
+        ]) == 0
+        assert "accuracy:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("suffix", [".filter", ".hashidx", ".npz"])
+    def test_info_missing_sidecar_named_exit_2(
+        self, suffix, tmp_path, capsys
+    ):
+        # Regression: a manifest referencing a missing filter/shard file
+        # used to traceback out of `efd engine info`.
+        directory = self._columnar_dir(tmp_path)
+        victim = sorted(
+            f for f in os.listdir(directory) if f.endswith(suffix)
+        )[0]
+        os.remove(os.path.join(directory, victim))
+        assert main(["engine", "info", "--efd-dir", directory]) == 2
+        err = capsys.readouterr().err
+        assert victim in err
+        assert "engine info:" in err
+
+    def test_info_corrupt_filter_named_exit_2(self, tmp_path, capsys):
+        directory = self._columnar_dir(tmp_path)
+        victim = sorted(
+            f for f in os.listdir(directory) if f.endswith(".filter")
+        )[0]
+        path = os.path.join(directory, victim)
+        payload = bytearray(open(path, "rb").read())
+        payload[-1] ^= 0xFF
+        open(path, "wb").write(bytes(payload))
+        assert main(["engine", "info", "--efd-dir", directory]) == 2
+        err = capsys.readouterr().err
+        assert victim in err
+
     def test_serve_from_columnar_directory(self, tmp_path, capsys):
         data = str(tmp_path / "ds.npz")
         efd = str(tmp_path / "efd.json")

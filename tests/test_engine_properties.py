@@ -349,12 +349,12 @@ class TestBatchEqualsSequential:
 
 
 class TestColumnarBackendEqualsFlat:
-    """The storage-backend equivalence matrix (ISSUE 3 acceptance).
+    """The storage-backend equivalence matrix.
 
-    Every backend — flat, sharded-JSON round trip, columnar — must
-    produce byte-identical MatchResults, across shard counts, on both
-    the record path (vectorized column index) and the session path
-    (vectorized full-key lookup)."""
+    Every backend — flat, sharded-JSON round trip, columnar in both its
+    npz and mmap storages — must produce byte-identical MatchResults,
+    across shard counts, on both the record path (vectorized column
+    index) and the session path (vectorized full-key lookup)."""
 
     @pytest.fixture(scope="class")
     def fitted(self, tiny_dataset):
@@ -378,10 +378,13 @@ class TestColumnarBackendEqualsFlat:
         save_sharded(sharded, json_dir)
         col_dir = str(tmp_path / "col")
         save_columnar(sharded, col_dir)
+        mmap_dir = str(tmp_path / "mmap")
+        save_columnar(sharded, mmap_dir, storage="mmap")
         return {
             "flat": flat,
             "sharded-json": load_sharded(json_dir),
             "columnar": load_columnar(col_dir),
+            "columnar-mmap": load_columnar(mmap_dir),
         }
 
     @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
@@ -530,6 +533,192 @@ class TestColumnarBackendEqualsFlat:
             assert engine.recognize_records([]) == [], name
             results, n_hits = match_fingerprints_batch(store, [])
             assert results == [] and n_hits == 0, name
+
+
+class TestStorageEquivalenceUnderInterleavings:
+    """Element-wise verdict equality across {flat, sharded-JSON, npz,
+    mmap} under random learn/compact/reshard interleavings.
+
+    The flat dictionary is the oracle; the columnar directories go
+    through real on-disk compactions and reshards between probes, so
+    the delta-log overlay, the rebuilt filters, and the generation
+    machinery are all exercised mid-stream, in both storages.
+    """
+
+    N_OPS = 10
+    _COLUMNAR = ("columnar-npz", "columnar-mmap")
+
+    def _assert_equal(self, flat, stores, probes):
+        expected = [flat.lookup(fp) for fp in probes]
+        for name, store in stores.items():
+            got = store.lookup_many(probes)
+            assert got is not None, name
+            assert got == expected, name
+            for fp in probes:
+                assert (fp in store) == (fp in flat), (name, str(fp))
+                assert store.lookup_counts(fp) == flat.lookup_counts(fp), name
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_random_interleavings(self, seed, tmp_path):
+        from repro.engine import (
+            compact_shards,
+            load_sharded,
+            reshard,
+            reshard_store,
+            save_sharded,
+        )
+
+        rng = random.Random(500 + seed)
+        pairs = _random_pairs(rng, 150)
+        flat = ExecutionFingerprintDictionary()
+        sharded = ShardedDictionary(4)
+        for fp, label in pairs:
+            flat.add(fp, label)
+            sharded.add(fp, label)
+        dirs = {
+            "columnar-npz": str(tmp_path / "npz"),
+            "columnar-mmap": str(tmp_path / "mmap"),
+        }
+        json_dir = str(tmp_path / "json")
+        save_sharded(sharded, json_dir)
+        save_columnar(sharded, dirs["columnar-npz"], storage="npz")
+        save_columnar(sharded, dirs["columnar-mmap"], storage="mmap")
+        stores = {"sharded-json": load_sharded(json_dir)}
+        for name, path in dirs.items():
+            stores[name] = load_columnar(path)
+
+        def probes():
+            known = [fp for fp, _ in flat.entries()]
+            mix = [rng.choice(known) for _ in range(15)]
+            mix += [_random_fingerprint(rng) for _ in range(15)]  # misses
+            return mix
+
+        self._assert_equal(flat, stores, probes())
+        for _ in range(self.N_OPS):
+            op = rng.choice(("learn", "learn", "compact", "reshard"))
+            if op == "learn":
+                for fp, label in _random_pairs(rng, rng.randrange(1, 5)):
+                    flat.add(fp, label)
+                    for store in stores.values():
+                        store.add(fp, label)
+            elif op == "compact":
+                for name in self._COLUMNAR:
+                    try:
+                        compact_shards(dirs[name])
+                    except ValueError:
+                        pass  # nothing pending — a no-op interleaving
+                    stores[name] = load_columnar(dirs[name])
+            else:
+                n_new = rng.choice((1, 2, 3, 5, 8))
+                # The JSON store mutated in memory only; reshard it in
+                # memory too.  The columnar adds hit the on-disk
+                # delta-log, so the directory reshard folds them.
+                stores["sharded-json"] = reshard_store(
+                    stores["sharded-json"], n_new
+                )
+                for name in self._COLUMNAR:
+                    reshard(dirs[name], n_new)
+                    stores[name] = load_columnar(dirs[name])
+            self._assert_equal(flat, stores, probes())
+
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_storage_conversion_mid_stream(self, seed, tmp_path):
+        from repro.engine import compact_shards
+
+        rng = random.Random(900 + seed)
+        flat, sharded, _ = _build_both(seed=900 + seed, n_shards=4)
+        directory = str(tmp_path / "efd")
+        save_columnar(sharded, directory, storage="npz")
+        store = load_columnar(directory)
+        for target in ("mmap", "npz", "mmap"):
+            for fp, label in _random_pairs(rng, 3):
+                flat.add(fp, label)
+                store.add(fp, label)
+            compact_shards(directory, layout=target)
+            store = load_columnar(directory)
+            assert store.storage == target
+            known = [fp for fp, _ in flat.entries()]
+            mix = [rng.choice(known) for _ in range(15)]
+            mix += [_random_fingerprint(rng) for _ in range(15)]
+            assert store.lookup_many(mix) == [flat.lookup(fp) for fp in mix]
+
+
+class TestFilterSoundness:
+    """The Bloom-filter properties the negative-lookup path rests on:
+    no false negatives ever (through the store, including
+    learn-while-serving overlay keys), and a false-positive rate under
+    the configured bound at 1e-2 tolerance."""
+
+    @pytest.mark.parametrize("storage", ("npz", "mmap"))
+    def test_no_false_negatives_through_store(self, storage, tmp_path):
+        flat, sharded, rng = _build_both(seed=77, n_shards=4)
+        directory = str(tmp_path / storage)
+        save_columnar(sharded, directory, storage=storage)
+        store = load_columnar(directory)
+        keys = [fp for fp, _ in flat.entries()]
+        # Every stored key must resolve — cold (filters consulted) ...
+        assert store.lookup_many(keys) == [flat.lookup(fp) for fp in keys]
+        for fp in keys:
+            assert fp in store
+        # ... and keys learned after the base was built (delta-log
+        # overlay) are checked before the filter, so they can never be
+        # reported absent.
+        fresh = []
+        for _ in range(30):
+            fp = _random_fingerprint(rng)
+            flat.add(fp, "zz_Q")
+            store.add(fp, "zz_Q")
+            fresh.append(fp)
+        for fp in fresh:
+            assert fp in store
+            assert store.lookup(fp) == flat.lookup(fp)
+        assert store.lookup_many(fresh) == [flat.lookup(fp) for fp in fresh]
+
+    def test_false_positive_rate_under_bound(self):
+        import numpy as np
+
+        from repro.engine.keyfilter import KeyFilter, key_hashes
+
+        rng = np.random.default_rng(3)
+        n = 20_000
+        stored = key_hashes(
+            rng.integers(0, 5, n),
+            rng.integers(0, 3, n),
+            rng.integers(0, 64, n),
+            rng.integers(-(2 ** 62), 2 ** 62, n),
+        )
+        filt = KeyFilter.build(stored)
+        assert bool(filt.might_contain(stored).all())  # zero false negatives
+        # Absent keys by construction: a disjoint node range.
+        absent = key_hashes(
+            rng.integers(0, 5, n),
+            rng.integers(0, 3, n),
+            rng.integers(1_000, 2_000, n),
+            rng.integers(-(2 ** 62), 2 ** 62, n),
+        )
+        rate = float(filt.might_contain(absent).mean())
+        assert rate <= filt.fp_bound + 1e-2
+
+    @pytest.mark.parametrize("bits_per_key", (6, 10, 14))
+    def test_fp_rate_tracks_configured_bits(self, bits_per_key):
+        import numpy as np
+
+        from repro.engine.keyfilter import KeyFilter, key_hashes
+
+        rng = np.random.default_rng(bits_per_key)
+        n = 20_000
+        stored = key_hashes(
+            rng.integers(0, 8, n), rng.integers(0, 4, n),
+            rng.integers(0, 128, n), rng.integers(0, 2 ** 62, n),
+        )
+        filt = KeyFilter.build(stored, bits_per_key=bits_per_key)
+        assert bool(filt.might_contain(stored).all())
+        absent = key_hashes(
+            rng.integers(0, 8, n), rng.integers(0, 4, n),
+            rng.integers(10_000, 20_000, n), rng.integers(0, 2 ** 62, n),
+        )
+        rate = float(filt.might_contain(absent).mean())
+        assert rate <= filt.fp_bound + 1e-2
 
 
 class TestVotePositionHook:

@@ -1,0 +1,347 @@
+"""Crash/fault injection for the columnar write paths.
+
+Every base rewrite (delta-log fold, storage conversion, reshard —
+each of which also rebuilds the per-shard filters) follows the same
+protocol: write every new data file under generation-suffixed names,
+then commit with one atomic ``os.replace`` of the manifest, then clean
+up superseded files.  The invariant this suite enforces at **every**
+interruption point: reloading the directory either yields exactly the
+expected merged dictionary (old base plus replayed delta-log before
+the commit; new base with the stale-generation segment discarded after
+it) or raises a named error — never a mixed or silently truncated
+state.
+
+:class:`FaultInjector` is the reusable helper: it seams into the
+engine's file-commit events (each data-file write, the manifest
+replace, each cleanup removal) and can kill the operation before the
+Nth event, tear the Nth file mid-write, or enforce an ENOSPC byte
+budget like a nearly-full disk.  Post-commit media damage (truncated
+or bit-flipped mmap segments) is injected directly on the files.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import os
+import shutil
+
+import pytest
+
+import repro.engine.columnar as columnar_mod
+import repro.engine.mmapstore as mmapstore_mod
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint
+from repro.engine import (
+    ShardedDictionary,
+    compact_shards,
+    load_columnar,
+    reshard,
+    save_columnar,
+)
+
+
+class InjectedFault(RuntimeError):
+    """The simulated crash — deliberately not an OSError subclass so a
+    swallowed-too-broadly except clause in the code under test would
+    show up as a missed injection, not a silent pass."""
+
+
+class FaultInjector:
+    """Crashes the columnar write path at a chosen commit event.
+
+    Events, in operation order: one per data file opened for writing
+    (shards, filters, key-order, manifest temp), one for the atomic
+    ``os.replace`` commit, one per post-commit ``os.remove`` cleanup.
+
+    Modes:
+
+    - ``fail_after=N`` — raise :class:`InjectedFault` *before* event N
+      executes (the file is never created / the commit never happens).
+    - ``torn=True`` with ``fail_after=N`` — event N's file is created
+      and half its first write lands before the crash (a torn file).
+    - ``byte_budget=B`` — writes succeed until B bytes have landed,
+      then fail with ``OSError(ENOSPC)`` mid-write, like a filling
+      disk.  Metadata operations (replace/remove) stay free.
+
+    With no mode set it only counts, so a dry run measures how many
+    interruption points an operation has.
+    """
+
+    _PATCH_MODULES = (columnar_mod, mmapstore_mod)
+
+    def __init__(self, fail_after=None, torn=False, byte_budget=None):
+        self.fail_after = fail_after
+        self.torn = torn
+        self.byte_budget = byte_budget
+        self.events = 0
+        self._written = 0
+        self._real_open = builtins.open
+        self._real_replace = os.replace
+        self._real_remove = os.remove
+
+    def install(self, mp: pytest.MonkeyPatch) -> "FaultInjector":
+        for mod in self._PATCH_MODULES:
+            mp.setattr(mod, "open", self._open, raising=False)
+        mp.setattr(os, "replace", self._replace)
+        mp.setattr(os, "remove", self._remove)
+        return self
+
+    def _fatal(self) -> bool:
+        fatal = (
+            self.fail_after is not None and self.events == self.fail_after
+        )
+        self.events += 1
+        return fatal
+
+    def _open(self, path, mode="r", *args, **kwargs):
+        if "w" not in str(mode):
+            return self._real_open(path, mode, *args, **kwargs)
+        if self._fatal():
+            if self.torn:
+                return _TornFile(self._real_open(path, mode, *args, **kwargs))
+            raise InjectedFault(f"crash before writing {path!r}")
+        if self.byte_budget is not None:
+            return _BudgetFile(self, self._real_open(path, mode, *args, **kwargs))
+        return self._real_open(path, mode, *args, **kwargs)
+
+    def _replace(self, src, dst, **kwargs):
+        if self._fatal():
+            raise InjectedFault(f"crash before committing {dst!r}")
+        return self._real_replace(src, dst, **kwargs)
+
+    def _remove(self, path, **kwargs):
+        if self._fatal():
+            raise InjectedFault(f"crash before removing {path!r}")
+        return self._real_remove(path, **kwargs)
+
+    def charge(self, n: int) -> int:
+        """ENOSPC accounting: bytes of an attempted write that land."""
+        if self.byte_budget is None:
+            return n
+        allowed = min(n, max(0, self.byte_budget - self._written))
+        self._written += allowed
+        return allowed
+
+
+class _TornFile:
+    """File proxy whose first write lands only halfway, then crashes."""
+
+    def __init__(self, fh):
+        self._fh = fh
+
+    def write(self, data):
+        self._fh.write(data[: max(1, len(data) // 2)])
+        self._fh.flush()
+        self._fh.close()
+        raise InjectedFault(f"torn write to {self._fh.name!r}")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        if not self._fh.closed:
+            self._fh.close()
+        return False
+
+
+class _BudgetFile:
+    """File proxy enforcing the injector's global byte budget."""
+
+    def __init__(self, injector, fh):
+        self._injector = injector
+        self._fh = fh
+
+    def write(self, data):
+        allowed = self._injector.charge(len(data))
+        self._fh.write(data[:allowed])
+        if allowed < len(data):
+            self._fh.flush()
+            self._fh.close()
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        return len(data)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        if not self._fh.closed:
+            self._fh.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The operations under test, each returning (directory, expected flat EFD).
+
+
+def _fp(i: int) -> Fingerprint:
+    return Fingerprint(
+        metric=f"m{i % 2}",
+        node=i % 4,
+        interval=(0.0, 60.0) if i % 3 else (60.0, 120.0),
+        value=float(i) * 50.0,
+    )
+
+
+def _seed_directory(tmp_path, storage: str, n_base: int = 40,
+                    n_delta: int = 6):
+    """A columnar directory with a pending delta-log, plus the expected
+    merged (base ∪ overlay) reference dictionary."""
+    expected = ExecutionFingerprintDictionary()
+    sharded = ShardedDictionary(2)
+    for i in range(n_base):
+        sharded.add(_fp(i), f"app{i % 5}_X")
+        expected.add(_fp(i), f"app{i % 5}_X")
+    directory = str(tmp_path / "seed")
+    save_columnar(sharded, directory, storage=storage)
+    store = load_columnar(directory)
+    for i in range(10_000, 10_000 + n_delta):
+        store.add(_fp(i), f"late{i % 3}_Y")
+        expected.add(_fp(i), f"late{i % 3}_Y")
+    return directory, expected
+
+
+def _assert_state(directory, expected):
+    """The crash invariant: a reload serves exactly the merged state."""
+    store = load_columnar(directory)
+    assert list(store.entries()) == list(expected.entries())
+    assert store.labels() == expected.labels()
+    for fp, _ in expected.entries():
+        assert store.lookup_counts(fp) == expected.lookup_counts(fp)
+    # And the store still answers batches (filters + overlay intact).
+    keys = [fp for fp, _ in expected.entries()]
+    misses = [_fp(i) for i in range(90_000, 90_020)]
+    assert store.lookup_many(keys + misses) == [
+        expected.lookup(fp) for fp in keys
+    ] + [[] for _ in misses]
+
+
+OPERATIONS = {
+    "fold-npz": ("npz", lambda d: compact_shards(d)),
+    "fold-mmap": ("mmap", lambda d: compact_shards(d)),
+    "convert-to-mmap": ("npz", lambda d: compact_shards(d, layout="mmap")),
+    "reshard-mmap": ("mmap", lambda d: reshard(d, 3)),
+}
+
+
+def _copy(directory, tmp_path, tag):
+    dst = str(tmp_path / f"run-{tag}")
+    shutil.copytree(directory, dst)
+    return dst
+
+
+class TestCrashPointSweep:
+    """Kill (and tear) the operation at every commit event in turn."""
+
+    @pytest.mark.parametrize("name", sorted(OPERATIONS))
+    def test_every_interruption_point(self, name, tmp_path):
+        storage, op = OPERATIONS[name]
+        directory, expected = _seed_directory(tmp_path, storage)
+        # Dry run on a copy to count this operation's commit events.
+        with pytest.MonkeyPatch.context() as mp:
+            counter = FaultInjector().install(mp)
+            op(_copy(directory, tmp_path, "dry"))
+        total = counter.events
+        assert total >= 5, f"{name}: expected a multi-event write path"
+        for n in range(total):
+            run_dir = _copy(directory, tmp_path, f"kill{n}")
+            with pytest.MonkeyPatch.context() as mp:
+                FaultInjector(fail_after=n).install(mp)
+                with pytest.raises(InjectedFault):
+                    op(run_dir)
+            _assert_state(run_dir, expected)
+
+    @pytest.mark.parametrize("name", sorted(OPERATIONS))
+    def test_torn_file_at_every_write(self, name, tmp_path):
+        storage, op = OPERATIONS[name]
+        directory, expected = _seed_directory(tmp_path, storage)
+        with pytest.MonkeyPatch.context() as mp:
+            counter = FaultInjector().install(mp)
+            op(_copy(directory, tmp_path, "dry"))
+        for n in range(counter.events):
+            run_dir = _copy(directory, tmp_path, f"torn{n}")
+            with pytest.MonkeyPatch.context() as mp:
+                FaultInjector(fail_after=n, torn=True).install(mp)
+                with pytest.raises(InjectedFault):
+                    op(run_dir)
+            _assert_state(run_dir, expected)
+
+    @pytest.mark.parametrize("name", sorted(OPERATIONS))
+    def test_interrupted_then_retried_succeeds(self, name, tmp_path):
+        # A crashed rewrite must be recoverable by simply re-running it.
+        storage, op = OPERATIONS[name]
+        directory, expected = _seed_directory(tmp_path, storage)
+        run_dir = _copy(directory, tmp_path, "retry")
+        with pytest.MonkeyPatch.context() as mp:
+            FaultInjector(fail_after=2).install(mp)
+            with pytest.raises(InjectedFault):
+                op(run_dir)
+        op(run_dir)  # no injector: the retry completes
+        _assert_state(run_dir, expected)
+        assert load_columnar(run_dir).delta_pending == 0
+
+
+class TestDiskFull:
+    @pytest.mark.parametrize("name", sorted(OPERATIONS))
+    @pytest.mark.parametrize("budget", (0, 200, 5_000))
+    def test_enospc_mid_rewrite(self, name, budget, tmp_path):
+        storage, op = OPERATIONS[name]
+        directory, expected = _seed_directory(tmp_path, storage)
+        run_dir = _copy(directory, tmp_path, f"enospc{budget}")
+        with pytest.MonkeyPatch.context() as mp:
+            FaultInjector(byte_budget=budget).install(mp)
+            with pytest.raises(OSError) as exc_info:
+                op(run_dir)
+            assert exc_info.value.errno == errno.ENOSPC
+        _assert_state(run_dir, expected)
+
+
+class TestPostCommitMediaDamage:
+    """Damage that happens *after* a clean commit — a truncated or
+    bit-flipped mmap segment must raise by name when its columns are
+    finally read, never decode garbage."""
+
+    def _committed(self, tmp_path):
+        directory, expected = _seed_directory(tmp_path, "mmap")
+        compact_shards(directory)  # fold cleanly: single-generation base
+        return directory, expected
+
+    def _damage_one(self, directory, mutate):
+        victim = sorted(
+            f for f in os.listdir(directory) if f.endswith(".mmap")
+        )[0]
+        path = os.path.join(directory, victim)
+        data = bytearray(open(path, "rb").read())
+        open(path, "wb").write(bytes(mutate(data)))
+        return victim
+
+    def test_truncated_segment_raises_by_name(self, tmp_path):
+        directory, _ = self._committed(tmp_path)
+        victim = self._damage_one(directory, lambda d: d[: len(d) - 64])
+        store = load_columnar(directory)  # lazy: load itself is clean
+        with pytest.raises(ValueError, match="truncated"):
+            store.warm_index()
+        with pytest.raises(ValueError, match=victim):
+            store.warm_index()
+
+    def test_bit_flipped_segment_fails_checksum(self, tmp_path):
+        directory, _ = self._committed(tmp_path)
+        def flip(data):
+            data[len(data) // 2] ^= 0x01
+            return data
+        victim = self._damage_one(directory, flip)
+        store = load_columnar(directory)
+        with pytest.raises(ValueError, match="checksum"):
+            store.warm_index()
+        with pytest.raises(ValueError, match=victim):
+            store.warm_index()
+
+    def test_deleted_segment_named(self, tmp_path):
+        directory, _ = self._committed(tmp_path)
+        victim = sorted(
+            f for f in os.listdir(directory) if f.endswith(".mmap")
+        )[0]
+        os.remove(os.path.join(directory, victim))
+        store = load_columnar(directory)
+        with pytest.raises(FileNotFoundError, match=victim):
+            store.warm_index()

@@ -83,11 +83,24 @@ def _normalized_columnar(directory: str):
     key_order_bytes = open(
         os.path.join(directory, manifest["key_order_file"]["file"]), "rb"
     ).read()
+    filter_bytes = [
+        open(os.path.join(directory, meta["file"]), "rb").read()
+        for meta in manifest.get("filters", {}).get("shards", [])
+    ]
+    hash_bytes = [
+        open(os.path.join(directory, meta["hash_file"]), "rb").read()
+        for meta in manifest.get("filters", {}).get("shards", [])
+        if meta.get("hash_file") is not None
+    ]
     manifest["delta_generation"] = 0
     for i, meta in enumerate(manifest["shards"]):
         meta["file"] = f"shard-{i:02d}"
+    for i, meta in enumerate(manifest.get("filters", {}).get("shards", [])):
+        meta["file"] = f"shard-{i:02d}.filter"
+        if meta.get("hash_file") is not None:
+            meta["hash_file"] = f"shard-{i:02d}.hashidx"
     manifest["key_order_file"]["file"] = "key-order"
-    return manifest, shard_bytes, key_order_bytes
+    return manifest, shard_bytes, key_order_bytes, filter_bytes, hash_bytes
 
 
 class TestReshardStore:
