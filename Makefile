@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke faultinject-smoke
+.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke faultinject-smoke replicate-smoke
 
 test:            ## tier-1 correctness suite (the merge gate)
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,9 @@ reshard-smoke:   ## reshard N->M->N byte-identity + verdict equivalence gate
 
 faultinject-smoke: ## crash/fault-injection sweep over the columnar write paths
 	$(PYTHON) -m pytest tests/test_faultinject.py -q
+
+replicate-smoke: ## one live leader->replica bootstrap/trickle/swap round trip
+	$(PYTHON) -m pytest tests/test_replicate.py -q -k smoke
 
 mutation-smoke:  ## delta-log write-throughput bench at tiny scale
 	BENCH_MUTATION_KEYS=20000 BENCH_MUTATION_APPENDS=200 $(PYTHON) -m pytest \

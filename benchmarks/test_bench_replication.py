@@ -1,0 +1,259 @@
+"""Replication shipping rate and replica staleness under a live trickle.
+
+The failover story (ISSUE 7) is only as good as the replica's lag: a
+promoted replica serves whatever it had applied when the leader died.
+This bench drives a leader→replica link at a paced ~1k-append/s
+trickle — the learn-while-serving write rate the mutation bench proved
+the delta-log sustains — with one mid-trickle compaction (a full base
+swap shipped as a snapshot), and measures
+
+- **shipping rate**: records/s and segment frames/s the publisher
+  pushes to the follower, plus snapshot bytes for the base swap,
+- **replica staleness**: the follower's ``(generations, records)`` lag
+  sampled after every burst; the acceptance bar is that the replica of
+  a full-scale (1M-key) dictionary never falls more than one
+  generation behind and converges to the leader's exact position, and
+- **swap cost**: wall time of the compaction fold and of the replica
+  swallowing the resulting snapshot.
+
+``BENCH_REPL_KEYS`` / ``BENCH_REPL_APPENDS`` scale the store down for
+smoke runs; the rate and staleness floors only assert at full scale.
+Every number lands in ``BENCH_engine.json`` via the shared trajectory
+writer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.rounding import round_depth_array
+from repro.engine import (
+    EngineStats,
+    ShardedDictionary,
+    load_columnar,
+    save_columnar,
+)
+
+METRIC = "synthetic_rate"
+DEPTH = 3
+INTERVAL = (60.0, 120.0)
+N_NODES = 4
+N_SHARDS = 8
+N_KEYS = int(os.environ.get("BENCH_REPL_KEYS", "1000000"))
+N_APPENDS = int(os.environ.get("BENCH_REPL_APPENDS", "2000"))
+FULL_SCALE = N_KEYS >= 1_000_000
+TARGET_RATE = 1_000          # appends/s the trickle is paced at
+BURST = 50                   # appends between pacing sleeps / lag samples
+MIN_RECORDS_PER_S = 500      # shipped, asserted at full scale only
+MAX_STALENESS_RECORDS = 1_000  # ~1 s of trickle, same-generation samples
+
+_APPS = [f"app{i:02d}" for i in range(40)]
+_INPUTS = ("X", "Y", "Z")
+_LABELS = [f"{app}_{size}" for app in _APPS for size in _INPUTS]
+
+
+def _node_values(per_node: int) -> np.ndarray:
+    mantissas = np.arange(100, 1000, dtype=np.float64)
+    exponents = np.arange(-140, 140, dtype=np.float64)
+    if len(mantissas) * len(exponents) < per_node:
+        raise ValueError(f"value grid too small for {per_node} keys/node")
+    grid = (mantissas[None, :] * 10.0 ** exponents[:, None]).ravel()
+    return grid[:per_node]
+
+
+def _build_store() -> ShardedDictionary:
+    per_node = (N_KEYS + N_NODES - 1) // N_NODES
+    sharded = ShardedDictionary(N_SHARDS)
+    inserted = 0
+    for node in range(N_NODES):
+        rounded = round_depth_array(_node_values(per_node), DEPTH)
+        for i, value in enumerate(rounded.tolist()):
+            if inserted >= N_KEYS:
+                break
+            sharded.add(
+                Fingerprint(
+                    metric=METRIC, node=node, interval=INTERVAL, value=value
+                ),
+                _LABELS[(node * per_node + i) % len(_LABELS)],
+            )
+            inserted += 1
+    return sharded
+
+
+def _new_key_values(n: int) -> list:
+    # A mantissa grid at exponents beyond the base store's range: every
+    # rounded value is distinct and misses the base.
+    mantissas = np.arange(100, 1000, dtype=np.float64)
+    exponents = np.arange(141, 141 + n // len(mantissas) + 1,
+                          dtype=np.float64)
+    grid = (mantissas[None, :] * 10.0 ** exponents[:, None]).ravel()
+    return round_depth_array(grid[:n], DEPTH).tolist()
+
+
+@pytest.mark.bench
+def test_replication_shipping_and_staleness(tmp_path, save_report,
+                                            bench_record):
+    from repro.engine.replicate import (
+        ReplicationFollower,
+        ReplicationPublisher,
+    )
+
+    sharded = _build_store()
+    n_keys = len(sharded)
+    leader_dir = str(tmp_path / "leader")
+    replica_dir = str(tmp_path / "replica")
+    save_columnar(sharded, leader_dir)
+    del sharded
+    values = _new_key_values(N_APPENDS)
+    stats = EngineStats()
+    out = {}
+
+    async def run():
+        loop = asyncio.get_running_loop()
+        leader = load_columnar(leader_dir)
+        async with ReplicationPublisher(
+            leader_dir, port=0, stats=stats,
+            poll_interval=0.002, heartbeat=0.05,
+        ) as publisher:
+            host, port = publisher.tcp_address
+            follower = ReplicationFollower(
+                replica_dir, host=host, port=port, reconnect_delay=0.05
+            )
+            await follower.start()
+            t0 = time.perf_counter()
+            assert await follower.wait_ready(timeout=600.0), \
+                "replica never bootstrapped"
+            t_boot = time.perf_counter() - t0
+            follower.attach(load_columnar(replica_dir))
+            try:
+                lag_samples = []
+                t_compact = t_swap = 0.0
+                t0 = time.perf_counter()
+                next_due = t0
+                for i in range(N_APPENDS):
+                    leader.add_repeated(
+                        Fingerprint(metric=METRIC, node=i % N_NODES,
+                                    interval=INTERVAL, value=values[i]),
+                        _LABELS[i % len(_LABELS)], 1,
+                    )
+                    if (i + 1) % BURST == 0:
+                        next_due += BURST / TARGET_RATE
+                        delay = next_due - time.perf_counter()
+                        await asyncio.sleep(max(delay, 0))
+                        lag_samples.append(follower.lag)
+                    if i == N_APPENDS // 2:
+                        # Base swap under load: fold on a worker thread
+                        # so the publisher keeps streaming, then time
+                        # how long the replica takes to swallow the
+                        # snapshot and be current again.
+                        t1 = time.perf_counter()
+                        await loop.run_in_executor(
+                            None, leader.compact_delta
+                        )
+                        t_compact = time.perf_counter() - t1
+                        generation = leader._delta.generation
+                        pending = leader.delta_pending
+                        t1 = time.perf_counter()
+                        assert await follower.wait_position(
+                            generation, pending, timeout=600.0
+                        ), f"replica never swapped (lag={follower.lag})"
+                        t_swap = time.perf_counter() - t1
+                        next_due = time.perf_counter()
+                append_wall = time.perf_counter() - t0
+                assert await follower.wait_position(
+                    leader._delta.generation, leader.delta_pending,
+                    timeout=600.0,
+                ), f"replica never converged (lag={follower.lag})"
+                converge_wall = time.perf_counter() - t0
+                out.update(
+                    t_boot=t_boot,
+                    append_wall=append_wall,
+                    converge_wall=converge_wall,
+                    t_compact=t_compact,
+                    t_swap=t_swap,
+                    lag_samples=lag_samples,
+                    final_generation=leader._delta.generation,
+                )
+            finally:
+                await follower.close()
+
+    asyncio.run(run())
+
+    lag_samples = out["lag_samples"]
+    max_lag_gen = max((g for g, _ in lag_samples), default=0)
+    same_gen_records = [r for g, r in lag_samples if g == 0]
+    max_staleness = max(same_gen_records, default=0)
+    mean_staleness = (
+        sum(same_gen_records) / len(same_gen_records)
+        if same_gen_records else 0.0
+    )
+    # Rate over the *active* trickle wall: the compaction fold and the
+    # snapshot catch-up are one-off swap costs, reported separately.
+    active_wall = out["converge_wall"] - out["t_compact"] - out["t_swap"]
+    records_per_s = (
+        stats.repl_records_shipped / active_wall
+        if active_wall > 0 else float("inf")
+    )
+    segments_per_s = (
+        stats.repl_segments_shipped / active_wall
+        if active_wall > 0 else float("inf")
+    )
+
+    # The replica never serves a state more than one base swap old —
+    # structural at any scale, not just full scale.
+    assert max_lag_gen <= 1, f"replica fell {max_lag_gen} generations behind"
+    assert out["final_generation"] == 1
+    assert stats.repl_snapshots_shipped >= 2  # bootstrap + base swap
+    if FULL_SCALE:
+        assert records_per_s >= MIN_RECORDS_PER_S, (
+            f"shipped {records_per_s:.0f} records/s under "
+            f"{MIN_RECORDS_PER_S}/s at full scale"
+        )
+        assert max_staleness <= MAX_STALENESS_RECORDS, (
+            f"replica staleness peaked at {max_staleness} records "
+            f"(> {MAX_STALENESS_RECORDS}) at a {TARGET_RATE}/s trickle"
+        )
+
+    report = "\n".join([
+        f"Replication: {n_keys} keys, {N_APPENDS} appends paced at "
+        f"{TARGET_RATE}/s ({'full scale' if FULL_SCALE else 'smoke'})",
+        "",
+        f"bootstrap  : {out['t_boot']:8.2f} s to snapshot the base to an "
+        f"empty replica",
+        f"shipping   : {records_per_s:10.0f} records/s, "
+        f"{segments_per_s:8.1f} segment frames/s, "
+        f"{stats.repl_bytes_shipped} B total",
+        f"staleness  : max {max_staleness} / mean {mean_staleness:.1f} "
+        f"record(s) behind at same generation; "
+        f"max {max_lag_gen} generation(s) behind",
+        f"base swap  : fold {out['t_compact']:6.2f} s, replica current "
+        f"again {out['t_swap']:6.2f} s after it "
+        f"({stats.repl_snapshots_shipped} snapshot(s) shipped)",
+        f"converged  : leader position reached "
+        f"{out['converge_wall'] - out['append_wall']:6.3f} s after the "
+        f"last append",
+    ])
+    save_report("bench_replication", report)
+
+    bench_record.n = N_APPENDS
+    bench_record.seconds = round(out["converge_wall"], 6)
+    bench_record.throughput = round(records_per_s, 1)
+    bench_record.extra = {
+        "n_keys": n_keys,
+        "records_shipped_per_s": round(records_per_s, 1),
+        "segments_shipped_per_s": round(segments_per_s, 2),
+        "bytes_shipped": stats.repl_bytes_shipped,
+        "snapshots_shipped": stats.repl_snapshots_shipped,
+        "boot_s": round(out["t_boot"], 6),
+        "staleness_records_max": max_staleness,
+        "staleness_records_mean": round(mean_staleness, 2),
+        "lag_generations_max": max_lag_gen,
+        "swap_catchup_s": round(out["t_swap"], 6),
+        "full_scale": FULL_SCALE,
+    }

@@ -221,6 +221,20 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                         "ephemeral port; may be combined with --uds)")
     p.add_argument("--uds", default=None, metavar="PATH",
                    help="accept NDJSON producers over a Unix domain socket")
+    p.add_argument("--publish", default=None, metavar="HOST:PORT",
+                   help="publish this columnar --efd-dir to replication "
+                        "followers over TCP (port 0 binds an ephemeral "
+                        "port; requires --efd-dir)")
+    p.add_argument("--publish-uds", default=None, metavar="PATH",
+                   help="publish to replication followers over a Unix "
+                        "domain socket (may be combined with --publish)")
+    p.add_argument("--follow", default=None, metavar="HOST:PORT",
+                   help="serve as a replica of the leader publishing at "
+                        "this TCP endpoint (requires --efd-dir; the "
+                        "directory is bootstrapped if absent)")
+    p.add_argument("--follow-uds", default=None, metavar="PATH",
+                   help="serve as a replica of the leader publishing at "
+                        "this Unix-domain-socket path")
     p.add_argument("--retention-age", type=float, default=None,
                    metavar="SECONDS",
                    help="auto-forget completed sessions this long after "
@@ -266,6 +280,20 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="--demo dataset seed")
 
 
+def _add_promote(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "promote",
+        help="failover: elect the most-advanced replica among the "
+             "candidates, promote it to leader, re-point the rest at it",
+    )
+    p.add_argument("--candidates", nargs="+", required=True,
+                   metavar="HOST:PORT|unix:PATH",
+                   help="replication endpoints (`efd serve --publish` "
+                        "addresses) of the surviving replicas")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="seconds to wait on each control round-trip")
+
+
 def _add_replay(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "replay",
@@ -304,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_info(sub)
     _add_engine(sub)
     _add_serve(sub)
+    _add_promote(sub)
     _add_replay(sub)
     return parser
 
@@ -870,19 +899,148 @@ async def _serve_listen(engine, config, listen, uds, reporter):
     return service
 
 
+async def _serve_replicated(args, config, reporter):
+    """Run the service as a replication leader (``--publish``) and/or
+    replica (``--follow``) until SIGTERM/SIGINT.
+
+    A replica starts its follower *before* loading the dictionary so an
+    empty ``--efd-dir`` bootstraps from the leader's snapshot; once the
+    base is on disk the engine is built normally and the follower is
+    attached to the live store, applying records under the service's
+    engine lock.  A ``--publish`` endpoint re-ships this directory's
+    delta-log downstream (fan-out relays work: a node may follow and
+    publish at once) and answers ``status``/``promote``/``follow``
+    control requests from ``efd promote``.
+    """
+    import asyncio
+    import signal
+
+    from repro.engine.replicate import (
+        ReplicationFollower,
+        ReplicationPublisher,
+        parse_replica_endpoint,
+    )
+    from repro.serve import IngestService, NetListener
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+    follower = publisher = listener = None
+    try:
+        if args.follow or args.follow_uds:
+            upstream = (parse_replica_endpoint(args.follow)
+                        if args.follow else {"uds": args.follow_uds})
+            follower = ReplicationFollower(
+                args.efd_dir,
+                reconnect_delay=config.repl_reconnect_delay,
+                **upstream,
+            )
+            await follower.start()
+            if not await follower.wait_ready(timeout=60.0):
+                await follower.close()
+                raise SystemExit(
+                    "efd serve: replica never reached the leader's "
+                    "generation (is the leader publishing?)"
+                )
+            print(f"replica synced at generation {follower.generation}",
+                  flush=True)
+        engine, _, _, _ = _serve_build_engine(args, listening=True)
+        service = IngestService(engine, config, on_verdict=reporter)
+        if follower is not None:
+            # Attach before the event loop runs anything else so no
+            # records land between the store load and the attach.
+            follower.attach(engine.dictionary, lock=service.engine_lock)
+            follower.stats = engine.stats
+        async with service:
+            if args.publish or args.publish_uds:
+                pub_kwargs: dict = {}
+                if args.publish:
+                    pub_kwargs.update(parse_replica_endpoint(args.publish))
+                if args.publish_uds:
+                    pub_kwargs["uds"] = args.publish_uds
+                on_promote = on_follow = None
+                if follower is not None:
+                    async def on_promote():
+                        reply = await follower.promote()
+                        publisher.role = "leader"
+                        print(f"promoted: serving as leader at generation "
+                              f"{reply['generation']}", flush=True)
+                        return reply
+
+                    async def on_follow(msg):
+                        target = str(msg.get("target", ""))
+                        try:
+                            endpoint = parse_replica_endpoint(target)
+                        except (ValueError, SystemExit) as exc:
+                            return {"error": f"bad follow target: {exc}"}
+                        await follower.refollow(**endpoint)
+                        print(f"re-following {target}", flush=True)
+                        return {"ok": True, "target": target}
+                publisher = ReplicationPublisher(
+                    args.efd_dir,
+                    stats=engine.stats,
+                    poll_interval=config.repl_poll_interval,
+                    heartbeat=config.repl_heartbeat,
+                    role="replica" if follower is not None else "leader",
+                    on_promote=on_promote,
+                    on_follow=on_follow,
+                    **pub_kwargs,
+                )
+                await publisher.start()
+                for endpoint in publisher.endpoints:
+                    print(f"publishing on {endpoint}", flush=True)
+            if args.listen is not None or args.uds is not None:
+                host, port = (_parse_hostport(args.listen)
+                              if args.listen is not None else (None, None))
+                listener = NetListener(service, host=host or "127.0.0.1",
+                                       port=port, uds=args.uds)
+                await listener.start()
+                for endpoint in listener.endpoints:
+                    print(f"listening on {endpoint}", flush=True)
+            try:
+                await stop.wait()
+                print("draining: no longer accepting producers", flush=True)
+            finally:
+                if listener is not None:
+                    await listener.close()
+                if publisher is not None:
+                    await publisher.close()
+                if follower is not None:
+                    await follower.close()
+            await service.drain()
+    finally:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.remove_signal_handler(sig)
+    return service
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import dataclasses
     import json
 
     from repro.serve import ServeConfig
 
     listening = args.listen is not None or args.uds is not None
+    following = args.follow is not None or args.follow_uds is not None
+    replicating = (following or args.publish is not None
+                   or args.publish_uds is not None)
     if listening and args.demo:
         raise SystemExit("efd serve: --demo cannot be combined with "
                          "--listen/--uds (producers push real streams)")
-    engine, samples, expected, stream_fh = _serve_build_engine(
-        args, listening=listening
-    )
+    if replicating and args.efd_dir is None:
+        raise SystemExit("efd serve: --publish/--follow require --efd-dir "
+                         "(replication ships a columnar directory)")
+    if args.follow and args.follow_uds:
+        raise SystemExit("efd serve: --follow and --follow-uds are "
+                         "mutually exclusive (one leader at a time)")
+    if replicating:
+        engine = samples = expected = stream_fh = None
+    else:
+        engine, samples, expected, stream_fh = _serve_build_engine(
+            args, listening=listening
+        )
     config = ServeConfig(
         max_pending_samples=args.queue_size,
         backpressure=args.policy,
@@ -896,8 +1054,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retention_max_done=args.retention_max_done,
         compact_on_close=not args.no_compact_on_close,
     )
+    if following:
+        # A replica folding its own delta-log would advance its
+        # generation past the leader's; only a promote may compact.
+        config = dataclasses.replace(config, compact_on_close=False)
     reporter = _VerdictReporter(args.quiet)
-    if listening:
+    if replicating:
+        service = asyncio.run(_serve_replicated(args, config, reporter))
+    elif listening:
         service = asyncio.run(
             _serve_listen(engine, config, args.listen, args.uds, reporter)
         )
@@ -915,7 +1079,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Summarize from the stats gauges and the reporter tally, not the
     # session table — retention may already have pruned resolved
     # sessions out of service.results.
-    stats = engine.stats
+    stats = service.stats
     n_served = stats.sessions_active + stats.sessions_retained + stats.n_pruned
     print(f"served {n_served} session(s), "
           f"{len(reporter.predictions)} verdict(s)")
@@ -930,8 +1094,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               if total else "demo: no jobs")
     if args.stats_out is not None:
         with open(args.stats_out, "w", encoding="utf-8") as fh:
-            json.dump(engine.stats.as_dict(), fh, indent=2)
+            json.dump(stats.as_dict(), fh, indent=2)
         print(f"stats snapshot -> {args.stats_out}")
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.engine.replicate import ReplicationError, elect_and_promote
+
+    try:
+        outcome = asyncio.run(
+            elect_and_promote(args.candidates, timeout=args.timeout)
+        )
+    except ReplicationError as exc:
+        print(f"efd promote: {exc}", file=sys.stderr)
+        return 2
+    promoted = outcome["promoted"]
+    print(f"promoted {outcome['winner']} to leader at generation "
+          f"{promoted.get('generation')} "
+          f"({promoted.get('folded', 0)} pending record(s) folded)")
+    for cand, status in outcome["statuses"].items():
+        marker = "*" if cand == outcome["winner"] else " "
+        print(f"{marker} {cand}: generation {status.get('generation')}, "
+              f"{status.get('records')} pending record(s)")
+    for cand, error in outcome["unreachable"].items():
+        print(f"  {cand}: unreachable ({error})")
+    for cand, reply in outcome["refollowed"].items():
+        if reply.get("ok"):
+            print(f"  {cand}: re-following {outcome['winner']}")
+        else:
+            print(f"  {cand}: re-follow failed: "
+                  f"{reply.get('error', reply)}")
     return 0
 
 
@@ -992,6 +1187,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "engine": _cmd_engine,
     "serve": _cmd_serve,
+    "promote": _cmd_promote,
     "replay": _cmd_replay,
 }
 

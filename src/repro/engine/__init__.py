@@ -77,6 +77,17 @@ would run.  ``repro.engine`` is the scale-out layer:
   from ``hash % M`` move — and every global order is preserved
   byte-identically, in both layouts.
 
+- :mod:`repro.engine.replicate` puts the delta-log on the wire: a
+  leader (:class:`~repro.engine.replicate.ReplicationPublisher`)
+  streams committed segment records and generation-advancing base
+  swaps to followers
+  (:class:`~repro.engine.replicate.ReplicationFollower`) that serve
+  the same read surface one generation at a time — never mixed state —
+  with catch-up-from-position on reconnect and an election/promotion
+  path (:func:`~repro.engine.replicate.elect_and_promote`) for leader
+  loss.  Surfaced as ``efd serve --publish/--follow`` and ``efd
+  promote``; the wire protocol is specced in ``docs/serving.md``.
+
 Shard layouts on disk::
 
     efd-shards/                       efd-columnar/
@@ -105,9 +116,18 @@ from repro.engine.columnar import (
 from repro.engine.deltalog import (
     DeltaLog,
     PendingDeltaError,
+    SegmentReadError,
     pending_records,
 )
 from repro.engine.keyfilter import KeyFilter
+from repro.engine.replicate import (
+    ReplicationError,
+    ReplicationFollower,
+    ReplicationPublisher,
+    elect_and_promote,
+    local_position,
+    replication_request,
+)
 from repro.engine.reshard import count_moved_keys, reshard, reshard_store
 from repro.engine.sharded import (
     ShardedDictionary,
@@ -125,16 +145,23 @@ __all__ = [
     "EngineStats",
     "KeyFilter",
     "PendingDeltaError",
+    "ReplicationError",
+    "ReplicationFollower",
+    "ReplicationPublisher",
+    "SegmentReadError",
     "ShardedDictionary",
     "compact_shards",
     "count_moved_keys",
+    "elect_and_promote",
     "expand_shards",
     "is_columnar",
     "load_columnar",
     "load_sharded",
+    "local_position",
     "match_fingerprints_batch",
     "merge_into",
     "pending_records",
+    "replication_request",
     "reshard",
     "reshard_store",
     "save_columnar",

@@ -83,6 +83,27 @@ class PendingDeltaError(ValueError):
         )
 
 
+class SegmentReadError(OSError):
+    """A delta-log segment *exists* but cannot be read.
+
+    Distinct from the two states readers already handle: "no segment"
+    (a clean directory — :func:`pending_records` returns 0) and "corrupt
+    segment" (parseable bytes that are not valid records —
+    :class:`ValueError` naming the file).  This one is an I/O failure on
+    a present file — permissions stripped, the path occupied by a
+    directory, media errors — where silently answering 0 would let a
+    replica under-report its position or a compaction drop durable
+    records.  Callers must surface it, not swallow it.
+    """
+
+    def __init__(self, path: str, cause: BaseException):
+        self.path = path
+        super().__init__(
+            f"delta-log {os.path.basename(path)!r} exists but cannot be "
+            f"read: {cause}"
+        )
+
+
 def segment_path(directory: str) -> str:
     """Path of the delta-log segment inside ``directory``."""
     return os.path.join(directory, SEGMENT_NAME)
@@ -93,10 +114,12 @@ def pending_records(directory: str, generation: int = 0) -> int:
 
     0 when no segment exists, when it is empty, or when its header names
     a different generation (a stale segment already folded into the
-    base — see the module docstring's crash-safety note).
+    base — see the module docstring's crash-safety note).  A segment
+    that is present but unreadable raises :class:`SegmentReadError`
+    rather than masquerading as clean.
     """
     path = segment_path(directory)
-    if not os.path.isfile(path):
+    if not os.path.exists(path):
         return 0
     n = 0
     try:
@@ -120,9 +143,18 @@ def _read_records(path: str) -> Iterator[dict]:
     properly newline-terminated — is corruption, raised as
     :class:`ValueError` naming the file.  Only an unterminated final
     fragment (the artifact of a crash mid-append) is silently ignored.
+    An I/O failure on a file that *exists* (permissions, a directory
+    squatting on the path) is a :class:`SegmentReadError` — callers
+    that tolerate a missing segment must not mistake unreadable for
+    absent.
     """
-    with open(path, "r", encoding="utf-8") as fh:
-        text = fh.read()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except FileNotFoundError:
+        raise  # absent is a state callers handle; unreadable is not
+    except OSError as exc:
+        raise SegmentReadError(path, exc) from exc
     lines = text.split("\n")
     terminated = text.endswith("\n")
     if terminated:
@@ -196,7 +228,7 @@ class DeltaLog:
         different generation was already folded by a compaction that
         crashed before removing it: it is deleted and ignored.
         """
-        if not os.path.isfile(self.path):
+        if not os.path.exists(self.path):
             return []
         applied: List[Tuple[Fingerprint, str, int]] = []
         records = []

@@ -63,6 +63,18 @@ class EngineStats:
     conns_active: int = 0       # producer connections open right now
     conns_dropped: int = 0      # connections closed on a protocol error
     n_protocol_errors: int = 0  # malformed / oversized / undecodable lines
+    # -- replication counters (fed by repro.engine.replicate) -----------------
+    repl_followers: int = 0           # follower streams open right now (leader)
+    repl_segments_shipped: int = 0    # records frames sent to followers
+    repl_records_shipped: int = 0     # delta-log records sent to followers
+    repl_bytes_shipped: int = 0       # wire bytes sent (records + snapshots)
+    repl_snapshots_shipped: int = 0   # full base snapshots sent
+    repl_segments_applied: int = 0    # records frames applied (replica)
+    repl_records_applied: int = 0     # delta-log records applied (replica)
+    repl_bytes_applied: int = 0       # wire bytes applied (records + snapshots)
+    repl_snapshots_applied: int = 0   # base swaps committed (replica)
+    repl_lag_generations: int = 0     # generations behind the leader (gauge)
+    repl_lag_records: int = 0         # records behind the leader (gauge)
 
     def record_batch(
         self,
@@ -155,6 +167,42 @@ class EngineStats:
         """One line a producer sent that the listener refused."""
         self.n_protocol_errors += 1
 
+    # -- replication recorders (fed by repro.engine.replicate) ----------------
+    def record_follower_open(self) -> None:
+        """One follower subscribed to this leader's stream."""
+        self.repl_followers += 1
+
+    def record_follower_close(self) -> None:
+        """One follower stream ended (EOF, fault, or shutdown)."""
+        self.repl_followers -= 1
+
+    def record_segment_shipped(self, n_records: int, n_bytes: int) -> None:
+        """One records frame sent to a follower."""
+        self.repl_segments_shipped += 1
+        self.repl_records_shipped += n_records
+        self.repl_bytes_shipped += n_bytes
+
+    def record_snapshot_shipped(self, n_bytes: int) -> None:
+        """One full base snapshot sent to a follower."""
+        self.repl_snapshots_shipped += 1
+        self.repl_bytes_shipped += n_bytes
+
+    def record_segment_applied(self, n_records: int, n_bytes: int) -> None:
+        """One records frame applied to this replica's overlay."""
+        self.repl_segments_applied += 1
+        self.repl_records_applied += n_records
+        self.repl_bytes_applied += n_bytes
+
+    def record_snapshot_applied(self, n_bytes: int) -> None:
+        """One base swap committed on this replica."""
+        self.repl_snapshots_applied += 1
+        self.repl_bytes_applied += n_bytes
+
+    def record_replica_lag(self, generations: int, records: int) -> None:
+        """This replica's distance behind the leader's last report."""
+        self.repl_lag_generations = generations
+        self.repl_lag_records = records
+
     # -- derived -------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
@@ -193,6 +241,17 @@ class EngineStats:
             or self.n_evicted or self.n_latencies
         )
 
+    @property
+    def replicating(self) -> bool:
+        """True when any replication counter has moved (this engine is a
+        publishing leader and/or a following replica)."""
+        return bool(
+            self.repl_followers or self.repl_segments_shipped
+            or self.repl_snapshots_shipped or self.repl_segments_applied
+            or self.repl_snapshots_applied or self.repl_lag_generations
+            or self.repl_lag_records
+        )
+
     # -- (de)serialization -----------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (counters + derived rates)."""
@@ -225,6 +284,17 @@ class EngineStats:
             "conns_active": self.conns_active,
             "conns_dropped": self.conns_dropped,
             "protocol_errors": self.n_protocol_errors,
+            "repl_followers": self.repl_followers,
+            "repl_segments_shipped": self.repl_segments_shipped,
+            "repl_records_shipped": self.repl_records_shipped,
+            "repl_bytes_shipped": self.repl_bytes_shipped,
+            "repl_snapshots_shipped": self.repl_snapshots_shipped,
+            "repl_segments_applied": self.repl_segments_applied,
+            "repl_records_applied": self.repl_records_applied,
+            "repl_bytes_applied": self.repl_bytes_applied,
+            "repl_snapshots_applied": self.repl_snapshots_applied,
+            "repl_lag_generations": self.repl_lag_generations,
+            "repl_lag_records": self.repl_lag_records,
         }
 
     @classmethod
@@ -262,6 +332,17 @@ class EngineStats:
             conns_active=_i("conns_active"),
             conns_dropped=_i("conns_dropped"),
             n_protocol_errors=_i("protocol_errors"),
+            repl_followers=_i("repl_followers"),
+            repl_segments_shipped=_i("repl_segments_shipped"),
+            repl_records_shipped=_i("repl_records_shipped"),
+            repl_bytes_shipped=_i("repl_bytes_shipped"),
+            repl_snapshots_shipped=_i("repl_snapshots_shipped"),
+            repl_segments_applied=_i("repl_segments_applied"),
+            repl_records_applied=_i("repl_records_applied"),
+            repl_bytes_applied=_i("repl_bytes_applied"),
+            repl_snapshots_applied=_i("repl_snapshots_applied"),
+            repl_lag_generations=_i("repl_lag_generations"),
+            repl_lag_records=_i("repl_lag_records"),
         )
 
     def render(self) -> str:
@@ -309,5 +390,19 @@ class EngineStats:
                 f"connections : accepted={self.conns_accepted}, "
                 f"active={self.conns_active}, dropped={self.conns_dropped}, "
                 f"protocol_errors={self.n_protocol_errors}"
+            )
+        if self.replicating:
+            lines.append(
+                f"replication : followers={self.repl_followers}, "
+                f"shipped={self.repl_records_shipped} record(s)/"
+                f"{self.repl_snapshots_shipped} snapshot(s)/"
+                f"{self.repl_bytes_shipped} B, "
+                f"applied={self.repl_records_applied} record(s)/"
+                f"{self.repl_snapshots_applied} snapshot(s)/"
+                f"{self.repl_bytes_applied} B"
+            )
+            lines.append(
+                f"replica lag : {self.repl_lag_generations} generation(s), "
+                f"{self.repl_lag_records} record(s)"
             )
         return "\n".join(lines)

@@ -101,7 +101,19 @@ class ServeConfig:
         log into the ``shard-NN.npz`` base at service shutdown so the
         next boot opens a clean directory.  The log is write-ahead, so
         disabling this loses nothing — the records replay on the next
-        load; it only defers the fold.
+        load; it only defers the fold.  Forced off in replica mode
+        (``efd serve --follow``): a replica folding its log would
+        advance its generation past the leader's.
+    repl_poll_interval:
+        Seconds between a publishing leader's idle delta-log polls, per
+        follower stream — the floor on record-shipping latency
+        (:class:`~repro.engine.replicate.ReplicationPublisher`).
+    repl_heartbeat:
+        Seconds between ``sync`` heartbeat frames to an idle follower,
+        keeping replica lag gauges honest with no write traffic.
+    repl_reconnect_delay:
+        Seconds a replica waits before redialing a lost leader
+        (:class:`~repro.engine.replicate.ReplicationFollower`).
     """
 
     max_pending_samples: int = 4096
@@ -120,6 +132,9 @@ class ServeConfig:
     net_batch_delay: float = 0.005
     max_line_bytes: int = 1 << 16
     compact_on_close: bool = True
+    repl_poll_interval: float = 0.02
+    repl_heartbeat: float = 0.5
+    repl_reconnect_delay: float = 0.2
 
     def __post_init__(self) -> None:
         if self.max_pending_samples < 1:
@@ -181,4 +196,18 @@ class ServeConfig:
         if self.max_line_bytes < 64:
             raise ValueError(
                 f"max_line_bytes must be >= 64, got {self.max_line_bytes}"
+            )
+        if self.repl_poll_interval <= 0:
+            raise ValueError(
+                f"repl_poll_interval must be positive, "
+                f"got {self.repl_poll_interval}"
+            )
+        if self.repl_heartbeat <= 0:
+            raise ValueError(
+                f"repl_heartbeat must be positive, got {self.repl_heartbeat}"
+            )
+        if self.repl_reconnect_delay <= 0:
+            raise ValueError(
+                f"repl_reconnect_delay must be positive, "
+                f"got {self.repl_reconnect_delay}"
             )

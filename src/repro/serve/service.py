@@ -192,6 +192,18 @@ class IngestService:
         self._done_order: Deque[Tuple[str, float]] = deque()
         self._n_done = 0              # DONE sessions still in _sessions
 
+    @property
+    def engine_lock(self) -> threading.Lock:
+        """The lock serializing engine access across executor threads.
+
+        Anything mutating the engine's dictionary from outside the
+        service — a :class:`~repro.engine.replicate.ReplicationFollower`
+        applying the leader's stream, an operator folding the delta-log
+        — must hold this, exactly as :meth:`learn` and the recognition
+        path do, or batches would read a store mid-mutation.
+        """
+        return self._engine_lock
+
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "IngestService":
         """Create the queues and start the ingest/batch/reaper tasks."""

@@ -191,6 +191,53 @@ class TestDurability:
         _assert_equal_stores(reopened, flat)
 
 
+class TestUnreadableSegment:
+    """Absent and unreadable are different states: a missing segment is
+    "nothing pending" (0), but a segment that *exists* and cannot be
+    read must raise :class:`SegmentReadError` by name — silently
+    reporting 0 would let a replica or a reload serve the base state
+    while committed records sit unreadable on disk."""
+
+    def test_absent_segment_reports_zero(self, tmp_path):
+        flat = _small_flat()
+        _, directory = _columnar(tmp_path, flat, n_shards=2)
+        assert not os.path.exists(segment_path(directory))
+        assert pending_records(directory, generation=0) == 0
+
+    def test_unreadable_segment_raises_by_name(self, tmp_path):
+        from repro.engine import SegmentReadError
+
+        flat = _small_flat()
+        col, directory = _columnar(tmp_path, flat, n_shards=2)
+        col.add(_fp(90000.0), "zz_Q")
+        # A directory squatting on the segment path: open() fails with
+        # EISDIR — an unreadable segment, not an absent one.  (chmod
+        # tricks don't work under root, this does.)
+        os.rename(segment_path(directory),
+                  segment_path(directory) + ".bak")
+        os.mkdir(segment_path(directory))
+        with pytest.raises(SegmentReadError, match=SEGMENT_NAME):
+            pending_records(directory, generation=0)
+        with pytest.raises(SegmentReadError, match=SEGMENT_NAME):
+            load_columnar(directory)
+        # Restore readability: both paths recover with nothing lost.
+        os.rmdir(segment_path(directory))
+        os.rename(segment_path(directory) + ".bak",
+                  segment_path(directory))
+        assert pending_records(directory, generation=0) == 1
+        reopened = load_columnar(directory)
+        assert reopened.delta_pending == 1
+
+    def test_segment_read_error_is_oserror(self):
+        from repro.engine import SegmentReadError
+
+        # Callers already handling OSError on the read path keep
+        # working; ValueError-based corruption handling must NOT
+        # swallow it (unreadable != corrupt).
+        assert issubclass(SegmentReadError, OSError)
+        assert not issubclass(SegmentReadError, ValueError)
+
+
 class TestCompaction:
     def test_explicit_compaction_folds_losslessly(self, tmp_path):
         flat = _small_flat()

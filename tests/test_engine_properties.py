@@ -643,6 +643,106 @@ class TestStorageEquivalenceUnderInterleavings:
             assert store.lookup_many(mix) == [flat.lookup(fp) for fp in mix]
 
 
+class TestReplicaEqualsLeaderUnderInterleavings:
+    """Element-wise verdict equality across a live replication link.
+
+    The flat dictionary is the oracle; the leader mutates a real
+    on-disk columnar store whose delta-log a
+    :class:`~repro.engine.replicate.ReplicationPublisher` ships to an
+    attached :class:`~repro.engine.replicate.ReplicationFollower`.
+    Random learn / compact / ship interleavings exercise record
+    streaming, catch-up, and base swaps mid-stream; at every ``ship``
+    point the replica has converged to the leader's exact
+    ``(generation, applied)`` position and its verdicts must be
+    element-wise equal to the leader's — which must equal the flat
+    oracle's — in both storages.
+    """
+
+    N_OPS = 12
+
+    @pytest.mark.parametrize("storage", ("npz", "mmap"))
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_random_learn_compact_ship(self, storage, seed, tmp_path):
+        import asyncio
+
+        from repro.engine.replicate import (
+            ReplicationFollower,
+            ReplicationPublisher,
+        )
+
+        rng = random.Random(700 + seed)
+        pairs = _random_pairs(rng, 120)
+        flat = ExecutionFingerprintDictionary()
+        sharded = ShardedDictionary(3)
+        for fp, label in pairs:
+            flat.add(fp, label)
+            sharded.add(fp, label)
+        leader_dir = str(tmp_path / "leader")
+        replica_dir = str(tmp_path / "replica")
+        save_columnar(sharded, leader_dir, storage=storage)
+
+        def probes():
+            known = [fp for fp, _ in flat.entries()]
+            mix = [rng.choice(known) for _ in range(10)]
+            mix += [_random_fingerprint(rng) for _ in range(10)]  # misses
+            return mix
+
+        def assert_verdicts_equal(replica, leader):
+            fps = probes()
+            oracle = match_fingerprints(flat, fps)
+            assert match_fingerprints(leader, fps) == oracle
+            assert match_fingerprints(replica, fps) == oracle
+            assert replica.lookup_many(fps) == [flat.lookup(fp) for fp in fps]
+            for fp in fps:
+                assert replica.lookup_counts(fp) == flat.lookup_counts(fp)
+
+        async def run():
+            leader = load_columnar(leader_dir)
+            async with ReplicationPublisher(
+                leader_dir, port=0, poll_interval=0.005, heartbeat=0.02
+            ) as publisher:
+                host, port = publisher.tcp_address
+                follower = ReplicationFollower(
+                    replica_dir, host=host, port=port, reconnect_delay=0.01
+                )
+                await follower.start()
+                assert await follower.wait_ready(timeout=30.0)
+                follower.attach(load_columnar(replica_dir))
+                try:
+                    for _ in range(self.N_OPS):
+                        op = rng.choice(
+                            ("learn", "learn", "learn", "compact", "ship")
+                        )
+                        if op == "learn":
+                            for fp, label in _random_pairs(
+                                rng, rng.randrange(1, 5)
+                            ):
+                                count = rng.randrange(1, 3)
+                                flat.add_repeated(fp, label, count)
+                                leader.add_repeated(fp, label, count)
+                        elif op == "compact":
+                            # Compact *without* waiting for the replica:
+                            # a behind follower must catch up through
+                            # the base-swap snapshot, not the records.
+                            leader.compact_delta()
+                        else:
+                            assert await follower.wait_position(
+                                leader._delta.generation,
+                                leader.delta_pending,
+                                timeout=30.0,
+                            ), f"replica stuck (lag={follower.lag})"
+                            assert_verdicts_equal(follower.store, leader)
+                    assert await follower.wait_position(
+                        leader._delta.generation, leader.delta_pending,
+                        timeout=30.0,
+                    ), f"replica stuck (lag={follower.lag})"
+                    assert_verdicts_equal(follower.store, leader)
+                finally:
+                    await follower.close()
+
+        asyncio.run(run())
+
+
 class TestFilterSoundness:
     """The Bloom-filter properties the negative-lookup path rests on:
     no false negatives ever (through the store, including

@@ -17,6 +17,11 @@ replace, each cleanup removal) and can kill the operation before the
 Nth event, tear the Nth file mid-write, or enforce an ENOSPC byte
 budget like a nearly-full disk.  Post-commit media damage (truncated
 or bit-flipped mmap segments) is injected directly on the files.
+
+:class:`FrameProxy` extends the same idea to the wire: a frame-aware
+TCP proxy that drops, tears, or duplicates replication frames between
+a leader and a follower.  ``tests/test_replicate.py`` sweeps it over a
+live leader→replica link.
 """
 
 from __future__ import annotations
@@ -143,6 +148,124 @@ class _TornFile:
         if not self._fh.closed:
             self._fh.close()
         return False
+
+
+class FrameProxy:
+    """Frame-aware TCP proxy injecting replication socket faults.
+
+    Sits between a :class:`~repro.engine.replicate.ReplicationFollower`
+    and its leader.  The follower→leader direction is forwarded
+    untouched; on the leader→follower direction the proxy decodes the
+    u32-length frame stream and can, counting frames across the
+    proxy's whole lifetime (reconnections included):
+
+    - ``drop_after=N`` — forward N frames, then cut the connection
+      between frames (a clean mid-stream disconnect).
+    - ``tear_at=N`` — forward only the first half of frame N's bytes,
+      then cut (a torn frame: the follower dies mid-``readexactly``;
+      also what a leader killed mid-send looks like).
+    - ``duplicate_at=N`` — deliver frame N twice back to back.
+
+    Each fault is armed once: after it fires (``.fired``), every later
+    connection through the proxy is a clean passthrough, so the
+    follower's reconnect loop can be asserted to converge.
+    """
+
+    def __init__(self, host: str, port: int, drop_after=None, tear_at=None,
+                 duplicate_at=None):
+        self.upstream = (host, port)
+        self.drop_after = drop_after
+        self.tear_at = tear_at
+        self.duplicate_at = duplicate_at
+        self.fired = False
+        self.frames = 0
+        self.port = None
+        self._server = None
+        self._tasks = set()
+
+    async def __aenter__(self):
+        import asyncio
+
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc):
+        import asyncio
+
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def _handle(self, reader, writer):
+        import asyncio
+
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*self.upstream)
+        except OSError:
+            writer.close()
+            return
+        pumps = (
+            asyncio.ensure_future(self._pump_raw(reader, up_writer)),
+            asyncio.ensure_future(self._pump_frames(up_reader, writer)),
+        )
+        self._tasks.update(pumps)
+        done, pending = await asyncio.wait(
+            pumps, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pumps, return_exceptions=True)
+        for w in (writer, up_writer):
+            w.close()
+        self._tasks.difference_update(pumps)
+
+    async def _pump_raw(self, reader, writer):
+        import asyncio
+
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    async def _pump_frames(self, reader, writer):
+        import asyncio
+        import struct
+
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                (length,) = struct.unpack(">I", header)
+                payload = await reader.readexactly(length)
+                index = self.frames
+                self.frames += 1
+                frame = header + payload
+                if not self.fired and self.drop_after is not None \
+                        and index >= self.drop_after:
+                    self.fired = True
+                    break
+                if not self.fired and self.tear_at == index:
+                    self.fired = True
+                    writer.write(frame[: max(1, len(frame) // 2)])
+                    await writer.drain()
+                    break
+                if not self.fired and self.duplicate_at == index:
+                    self.fired = True
+                    writer.write(frame)
+                writer.write(frame)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                asyncio.CancelledError):
+            pass
 
 
 class _BudgetFile:
