@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke faultinject-smoke replicate-smoke
+.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke faultinject-smoke replicate-smoke remote-smoke
 
 test:            ## tier-1 correctness suite (the merge gate)
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,11 @@ faultinject-smoke: ## crash/fault-injection sweep over the columnar write paths
 
 replicate-smoke: ## one live leader->replica bootstrap/trickle/swap round trip
 	$(PYTHON) -m pytest tests/test_replicate.py -q -k smoke
+
+remote-smoke:    ## live 3-host fan-out: fault sweep + scatter/gather bench
+	$(PYTHON) -m pytest tests/test_faultinject.py -q -k TestRemoteFaultSweep
+	BENCH_REMOTE_PROBES=50000 BENCH_REMOTE_KEYS=5000 $(PYTHON) -m pytest \
+	    benchmarks/test_bench_remote_fanout.py -m bench -q
 
 mutation-smoke:  ## delta-log write-throughput bench at tiny scale
 	BENCH_MUTATION_KEYS=20000 BENCH_MUTATION_APPENDS=200 $(PYTHON) -m pytest \

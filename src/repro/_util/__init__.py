@@ -4,6 +4,7 @@ Nothing in this package is part of the public API; downstream code should
 import from :mod:`repro` or its documented subpackages instead.
 """
 
+from repro._util.backoff import BackoffPolicy
 from repro._util.hashing import stable_hash, stable_uniform, stable_choice
 from repro._util.rng import derive_rng, spawn_rngs
 from repro._util.tables import TextTable, format_float
@@ -16,6 +17,7 @@ from repro._util.validation import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "stable_hash",
     "stable_uniform",
     "stable_choice",

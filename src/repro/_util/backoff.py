@@ -1,0 +1,50 @@
+"""Capped exponential backoff with full jitter.
+
+One policy shared by every reconnect/retry loop in the tree — the
+replication follower's redial (:mod:`repro.engine.replicate`) and the
+remote shard client's per-call retries (:mod:`repro.engine.remote`).
+Full jitter (delay drawn uniformly from ``[0, min(cap, base * 2^k)]``)
+is what keeps a fleet of replicas from hammering a restarting leader in
+lockstep: the *ceiling* grows exponentially, the *draw* decorrelates
+the herd.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """``delay(attempt) = uniform(0, min(cap, base * 2**attempt))``.
+
+    ``attempt`` counts consecutive failures starting at 0; callers reset
+    their counter after a success, which snaps the ceiling back to
+    ``base``.  ``rng`` is injectable so tests pin the draw sequence.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        cap: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if base <= 0:
+            raise ValueError(f"backoff base must be positive, got {base}")
+        self.base = float(base)
+        self.cap = float(cap) if cap is not None else self.base * 32.0
+        if self.cap < self.base:
+            raise ValueError(
+                f"backoff cap {self.cap} below base {self.base}"
+            )
+        self._rng = rng if rng is not None else random.Random()
+
+    def ceiling(self, attempt: int) -> float:
+        """The deterministic envelope: ``min(cap, base * 2**attempt)``."""
+        return min(self.cap, self.base * (2.0 ** max(int(attempt), 0)))
+
+    def delay(self, attempt: int) -> float:
+        """One full-jitter draw for the given consecutive-failure count."""
+        return self._rng.uniform(0.0, self.ceiling(attempt))

@@ -1,0 +1,191 @@
+"""u32 length-prefixed frame codec shared by every binary wire protocol.
+
+One frame is a u32 big-endian length prefix followed by the payload.
+The codec started life inside :mod:`repro.engine.replicate` and was
+extracted verbatim once :mod:`repro.engine.remote` needed the same
+framing for shard probes — three hand-rolled copies (replication,
+remote probes, test proxies) would be a bug farm.
+
+Both transports are covered:
+
+- **asyncio streams** (:func:`read_frame`, :func:`send_json`) for the
+  server side and the replication link;
+- **blocking sockets** (:func:`recv_frame_sock`, :func:`send_frame_sock`,
+  :func:`request_json_sock`) for the synchronous scatter/gather client
+  in :mod:`repro.engine.remote`, where per-call ``settimeout`` budgets
+  are the natural deadline primitive.
+
+Every reader distinguishes a *clean* EOF between frames (``None``: the
+peer hung up at a frame boundary) from a *torn* one inside a frame (an
+exception: the stream is desynced and the connection must be dropped).
+Callers pick the exception class via ``error=`` so protocol-specific
+subclasses (e.g. ``ReplicationError``) keep working in existing
+``except`` clauses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional, Type
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FramingError",
+    "encode_frame",
+    "read_frame",
+    "parse_json",
+    "send_json",
+    "recv_frame_sock",
+    "send_frame_sock",
+    "request_json_sock",
+]
+
+#: u32 big-endian frame length prefix (the NetListener idiom, binary-safe).
+_LEN = struct.Struct(">I")
+
+#: Upper bound on one frame; a larger prefix means a desynced or hostile
+#: peer, not a big payload (large transfers ship one file per frame).
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FramingError(RuntimeError):
+    """A peer sent something the frame codec cannot accept (torn frame,
+    oversized frame, undecodable control payload).  Both ends treat it
+    as a connection loss: drop the link and let the caller's
+    reconnect/retry logic recover."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One wire frame: u32 big-endian length prefix + payload."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    error: Type[FramingError] = FramingError,
+) -> Optional[bytes]:
+    """One frame off an asyncio stream; ``None`` on clean EOF between
+    frames.
+
+    EOF *inside* a frame — a torn length prefix or a payload cut short —
+    raises ``error``: the stream is unusable from here and the
+    connection must be re-established.
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise error("connection closed mid-frame") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise error(
+            f"frame length {length} exceeds MAX_FRAME_BYTES (desynced peer?)"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise error("connection closed mid-frame") from exc
+
+
+def parse_json(
+    payload: bytes,
+    *,
+    require_op: bool = True,
+    error: Type[FramingError] = FramingError,
+) -> dict:
+    """Decode a JSON control frame.
+
+    Requests must be op objects; replies (``require_op=False``) are any
+    JSON object — ``{"error": ...}`` and ack shapes like ``{"ok": ...}``
+    carry no ``op`` key.
+    """
+    try:
+        msg = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise error(f"undecodable control frame: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise error("control frame is not a JSON object")
+    if require_op and "op" not in msg:
+        raise error("control frame is not an op object")
+    return msg
+
+
+async def send_json(writer: asyncio.StreamWriter, obj: dict) -> int:
+    """Write one JSON frame and drain (backpressure); returns wire bytes."""
+    data = encode_frame(json.dumps(obj).encode("utf-8"))
+    writer.write(data)
+    await writer.drain()
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# Blocking-socket side (synchronous clients)
+# ---------------------------------------------------------------------------
+
+def _recv_exactly(
+    sock: socket.socket, n: int, *, error: Type[FramingError]
+) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on EOF with zero bytes read.
+
+    ``socket.timeout`` propagates to the caller untouched — the remote
+    client maps it onto its deadline accounting.
+    """
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise error("connection closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame_sock(
+    sock: socket.socket, *, error: Type[FramingError] = FramingError
+) -> Optional[bytes]:
+    """One frame off a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _LEN.size, error=error)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise error(
+            f"frame length {length} exceeds MAX_FRAME_BYTES (desynced peer?)"
+        )
+    payload = _recv_exactly(sock, length, error=error)
+    if payload is None:
+        raise error("connection closed mid-frame")
+    return payload
+
+
+def send_frame_sock(sock: socket.socket, payload: bytes) -> int:
+    """Write one frame to a blocking socket; returns wire bytes."""
+    data = encode_frame(payload)
+    sock.sendall(data)
+    return len(data)
+
+
+def request_json_sock(
+    sock: socket.socket,
+    obj: dict,
+    *,
+    error: Type[FramingError] = FramingError,
+) -> dict:
+    """One JSON round trip on a blocking socket (request -> reply)."""
+    send_frame_sock(sock, json.dumps(obj).encode("utf-8"))
+    payload = recv_frame_sock(sock, error=error)
+    if payload is None:
+        raise error("connection closed before reply")
+    return parse_json(payload, require_op=False, error=error)

@@ -213,6 +213,39 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     src.add_argument("--demo", action="store_true",
                      help="self-contained demo: learn a small EFD and replay "
                           "a synthetic interleaved multi-job stream")
+    src.add_argument("--remote", action="append", default=None,
+                     metavar="SHARDS@HOST:PORT",
+                     help="recognize against remote shard servers (`efd "
+                          "shardserve`); repeatable, one spec per host — "
+                          "SHARDS is a comma list of shard indexes or "
+                          "'all', the endpoint HOST:PORT or unix:PATH. "
+                          "Requires --remote-shards and --depth.")
+    p.add_argument("--remote-shards", type=int, default=None, metavar="N",
+                   help="total shard count of the remote dictionary "
+                        "(required with --remote)")
+    p.add_argument("--remote-deadline", type=float, default=2.0,
+                   help="wall-clock budget in seconds per remote "
+                        "scatter/gather batch")
+    p.add_argument("--remote-try-timeout", type=float, default=0.5,
+                   help="per-attempt socket timeout on one remote call")
+    p.add_argument("--remote-retries", type=int, default=2,
+                   help="bounded retries per remote request")
+    p.add_argument("--remote-backoff-base", type=float, default=0.05,
+                   help="base seconds of the full-jitter retry backoff")
+    p.add_argument("--remote-backoff-cap", type=float, default=1.0,
+                   help="ceiling seconds of the retry backoff envelope")
+    p.add_argument("--remote-hedge-delay", type=float, default=0.05,
+                   help="floor seconds before a quiet primary host is "
+                        "hedged to the shard's next replica")
+    p.add_argument("--remote-hedge-percentile", type=float, default=0.95,
+                   help="latency percentile of recent calls past which a "
+                        "hedge launches")
+    p.add_argument("--remote-breaker-failures", type=int, default=3,
+                   help="consecutive failures that trip a host's circuit "
+                        "breaker open")
+    p.add_argument("--remote-breaker-reset", type=float, default=1.0,
+                   help="seconds an open breaker waits before one "
+                        "half-open probe call")
     p.add_argument("--input", default="-",
                    help="JSONL sample stream: a file path, or '-' for stdin "
                         "(ignored with --demo/--listen/--uds)")
@@ -280,6 +313,30 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="--demo dataset seed")
 
 
+def _add_shardserve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "shardserve",
+        help="serve a slice of a dictionary's shard space to remote "
+             "probe clients (`efd serve --remote`)",
+    )
+    p.add_argument("--dir", required=True, dest="directory",
+                   help="sharded/columnar dictionary directory to serve")
+    p.add_argument("--shards", default=None, metavar="A,B,C",
+                   help="comma list of shard indexes this host owns "
+                        "(default: every shard — a full replica)")
+    p.add_argument("--n-shards", type=int, default=None, metavar="N",
+                   help="total shard count of the logical dictionary "
+                        "(default: the store's own shard count)")
+    ep = p.add_mutually_exclusive_group(required=True)
+    ep.add_argument("--listen", default=None, metavar="HOST:PORT",
+                    help="accept probe clients over TCP (port 0 binds an "
+                         "ephemeral port)")
+    ep.add_argument("--uds", default=None, metavar="PATH",
+                    help="accept probe clients over a Unix domain socket")
+    p.add_argument("--stats-out", default=None, metavar="JSON",
+                   help="write the final EngineStats snapshot here")
+
+
 def _add_promote(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "promote",
@@ -332,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_info(sub)
     _add_engine(sub)
     _add_serve(sub)
+    _add_shardserve(sub)
     _add_promote(sub)
     _add_replay(sub)
     return parser
@@ -789,7 +847,9 @@ def _serve_build_engine(args: argparse.Namespace, listening: bool = False):
         if args.depth is None:
             raise SystemExit("efd serve: --depth is required unless --demo")
         depth = args.depth
-        if args.efd is not None:
+        if args.remote is not None:
+            dictionary = _serve_remote_backend(args)
+        elif args.efd is not None:
             from repro.core.serialization import load_dictionary
 
             dictionary = load_dictionary(args.efd)
@@ -814,7 +874,36 @@ def _serve_build_engine(args: argparse.Namespace, listening: bool = False):
         backend=args.backend,
         n_workers=args.workers,
     )
+    if getattr(args, "remote", None) is not None:
+        # One stats object end to end: the backend's remote_* counters
+        # land in the same EngineStats the service renders at exit.
+        dictionary.engine_stats = engine.stats
     return engine, samples, expected, stream_fh
+
+
+def _serve_remote_backend(args: argparse.Namespace):
+    """Build the scatter/gather client for ``efd serve --remote``."""
+    from repro.engine.remote import RemoteError, RemoteShardBackend
+
+    if args.remote_shards is None:
+        raise SystemExit("efd serve: --remote requires --remote-shards "
+                         "(total shard count of the remote dictionary)")
+    try:
+        return RemoteShardBackend(
+            args.remote,
+            n_shards=args.remote_shards,
+            deadline=args.remote_deadline,
+            try_timeout=args.remote_try_timeout,
+            retries=args.remote_retries,
+            backoff_base=args.remote_backoff_base,
+            backoff_cap=args.remote_backoff_cap,
+            hedge_delay=args.remote_hedge_delay,
+            hedge_percentile=args.remote_hedge_percentile,
+            breaker_failures=args.remote_breaker_failures,
+            breaker_reset=args.remote_breaker_reset,
+        )
+    except (ValueError, RemoteError) as exc:
+        raise SystemExit(f"efd serve: {exc}")
 
 
 class _VerdictReporter:
@@ -1053,6 +1142,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retention_max_age=args.retention_age,
         retention_max_done=args.retention_max_done,
         compact_on_close=not args.no_compact_on_close,
+        remote_deadline=args.remote_deadline,
+        remote_try_timeout=args.remote_try_timeout,
+        remote_retries=args.remote_retries,
+        remote_backoff_base=args.remote_backoff_base,
+        remote_backoff_cap=args.remote_backoff_cap,
+        remote_hedge_delay=args.remote_hedge_delay,
+        remote_hedge_percentile=args.remote_hedge_percentile,
+        remote_breaker_failures=args.remote_breaker_failures,
+        remote_breaker_reset=args.remote_breaker_reset,
     )
     if following:
         # A replica folding its own delta-log would advance its
@@ -1095,6 +1193,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stats_out is not None:
         with open(args.stats_out, "w", encoding="utf-8") as fh:
             json.dump(stats.as_dict(), fh, indent=2)
+        print(f"stats snapshot -> {args.stats_out}")
+    return 0
+
+
+def _cmd_shardserve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.engine import load_sharded
+    from repro.engine.remote import ShardServer
+
+    store = load_sharded(args.directory)
+    n_shards = (args.n_shards if args.n_shards is not None
+                else getattr(store, "n_shards", None))
+    if n_shards is None:
+        raise SystemExit("efd shardserve: store has no shard count; "
+                         "pass --n-shards")
+    shards = None
+    if args.shards is not None:
+        try:
+            shards = [int(s) for s in args.shards.split(",") if s.strip()]
+        except ValueError:
+            raise SystemExit(f"efd shardserve: invalid --shards {args.shards!r}")
+
+    async def run() -> ShardServer:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        if args.uds is not None:
+            kwargs = {"uds": args.uds}
+        else:
+            host, port = _parse_hostport(args.listen)
+            kwargs = {"host": host, "port": port}
+        try:
+            server = ShardServer(store, n_shards=n_shards, shards=shards,
+                                 **kwargs)
+        except ValueError as exc:
+            raise SystemExit(f"efd shardserve: {exc}")
+        try:
+            async with server:
+                for endpoint in server.endpoints:
+                    print(f"listening on {endpoint}", flush=True)
+                owned = ",".join(str(s) for s in server.shards)
+                print(f"serving shard(s) {owned} of {n_shards} "
+                      f"({len(store)} key(s))", flush=True)
+                await stop.wait()
+        finally:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(sig)
+        return server
+
+    server = asyncio.run(run())
+    print(server.stats.render())
+    if args.stats_out is not None:
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            json.dump(server.stats.as_dict(), fh, indent=2)
         print(f"stats snapshot -> {args.stats_out}")
     return 0
 
@@ -1187,6 +1343,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "engine": _cmd_engine,
     "serve": _cmd_serve,
+    "shardserve": _cmd_shardserve,
     "promote": _cmd_promote,
     "replay": _cmd_replay,
 }

@@ -88,6 +88,20 @@ would run.  ``repro.engine`` is the scale-out layer:
   loss.  Surfaced as ``efd serve --publish/--follow`` and ``efd
   promote``; the wire protocol is specced in ``docs/serving.md``.
 
+- :mod:`repro.engine.remote` scatters the shard space itself across
+  hosts: per-host :class:`~repro.engine.remote.ShardServer` processes
+  (``efd shardserve``) answer framed probe/learn requests for the
+  shards they own, and
+  :class:`~repro.engine.remote.RemoteShardBackend` is a
+  :class:`~repro.engine.backend.DictionaryBackend` whose batch lookups
+  are a parallel scatter/gather over those hosts — wrapped in a
+  resilience layer (deadline budgets, full-jitter retries, hedged
+  probes, per-host circuit breakers) that degrades to explicit
+  unknown-with-reason verdicts instead of failing or lying when a
+  shard's hosts are unreachable.  Surfaced as ``efd shardserve`` and
+  ``efd serve --remote``; topology and tuning live in
+  ``docs/serving.md``.
+
 Shard layouts on disk::
 
     efd-shards/                       efd-columnar/
@@ -128,6 +142,15 @@ from repro.engine.replicate import (
     local_position,
     replication_request,
 )
+from repro.engine.remote import (
+    CircuitBreaker,
+    RemoteDegradedError,
+    RemoteError,
+    RemoteShardBackend,
+    ShardServer,
+    ShardServerThread,
+    parse_remote_spec,
+)
 from repro.engine.reshard import count_moved_keys, reshard, reshard_store
 from repro.engine.sharded import (
     ShardedDictionary,
@@ -139,16 +162,22 @@ from repro.engine.stats import EngineStats
 
 __all__ = [
     "BatchRecognizer",
+    "CircuitBreaker",
     "ColumnarDictionary",
     "DeltaLog",
     "DictionaryBackend",
     "EngineStats",
     "KeyFilter",
     "PendingDeltaError",
+    "RemoteDegradedError",
+    "RemoteError",
+    "RemoteShardBackend",
     "ReplicationError",
     "ReplicationFollower",
     "ReplicationPublisher",
     "SegmentReadError",
+    "ShardServer",
+    "ShardServerThread",
     "ShardedDictionary",
     "compact_shards",
     "count_moved_keys",
@@ -160,6 +189,7 @@ __all__ = [
     "local_position",
     "match_fingerprints_batch",
     "merge_into",
+    "parse_remote_spec",
     "pending_records",
     "replication_request",
     "reshard",

@@ -44,6 +44,14 @@ A backend may resolve misses early — the columnar store consults
 per-shard negative-lookup filters (:mod:`repro.engine.keyfilter`)
 before hydrating any column file — as long as the answers stay
 element-wise identical to per-key ``lookup``.
+
+A fourth implementation lives out of process:
+:class:`~repro.engine.remote.RemoteShardBackend` satisfies this same
+protocol while its shards are served by remote hosts — ``lookup_many``
+is a resilient scatter/gather, and the one documented contract
+deviation is ``entries()`` yielding shard-major rather than global
+insertion order (the global order lives client-side only for keys
+written through that client).
 """
 
 from __future__ import annotations

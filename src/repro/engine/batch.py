@@ -37,6 +37,7 @@ from repro.core.streaming import StreamSession
 from repro.data.dataset import ExecutionRecord
 from repro.telemetry.timeseries import TimeSeries
 from repro.engine.columnar import ColumnarBatchIndex, ColumnarDictionary
+from repro.engine.remote import RemoteShardBackend
 from repro.engine.sharded import ShardedDictionary, shard_index
 from repro.engine.stats import EngineStats
 from repro.parallel.partition import chunk_evenly
@@ -90,6 +91,12 @@ def _batch_lookup(
     keys); a flat store is split into even chunks.
     """
     overlay_keys: frozenset = frozenset()
+    if isinstance(dictionary, RemoteShardBackend):
+        # Remote stores must never fall through to per-key lookups (one
+        # round trip per key): probe_many IS the batch path — a parallel
+        # scatter/gather with the resilience layer around every call.
+        label_lists = dictionary.lookup_many(unique)
+        return dict(zip(unique, label_lists))
     if isinstance(dictionary, ColumnarDictionary):
         label_lists = dictionary.lookup_many(unique)
         if label_lists is not None:
@@ -585,7 +592,9 @@ class BatchRecognizer:
     def _record_stats(self, results: Sequence[MatchResult], n_hits: int) -> None:
         occupancy = (
             self.dictionary.shard_sizes()
-            if isinstance(self.dictionary, ShardedDictionary)
+            if isinstance(
+                self.dictionary, (ShardedDictionary, RemoteShardBackend)
+            )
             else [len(self.dictionary)]
         )
         self.stats.record_batch(results, n_hits, shard_occupancy=occupancy)

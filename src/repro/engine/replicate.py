@@ -68,10 +68,14 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import struct
 import threading
 from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
+from repro._util import framing
+from repro._util.backoff import BackoffPolicy
+from repro._util.framing import MAX_FRAME_BYTES, FramingError, encode_frame
 from repro.core.serialization import fingerprint_from_record
 from repro.engine.columnar import (
     _MANIFEST_NAME,
@@ -93,12 +97,9 @@ __all__ = [
     "replication_request",
 ]
 
-#: u32 big-endian frame length prefix (the NetListener idiom, binary-safe).
+#: u32 big-endian frame length prefix, kept for byte-count accounting
+#: (the codec itself lives in :mod:`repro._util.framing`).
 _LEN = struct.Struct(">I")
-
-#: Upper bound on one frame; a larger prefix means a desynced or hostile
-#: peer, not a big snapshot (file frames ship one file each).
-MAX_FRAME_BYTES = 1 << 30
 
 #: Pending threshold forced onto replica stores: a replica must never
 #: self-compact (that would advance its generation past the leader's),
@@ -106,7 +107,7 @@ MAX_FRAME_BYTES = 1 << 30
 _REPLICA_MAX_PENDING = 1 << 62
 
 
-class ReplicationError(RuntimeError):
+class ReplicationError(FramingError):
     """A replication peer sent something the protocol cannot accept
     (torn frame, oversized frame, mis-sequenced records, bad commit).
     Both ends treat it as a connection loss: drop the link and let the
@@ -114,66 +115,25 @@ class ReplicationError(RuntimeError):
 
 
 # ---------------------------------------------------------------------------
-# Frame codec
+# Frame codec — thin wrappers over repro._util.framing that raise the
+# protocol-specific ReplicationError so existing except clauses hold.
 # ---------------------------------------------------------------------------
 
-def encode_frame(payload: bytes) -> bytes:
-    """One wire frame: u32 big-endian length prefix + payload."""
-    if len(payload) > MAX_FRAME_BYTES:
-        raise ValueError(
-            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
-        )
-    return _LEN.pack(len(payload)) + payload
-
-
 async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
-    """One frame off the wire; ``None`` on clean EOF between frames.
-
-    EOF *inside* a frame — a torn length prefix or a payload cut short —
-    is a :class:`ReplicationError`: the stream is unusable from here and
-    the connection must be re-established.
-    """
-    try:
-        header = await reader.readexactly(_LEN.size)
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            return None
-        raise ReplicationError("connection closed mid-frame") from exc
-    (length,) = _LEN.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ReplicationError(
-            f"frame length {length} exceeds MAX_FRAME_BYTES (desynced peer?)"
-        )
-    try:
-        return await reader.readexactly(length)
-    except asyncio.IncompleteReadError as exc:
-        raise ReplicationError("connection closed mid-frame") from exc
+    """One frame off the wire; ``None`` on clean EOF between frames."""
+    return await framing.read_frame(reader, error=ReplicationError)
 
 
 def _parse_json(payload: bytes, *, require_op: bool = True) -> dict:
-    """Decode a JSON control frame.
-
-    Requests must be op objects; replies (``require_op=False``) are any
-    JSON object — ``{"error": ...}`` and ack shapes like ``{"ok": ...}``
-    carry no ``op`` key.
-    """
-    try:
-        msg = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as exc:
-        raise ReplicationError(f"undecodable control frame: {exc}") from exc
-    if not isinstance(msg, dict):
-        raise ReplicationError("control frame is not a JSON object")
-    if require_op and "op" not in msg:
-        raise ReplicationError("control frame is not an op object")
-    return msg
+    """Decode a JSON control frame (op object unless ``require_op=False``)."""
+    return framing.parse_json(
+        payload, require_op=require_op, error=ReplicationError
+    )
 
 
 async def _send_json(writer: asyncio.StreamWriter, obj: dict) -> int:
     """Write one JSON frame and drain (backpressure); returns wire bytes."""
-    data = encode_frame(json.dumps(obj).encode("utf-8"))
-    writer.write(data)
-    await writer.drain()
-    return len(data)
+    return await framing.send_json(writer, obj)
 
 
 # ---------------------------------------------------------------------------
@@ -589,6 +549,8 @@ class ReplicationFollower:
         uds: Optional[str] = None,
         stats: Optional[EngineStats] = None,
         reconnect_delay: float = 0.2,
+        reconnect_cap: Optional[float] = None,
+        reconnect_rng: Optional[random.Random] = None,
     ):
         if (port is None) == (uds is None):
             raise ValueError(
@@ -601,7 +563,18 @@ class ReplicationFollower:
             else {"host": host or "127.0.0.1", "port": port}
         )
         self.stats = stats if stats is not None else EngineStats()
+        # ``reconnect_delay`` is the backoff *base*: redial delays grow
+        # exponentially from it (full jitter, capped) so a replica fleet
+        # doesn't hammer a restarting leader in lockstep, and reset to it
+        # after any successful subscribe.
         self.reconnect_delay = reconnect_delay
+        self._backoff = BackoffPolicy(
+            base=reconnect_delay,
+            cap=reconnect_cap if reconnect_cap is not None
+            else max(reconnect_delay * 32.0, reconnect_delay),
+            rng=reconnect_rng,
+        )
+        self._redial_attempt = 0
         self.store = None  # attached ColumnarDictionary, if any
         self.on_swap: Optional[Callable[[int], None]] = None
         self.generation = -1
@@ -778,7 +751,15 @@ class ReplicationFollower:
                 pass  # leader gone or stream torn: redial from disk state
             if self._closed:
                 return
-            await asyncio.sleep(self.reconnect_delay)
+            await asyncio.sleep(self._next_redial_delay())
+
+    def _next_redial_delay(self) -> float:
+        """One full-jitter redial delay; the envelope doubles per
+        consecutive failed dial (capped) and :meth:`_follow_once` resets
+        it on a successful subscribe."""
+        delay = self._backoff.delay(self._redial_attempt)
+        self._redial_attempt += 1
+        return delay
 
     async def _follow_once(self) -> None:
         if "uds" in self._upstream:
@@ -797,6 +778,7 @@ class ReplicationFollower:
                 "generation": self.generation,
                 "applied": self.applied,
             })
+            self._redial_attempt = 0  # dialed and subscribed: reset backoff
             while not self._closed:
                 payload = await _read_frame(reader)
                 if payload is None:

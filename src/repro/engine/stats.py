@@ -75,6 +75,17 @@ class EngineStats:
     repl_snapshots_applied: int = 0   # base swaps committed (replica)
     repl_lag_generations: int = 0     # generations behind the leader (gauge)
     repl_lag_records: int = 0         # records behind the leader (gauge)
+    # -- remote fan-out counters (fed by repro.engine.remote) -----------------
+    remote_calls: int = 0             # remote requests attempted (incl. retries)
+    remote_keys: int = 0              # fingerprint keys probed remotely
+    remote_timeouts: int = 0          # calls that hit a deadline/socket timeout
+    remote_errors: int = 0            # calls refused / torn / protocol-failed
+    remote_retries: int = 0           # re-dials after a failed call
+    remote_hedges: int = 0            # duplicate probes launched to a replica
+    remote_hedges_won: int = 0        # hedges that answered before the primary
+    remote_hedges_lost: int = 0       # hedges beaten by the primary after all
+    remote_breaker_opens: int = 0     # circuit breakers tripped open
+    remote_degraded: int = 0          # keys resolved with a degraded verdict
 
     def record_batch(
         self,
@@ -203,6 +214,43 @@ class EngineStats:
         self.repl_lag_generations = generations
         self.repl_lag_records = records
 
+    # -- remote fan-out recorders (fed by repro.engine.remote) ----------------
+    def record_remote_call(self, n_keys: int = 0) -> None:
+        """One remote request attempted (retries and hedges count too)."""
+        self.remote_calls += 1
+        self.remote_keys += n_keys
+
+    def record_remote_timeout(self) -> None:
+        """One remote call gave up on a socket/deadline timeout."""
+        self.remote_timeouts += 1
+
+    def record_remote_error(self) -> None:
+        """One remote call failed outright (refused, torn, protocol)."""
+        self.remote_errors += 1
+
+    def record_remote_retry(self) -> None:
+        """One failed remote call re-dialed (after backoff)."""
+        self.remote_retries += 1
+
+    def record_remote_hedge(self, won: Optional[bool] = None) -> None:
+        """One hedged probe launched; ``won`` records which copy
+        answered first once the race resolves (None = launch only)."""
+        if won is None:
+            self.remote_hedges += 1
+        elif won:
+            self.remote_hedges_won += 1
+        else:
+            self.remote_hedges_lost += 1
+
+    def record_breaker_open(self) -> None:
+        """One per-host circuit breaker tripped open."""
+        self.remote_breaker_opens += 1
+
+    def record_remote_degraded(self, n_keys: int = 1) -> None:
+        """``n_keys`` fingerprints resolved with a degraded verdict
+        because every host of their shard was unreachable."""
+        self.remote_degraded += n_keys
+
     # -- derived -------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
@@ -252,6 +300,17 @@ class EngineStats:
             or self.repl_lag_records
         )
 
+    @property
+    def remote(self) -> bool:
+        """True when any remote fan-out counter has moved (this engine
+        probes shard servers over the wire)."""
+        return bool(
+            self.remote_calls or self.remote_keys or self.remote_timeouts
+            or self.remote_errors or self.remote_retries
+            or self.remote_hedges or self.remote_breaker_opens
+            or self.remote_degraded
+        )
+
     # -- (de)serialization -----------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (counters + derived rates)."""
@@ -295,6 +354,16 @@ class EngineStats:
             "repl_snapshots_applied": self.repl_snapshots_applied,
             "repl_lag_generations": self.repl_lag_generations,
             "repl_lag_records": self.repl_lag_records,
+            "remote_calls": self.remote_calls,
+            "remote_keys": self.remote_keys,
+            "remote_timeouts": self.remote_timeouts,
+            "remote_errors": self.remote_errors,
+            "remote_retries": self.remote_retries,
+            "remote_hedges": self.remote_hedges,
+            "remote_hedges_won": self.remote_hedges_won,
+            "remote_hedges_lost": self.remote_hedges_lost,
+            "remote_breaker_opens": self.remote_breaker_opens,
+            "remote_degraded": self.remote_degraded,
         }
 
     @classmethod
@@ -343,6 +412,16 @@ class EngineStats:
             repl_snapshots_applied=_i("repl_snapshots_applied"),
             repl_lag_generations=_i("repl_lag_generations"),
             repl_lag_records=_i("repl_lag_records"),
+            remote_calls=_i("remote_calls"),
+            remote_keys=_i("remote_keys"),
+            remote_timeouts=_i("remote_timeouts"),
+            remote_errors=_i("remote_errors"),
+            remote_retries=_i("remote_retries"),
+            remote_hedges=_i("remote_hedges"),
+            remote_hedges_won=_i("remote_hedges_won"),
+            remote_hedges_lost=_i("remote_hedges_lost"),
+            remote_breaker_opens=_i("remote_breaker_opens"),
+            remote_degraded=_i("remote_degraded"),
         )
 
     def render(self) -> str:
@@ -404,5 +483,19 @@ class EngineStats:
             lines.append(
                 f"replica lag : {self.repl_lag_generations} generation(s), "
                 f"{self.repl_lag_records} record(s)"
+            )
+        if self.remote:
+            lines.append(
+                f"remote      : calls={self.remote_calls} "
+                f"({self.remote_keys} key(s)), "
+                f"timeouts={self.remote_timeouts}, "
+                f"errors={self.remote_errors}, retries={self.remote_retries}"
+            )
+            lines.append(
+                f"resilience  : hedges={self.remote_hedges} "
+                f"(won={self.remote_hedges_won}, "
+                f"lost={self.remote_hedges_lost}), "
+                f"breaker_opens={self.remote_breaker_opens}, "
+                f"degraded={self.remote_degraded}"
             )
         return "\n".join(lines)

@@ -112,8 +112,43 @@ class ServeConfig:
         Seconds between ``sync`` heartbeat frames to an idle follower,
         keeping replica lag gauges honest with no write traffic.
     repl_reconnect_delay:
-        Seconds a replica waits before redialing a lost leader
-        (:class:`~repro.engine.replicate.ReplicationFollower`).
+        *Base* seconds a replica waits before redialing a lost leader
+        (:class:`~repro.engine.replicate.ReplicationFollower`).  The
+        actual delay backs off exponentially from this base with full
+        jitter (capped at 32x), resetting after a successful subscribe,
+        so a replica fleet does not hammer a restarting leader in
+        lockstep.
+    remote_deadline:
+        Wall-clock budget, in seconds, for one remote scatter/gather
+        batch (:class:`~repro.engine.remote.RemoteShardBackend`).
+        Every per-host timeout inside the batch is derived from the
+        remaining budget; when it runs out, unreachable keys resolve as
+        explicit degraded verdicts.
+    remote_try_timeout:
+        Per-attempt socket timeout (connect + round trip) on one remote
+        call, further clipped to the remaining batch budget.
+    remote_retries:
+        Bounded retry count per logical remote request (0 disables
+        retries; the first attempt is not a retry).
+    remote_backoff_base / remote_backoff_cap:
+        Exponential-backoff envelope (full jitter) between remote
+        retries, shared with the replication redial policy
+        (:class:`repro._util.backoff.BackoffPolicy`).
+    remote_hedge_delay:
+        Floor, in seconds, on how long the primary host may stay quiet
+        before the same probe is hedged to the shard's next replica.
+        Raised automatically to the observed latency percentile below
+        once enough calls have been measured.
+    remote_hedge_percentile:
+        Latency percentile (0..1) of recent successful calls past which
+        a quiet primary triggers a hedge.
+    remote_breaker_failures:
+        Consecutive failures that trip a host's circuit breaker open
+        (a dead host then costs one timeout per reset window, not one
+        per batch).
+    remote_breaker_reset:
+        Seconds an open breaker waits before admitting one half-open
+        probe call; the probe's success closes it, failure re-opens it.
     """
 
     max_pending_samples: int = 4096
@@ -135,6 +170,15 @@ class ServeConfig:
     repl_poll_interval: float = 0.02
     repl_heartbeat: float = 0.5
     repl_reconnect_delay: float = 0.2
+    remote_deadline: float = 2.0
+    remote_try_timeout: float = 0.5
+    remote_retries: int = 2
+    remote_backoff_base: float = 0.05
+    remote_backoff_cap: float = 1.0
+    remote_hedge_delay: float = 0.05
+    remote_hedge_percentile: float = 0.95
+    remote_breaker_failures: int = 3
+    remote_breaker_reset: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_pending_samples < 1:
@@ -210,4 +254,47 @@ class ServeConfig:
             raise ValueError(
                 f"repl_reconnect_delay must be positive, "
                 f"got {self.repl_reconnect_delay}"
+            )
+        if self.remote_deadline <= 0:
+            raise ValueError(
+                f"remote_deadline must be positive, got {self.remote_deadline}"
+            )
+        if self.remote_try_timeout <= 0:
+            raise ValueError(
+                f"remote_try_timeout must be positive, "
+                f"got {self.remote_try_timeout}"
+            )
+        if self.remote_retries < 0:
+            raise ValueError(
+                f"remote_retries must be >= 0, got {self.remote_retries}"
+            )
+        if self.remote_backoff_base <= 0:
+            raise ValueError(
+                f"remote_backoff_base must be positive, "
+                f"got {self.remote_backoff_base}"
+            )
+        if self.remote_backoff_cap < self.remote_backoff_base:
+            raise ValueError(
+                f"remote_backoff_cap must be >= remote_backoff_base, "
+                f"got {self.remote_backoff_cap}"
+            )
+        if self.remote_hedge_delay <= 0:
+            raise ValueError(
+                f"remote_hedge_delay must be positive, "
+                f"got {self.remote_hedge_delay}"
+            )
+        if not 0.0 < self.remote_hedge_percentile <= 1.0:
+            raise ValueError(
+                f"remote_hedge_percentile must be in (0, 1], "
+                f"got {self.remote_hedge_percentile}"
+            )
+        if self.remote_breaker_failures < 1:
+            raise ValueError(
+                f"remote_breaker_failures must be >= 1, "
+                f"got {self.remote_breaker_failures}"
+            )
+        if self.remote_breaker_reset <= 0:
+            raise ValueError(
+                f"remote_breaker_reset must be positive, "
+                f"got {self.remote_breaker_reset}"
             )

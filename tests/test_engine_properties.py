@@ -743,6 +743,111 @@ class TestReplicaEqualsLeaderUnderInterleavings:
         asyncio.run(run())
 
 
+class TestRemoteEqualsFlatUnderInterleavings:
+    """Element-wise equality of the distributed fan-out client.
+
+    Each host loads a real columnar directory (npz or mmap) and serves
+    a slice of the shard space over the framed probe protocol; the
+    flat dictionary is the oracle.  Learns go through
+    :class:`~repro.engine.remote.RemoteShardBackend` mid-stream — the
+    write path propagates to the owning hosts — and every probe batch
+    (plain, with counts, and through the batch matcher) must stay
+    element-wise identical to the single-process path, across host
+    counts {1, 2, 3} and both storage layouts.
+    """
+
+    N_SHARDS = 3
+
+    def _spawn(self, tmp_path, storage, n_hosts, sharded):
+        from repro.engine.remote import ShardServerThread
+
+        threads, specs = [], []
+        for k in range(n_hosts):
+            directory = str(tmp_path / f"host{k}")
+            save_columnar(sharded, directory, storage=storage)
+            owned = [s for s in range(self.N_SHARDS) if s % n_hosts == k]
+            thread = ShardServerThread(
+                load_columnar(directory), n_shards=self.N_SHARDS,
+                shards=owned,
+            ).start()
+            threads.append(thread)
+            specs.append(
+                f"{','.join(str(s) for s in owned)}@{thread.endpoint}"
+            )
+        return threads, specs
+
+    @pytest.mark.parametrize("storage", ("npz", "mmap"))
+    @pytest.mark.parametrize("n_hosts", (1, 2, 3))
+    def test_random_learn_probe_interleavings(
+        self, storage, n_hosts, tmp_path
+    ):
+        from repro.engine.remote import RemoteShardBackend
+
+        rng = random.Random(1000 + 10 * n_hosts + (storage == "mmap"))
+        pairs = _random_pairs(rng, 150)
+        flat = ExecutionFingerprintDictionary()
+        sharded = ShardedDictionary(self.N_SHARDS)
+        for fp, label in pairs:
+            flat.add(fp, label)
+            sharded.add(fp, label)
+        threads, specs = self._spawn(tmp_path, storage, n_hosts, sharded)
+        try:
+            remote = RemoteShardBackend(
+                specs, n_shards=self.N_SHARDS, rng=random.Random(0)
+            )
+
+            def probe_mix(n_known=15, n_miss=15):
+                known = [fp for fp, _ in flat.entries()]
+                mix = [rng.choice(known) for _ in range(n_known)]
+                mix += [_random_fingerprint(rng) for _ in range(n_miss)]
+                return mix
+
+            for _ in range(6):
+                if rng.random() < 0.4:
+                    for fp, label in _random_pairs(rng, rng.randrange(1, 4)):
+                        flat.add(fp, label)
+                        remote.add(fp, label)
+                mix = probe_mix()
+                assert remote.lookup_many(mix) == [
+                    flat.lookup(fp) for fp in mix
+                ]
+                assert remote.last_degraded == {}
+                verdicts = remote.probe_many(mix, counts=True)
+                for fp, verdict in zip(mix, verdicts):
+                    assert not verdict.degraded
+                    assert (verdict.counts or {}) == flat.lookup_counts(fp)
+
+            assert remote.labels() == flat.labels()
+            assert remote.app_names() == flat.app_names()
+            assert remote.metrics() == flat.metrics()
+            assert remote.intervals() == flat.intervals()
+            assert len(remote) == len(flat)
+
+            # The engine's batch path over the remote store equals the
+            # sequential matcher over the flat oracle (None entries are
+            # nodes that produced no fingerprint).
+            fingerprint_lists = []
+            for _ in range(12):
+                fps = probe_mix(n_known=2, n_miss=1)
+                if rng.random() < 0.3:
+                    fps.append(None)
+                fingerprint_lists.append(fps)
+            results, n_hits = match_fingerprints_batch(
+                remote, fingerprint_lists
+            )
+            assert results == [
+                match_fingerprints(flat, fps) for fps in fingerprint_lists
+            ]
+            assert n_hits == sum(
+                1 for fps in fingerprint_lists for fp in fps
+                if fp is not None and flat.lookup(fp)
+            )
+            remote.close()
+        finally:
+            for thread in threads:
+                thread.stop()
+
+
 class TestFilterSoundness:
     """The Bloom-filter properties the negative-lookup path rests on:
     no false negatives ever (through the store, including

@@ -165,18 +165,26 @@ class FrameProxy:
       then cut (a torn frame: the follower dies mid-``readexactly``;
       also what a leader killed mid-send looks like).
     - ``duplicate_at=N`` — deliver frame N twice back to back.
+    - ``stall_at=N`` — swallow frame N and hold the connection open
+      without ever delivering another byte (a black-hole: the reader
+      sees no EOF, only silence — the fault only a deadline catches).
 
     Each fault is armed once: after it fires (``.fired``), every later
     connection through the proxy is a clean passthrough, so the
     follower's reconnect loop can be asserted to converge.
+    :class:`~repro.engine.remote.RemoteShardBackend` opens a fresh
+    connection per request, so the same proxy also fault-injects the
+    remote probe protocol — ``tests/test_faultinject.py`` sweeps it
+    over a live shard-server topology in ``TestRemoteFaultSweep``.
     """
 
     def __init__(self, host: str, port: int, drop_after=None, tear_at=None,
-                 duplicate_at=None):
+                 duplicate_at=None, stall_at=None):
         self.upstream = (host, port)
         self.drop_after = drop_after
         self.tear_at = tear_at
         self.duplicate_at = duplicate_at
+        self.stall_at = stall_at
         self.fired = False
         self.frames = 0
         self.port = None
@@ -258,6 +266,12 @@ class FrameProxy:
                     writer.write(frame[: max(1, len(frame) // 2)])
                     await writer.drain()
                     break
+                if not self.fired and self.stall_at == index:
+                    self.fired = True
+                    # Black-hole: never deliver, never close.  The pump
+                    # parks until the client gives up and closes its
+                    # side (the raw pump's EOF cancels us).
+                    await asyncio.Event().wait()
                 if not self.fired and self.duplicate_at == index:
                     self.fired = True
                     writer.write(frame)
@@ -417,6 +431,236 @@ class TestDiskFull:
                 op(run_dir)
             assert exc_info.value.errno == errno.ENOSPC
         _assert_state(run_dir, expected)
+
+
+class TestRemoteFaultSweep:
+    """The distributed fan-out gate: frame faults, refused connections,
+    and a host killed under traffic, over a live 3-host topology.
+
+    :class:`FrameProxy` sits in front of one shard host and injects one
+    wire fault (dropped reply, torn frame, duplicate frame, black-hole
+    stall); the resilience layer of
+    :class:`~repro.engine.remote.RemoteShardBackend` must absorb it.
+    The invariant, mirroring the crash/wire invariants above: a
+    *recovered* batch is element-wise equal to the flat store, a
+    *degraded* batch marks exactly the unreachable shard's keys (and
+    nothing else), and the ``remote_*`` counters reconcile with what
+    the sweep actually did — never a silently wrong verdict.
+    """
+
+    N_SHARDS = 3
+
+    FRAME_FAULTS = {
+        "drop": {"drop_after": 0},
+        "torn": {"tear_at": 0},
+        "duplicate": {"duplicate_at": 0},
+        "stall": {"stall_at": 0},
+    }
+
+    def _topology(self, n_keys: int = 60):
+        """Flat reference + one single-shard server thread per shard,
+        each host holding its own store copy (real fleets do not share
+        heap)."""
+        from repro.engine.remote import ShardServerThread
+
+        flat = ExecutionFingerprintDictionary()
+        stores = [ShardedDictionary(self.N_SHARDS)
+                  for _ in range(self.N_SHARDS)]
+        for i in range(n_keys):
+            label = f"app{i % 5}_X"
+            flat.add(_fp(i), label)
+            for store in stores:
+                store.add(_fp(i), label)
+        threads = [
+            ShardServerThread(stores[k], n_shards=self.N_SHARDS,
+                              shards=[k]).start()
+            for k in range(self.N_SHARDS)
+        ]
+        return flat, stores, threads
+
+    def _client(self, specs, **kwargs):
+        import random
+
+        from repro.engine.remote import RemoteShardBackend
+
+        kwargs.setdefault("n_shards", self.N_SHARDS)
+        kwargs.setdefault("rng", random.Random(0))
+        kwargs.setdefault("sync_tables", False)
+        kwargs.setdefault("backoff_base", 0.01)
+        kwargs.setdefault("backoff_cap", 0.05)
+        return RemoteShardBackend(specs, **kwargs)
+
+    @pytest.mark.parametrize("mode", sorted(FRAME_FAULTS))
+    def test_frame_fault_recovers_to_exact_answers(self, mode):
+        import asyncio
+
+        flat, _, threads = self._topology()
+        try:
+            host, port = threads[1].endpoint.rsplit(":", 1)
+            probes = [_fp(i) for i in range(80)]  # 60 hits + 20 misses
+
+            async def sweep():
+                async with FrameProxy(
+                    host, int(port), **self.FRAME_FAULTS[mode]
+                ) as proxy:
+                    specs = [
+                        f"0@{threads[0].endpoint}",
+                        f"1@127.0.0.1:{proxy.port}",
+                        f"2@{threads[2].endpoint}",
+                    ]
+
+                    def run():
+                        remote = self._client(
+                            specs, deadline=10.0, try_timeout=0.5, retries=3,
+                        )
+                        verdicts = remote.probe_many(probes)
+                        remote.close()
+                        return remote, verdicts
+
+                    loop = asyncio.get_running_loop()
+                    remote, verdicts = await loop.run_in_executor(None, run)
+                    return remote, verdicts, proxy.fired
+
+            remote, verdicts, fired = asyncio.run(sweep())
+            assert fired, f"{mode}: the armed fault never fired"
+            # Recovered batch: element-wise equal to the flat store.
+            assert [v.labels for v in verdicts] == [
+                flat.lookup(p) for p in probes
+            ]
+            assert not any(v.degraded for v in verdicts)
+            assert remote.last_degraded == {}
+            # Counters reconcile with what the sweep did.
+            stats = remote.engine_stats
+            assert stats.remote_degraded == 0
+            assert stats.remote_hedges == 0  # one host per shard: no replica
+            assert stats.remote_calls == self.N_SHARDS + stats.remote_retries
+            if mode == "duplicate":
+                # One reply per fresh connection: the extra frame is
+                # never read, so nothing needed recovering.
+                assert stats.remote_retries == 0
+            elif mode == "stall":
+                assert stats.remote_timeouts >= 1
+                assert stats.remote_retries >= 1
+            else:  # drop / torn: a transport error, then a clean retry
+                assert stats.remote_errors >= 1
+                assert stats.remote_retries >= 1
+        finally:
+            for thread in threads:
+                thread.stop()
+
+    def test_refused_connection_fails_over_through_the_breaker(self):
+        import socket
+
+        flat, _, threads = self._topology()
+        # A port that refuses: bind, learn the number, close.
+        probe_sock = socket.socket()
+        probe_sock.bind(("127.0.0.1", 0))
+        dead_port = probe_sock.getsockname()[1]
+        probe_sock.close()
+        try:
+            specs = [
+                f"1@127.0.0.1:{dead_port}",  # shard 1's primary: refused
+                f"0@{threads[0].endpoint}",
+                f"1@{threads[1].endpoint}",  # shard 1's live replica
+                f"2@{threads[2].endpoint}",
+            ]
+            remote = self._client(
+                specs, deadline=10.0, try_timeout=0.5, retries=2,
+                breaker_failures=1,
+            )
+            probes = [_fp(i) for i in range(80)]
+            verdicts = remote.probe_many(probes)
+            assert [v.labels for v in verdicts] == [
+                flat.lookup(p) for p in probes
+            ]
+            assert not any(v.degraded for v in verdicts)
+            stats = remote.engine_stats
+            assert stats.remote_errors >= 1        # the refusal
+            assert stats.remote_breaker_opens >= 1  # tripped at 1 failure
+            assert stats.remote_retries >= 1        # retried onto the replica
+            assert stats.remote_degraded == 0
+            # A second batch goes straight to the replica: the open
+            # breaker keeps the dead primary out of the admission list.
+            errors_before = stats.remote_errors
+            assert remote.lookup_many(probes) == [
+                flat.lookup(p) for p in probes
+            ]
+            assert stats.remote_errors == errors_before
+            remote.close()
+        finally:
+            for thread in threads:
+                thread.stop()
+
+    def test_host_killed_under_traffic_degrades_exactly_its_shard(
+        self, tmp_path
+    ):
+        import re
+        import subprocess
+        import sys
+
+        from repro.engine import save_columnar
+        from repro.engine.sharded import shard_index
+
+        flat, stores, threads = self._topology()
+        threads[1].stop()  # shard 1 moves to a killable subprocess
+        directory = str(tmp_path / "host1")
+        save_columnar(stores[1], directory, storage="npz")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), os.pardir, "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "shardserve",
+             "--dir", directory, "--shards", "1", "--n-shards", "3",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            m = re.search(r"tcp://([0-9.]+):(\d+)", proc.stdout.readline())
+            assert m, "shardserve never reported its endpoint"
+            specs = [
+                f"0@{threads[0].endpoint}",
+                f"1@{m.group(1)}:{m.group(2)}",
+                f"2@{threads[2].endpoint}",
+            ]
+            remote = self._client(
+                specs, deadline=2.0, try_timeout=0.4, retries=1,
+            )
+            probes = [_fp(i) for i in range(80)]
+            # Healthy batch across all three hosts first.
+            assert remote.lookup_many(probes) == [
+                flat.lookup(p) for p in probes
+            ]
+            assert remote.last_degraded == {}
+
+            proc.kill()  # SIGKILL: no goodbye frame, just dead sockets
+            proc.wait(timeout=30)
+
+            verdicts = remote.probe_many(probes)
+            dead = {p for p in probes if shard_index(p, self.N_SHARDS) == 1}
+            marked = {p for p, v in zip(probes, verdicts) if v.degraded}
+            assert marked == dead
+            assert set(remote.last_degraded) == dead
+            for probe, verdict in zip(probes, verdicts):
+                if verdict.degraded:
+                    assert verdict.labels == [] and verdict.reason
+                else:
+                    assert verdict.labels == flat.lookup(probe)
+            stats = remote.engine_stats
+            assert stats.remote_degraded == len(dead)
+            assert stats.remote_errors + stats.remote_timeouts >= 1
+            assert stats.remote_hedges == (
+                stats.remote_hedges_won + stats.remote_hedges_lost
+            )
+            remote.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.communicate(timeout=30)
+            for thread in threads:
+                thread.stop()
 
 
 class TestPostCommitMediaDamage:

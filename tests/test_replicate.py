@@ -477,6 +477,72 @@ class TestControlPlane:
         assert behind_applied <= 6
 
 
+class TestFollowerRedialBackoff:
+    """The redial delay sequence: exponential from ``reconnect_delay``
+    with full jitter, capped, and reset by a successful subscribe —
+    shared machinery with the remote-probe retry policy
+    (:class:`repro._util.backoff.BackoffPolicy`)."""
+
+    class _MaxRng:
+        """``uniform(0, b) == b``: exposes the envelope as the delays."""
+
+        def uniform(self, a, b):
+            return b
+
+    def test_delay_sequence_doubles_and_caps(self, tmp_path):
+        follower = ReplicationFollower(
+            str(tmp_path / "r"), host="127.0.0.1", port=1,
+            reconnect_delay=0.01, reconnect_cap=0.08,
+            reconnect_rng=self._MaxRng(),
+        )
+        delays = [follower._next_redial_delay() for _ in range(6)]
+        assert delays == pytest.approx([0.01, 0.02, 0.04, 0.08, 0.08, 0.08])
+
+    def test_default_cap_is_32x_base(self, tmp_path):
+        follower = ReplicationFollower(
+            str(tmp_path / "r"), host="127.0.0.1", port=1,
+            reconnect_delay=0.25, reconnect_rng=self._MaxRng(),
+        )
+        delays = [follower._next_redial_delay() for _ in range(12)]
+        assert max(delays) == pytest.approx(8.0)
+
+    def test_delays_are_full_jitter_within_the_envelope(self, tmp_path):
+        import random as random_mod
+
+        follower = ReplicationFollower(
+            str(tmp_path / "r"), host="127.0.0.1", port=1,
+            reconnect_delay=0.5, reconnect_cap=64.0,
+            reconnect_rng=random_mod.Random(11),
+        )
+        for attempt in range(8):
+            delay = follower._next_redial_delay()
+            assert 0.0 <= delay <= min(64.0, 0.5 * 2 ** attempt)
+
+    def test_successful_subscribe_resets_the_sequence(self, tmp_path):
+        async def run():
+            leader_dir = _seed_leader(tmp_path, "npz")
+            replica_dir = str(tmp_path / "replica")
+            async with ReplicationPublisher(
+                leader_dir, port=0, poll_interval=0.005, heartbeat=0.02
+            ) as publisher:
+                host, port = publisher.tcp_address
+                follower = ReplicationFollower(
+                    replica_dir, host=host, port=port,
+                    reconnect_delay=0.01, reconnect_rng=self._MaxRng(),
+                )
+                # Pretend the leader was unreachable for a while first.
+                follower._redial_attempt = 7
+                await follower.start()
+                assert await follower.wait_ready(timeout=30.0)
+                assert follower._redial_attempt == 0
+                # The next redial (if the link dropped now) starts from
+                # the base again, not from the accumulated envelope.
+                assert follower._next_redial_delay() == pytest.approx(0.01)
+                await follower.close()
+
+        asyncio.run(run())
+
+
 class TestCLIFailover:
     """Subprocess round trip: leader + two replicas, SIGKILL the
     leader, ``efd promote``, the survivors re-converge."""
