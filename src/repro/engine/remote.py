@@ -126,9 +126,15 @@ class CircuitBreaker:
     per reset window, not one per batch).  After ``reset_timeout``
     seconds the breaker goes half-open and :meth:`allow` admits exactly
     one probe call: its success closes the breaker, its failure re-opens
-    it (restarting the window).  ``clock`` is injectable so tests drive
-    state transitions without sleeping; ``on_open`` fires once per
-    closed/half-open -> open transition (the stats hook).
+    it (restarting the window).  :meth:`would_allow` is the non-claiming
+    peek for building candidate lists — only the host actually dialed
+    may claim the probe slot, and a claimed slot whose outcome never
+    arrives (claimant crashed, call never dialed) expires after
+    ``reset_timeout`` so the host cannot be locked out of rotation
+    forever; :meth:`release` returns an unused slot immediately.
+    ``clock`` is injectable so tests drive state transitions without
+    sleeping; ``on_open`` fires once per closed/half-open -> open
+    transition (the stats hook).
     """
 
     CLOSED = "closed"
@@ -157,6 +163,7 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._opened_at = 0.0
         self._probing = False
+        self._probe_started = 0.0
 
     def _effective_state(self) -> str:
         if (
@@ -171,19 +178,51 @@ class CircuitBreaker:
         with self._lock:
             return self._effective_state()
 
-    def allow(self) -> bool:
-        """May a call be attempted right now?  A half-open ``True``
-        claims the single probe slot — the caller must report the
-        outcome via :meth:`record_success` / :meth:`record_failure`."""
+    def _probe_claimed(self) -> bool:
+        """Is the half-open probe slot currently held?  A slot whose
+        outcome never arrived expires after ``reset_timeout`` so a
+        claimant that died mid-call cannot lock the host out forever.
+        Caller holds the lock."""
+        if not self._probing:
+            return False
+        if self._clock() - self._probe_started >= self.reset_timeout:
+            self._probing = False
+            return False
+        return True
+
+    def would_allow(self) -> bool:
+        """Non-claiming peek: would :meth:`allow` admit a call right
+        now?  Use this to build candidate lists — it never consumes the
+        half-open probe slot, so a host that is merely *listed* (but not
+        dialed) stays in rotation."""
         with self._lock:
             state = self._effective_state()
             if state == self.CLOSED:
                 return True
-            if state == self.HALF_OPEN and not self._probing:
+            return state == self.HALF_OPEN and not self._probe_claimed()
+
+    def allow(self) -> bool:
+        """May a call be attempted right now?  Call this only for the
+        host actually being dialed: a half-open ``True`` claims the
+        single probe slot, and the caller must report the outcome via
+        :meth:`record_success` / :meth:`record_failure` (or hand back an
+        undialed slot with :meth:`release`)."""
+        with self._lock:
+            state = self._effective_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probe_claimed():
                 self._state = self.HALF_OPEN
                 self._probing = True
+                self._probe_started = self._clock()
                 return True
             return False
+
+    def release(self) -> None:
+        """Return a claimed probe slot without an outcome (the call was
+        never dialed): the next caller may probe immediately."""
+        with self._lock:
+            self._probing = False
 
     def record_success(self) -> None:
         """One call to this host succeeded: close and reset."""
@@ -732,6 +771,9 @@ class RemoteShardBackend:
         )
         #: fingerprint -> reason for every key the *last* batch degraded.
         self.last_degraded: Dict[Fingerprint, str] = {}
+        #: shard ids the last :meth:`shard_sizes` poll could not reach
+        #: (their reported size is an undercount, not a true zero).
+        self.last_sizes_unreachable: List[int] = []
         if sync_tables:
             self.sync_tables()
 
@@ -766,6 +808,8 @@ class RemoteShardBackend:
         """
         remaining = deadline - time.monotonic()
         if remaining <= 0:
+            # Never dialed: hand back a claimed half-open probe slot.
+            host.breaker.release()
             raise _CallFailed("deadline exhausted")
         timeout = min(self.try_timeout, remaining)
         self._rec(self.engine_stats.record_remote_call, n_keys)
@@ -823,12 +867,17 @@ class RemoteShardBackend:
     ) -> Tuple[Optional[dict], str]:
         """The full resilience ladder for one logical request.
 
-        Walks the shard's hosts behind their breakers; retries with
-        full-jitter backoff within the deadline budget; hedges to the
-        next replica when the primary dawdles.  Returns ``(reply,
-        reason)`` — reply ``None`` means the request degraded and
-        ``reason`` says why.  :class:`RemoteOpError` propagates
-        immediately (retrying a refused op cannot help).
+        Walks the shard's hosts behind their breakers — candidates are
+        peeked non-claimingly (:meth:`CircuitBreaker.would_allow`) and
+        each host claims its probe slot only when actually dialed; a
+        fast-failing primary fails over to the next candidate *within
+        the same attempt*, so a healthy replica is reached before the
+        retry budget burns down.  Retries with full-jitter backoff
+        within the deadline budget; hedges to the next replica when the
+        primary dawdles.  Returns ``(reply, reason)`` — reply ``None``
+        means the request degraded and ``reason`` says why.
+        :class:`RemoteOpError` propagates immediately (retrying a
+        refused op cannot help).
         """
         attempt = 0
         reason = "no reachable host"
@@ -836,20 +885,27 @@ class RemoteShardBackend:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 return None, f"deadline exhausted ({reason})"
-            admitted = [h for h in shard_hosts if h.breaker.allow()]
-            if not admitted:
+            candidates = [h for h in shard_hosts if h.breaker.would_allow()]
+            if not candidates:
                 reason = "circuit breakers open for all hosts"
-            else:
-                primary, backups = admitted[0], admitted[1:]
+            dialed = False
+            for i, host in enumerate(candidates):
+                if deadline - time.monotonic() <= 0:
+                    return None, f"deadline exhausted ({reason})"
+                if not host.breaker.allow():
+                    continue  # slot claimed between the peek and the dial
+                dialed = True
                 try:
                     return self._race(
-                        primary, backups if hedge else [], msg, deadline,
-                        n_keys,
+                        host, candidates[i + 1:] if hedge else [], msg,
+                        deadline, n_keys,
                     ), ""
                 except RemoteOpError:
                     raise
                 except _CallFailed as exc:
                     reason = exc.reason
+            if candidates and not dialed:
+                reason = "circuit breakers open for all hosts"
             if attempt >= self.retries:
                 return None, reason
             attempt += 1
@@ -957,8 +1013,34 @@ class RemoteShardBackend:
                     RemoteVerdict([], degraded=True, reason=reason)
                     for _ in fps
                 ]
-            labels = reply.get("labels", [])
-            count_maps = reply.get("counts", [None] * len(fps))
+            # A host that answers with the wrong shape is a protocol
+            # bug, not a dead host: degrade the bucket (every key gets
+            # a verdict, so the merge below cannot KeyError) instead of
+            # crashing the whole batch on a truncated zip.
+            labels = reply.get("labels")
+            count_maps = reply.get("counts") if counts else None
+            malformed = not isinstance(labels, list) or len(labels) != len(fps)
+            if not malformed and counts:
+                malformed = (
+                    not isinstance(count_maps, list)
+                    or len(count_maps) != len(fps)
+                )
+            if malformed:
+                self._rec(self.engine_stats.record_remote_error)
+                got = (
+                    len(labels) if isinstance(labels, list)
+                    else type(labels).__name__
+                )
+                reason = (
+                    f"malformed probe reply for shard {shard}: "
+                    f"{len(fps)} keys probed, labels={got}"
+                )
+                return [
+                    RemoteVerdict([], degraded=True, reason=reason)
+                    for _ in fps
+                ]
+            if count_maps is None:
+                count_maps = [None] * len(fps)
             out = []
             for found, cmap in zip(labels, count_maps):
                 verdict = RemoteVerdict([str(l) for l in found])
@@ -1023,30 +1105,57 @@ class RemoteShardBackend:
         return bool(self._probe_one(fingerprint).labels)
 
     def __len__(self) -> int:
+        """Total keys across reachable shards; see :meth:`shard_sizes`
+        for how unreachable shards are surfaced."""
         return sum(self.shard_sizes())
 
     def shard_sizes(self) -> List[int]:
         """Key count per shard as reported by the first live host of
         each (occupancy diagnostics, like the local sharded store).
-        Cached per client version — a batch's stats snapshot must not
-        cost one status round trip per host per batch."""
+
+        A shard none of whose hosts answered reports ``0`` — an
+        *undercount*, surfaced rather than silent: those shard ids land
+        in ``last_sizes_unreachable``, the ``remote_degraded`` counter
+        moves, and the snapshot is not cached (the next call re-polls).
+        Healthy snapshots are cached per client version — a batch's
+        stats must not cost one status round trip per host per batch."""
         if self._len_cache is not None and self._len_cache[0] == self._version:
             return self._len_cache[1]
         counted: Dict[int, int] = {}
-        for status in self._statuses():
+        reached: List[RemoteHost] = []
+        for host, status in self._status_by_host():
+            if status is None:
+                continue
+            reached.append(host)
             for key, n in status.get("keys_by_shard", {}).items():
                 counted.setdefault(int(key), int(n))
         sizes = [counted.get(s, 0) for s in range(self.n_shards)]
+        unreachable = [
+            s for s in range(self.n_shards)
+            if not any(h.serves(s) for h in reached)
+        ]
+        self.last_sizes_unreachable = unreachable
+        if unreachable:
+            self._rec(
+                self.engine_stats.record_remote_degraded, len(unreachable)
+            )
+            return sizes  # degraded snapshot: do not cache the undercount
         self._len_cache = (self._version, sizes)
         return sizes
 
-    def _statuses(self) -> Iterator[dict]:
-        """One ``status`` reply per host, skipping unreachable ones."""
+    def _status_by_host(self) -> Iterator[Tuple[RemoteHost, Optional[dict]]]:
+        """One ``(host, status reply)`` pair per host; reply ``None``
+        for unreachable hosts."""
         deadline = time.monotonic() + self.deadline
         for host in self.hosts:
             reply, _ = self._call_resilient(
                 [host], {"op": "status"}, deadline, 0, hedge=False
             )
+            yield host, reply
+
+    def _statuses(self) -> Iterator[dict]:
+        """One ``status`` reply per host, skipping unreachable ones."""
+        for _, reply in self._status_by_host():
             if reply is not None:
                 yield reply
 

@@ -566,7 +566,6 @@ class TestRemoteFaultSweep:
             ]
             remote = self._client(
                 specs, deadline=10.0, try_timeout=0.5, retries=2,
-                breaker_failures=1,
             )
             probes = [_fp(i) for i in range(80)]
             verdicts = remote.probe_many(probes)
@@ -575,17 +574,28 @@ class TestRemoteFaultSweep:
             ]
             assert not any(v.degraded for v in verdicts)
             stats = remote.engine_stats
-            assert stats.remote_errors >= 1        # the refusal
-            assert stats.remote_breaker_opens >= 1  # tripped at 1 failure
-            assert stats.remote_retries >= 1        # retried onto the replica
+            assert stats.remote_errors >= 1  # the refusal
+            # Failover happens *within* the attempt — the walk reaches
+            # the live replica without burning the retry budget, even
+            # with the default breaker threshold (3 failures) untripped.
+            assert stats.remote_retries == 0
+            assert stats.remote_breaker_opens == 0
             assert stats.remote_degraded == 0
-            # A second batch goes straight to the replica: the open
+            # Two more batches: one refusal each trips the breaker at
+            # the default threshold of 3 consecutive failures.
+            for _ in range(2):
+                assert remote.lookup_many(probes) == [
+                    flat.lookup(p) for p in probes
+                ]
+            assert stats.remote_breaker_opens >= 1
+            # The next batch goes straight to the replica: the open
             # breaker keeps the dead primary out of the admission list.
             errors_before = stats.remote_errors
             assert remote.lookup_many(probes) == [
                 flat.lookup(p) for p in probes
             ]
             assert stats.remote_errors == errors_before
+            assert stats.remote_degraded == 0
             remote.close()
         finally:
             for thread in threads:

@@ -174,6 +174,36 @@ class TestCircuitBreaker:
         clock["now"] = 20.0
         assert breaker.allow()
 
+    def test_would_allow_peeks_without_claiming(self):
+        breaker, clock, _ = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock["now"] = 10.0
+        # Peeking any number of times never consumes the probe slot.
+        for _ in range(5):
+            assert breaker.would_allow()
+        assert breaker.allow()        # the dial claims it
+        assert not breaker.would_allow()
+        assert not breaker.allow()
+        breaker.release()             # never dialed: hand it back
+        assert breaker.would_allow()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_unresolved_probe_slot_expires_after_reset_timeout(self):
+        # A claimant that dies without reporting an outcome must not
+        # lock the host out of rotation forever.
+        breaker, clock, _ = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock["now"] = 10.0
+        assert breaker.allow()        # claimed, outcome never reported
+        assert not breaker.would_allow()
+        clock["now"] = 20.0           # one reset window later
+        assert breaker.would_allow()
+        assert breaker.allow()
+
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
             CircuitBreaker(failures=0)
@@ -341,6 +371,129 @@ class TestDegradedVerdicts:
     def test_uncovered_shard_is_a_constructor_error(self):
         with pytest.raises(ValueError, match=r"shard\(s\) \[1, 2\]"):
             _client(["0@127.0.0.1:1"], sync_tables=False)
+
+
+class TestBreakerAdmission:
+    def test_half_open_replica_is_not_consumed_by_admission(self):
+        """Regression: building the candidate list must not claim a
+        half-open host's probe slot.  A recovered replica that batches
+        merely *list* (while a healthy primary answers) has to stay
+        dialable, so it can take over the moment the primary dies."""
+        flat, stores = _seed_stores(2)
+        threads = [
+            ShardServerThread(stores[k], n_shards=3).start() for k in range(2)
+        ]
+        try:
+            remote = _client(
+                [f"all@{threads[k].endpoint}" for k in range(2)],
+                deadline=5.0, try_timeout=0.5, retries=3,
+                backoff_base=0.01, backoff_cap=0.02,
+                breaker_reset=0.05, sync_tables=False,
+            )
+            # One bucket only (shard 0): the walk is strictly sequential.
+            probes = [fp for fp, _ in flat.entries()
+                      if shard_index(fp, 3) == 0][:10]
+            assert probes
+            # Trip the *second* host's breaker, then let it go half-open.
+            for _ in range(3):
+                remote.hosts[1].breaker.record_failure()
+            time.sleep(0.06)
+            assert remote.hosts[1].breaker.state == CircuitBreaker.HALF_OPEN
+            # Healthy batches ride the primary; listing the half-open
+            # replica as a candidate must not eat its probe slot.
+            for _ in range(3):
+                assert not any(v.degraded for v in remote.probe_many(probes))
+            assert remote.hosts[1].breaker.would_allow()
+            # Primary dies: the half-open replica must still be dialed.
+            threads[0].stop()
+            verdicts = remote.probe_many(probes)
+            assert not any(v.degraded for v in verdicts)
+            assert [v.labels for v in verdicts] == [
+                flat.lookup(p) for p in probes
+            ]
+            assert remote.hosts[1].breaker.state == CircuitBreaker.CLOSED
+            remote.close()
+        finally:
+            for thread in threads:
+                thread.stop()
+
+
+class TestMalformedReplies:
+    def test_short_labels_list_degrades_the_bucket(self):
+        """A host answering with fewer labels than keys probed is a
+        protocol bug: the bucket degrades with an explicit reason — it
+        must not crash the batch merge (regression: KeyError)."""
+        import json
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        port = listener.getsockname()[1]
+        rogue = json.dumps({"labels": [["app0_X"]]}).encode("utf-8")
+
+        def serve():
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return  # listener closed: test over
+                with conn:
+                    try:
+                        framing.recv_frame_sock(conn)
+                        framing.send_frame_sock(conn, rogue)
+                    except (OSError, framing.FramingError):
+                        pass
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            remote = _client(
+                [f"all@127.0.0.1:{port}"], n_shards=1,
+                deadline=2.0, try_timeout=0.5, retries=0, sync_tables=False,
+            )
+            probes = [_fp(i) for i in range(6)]
+            verdicts = remote.probe_many(probes)  # 6 keys, 1 label back
+            assert all(v.degraded for v in verdicts)
+            assert all("malformed" in v.reason for v in verdicts)
+            assert set(remote.last_degraded) == set(probes)
+            stats = remote.engine_stats
+            assert stats.remote_errors >= 1
+            assert stats.remote_degraded == len(probes)
+            remote.close()
+        finally:
+            listener.close()
+            thread.join(timeout=5.0)
+
+
+class TestShardSizesUnreachable:
+    def test_unreachable_shard_is_surfaced_not_silent(self):
+        _, stores = _seed_stores(3)
+        threads = [
+            ShardServerThread(stores[k], n_shards=3, shards=[k]).start()
+            for k in range(3)
+        ]
+        try:
+            specs = [f"{k}@{threads[k].endpoint}" for k in range(3)]
+            threads[1].stop()
+            remote = _client(
+                specs, deadline=1.5, try_timeout=0.3, retries=0,
+                backoff_base=0.01, backoff_cap=0.02, sync_tables=False,
+            )
+            sizes = remote.shard_sizes()
+            # The undercount is explicit, not silent.
+            assert remote.last_sizes_unreachable == [1]
+            assert sizes[1] == 0 and sizes[0] > 0 and sizes[2] > 0
+            assert remote.engine_stats.remote_degraded >= 1
+            assert len(remote) == sizes[0] + sizes[2]
+            # Degraded snapshots are not cached: a healthy poll would
+            # re-count.  (Live shards answer again on the next call.)
+            assert remote.shard_sizes() == sizes
+            assert remote.last_sizes_unreachable == [1]
+            remote.close()
+        finally:
+            for thread in threads:
+                thread.stop()
 
 
 class TestHedgedProbes:
