@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke faultinject-smoke replicate-smoke remote-smoke
+.PHONY: test bench bench-smoke docs-check docs-check-run selftest serve-demo serve-smoke reshard-smoke mutation-smoke faultinject-smoke replicate-smoke remote-smoke family-smoke
 
 test:            ## tier-1 correctness suite (the merge gate)
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,11 @@ remote-smoke:    ## live 3-host fan-out: fault sweep + scatter/gather bench
 	$(PYTHON) -m pytest tests/test_faultinject.py -q -k TestRemoteFaultSweep
 	BENCH_REMOTE_PROBES=50000 BENCH_REMOTE_KEYS=5000 $(PYTHON) -m pytest \
 	    benchmarks/test_bench_remote_fanout.py -m bench -q
+
+family-smoke:    ## cascade property/unit tier + coarse-absorption bench
+	$(PYTHON) -m pytest tests/test_family_cascade.py -q
+	BENCH_FAMILY_EXECS=500 $(PYTHON) -m pytest \
+	    benchmarks/test_bench_family_cascade.py -m bench -q
 
 mutation-smoke:  ## delta-log write-throughput bench at tiny scale
 	BENCH_MUTATION_KEYS=20000 BENCH_MUTATION_APPENDS=200 $(PYTHON) -m pytest \

@@ -1,0 +1,145 @@
+"""Coarse-tier absorption on a mixed recognition stream.
+
+The acceptance bar for :mod:`repro.family`: on batch traffic mixing
+repeat executions of known variants, new-version (near-family) probes,
+and genuinely unknown applications, the coarse tier must resolve or
+reject at least 80% of probes without full-depth refinement — repeats
+dedup onto already-resolved coarse keys, and unknown-band probes
+short-circuit at the coarse tier the way the columnar store's
+negative-lookup filters would, one layer earlier and for every backend.
+
+The stream is verdict-checked, not just timed: every known execution
+must come back ``match`` under its own family, every drifted probe
+``near-family``, every foreign-band probe ``unknown``.
+
+Scale knobs: ``BENCH_FAMILY_EXECS`` (default 1,000 executions of 4
+nodes each — the 1k mixed stream), ``BENCH_FAMILY_MIN_ABSORPTION``
+(default 0.8).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.dictionary import ExecutionFingerprintDictionary
+from repro.core.fingerprint import Fingerprint
+from repro.engine.stats import EngineStats
+from repro.family import FamilyCascade, FamilySpec
+
+N_EXECS = int(os.environ.get("BENCH_FAMILY_EXECS", 1_000))
+MIN_ABSORPTION = float(os.environ.get("BENCH_FAMILY_MIN_ABSORPTION", 0.8))
+N_NODES = 4
+
+#: Variant -> band of stored depth-3 levels.  Bands sit in distinct
+#: coarse (depth-1) buckets per family, mirroring the calibrated
+#: nr_mapped lattice, so family voting is unambiguous.
+BANDS = {
+    "ft-1.0": 6000.0,
+    "ft-2.0": 6200.0,
+    "mg-1.0": 3000.0,
+    "mg-2.0": 3200.0,
+    "sp-1.0": 8000.0,
+}
+#: Unexplored tail of each family's coarse bucket: depth-3 keys never
+#: stored (bands span base..base+90), yet close enough that the depth-1
+#: projection stays on the family's coarse key — a "new version".
+NEAR_OFFSET = 110.0
+#: A decade no family occupies: coarse projections miss outright.
+UNKNOWN_BASE = 40_000.0
+#: Distinct stored levels per variant (the hot working set whose
+#: repeats the cascade's per-batch dedup absorbs).
+LEVELS_PER_APP = 10
+
+
+def _fps(value):
+    return [
+        Fingerprint(metric="nr_mapped_vmstat", node=node,
+                    interval=(60.0, 120.0), value=value)
+        for node in range(N_NODES)
+    ]
+
+
+@pytest.mark.bench
+def test_family_cascade_absorption(save_report, bench_record):
+    fine = ExecutionFingerprintDictionary()
+    for app, base in BANDS.items():
+        for i in range(LEVELS_PER_APP):
+            for fp in _fps(base + 10.0 * i):
+                fine.add(fp, f"{app}_X")
+
+    stats = EngineStats()
+    cascade = FamilyCascade(
+        fine,
+        spec=FamilySpec.from_apps(fine.app_names()),
+        coarse_depth=1,
+        fine_depth=3,
+        stats=stats,
+    )
+
+    rng = random.Random(2021)
+    apps = sorted(BANDS)
+    stream, kinds = [], []
+    for _ in range(N_EXECS):
+        roll = rng.random()
+        app = rng.choice(apps)
+        if roll < 0.55:  # repeat execution of a known variant
+            value = BANDS[app] + 10.0 * rng.randrange(LEVELS_PER_APP)
+            kinds.append(("match", app.rsplit("-", 1)[0]))
+        elif roll < 0.80:  # same family, unseen version: drifted level
+            value = BANDS[app] + NEAR_OFFSET + 10.0 * rng.randrange(5)
+            kinds.append(("near-family", app.rsplit("-", 1)[0]))
+        else:  # foreign decade: unknown application
+            value = UNKNOWN_BASE + 100.0 * rng.randrange(50)
+            kinds.append(("unknown", None))
+        stream.append(_fps(value))
+
+    t0 = time.perf_counter()
+    verdicts = cascade.cascade_match(stream)
+    elapsed = time.perf_counter() - t0
+
+    tally = {"match": 0, "near-family": 0, "unknown": 0}
+    for verdict, (kind, family) in zip(verdicts, kinds):
+        assert verdict.outcome == kind, (verdict.describe(), kind)
+        if family is not None:
+            assert verdict.family == family
+        tally[kind] += 1
+
+    probes = stats.family_coarse_hits + stats.family_shortcircuits
+    absorption = stats.coarse_absorption
+    assert probes == N_EXECS * N_NODES
+    assert absorption >= MIN_ABSORPTION, (
+        f"coarse tier absorbed only {absorption:.1%} of {probes} probes "
+        f"(refined {stats.family_refinements}); floor {MIN_ABSORPTION:.0%}"
+    )
+
+    tiers = cascade.coarse_stats()
+    execs_per_s = N_EXECS / elapsed if elapsed else float("inf")
+    bench_record.n = N_EXECS
+    bench_record.seconds = round(elapsed, 6)
+    bench_record.throughput = round(execs_per_s, 1)
+    bench_record.extra.update(
+        probes=probes,
+        absorption=round(absorption, 4),
+        refinements=stats.family_refinements,
+        short_circuits=stats.family_shortcircuits,
+        near_family=stats.family_near,
+        coarse_keys=tiers["coarse_keys"],
+        fine_keys=tiers["fine_keys"],
+    )
+
+    save_report("family_cascade_absorption", "\n".join([
+        f"Family cascade: {N_EXECS} executions x {N_NODES} nodes "
+        f"({tiers['fine_keys']} fine keys -> {tiers['coarse_keys']} "
+        f"coarse keys, {tiers['families']} families)",
+        f"  verdicts    : {tally['match']} match, "
+        f"{tally['near-family']} near-family, {tally['unknown']} unknown",
+        f"  coarse tier : {absorption:.1%} of {probes} probes absorbed "
+        f"(refined {stats.family_refinements} unique keys, "
+        f"short-circuited {stats.family_shortcircuits})",
+        f"  throughput  : {execs_per_s:,.0f} executions/s "
+        f"(floor {MIN_ABSORPTION:.0%} absorption)",
+    ]))

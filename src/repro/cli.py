@@ -300,6 +300,19 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    choices=["serial", "thread", "process"],
                    help="engine shard fan-out backend")
     p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--family", action="store_true",
+                   help="serve family-cascade verdicts: a coarse family "
+                        "tier at --family-coarse-depth screens probes "
+                        "before the full-depth dictionary, and 'same app, "
+                        "new version' is reported as near-family instead "
+                        "of unknown")
+    p.add_argument("--family-coarse-depth", type=int, default=1,
+                   help="rounding depth of the coarse family tier "
+                        "(must be <= --depth)")
+    p.add_argument("--family-spec", default=None, metavar="SPEC.json",
+                   help="family spec from `efd family build` (default: "
+                        "derive families from version suffixes of the "
+                        "dictionary's app names)")
     p.add_argument("--no-compact-on-close", action="store_true",
                    help="leave a columnar dictionary's pending delta-log "
                         "unfolded at shutdown (records replay on next load)")
@@ -373,6 +386,63 @@ def _add_replay(sub: argparse._SubParsersAction) -> None:
                    help="suppress the per-connection summary lines")
 
 
+def _add_family(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "family",
+        help="hierarchical recognition: group labels into app families, "
+             "cascade coarse family tier -> full-depth variant tier",
+    )
+    fsub = p.add_subparsers(dest="family_command", required=True)
+
+    build = fsub.add_parser(
+        "build",
+        help="derive a family hierarchy from a dictionary's label->app "
+             "mapping (or an explicit spec) and write it as JSON",
+    )
+    src = build.add_mutually_exclusive_group(required=True)
+    src.add_argument("--efd", help="flat dictionary JSON path")
+    src.add_argument("--efd-dir", help="sharded dictionary directory")
+    build.add_argument("--depth", type=int, required=True,
+                       help="rounding depth the dictionary was built with "
+                            "(the cascade's fine depth)")
+    build.add_argument("--coarse-depth", type=int, default=1,
+                       help="rounding depth of the coarse family tier")
+    build.add_argument("--map", action="append", default=None,
+                       metavar="APP=FAMILY",
+                       help="explicit family assignment (repeatable); "
+                            "unmapped apps fall back to the version-suffix "
+                            "heuristic (app-1.2 -> family 'app')")
+    build.add_argument("--out", default=None, metavar="SPEC.json",
+                       help="write the family spec JSON here")
+
+    report = fsub.add_parser(
+        "report",
+        help="cascade a dataset: distinguish 'same app, new version' "
+             "(near-family) from 'unknown app' per execution",
+    )
+    src = report.add_mutually_exclusive_group(required=True)
+    src.add_argument("--efd", help="flat dictionary JSON path")
+    src.add_argument("--efd-dir", help="sharded dictionary directory")
+    report.add_argument("--data", required=True, help="dataset .npz path")
+    report.add_argument("--depth", type=int, required=True,
+                        help="rounding depth the dictionary was built with")
+    report.add_argument("--coarse-depth", type=int, default=1,
+                        help="rounding depth of the coarse family tier "
+                             "(overridden by --spec's recorded depth)")
+    report.add_argument("--spec", default=None, metavar="SPEC.json",
+                        help="family spec from `efd family build` "
+                             "(default: derive families from version "
+                             "suffixes of the dictionary's app names)")
+    report.add_argument("--metric", default="nr_mapped_vmstat")
+    report.add_argument("--interval", nargs=2, type=float,
+                        default=[60.0, 120.0])
+    report.add_argument("--backend", default="serial",
+                        choices=["serial", "thread", "process"])
+    report.add_argument("--workers", type=int, default=None)
+    report.add_argument("--quiet", action="store_true",
+                        help="suppress per-execution verdict lines")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="efd",
@@ -388,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tables(sub)
     _add_info(sub)
     _add_engine(sub)
+    _add_family(sub)
     _add_serve(sub)
     _add_shardserve(sub)
     _add_promote(sub)
@@ -866,14 +937,36 @@ def _serve_build_engine(args: argparse.Namespace, listening: bool = False):
             stream_fh = open(args.input, "r", encoding="utf-8")
             samples = read_samples(stream_fh)
         expected = None
-    engine = BatchRecognizer(
-        dictionary,
-        metric=args.metric,
-        depth=depth,
-        interval=(args.interval[0], args.interval[1]),
-        backend=args.backend,
-        n_workers=args.workers,
-    )
+    if getattr(args, "family", False):
+        from repro.family import FamilyCascade, load_family_spec, make_family_engine
+
+        spec = None
+        coarse_depth = args.family_coarse_depth
+        if args.family_spec is not None:
+            spec, coarse_depth, _ = load_family_spec(args.family_spec)
+        try:
+            cascade = FamilyCascade(
+                dictionary, spec=spec, coarse_depth=coarse_depth,
+                fine_depth=depth,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"efd serve: {exc}")
+        engine = make_family_engine(
+            cascade,
+            metric=args.metric,
+            interval=(args.interval[0], args.interval[1]),
+            backend=args.backend,
+            n_workers=args.workers,
+        )
+    else:
+        engine = BatchRecognizer(
+            dictionary,
+            metric=args.metric,
+            depth=depth,
+            interval=(args.interval[0], args.interval[1]),
+            backend=args.backend,
+            n_workers=args.workers,
+        )
     if getattr(args, "remote", None) is not None:
         # One stats object end to end: the backend's remote_* counters
         # land in the same EngineStats the service renders at exit.
@@ -922,9 +1015,15 @@ class _VerdictReporter:
     def __call__(self, job, result) -> None:
         self.predictions[job] = result.prediction
         if not self.quiet:
-            app = result.prediction or "unknown"
-            print(f"verdict job={job} app={app} votes={dict(result.votes)}",
-                  flush=True)
+            if hasattr(result, "outcome"):
+                # Family-cascade verdict: outcome + family carry more
+                # than the bare prediction ("same app, new version").
+                print(f"verdict job={job} {result.describe()} "
+                      f"votes={dict(result.votes)}", flush=True)
+            else:
+                app = result.prediction or "unknown"
+                print(f"verdict job={job} app={app} "
+                      f"votes={dict(result.votes)}", flush=True)
 
 
 async def _serve_run(engine, samples, config, reporter, chunk_size: int = 256):
@@ -1151,6 +1250,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         remote_hedge_percentile=args.remote_hedge_percentile,
         remote_breaker_failures=args.remote_breaker_failures,
         remote_breaker_reset=args.remote_breaker_reset,
+        family_mode=args.family,
+        family_coarse_depth=args.family_coarse_depth,
+        family_spec_path=args.family_spec,
     )
     if following:
         # A replica folding its own delta-log would advance its
@@ -1319,6 +1421,103 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _family_load_dictionary(args: argparse.Namespace):
+    if args.efd is not None:
+        from repro.core.serialization import load_dictionary
+
+        return load_dictionary(args.efd)
+    from repro.engine import load_sharded
+
+    return load_sharded(args.efd_dir)
+
+
+def _cmd_family_build(args: argparse.Namespace) -> int:
+    from repro.family import FamilyCascade, FamilySpec, save_family_spec
+
+    dictionary = _family_load_dictionary(args)
+    apps = dictionary.app_names()
+    if not apps:
+        raise SystemExit("efd family build: the dictionary holds no labels")
+    mapping = {app: FamilySpec().family_of_app(app) for app in apps}
+    for entry in args.map or []:
+        app, sep, family = entry.partition("=")
+        if not sep or not app or not family:
+            raise SystemExit(
+                f"efd family build: --map expects APP=FAMILY, got {entry!r}"
+            )
+        mapping[app] = family
+    spec = FamilySpec(mapping)
+    try:
+        cascade = FamilyCascade(
+            dictionary, spec=spec, coarse_depth=args.coarse_depth,
+            fine_depth=args.depth,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"efd family build: {exc}")
+    sizes = cascade.coarse_stats()
+    print(f"family hierarchy over {sizes['variants']} app(s):")
+    for family, variants in spec.variants_by_family(apps).items():
+        print(f"  {family:<16} <- {', '.join(variants)}")
+    print(f"coarse tier : {sizes['coarse_keys']} key(s) at depth "
+          f"{args.coarse_depth} ({sizes['families']} family label(s))")
+    print(f"fine tier   : {sizes['fine_keys']} key(s) at depth {args.depth}")
+    if args.out is not None:
+        save_family_spec(args.out, spec, args.coarse_depth, args.depth)
+        print(f"family spec -> {args.out}")
+    return 0
+
+
+def _cmd_family_report(args: argparse.Namespace) -> int:
+    from repro.data.io import load_dataset
+    from repro.family import FamilyCascade, load_family_spec
+
+    dictionary = _family_load_dictionary(args)
+    spec = None
+    coarse_depth = args.coarse_depth
+    if args.spec is not None:
+        spec, coarse_depth, _ = load_family_spec(args.spec)
+    try:
+        cascade = FamilyCascade(
+            dictionary, spec=spec, coarse_depth=coarse_depth,
+            fine_depth=args.depth,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"efd family report: {exc}")
+    records = list(load_dataset(args.data))
+    verdicts = cascade.recognize_records(
+        records,
+        metric=args.metric,
+        interval=(args.interval[0], args.interval[1]),
+        backend=args.backend,
+        n_workers=args.workers,
+    )
+    tally = {"match": 0, "near-family": 0, "unknown": 0}
+    for record, verdict in zip(records, verdicts):
+        tally[verdict.outcome] += 1
+        if not args.quiet:
+            print(f"{record.label:<24} {verdict.describe()}")
+    total = len(records)
+    print(f"cascaded {total} execution(s): "
+          f"{tally['match']} match, "
+          f"{tally['near-family']} near-family (same app, new version), "
+          f"{tally['unknown']} unknown app")
+    sizes = cascade.coarse_stats()
+    print(f"tiers: {sizes['coarse_keys']} coarse key(s) at depth "
+          f"{coarse_depth} over {sizes['families']} family(ies), "
+          f"{sizes['fine_keys']} fine key(s) at depth {args.depth}")
+    return 0
+
+
+_FAMILY_COMMANDS = {
+    "build": _cmd_family_build,
+    "report": _cmd_family_report,
+}
+
+
+def _cmd_family(args: argparse.Namespace) -> int:
+    return _FAMILY_COMMANDS[args.family_command](args)
+
+
 _ENGINE_COMMANDS = {
     "selftest": _cmd_engine_selftest,
     "shard": _cmd_engine_shard,
@@ -1342,6 +1541,7 @@ _COMMANDS = {
     "tables": _cmd_tables,
     "info": _cmd_info,
     "engine": _cmd_engine,
+    "family": _cmd_family,
     "serve": _cmd_serve,
     "shardserve": _cmd_shardserve,
     "promote": _cmd_promote,

@@ -141,6 +141,37 @@ class MultiMetricRecognizer:
             return self.predict_one(data)
         return [self.predict_one(r) for r in _as_records(data)]
 
+    # -- family cascade --------------------------------------------------------
+    def family_cascade(self, spec=None, coarse_depth: int = 1):
+        """A :class:`~repro.family.FamilyCascade` over the fitted
+        dictionary, so multi-metric verdicts carry the family/variant
+        distinction and the ``near-family`` outcome.
+
+        The fine depth is the deepest per-metric tuned depth — every
+        stored key is representable there, shallower metrics' keys just
+        project onto themselves sooner.  In ``mode="combine"`` the
+        cascade degenerates gracefully: synthetic keys all carry value
+        0.0, so the coarse tier only distinguishes what the synthetic
+        metric string already distinguishes and ``near-family`` never
+        fires — combinatorial keys are all-or-nothing by design.
+        """
+        from repro.family import FamilyCascade
+
+        self._check_fitted()
+        return FamilyCascade(
+            self.dictionary_,
+            spec=spec,
+            coarse_depth=coarse_depth,
+            fine_depth=max(max(self.depths_.values()), coarse_depth),
+        )
+
+    def predict_family(self, record: ExecutionRecord, spec=None,
+                       coarse_depth: int = 1):
+        """Cascade one execution: a :class:`~repro.family.FamilyVerdict`
+        whose ``match`` equals :meth:`predict_detail`."""
+        cascade = self.family_cascade(spec=spec, coarse_depth=coarse_depth)
+        return cascade.cascade_match([self._fingerprints(record)])[0]
+
     def _check_fitted(self) -> None:
         if not hasattr(self, "dictionary_"):
             raise RuntimeError(

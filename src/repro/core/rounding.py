@@ -22,50 +22,110 @@ from typing import Union
 import numpy as np
 
 
+def _check_depth(depth: int) -> None:
+    """Shared depth validation: raises before *any* coercion work, with
+    identical error text on the scalar and the vectorized path — callers
+    (and the cascade's coarse/fine depth pair) rely on catching one
+    message."""
+    if depth < 1:
+        raise ValueError(f"rounding depth must be >= 1, got {depth}")
+
+
+#: Largest ``k`` for which ``10.0 ** k`` is a finite double.  Scaling a
+#: subnormal up to the units position needs shifts beyond this (down to
+#: ``5e-324`` the shift reaches ``depth + 323``), so those are applied
+#: in two finite steps instead of overflowing to ``inf``.
+_MAX_POW10 = 308
+
+#: Depth at which rounding any double is the identity: the quantum
+#: ``10**(magnitude - depth + 1)`` is then at least ~200x below half an
+#: ulp, so the nearest double to the rounded real value is the input
+#: itself.  Short-circuiting here also keeps the scaled magnitude
+#: (``< 10**depth``) comfortably finite on both paths.
+_IDENTITY_DEPTH = 19
+
+
 def round_depth(value: float, depth: int) -> float:
     """Round ``value`` to ``depth`` significant digits.
 
     Depth 1 keeps only the left-most non-zero digit's position; larger
-    depths keep more.  Zero rounds to zero at every depth; NaN propagates
-    (a missing interval mean must not silently become a fingerprint).
+    depths keep more.  Zero rounds to zero at every depth; NaN and
+    infinities propagate (a missing or saturated interval mean must not
+    silently become a fingerprint).
     """
-    if depth < 1:
-        raise ValueError(f"rounding depth must be >= 1, got {depth}")
+    _check_depth(depth)
     if value != value:  # NaN
         return float("nan")
     if value == 0.0:
         return 0.0
+    if math.isinf(value):
+        return value
+    if depth >= _IDENTITY_DEPTH:
+        return value
     magnitude = math.floor(math.log10(abs(value)))
-    shift = depth - 1 - magnitude
     # Scale so the target digit sits at the units position, round to the
     # nearest integer (ties to even, as NumPy does), and scale back.
     # Dividing by a positive power of ten on the way back keeps large
-    # magnitudes exact (10**k is exact for k >= 0; 10**-k is not).
+    # magnitudes exact (10**k is exact for k >= 0; 10**-k is not).  The
+    # vectorized path applies _round_at_shift per shift group so both
+    # paths share the exact same power-of-ten constants and operation
+    # order — ``10.0 ** k`` and ``np.power(10.0, k)`` differ by an ulp
+    # at large ``k``, enough to break bit-for-bit agreement.
+    return _round_at_shift(value, depth - 1 - magnitude, round)
+
+
+def _round_at_shift(value, shift: int, round_fn):
+    """Round ``value`` (scalar or ndarray) at an integral decimal shift.
+
+    With ``depth < _IDENTITY_DEPTH`` the shift is bounded to
+    ``[-291, 341]`` and the scaled magnitude to ``< 10**18``, so the
+    only possible overflow is a value legitimately rounding up past the
+    largest double (to ``inf``) on the way back down.
+    """
     if shift >= 0:
+        if shift > _MAX_POW10:
+            lo = 10.0 ** _MAX_POW10
+            hi = 10.0 ** (shift - _MAX_POW10)
+            return round_fn(value * lo * hi) / hi / lo
         scale = 10.0 ** shift
-        return round(value * scale) / scale
+        return round_fn(value * scale) / scale
+    # shift >= depth - 1 - 308 here, so 10.0 ** (-shift) never overflows.
     scale = 10.0 ** (-shift)
-    return round(value / scale) * scale
+    return round_fn(value / scale) * scale
 
 
 def round_depth_array(values, depth: int) -> np.ndarray:
-    """Vectorized :func:`round_depth` over an array."""
-    if depth < 1:
-        raise ValueError(f"rounding depth must be >= 1, got {depth}")
+    """Vectorized :func:`round_depth` over an array.
+
+    Agrees with the scalar path bit-for-bit on every input (NaN results
+    are canonicalized the same way the scalar path's ``float("nan")``
+    is) — a property-tested contract, see ``tests/test_family_cascade``.
+    """
+    _check_depth(depth)
     values = np.asarray(values, dtype=float)
     out = np.array(values, dtype=float, copy=True)
     out[values == 0.0] = 0.0  # scalar path maps -0.0 to +0.0 too
+    out[np.isnan(values)] = float("nan")  # canonical NaN, like the scalar
+    if depth >= _IDENTITY_DEPTH:
+        return out
     finite = np.isfinite(values) & (values != 0.0)
     if not finite.any():
         return out
     v = values[finite]
     magnitude = np.floor(np.log10(np.abs(v)))
-    shift = depth - 1 - magnitude
-    # Mirror the scalar path exactly: multiply for non-negative shifts,
-    # divide for negative ones, so both functions agree bit-for-bit.
-    up = np.power(10.0, np.maximum(shift, 0.0))
-    down = np.power(10.0, np.maximum(-shift, 0.0))
-    out[finite] = np.round(v * up / down) / up * down
+    shift = (depth - 1 - magnitude).astype(np.int64)
+    rounded = np.empty_like(v)
+    # Group by shift so each group scales by the same Python-float
+    # power of ten the scalar path would use.  Telemetry arrays span a
+    # handful of decades, so the group count stays tiny.
+    # Rounding the very top of the double range up past the largest
+    # representable value overflows to inf on both paths; the scalar one
+    # does so silently, so suppress NumPy's warning for the same case.
+    with np.errstate(over="ignore"):
+        for s in np.unique(shift):
+            group = shift == s
+            rounded[group] = _round_at_shift(v[group], int(s), np.round)
+    out[finite] = rounded
     return out
 
 
@@ -75,8 +135,7 @@ def bucket_width(value: float, depth: int) -> float:
     Useful for reasoning about pruning: fingerprints within half a bucket
     of each other collapse onto the same key.
     """
-    if depth < 1:
-        raise ValueError(f"rounding depth must be >= 1, got {depth}")
+    _check_depth(depth)
     if value == 0.0 or value != value:
         return 0.0
     magnitude = math.floor(math.log10(abs(value)))

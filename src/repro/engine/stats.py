@@ -86,6 +86,13 @@ class EngineStats:
     remote_hedges_lost: int = 0       # hedges beaten by the primary after all
     remote_breaker_opens: int = 0     # circuit breakers tripped open
     remote_degraded: int = 0          # keys resolved with a degraded verdict
+    # -- family-cascade counters (fed by repro.family.FamilyCascade) ----------
+    family_coarse_hits: int = 0       # probes the coarse tier answered
+    family_shortcircuits: int = 0     # probes rejected without touching the
+                                      # fine tier (coarse projection missed)
+    family_refinements: int = 0       # unique keys sent on to full depth
+    family_near: int = 0              # near-family verdicts (same app, new
+                                      # version) — would be unknowns flatly
 
     def record_batch(
         self,
@@ -251,6 +258,25 @@ class EngineStats:
         because every host of their shard was unreachable."""
         self.remote_degraded += n_keys
 
+    # -- family-cascade recorder (fed by repro.family.FamilyCascade) ----------
+    def record_cascade(
+        self,
+        coarse_hits: int,
+        short_circuits: int,
+        refinements: int,
+        near_family: int,
+    ) -> None:
+        """Fold one cascade batch's tier traffic into the counters.
+
+        ``coarse_hits + short_circuits`` is the per-node probe count;
+        ``refinements`` counts *unique* keys that actually reached the
+        fine backend, so ``1 - refinements / probes`` is the fraction of
+        traffic the coarse tier absorbed (the ``family-smoke`` gate)."""
+        self.family_coarse_hits += coarse_hits
+        self.family_shortcircuits += short_circuits
+        self.family_refinements += refinements
+        self.family_near += near_family
+
     # -- derived -------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
@@ -311,6 +337,24 @@ class EngineStats:
             or self.remote_degraded
         )
 
+    @property
+    def cascading(self) -> bool:
+        """True when any family-cascade counter has moved (a
+        :class:`~repro.family.FamilyCascade` fronts this engine)."""
+        return bool(
+            self.family_coarse_hits or self.family_shortcircuits
+            or self.family_refinements or self.family_near
+        )
+
+    @property
+    def coarse_absorption(self) -> float:
+        """Fraction of cascade probes the coarse tier resolved or
+        rejected without a full-depth refinement (0 when idle)."""
+        probes = self.family_coarse_hits + self.family_shortcircuits
+        if probes == 0:
+            return 0.0
+        return 1.0 - self.family_refinements / probes
+
     # -- (de)serialization -----------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (counters + derived rates)."""
@@ -364,6 +408,10 @@ class EngineStats:
             "remote_hedges_lost": self.remote_hedges_lost,
             "remote_breaker_opens": self.remote_breaker_opens,
             "remote_degraded": self.remote_degraded,
+            "family_coarse_hits": self.family_coarse_hits,
+            "family_shortcircuits": self.family_shortcircuits,
+            "family_refinements": self.family_refinements,
+            "family_near": self.family_near,
         }
 
     @classmethod
@@ -422,6 +470,10 @@ class EngineStats:
             remote_hedges_lost=_i("remote_hedges_lost"),
             remote_breaker_opens=_i("remote_breaker_opens"),
             remote_degraded=_i("remote_degraded"),
+            family_coarse_hits=_i("family_coarse_hits"),
+            family_shortcircuits=_i("family_shortcircuits"),
+            family_refinements=_i("family_refinements"),
+            family_near=_i("family_near"),
         )
 
     def render(self) -> str:
@@ -497,5 +549,13 @@ class EngineStats:
                 f"lost={self.remote_hedges_lost}), "
                 f"breaker_opens={self.remote_breaker_opens}, "
                 f"degraded={self.remote_degraded}"
+            )
+        if self.cascading:
+            lines.append(
+                f"cascade     : coarse_hits={self.family_coarse_hits}, "
+                f"short_circuits={self.family_shortcircuits}, "
+                f"refinements={self.family_refinements} "
+                f"(absorption={self.coarse_absorption:.0%}), "
+                f"near_family={self.family_near}"
             )
         return "\n".join(lines)

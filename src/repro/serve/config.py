@@ -149,6 +149,21 @@ class ServeConfig:
     remote_breaker_reset:
         Seconds an open breaker waits before admitting one half-open
         probe call; the probe's success closes it, failure re-opens it.
+    family_mode:
+        Serve verdicts through a :class:`~repro.family.FamilyCascade`
+        fronting the engine's dictionary: a coarse family tier at
+        ``family_coarse_depth`` rejects or routes probes before the
+        full-depth dictionary is consulted, and verdicts carry the
+        ``match`` / ``near-family`` / ``unknown`` outcome distinction
+        ("same app, new version" stops being reported as unknown).
+    family_coarse_depth:
+        Rounding depth of the coarse family tier; must be <= the
+        engine's recognition depth.  Depth 1 keeps the coarse tier
+        smallest; paper Table 1 suggests 2 when families sit close.
+    family_spec_path:
+        Optional path to an ``efd family build`` spec JSON mapping
+        application names to families.  ``None`` derives families from
+        version suffixes of the dictionary's application names.
     """
 
     max_pending_samples: int = 4096
@@ -179,6 +194,9 @@ class ServeConfig:
     remote_hedge_percentile: float = 0.95
     remote_breaker_failures: int = 3
     remote_breaker_reset: float = 1.0
+    family_mode: bool = False
+    family_coarse_depth: int = 1
+    family_spec_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_pending_samples < 1:
@@ -297,4 +315,13 @@ class ServeConfig:
             raise ValueError(
                 f"remote_breaker_reset must be positive, "
                 f"got {self.remote_breaker_reset}"
+            )
+        if self.family_coarse_depth < 1:
+            raise ValueError(
+                f"family_coarse_depth must be >= 1, "
+                f"got {self.family_coarse_depth}"
+            )
+        if self.family_spec_path is not None and not self.family_mode:
+            raise ValueError(
+                "family_spec_path requires family_mode=True"
             )

@@ -26,6 +26,12 @@ from repro.workloads.registry import (
 )
 from repro.workloads.unknown import make_unknown_app
 from repro.workloads.cryptominer import make_cryptominer
+from repro.workloads.versions import (
+    VersionedAppModel,
+    make_versioned_app,
+    make_version_family,
+    versioned_workloads,
+)
 
 __all__ = [
     "AppModel",
@@ -44,4 +50,8 @@ __all__ = [
     "STARRED_APPS",
     "make_unknown_app",
     "make_cryptominer",
+    "VersionedAppModel",
+    "make_versioned_app",
+    "make_version_family",
+    "versioned_workloads",
 ]

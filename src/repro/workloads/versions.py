@@ -1,0 +1,173 @@
+"""Versioned application variants: the family cascade's workload side.
+
+A new release of an application shifts its metric working set a little —
+a refactored allocator maps a few more pages, a new kernel loop nudges
+instruction mix — but does not move it to a different operating point.
+:class:`VersionedAppModel` models exactly that: it wraps a base
+:class:`~repro.workloads.base.AppModel` and multiplies every base level
+by ``1 + drift``, leaving phases, shapes, durations, and execution
+variation identical.
+
+The drift magnitude is the whole point.  For the calibrated
+``nr_mapped_vmstat`` levels (4-digit values around 2000–8000), a
+relative shift of a few tenths of a percent moves the value to a *new
+key at rounding depth 3* while staying inside the *same bucket at depth
+2* on most nodes — so a versioned variant is exactly what the family
+cascade's ``near-family`` verdict exists for: full-depth miss, coarse
+hit.  Drifts derived by :func:`make_versioned_app` stay in
+``±[0.0025, 0.0045]``, below the tightest depth-2 half-bucket of the
+calibrated levels (the cryptominer's 2140 tolerates < 0.467 %) while
+clearing the depth-3 quantum (> 0.234 % at 2140).  Values with five
+calibrated digits (miniAMR's 10600+) need fine depth 4 to separate —
+the same Table 1 precision caveat the flat dictionary has.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro._util.hashing import stable_hash
+from repro.telemetry.metrics import MetricSpec
+from repro.workloads.base import AppModel
+from repro.workloads.registry import WorkloadRegistry, default_workloads
+
+#: Drift magnitude window: above the depth-3 quantum of the smallest
+#: calibrated level, below the tightest depth-2 half-bucket.
+DRIFT_RANGE = (0.0025, 0.0045)
+
+#: Well-separated drift slots.  Consecutive versions of one family take
+#: consecutive slots (see :func:`make_version_family`), so the first two
+#: versions drift in *opposite* directions with the widest available
+#: separation (0.72 % relative) — comfortably more than the per-execution
+#: level jitter of the calibrated metrics (±2σ ≈ 0.3 %), so two versions
+#: never share a depth-3 key even across noisy executions, while every
+#: slot stays inside the depth-2 half-bucket of the calibrated levels
+#: (the miner's 2140 tolerates < 0.467 %).
+DRIFT_SLOTS = (+0.0027, -0.0045, -0.0027, +0.0045)
+
+
+class VersionedAppModel(AppModel):
+    """A version/variant of an existing application model.
+
+    The variant's name is ``"<base>-<version>"`` — the dash-digit suffix
+    :func:`repro.family.split_version` parses — and its levels are the
+    base model's levels scaled by ``1 + drift``.  Level derivation
+    delegates to the *base* model (under the base application's name),
+    so a variant stays on its family's lattice slot for derived metrics
+    instead of drawing a fresh unrelated level, and inherits calibrated
+    levels verbatim before the drift is applied.
+    """
+
+    def __init__(self, base: AppModel, version: str, drift: float):
+        if not version:
+            raise ValueError("version must be non-empty")
+        if not version[0].isdigit() and not (
+            version[0] == "v" and len(version) > 1 and version[1].isdigit()
+        ):
+            raise ValueError(
+                f"version must start with a digit (or 'v' + digit) so the "
+                f"family heuristic can parse it back, got {version!r}"
+            )
+        if not -0.02 <= drift <= 0.02:
+            raise ValueError(f"drift must be in [-0.02, 0.02], got {drift}")
+        super().__init__(
+            f"{base.name}-{version}",
+            calibrated_levels=base.calibrated_levels,
+            input_coupling=base.input_coupling,
+            exec_sigma_overrides=base.exec_sigma_overrides,
+            init_duration=base.init_duration,
+            base_duration=base.base_duration,
+            node0_bias=base.node0_bias,
+            node_correlation=base.node_correlation,
+        )
+        self.base = base
+        self.version = version
+        self.drift = float(drift)
+
+    def base_level(
+        self,
+        metric: MetricSpec,
+        input_name: str,
+        node: int,
+        n_nodes: int,
+    ) -> float:
+        """The base application's level, shifted by the version drift."""
+        return self.base.base_level(metric, input_name, node, n_nodes) * (
+            1.0 + self.drift
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionedAppModel({self.base.name!r}, version={self.version!r}, "
+            f"drift={self.drift:+.4f})"
+        )
+
+
+def _resolve_base(base: Union[AppModel, str]) -> AppModel:
+    if isinstance(base, AppModel):
+        return base
+    registry = default_workloads()
+    if base in registry:
+        return registry.get(base)
+    if base == "xmr_miner":
+        from repro.workloads.cryptominer import make_cryptominer
+
+        return make_cryptominer()
+    raise KeyError(
+        f"unknown base application {base!r}; known: "
+        f"{registry.names() + ['xmr_miner']}"
+    )
+
+
+def make_versioned_app(
+    base: Union[AppModel, str],
+    version: str,
+    drift: Optional[float] = None,
+) -> VersionedAppModel:
+    """Build a versioned variant of ``base`` (a model or a known name).
+
+    When ``drift`` is None a deterministic signed drift is derived from
+    ``(base, version)`` inside :data:`DRIFT_RANGE`, so distinct versions
+    of one application land on distinct fine keys, reproducibly.
+    """
+    model = _resolve_base(base)
+    if drift is None:
+        slot = stable_hash(model.name, version, "drift-slot") % len(DRIFT_SLOTS)
+        drift = DRIFT_SLOTS[slot]
+    return VersionedAppModel(model, version, drift)
+
+
+def make_version_family(
+    base: Union[AppModel, str],
+    versions: Sequence[str],
+) -> List[VersionedAppModel]:
+    """Variants of one application, one per version string.
+
+    Drift slots are assigned round-robin in ``versions`` order — unlike
+    hash-derived drifts this cannot put two versions of one family on
+    the same slot (up to ``len(DRIFT_SLOTS)`` versions), so every
+    variant is a distinct depth-3 fingerprint of the same family."""
+    model = _resolve_base(base)
+    return [
+        VersionedAppModel(model, v, DRIFT_SLOTS[i % len(DRIFT_SLOTS)])
+        for i, v in enumerate(versions)
+    ]
+
+
+def versioned_workloads(
+    families: Optional[Sequence[str]] = None,
+    versions: Sequence[str] = ("1.0", "2.0"),
+) -> WorkloadRegistry:
+    """A registry of versioned variants for the family-cascade scenario.
+
+    Each named family (default: ``ft``, ``mg``, ``sp``, plus the
+    ``xmrig`` miner) contributes one variant per version string —
+    ``ft-1.0``, ``ft-2.0``, ... — ready for
+    :class:`~repro.family.FamilySpec.from_apps` to regroup.
+    """
+    names = list(families) if families is not None else ["ft", "mg", "sp", "xmr_miner"]
+    models = {}
+    for name in names:
+        for variant in make_version_family(name, versions):
+            models[variant.name] = variant
+    return WorkloadRegistry(models)

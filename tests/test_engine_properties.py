@@ -971,3 +971,210 @@ class TestValidation:
         )
         with pytest.raises(KeyError, match="no telemetry"):
             engine.recognize_records(list(tiny_dataset)[:2])
+
+
+class TestFamilyCascadeEquivalence:
+    """The cascade equivalence matrix (hierarchical == flat, everywhere).
+
+    Two disciplines, each replayed element-wise against every fine-tier
+    backend — flat, sharded-JSON, columnar npz, columnar mmap, and the
+    remote fan-out client — under interleaved learns *through the
+    cascade*:
+
+    - **degenerate**: singleton families plus ``coarse == fine`` depth
+      collapse the hierarchy; every verdict must equal flat recognition
+      outright (same MatchResult, same ranking, a ``match`` exactly when
+      flat recognized, and ``near-family`` can never fire because the
+      coarse tier holds exactly the fine keys);
+    - **real families**: versioned labels (``ft-1.0_X``); the fine-tier
+      result must *still* equal the flat oracle (coarse pruning only
+      skips guaranteed misses), and a match verdict's family is always
+      the spec's family of the winning variant, backed by coarse votes.
+    """
+
+    N_SHARDS = 3
+
+    # -- script generation --------------------------------------------------
+    def _label(self, rng, versioned):
+        app = rng.choice(_APPS)
+        if versioned:
+            app = f"{app}-{rng.choice(('1.0', '2.0'))}"
+        return f"{app}_{rng.choice(_INPUTS)}"
+
+    def _script(self, seed, versioned, n_base=150, n_rounds=4):
+        """Base pairs + per-round (learns, probes, expected-flat) replay.
+
+        Expectations come from a private flat oracle advanced through
+        the same learns, so every backend replays one deterministic
+        script and is compared to identical flat results.
+        """
+        from repro.core.matcher import match_fingerprints
+
+        rng = random.Random(seed)
+        base = [
+            (_random_fingerprint(rng), self._label(rng, versioned))
+            for _ in range(n_base)
+        ]
+        oracle = ExecutionFingerprintDictionary()
+        for fp, label in base:
+            oracle.add(fp, label)
+        known = [fp for fp, _ in base]
+        rounds = []
+        for _ in range(n_rounds):
+            learns = []
+            for _ in range(rng.randrange(0, 3)):
+                label = self._label(rng, versioned)
+                fps = [
+                    None if rng.random() < 0.2 else _random_fingerprint(rng)
+                    for _ in range(rng.randrange(1, 5))
+                ]
+                learns.append((label, fps))
+                for fp in fps:
+                    if fp is not None:
+                        oracle.add(fp, label)
+                        known.append(fp)
+            probe_lists = []
+            for _ in range(10):
+                fps = []
+                for _ in range(rng.randrange(1, 6)):
+                    roll = rng.random()
+                    if roll < 0.15:
+                        fps.append(None)
+                    elif roll < 0.45:
+                        fps.append(_random_fingerprint(rng))
+                    else:
+                        fps.append(rng.choice(known))
+                probe_lists.append(fps)
+            expected = [match_fingerprints(oracle, fps) for fps in probe_lists]
+            rounds.append((learns, probe_lists, expected))
+        return base, rounds
+
+    # -- the five fine-tier backends ----------------------------------------
+    def _stores(self, base, tmp_path):
+        """Every backend loaded from one snapshot of the base pairs.
+
+        Returns ``(stores, closers)``; callers must run the closers
+        (remote client + shard server threads) in a finally block.
+        """
+        from repro.engine import load_sharded, save_sharded
+        from repro.engine.remote import RemoteShardBackend, ShardServerThread
+
+        flat = ExecutionFingerprintDictionary()
+        sharded = ShardedDictionary(self.N_SHARDS)
+        for fp, label in base:
+            flat.add(fp, label)
+            sharded.add(fp, label)
+        json_dir = str(tmp_path / "json")
+        save_sharded(sharded, json_dir)
+        col_dir = str(tmp_path / "col")
+        save_columnar(sharded, col_dir)
+        mmap_dir = str(tmp_path / "mmap")
+        save_columnar(sharded, mmap_dir, storage="mmap")
+
+        threads, specs = [], []
+        for k in range(2):
+            directory = str(tmp_path / f"host{k}")
+            save_columnar(sharded, directory)
+            owned = [s for s in range(self.N_SHARDS) if s % 2 == k]
+            thread = ShardServerThread(
+                load_columnar(directory), n_shards=self.N_SHARDS,
+                shards=owned,
+            ).start()
+            threads.append(thread)
+            specs.append(
+                f"{','.join(str(s) for s in owned)}@{thread.endpoint}"
+            )
+        remote = RemoteShardBackend(
+            specs, n_shards=self.N_SHARDS, rng=random.Random(0)
+        )
+        stores = {
+            "flat": flat,
+            "sharded-json": load_sharded(json_dir),
+            "columnar": load_columnar(col_dir),
+            "columnar-mmap": load_columnar(mmap_dir),
+            "remote": remote,
+        }
+        closers = [remote.close] + [t.stop for t in threads]
+        return stores, closers
+
+    # -- replay -------------------------------------------------------------
+    def _replay(self, cascade, rounds, check):
+        for learns, probe_lists, expected in rounds:
+            for label, fps in learns:
+                cascade.learn(fps, label)
+            verdicts = cascade.cascade_match(probe_lists)
+            assert len(verdicts) == len(expected)
+            for fps, verdict, flat_result in zip(
+                probe_lists, verdicts, expected
+            ):
+                assert verdict.match == flat_result
+                check(verdict, flat_result)
+
+    def test_degenerate_config_equals_flat_recognition(self, tmp_path):
+        from repro.family import FamilyCascade, FamilySpec
+
+        base, rounds = self._script(seed=4321, versioned=False)
+        stores, closers = self._stores(base, tmp_path)
+        try:
+            for name, store in stores.items():
+                cascade = FamilyCascade(
+                    store,
+                    spec=FamilySpec.singleton(store.app_names()),
+                    coarse_depth=3,
+                    fine_depth=3,
+                )
+
+                def check(verdict, flat_result, name=name):
+                    # Collapsed hierarchy: the verdict IS flat
+                    # recognition, relabeled.
+                    assert verdict.outcome != "near-family", name
+                    if flat_result.prediction is not None:
+                        assert verdict.outcome == "match", name
+                        assert verdict.family == flat_result.prediction, name
+                        assert verdict.variant == flat_result.prediction, name
+                        assert verdict.family_ranked == flat_result.ranked, name
+                        assert verdict.family_votes == flat_result.votes, name
+                    else:
+                        assert verdict.outcome == "unknown", name
+                        assert verdict.family is None, name
+
+                self._replay(cascade, rounds, check)
+        finally:
+            for close in closers:
+                close()
+
+    def test_real_families_fine_match_stays_inside_coarse_family(
+        self, tmp_path
+    ):
+        from repro.family import FamilyCascade, FamilySpec
+
+        base, rounds = self._script(seed=8765, versioned=True)
+        stores, closers = self._stores(base, tmp_path)
+        try:
+            for name, store in stores.items():
+                spec = FamilySpec.from_apps(store.app_names())
+                cascade = FamilyCascade(
+                    store, spec=spec, coarse_depth=1, fine_depth=3
+                )
+
+                def check(verdict, flat_result, name=name, spec=spec):
+                    if verdict.outcome == "match":
+                        assert verdict.variant == flat_result.prediction, name
+                        family = spec.family_of_app(verdict.variant)
+                        assert verdict.family == family, name
+                        # The property the coarse tier's containment
+                        # guarantees: a full-depth winner always sits in
+                        # a family the coarse tier voted for.
+                        assert family in verdict.family_votes, name
+                        assert verdict.family_votes[family] > 0, name
+                    else:
+                        # Coarse pruning is sound: it never suppressed
+                        # a fine-tier hit.
+                        assert flat_result.prediction is None, name
+                    if verdict.outcome == "unknown":
+                        assert verdict.family_votes == {}, name
+
+                self._replay(cascade, rounds, check)
+        finally:
+            for close in closers:
+                close()

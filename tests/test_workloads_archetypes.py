@@ -69,3 +69,147 @@ class TestMakeShapeValidation:
 
     def test_amplitude_defaults_cover_all_archetypes(self):
         assert set(DEFAULT_AMPLITUDE) == set(SHAPES)
+
+
+class TestVersionedArchetypes:
+    """Versioned variants: the workload side of the family cascade.
+
+    All assertions here are on the noise-free base-level lattice, so
+    they are exact; the signal-level (jittered, sampled) counterparts
+    live in test_workloads_signal_stability.py.
+    """
+
+    def _nr_mapped(self):
+        from repro.telemetry.metrics import default_registry
+
+        return default_registry().get("nr_mapped_vmstat")
+
+    def test_variant_name_round_trips_through_family_heuristic(self):
+        from repro.family import split_version
+        from repro.workloads.versions import make_versioned_app
+
+        variant = make_versioned_app("ft", "2.0")
+        assert variant.name == "ft-2.0"
+        assert split_version(variant.name) == ("ft", "2.0")
+
+    def test_invalid_version_strings_rejected(self):
+        from repro.workloads.versions import make_versioned_app
+
+        for bad in ("", "new", "beta-1", "v"):
+            with pytest.raises(ValueError, match="version"):
+                make_versioned_app("ft", bad)
+
+    def test_drift_out_of_bounds_rejected(self):
+        from repro.workloads.versions import make_versioned_app
+
+        with pytest.raises(ValueError, match="drift"):
+            make_versioned_app("ft", "1.0", drift=0.5)
+        with pytest.raises(ValueError, match="drift"):
+            make_versioned_app("ft", "1.0", drift=-0.1)
+
+    def test_unknown_base_rejected(self):
+        from repro.workloads.versions import make_versioned_app
+
+        with pytest.raises(KeyError, match="unknown base"):
+            make_versioned_app("no_such_app", "1.0")
+
+    def test_drift_slots_lie_in_documented_window(self):
+        from repro.workloads.versions import DRIFT_RANGE, DRIFT_SLOTS
+
+        lo, hi = DRIFT_RANGE
+        for slot in DRIFT_SLOTS:
+            assert lo <= abs(slot) <= hi
+
+    def test_consecutive_versions_drift_in_opposite_directions(self):
+        from repro.workloads.versions import make_version_family
+
+        v1, v2 = make_version_family("ft", ["1.0", "2.0"])
+        assert v1.drift != v2.drift
+        assert v1.drift * v2.drift < 0  # opposite signs: widest separation
+
+    def test_hash_derived_drift_is_deterministic(self):
+        from repro.workloads.versions import DRIFT_SLOTS, make_versioned_app
+
+        first = make_versioned_app("mg", "3.1")
+        second = make_versioned_app("mg", "3.1")
+        assert first.drift == second.drift
+        assert first.drift in DRIFT_SLOTS
+
+    def test_base_level_is_scaled_base(self):
+        from repro.workloads.nas import make_nas_app
+        from repro.workloads.versions import make_versioned_app
+
+        metric = self._nr_mapped()
+        base = make_nas_app("ft")
+        variant = make_versioned_app(base, "2.0", drift=0.004)
+        for inp in ("X", "Y", "Z"):
+            for node in range(4):
+                assert variant.base_level(metric, inp, node, 4) == (
+                    pytest.approx(
+                        base.base_level(metric, inp, node, 4) * 1.004
+                    )
+                )
+
+    def test_versions_separate_at_depth3_and_share_depth2(self):
+        # The drift window's whole purpose: a new version is a NEW fine
+        # key (depth 3) inside the SAME coarse bucket (depth 2).
+        from repro.core.rounding import round_depth
+        from repro.workloads.versions import make_version_family
+
+        metric = self._nr_mapped()
+        for family in ("ft", "mg", "sp", "xmr_miner"):
+            v1, v2 = make_version_family(family, ["1.0", "2.0"])
+            coarse1, coarse2 = set(), set()
+            for inp in ("X", "Y", "Z"):
+                for node in range(4):
+                    lvl1 = v1.base_level(metric, inp, node, 4)
+                    lvl2 = v2.base_level(metric, inp, node, 4)
+                    assert round_depth(lvl1, 3) != round_depth(lvl2, 3), (
+                        family, inp, node,
+                    )
+                    coarse1.add(round_depth(lvl1, 2))
+                    coarse2.add(round_depth(lvl2, 2))
+            assert coarse1 & coarse2, family
+
+    def test_coarse_keys_never_cross_families(self):
+        # Versions of one family share depth-2 keys with each other and
+        # with NO variant of any other family — the separation the
+        # coarse tier's family voting rides on.
+        from repro.core.rounding import round_depth
+        from repro.workloads.versions import versioned_workloads
+
+        metric = self._nr_mapped()
+        registry = versioned_workloads()
+        keys = {}
+        for name in registry.names():
+            app = registry.get(name)
+            keys[name] = {
+                round_depth(app.base_level(metric, inp, node, 4), 2)
+                for inp in ("X", "Y", "Z")
+                for node in range(4)
+            }
+        for a in keys:
+            family_a = a.rsplit("-", 1)[0]
+            for b in keys:
+                if a == b:
+                    continue
+                shared = keys[a] & keys[b]
+                if b.rsplit("-", 1)[0] == family_a:
+                    assert shared, (a, b)
+                else:
+                    assert not shared, (a, b)
+
+    def test_versioned_workloads_registry_contents(self):
+        from repro.workloads.versions import (
+            VersionedAppModel,
+            versioned_workloads,
+        )
+
+        registry = versioned_workloads()
+        names = registry.names()
+        assert "ft-1.0" in names and "ft-2.0" in names
+        assert "xmr_miner-1.0" in names
+        for name in names:
+            model = registry.get(name)
+            assert isinstance(model, VersionedAppModel)
+            assert model.name == name

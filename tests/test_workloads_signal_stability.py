@@ -63,3 +63,61 @@ class TestFingerprintStability:
         node3 = _interval_means(sp, node=3)
         # Table 4: node 0 near 7600-bucket, node 3 near 7100-bucket.
         assert node0.mean() - node3.mean() > 300
+
+
+class TestVersionDriftStability:
+    """Signal-level contracts of versioned variants, under the full
+    jitter/sampling pipeline: a version drift must be visible beyond
+    per-execution noise, yet keep the variant inside its family's
+    coarse bucket.  Everything is seeded through derive_rng, so the
+    distributions below are exactly reproducible."""
+
+    def _pair(self, family):
+        from repro.workloads.versions import make_version_family
+
+        return make_version_family(family, ["1.0", "2.0"])
+
+    def test_versions_distinguishable_beyond_execution_jitter(self):
+        for family in ("ft", "mg", "xmr_miner"):
+            v1, v2 = self._pair(family)
+            m1 = _interval_means(v1, n_execs=12)
+            m2 = _interval_means(v2, n_execs=12)
+            separation = abs(m1.mean() - m2.mean())
+            assert separation > 2 * max(m1.std(), m2.std()), family
+
+    def test_versions_share_a_coarse_bucket(self):
+        from repro.core.rounding import round_depth
+
+        for family in ("ft", "mg", "xmr_miner"):
+            v1, v2 = self._pair(family)
+            coarse1 = {round_depth(m, 2) for m in _interval_means(v1, n_execs=12)}
+            coarse2 = {round_depth(m, 2) for m in _interval_means(v2, n_execs=12)}
+            assert coarse1 & coarse2, family
+
+    def test_fine_keys_mostly_disjoint_between_versions(self):
+        # Depth-3 keys of the two versions may brush on one boundary
+        # bucket under jitter, but never collapse onto each other.
+        from repro.core.rounding import round_depth
+
+        for family in ("ft", "mg", "xmr_miner"):
+            v1, v2 = self._pair(family)
+            fine1 = {round_depth(m, 3) for m in _interval_means(v1, n_execs=12)}
+            fine2 = {round_depth(m, 3) for m in _interval_means(v2, n_execs=12)}
+            assert fine1 != fine2, family
+            assert len(fine1 & fine2) <= 1, family
+
+    def test_variants_closer_within_family_than_across(self):
+        ft1, ft2 = self._pair("ft")
+        mg1, _ = self._pair("mg")
+        ft1_mean = _interval_means(ft1, n_execs=12).mean()
+        ft2_mean = _interval_means(ft2, n_execs=12).mean()
+        mg1_mean = _interval_means(mg1, n_execs=12).mean()
+        within = abs(ft1_mean - ft2_mean)
+        across = abs(ft1_mean - mg1_mean)
+        assert within < 0.5 * across
+
+    def test_versioned_signals_are_deterministic(self):
+        v1, _ = self._pair("ft")
+        first = _interval_means(v1, n_execs=6)
+        second = _interval_means(v1, n_execs=6)
+        assert np.array_equal(first, second)
