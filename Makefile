@@ -28,9 +28,11 @@ faultinject-smoke: ## crash/fault-injection sweep over the columnar write paths
 replicate-smoke: ## one live leader->replica bootstrap/trickle/swap round trip
 	$(PYTHON) -m pytest tests/test_replicate.py -q -k smoke
 
-remote-smoke:    ## live 3-host fan-out: fault sweep + scatter/gather bench
+remote-smoke:    ## live 3-host fan-out: v2 protocol + fault sweep + wire-tax gate
+	$(PYTHON) -m pytest tests/test_remote_v2.py -q
 	$(PYTHON) -m pytest tests/test_faultinject.py -q -k TestRemoteFaultSweep
-	BENCH_REMOTE_PROBES=50000 BENCH_REMOTE_KEYS=5000 $(PYTHON) -m pytest \
+	BENCH_REMOTE_PROBES=50000 BENCH_REMOTE_KEYS=5000 \
+	    BENCH_REMOTE_MAX_WIRE_TAX=1.6 $(PYTHON) -m pytest \
 	    benchmarks/test_bench_remote_fanout.py -m bench -q
 
 family-smoke:    ## cascade property/unit tier + coarse-absorption bench

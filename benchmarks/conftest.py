@@ -121,10 +121,29 @@ def bench_record(request, _git_rev):
         record.seconds = round(wall, 6)
     report = getattr(request.node, "_bench_report_call", None)
     row = record.as_dict()
-    row["outcome"] = (
-        "passed" if report is not None and report.passed else "failed"
-    )
+    passed = report is not None and report.passed
+    row["outcome"] = "passed" if passed else "failed"
+    if not passed:
+        # A failed run otherwise lands as `n: null, throughput: null`
+        # with nothing to diagnose it by; keep a one-line summary of
+        # what went wrong next to the (partial) numbers.
+        row["error"] = _failure_summary(report)
     append_bench_record(row)
+
+
+def _failure_summary(report, limit: int = 200) -> str:
+    """A short, single-line explanation of a failed bench run."""
+    if report is None:
+        return "no call-phase report (setup error or interrupted run)"
+    summary = ""
+    longrepr = report.longrepr
+    if longrepr is not None:
+        crash = getattr(longrepr, "reprcrash", None)
+        summary = getattr(crash, "message", "") or str(longrepr)
+    summary = " ".join(summary.split()) or "failed without a recorded error"
+    if len(summary) > limit:
+        summary = summary[:limit - 1] + "…"
+    return summary
 
 
 @pytest.fixture(scope="session")

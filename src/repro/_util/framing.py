@@ -29,7 +29,9 @@ import asyncio
 import json
 import socket
 import struct
-from typing import Optional, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -41,6 +43,23 @@ __all__ = [
     "recv_frame_sock",
     "send_frame_sock",
     "request_json_sock",
+    "V2_MAGIC",
+    "V2_VERSION",
+    "V2_OP_PROBE",
+    "V2_OP_PROBE_REPLY",
+    "V2_OP_FILTERS",
+    "V2_OP_FILTERS_REPLY",
+    "V2_FLAG_COUNTS",
+    "is_v2_frame",
+    "v2_header",
+    "encode_probe_request",
+    "decode_probe_request",
+    "encode_probe_reply",
+    "decode_probe_reply",
+    "encode_filters_request",
+    "decode_filters_request",
+    "encode_filters_reply",
+    "decode_filters_reply",
 ]
 
 #: u32 big-endian frame length prefix (the NetListener idiom, binary-safe).
@@ -189,3 +208,337 @@ def request_json_sock(
     if payload is None:
         raise error("connection closed before reply")
     return parse_json(payload, require_op=False, error=error)
+
+
+# ---------------------------------------------------------------------------
+# Protocol v2: zero-copy binary probe codec
+# ---------------------------------------------------------------------------
+# A v2 frame rides inside the same u32 length prefix as the JSON frames;
+# the payload starts with a 12-byte header that can never be confused
+# with JSON (which always starts with ``{``)::
+#
+#     magic  4s   b"EFB2"
+#     ver    u8   2
+#     op     u8   probe / probe-reply / filters / filters-reply
+#     flags  u16  bit 0: per-label repetition counts requested/included
+#     req    u32  request id, echoed by the reply (pipelining desync check)
+#
+# Everything after the header is little-endian, column-major numpy
+# buffers (``ndarray.tobytes`` on the way out, ``np.frombuffer`` on the
+# way in — no per-key Python, no JSON numbers), with small JSON tails
+# for the incrementally negotiated string tables.  Decoders validate
+# every length against the payload before touching a buffer and raise
+# the caller's ``error`` class with a named reason — hostile input
+# degrades, it never tracebacks.
+
+V2_MAGIC = b"EFB2"
+V2_VERSION = 2
+
+V2_OP_PROBE = 1
+V2_OP_PROBE_REPLY = 2
+V2_OP_FILTERS = 3
+V2_OP_FILTERS_REPLY = 4
+
+V2_FLAG_COUNTS = 1
+
+#: magic + version + op + flags + request id
+_V2_HEADER = struct.Struct("<4sBBHI")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def is_v2_frame(payload: bytes) -> bool:
+    """Does this frame carry the binary v2 protocol (vs framed JSON)?"""
+    return payload[:4] == V2_MAGIC
+
+
+def v2_header(
+    payload: bytes, *, error: Type[FramingError] = FramingError
+) -> Tuple[int, int, int, int]:
+    """Validate the v2 header; returns ``(op, flags, request_id, body_at)``.
+
+    A frame that opens with the magic but carries the wrong version or
+    is too short for the header is a protocol error by name.
+    """
+    if len(payload) < _V2_HEADER.size:
+        raise error(
+            f"v2 frame truncated: {len(payload)} bytes is shorter than "
+            f"the {_V2_HEADER.size}-byte header"
+        )
+    magic, version, op, flags, request_id = _V2_HEADER.unpack_from(payload)
+    if magic != V2_MAGIC:
+        raise error(f"not a v2 frame: bad magic {magic!r}")
+    if version != V2_VERSION:
+        raise error(
+            f"unsupported v2 frame version byte {version} "
+            f"(expected {V2_VERSION})"
+        )
+    return op, flags, request_id, _V2_HEADER.size
+
+
+def _v2_frame(op: int, flags: int, request_id: int, body: bytes) -> bytes:
+    return _V2_HEADER.pack(
+        V2_MAGIC, V2_VERSION, op, flags, request_id & 0xFFFFFFFF
+    ) + body
+
+
+def _take(
+    payload: bytes, at: int, n: int, what: str,
+    *, error: Type[FramingError],
+) -> Tuple[memoryview, int]:
+    """Bounds-checked slice of ``n`` bytes at ``at``; names the field."""
+    if n < 0 or at + n > len(payload):
+        raise error(
+            f"v2 frame truncated in {what}: need {n} bytes at offset "
+            f"{at}, frame is {len(payload)} bytes"
+        )
+    return memoryview(payload)[at:at + n], at + n
+
+
+def _take_u32(
+    payload: bytes, at: int, what: str, *, error: Type[FramingError]
+) -> Tuple[int, int]:
+    view, at = _take(payload, at, _U32.size, what, error=error)
+    return _U32.unpack(view)[0], at
+
+
+def _take_u64(
+    payload: bytes, at: int, what: str, *, error: Type[FramingError]
+) -> Tuple[int, int]:
+    view, at = _take(payload, at, _U64.size, what, error=error)
+    return _U64.unpack(view)[0], at
+
+
+def _take_json(
+    payload: bytes, at: int, what: str, *, error: Type[FramingError]
+):
+    n, at = _take_u32(payload, at, f"{what} length", error=error)
+    view, at = _take(payload, at, n, what, error=error)
+    try:
+        return json.loads(bytes(view).decode("utf-8")), at
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise error(f"undecodable {what}: {exc}") from exc
+
+
+def _take_array(
+    payload: bytes, at: int, dtype: str, count: int, what: str,
+    *, error: Type[FramingError],
+) -> Tuple[np.ndarray, int]:
+    """Zero-copy column read: ``np.frombuffer`` over a validated slice."""
+    nbytes = count * np.dtype(dtype).itemsize
+    view, at = _take(payload, at, nbytes, what, error=error)
+    return np.frombuffer(view, dtype=dtype, count=count), at
+
+
+def _json_tail(obj) -> bytes:
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return _U32.pack(len(data)) + data
+
+
+# -- probe request: one shard bucket as columns ------------------------------
+
+def encode_probe_request(
+    request_id: int,
+    shard: int,
+    metric_id: np.ndarray,
+    interval_id: np.ndarray,
+    node: np.ndarray,
+    value: np.ndarray,
+    table_ext: Optional[dict] = None,
+    counts: bool = False,
+) -> bytes:
+    """One probe bucket as ``(i32 metric, i32 interval, i64 node, f64
+    value)`` columns against the connection's negotiated tables;
+    ``table_ext`` appends this request's previously unseen metric /
+    interval strings to those tables (in id order)."""
+    n = len(node)
+    body = b"".join((
+        _U32.pack(int(shard)),
+        _U32.pack(n),
+        _json_tail(table_ext or {}),
+        np.ascontiguousarray(metric_id, dtype="<i4").tobytes(),
+        np.ascontiguousarray(interval_id, dtype="<i4").tobytes(),
+        np.ascontiguousarray(node, dtype="<i8").tobytes(),
+        np.ascontiguousarray(value, dtype="<f8").tobytes(),
+    ))
+    flags = V2_FLAG_COUNTS if counts else 0
+    return _v2_frame(V2_OP_PROBE, flags, request_id, body)
+
+
+def decode_probe_request(
+    payload: bytes, *, error: Type[FramingError] = FramingError
+) -> dict:
+    """Decode a probe request; every length validated before any read."""
+    op, flags, request_id, at = v2_header(payload, error=error)
+    if op != V2_OP_PROBE:
+        raise error(f"expected a probe request, got v2 op {op}")
+    shard, at = _take_u32(payload, at, "shard", error=error)
+    n, at = _take_u32(payload, at, "key count", error=error)
+    ext, at = _take_json(payload, at, "table extension", error=error)
+    if not isinstance(ext, dict):
+        raise error("table extension is not a JSON object")
+    metric_id, at = _take_array(
+        payload, at, "<i4", n, "metric id column", error=error
+    )
+    interval_id, at = _take_array(
+        payload, at, "<i4", n, "interval id column", error=error
+    )
+    node, at = _take_array(payload, at, "<i8", n, "node column", error=error)
+    value, at = _take_array(
+        payload, at, "<f8", n, "value column", error=error
+    )
+    if at != len(payload):
+        raise error(
+            f"probe request length mismatch: {len(payload) - at} trailing "
+            f"byte(s) after the value column"
+        )
+    return {
+        "request_id": request_id,
+        "shard": shard,
+        "counts": bool(flags & V2_FLAG_COUNTS),
+        "ext": ext,
+        "metric_id": metric_id,
+        "interval_id": interval_id,
+        "node": node,
+        "value": value,
+    }
+
+
+# -- probe reply: CSR label ids against the negotiated label table -----------
+
+def encode_probe_reply(
+    request_id: int,
+    store_version: int,
+    match_counts: np.ndarray,
+    label_ids: np.ndarray,
+    new_labels: Sequence[str] = (),
+    label_counts: Optional[np.ndarray] = None,
+) -> bytes:
+    """Match-count offsets + CSR label-id arrays; ``new_labels`` appends
+    to the connection's label table (ids continue from its size)."""
+    body_parts = [
+        _U64.pack(int(store_version)),
+        _U32.pack(len(match_counts)),
+        np.ascontiguousarray(match_counts, dtype="<u4").tobytes(),
+        np.ascontiguousarray(label_ids, dtype="<i4").tobytes(),
+    ]
+    flags = 0
+    if label_counts is not None:
+        flags |= V2_FLAG_COUNTS
+        body_parts.append(
+            np.ascontiguousarray(label_counts, dtype="<u8").tobytes()
+        )
+    body_parts.append(_json_tail(list(new_labels)))
+    return _v2_frame(
+        V2_OP_PROBE_REPLY, flags, request_id, b"".join(body_parts)
+    )
+
+
+def decode_probe_reply(
+    payload: bytes, *, error: Type[FramingError] = FramingError
+) -> dict:
+    """Decode a probe reply; malformed structure raises by name (the
+    client degrades the bucket with the reason, it never tracebacks)."""
+    op, flags, request_id, at = v2_header(payload, error=error)
+    if op != V2_OP_PROBE_REPLY:
+        raise error(f"expected a probe reply, got v2 op {op}")
+    store_version, at = _take_u64(payload, at, "store version", error=error)
+    n, at = _take_u32(payload, at, "key count", error=error)
+    match_counts, at = _take_array(
+        payload, at, "<u4", n, "match-count column", error=error
+    )
+    total = int(match_counts.sum())
+    label_ids, at = _take_array(
+        payload, at, "<i4", total, "label-id column", error=error
+    )
+    label_counts = None
+    if flags & V2_FLAG_COUNTS:
+        label_counts, at = _take_array(
+            payload, at, "<u8", total, "label-count column", error=error
+        )
+    new_labels, at = _take_json(payload, at, "new-label table", error=error)
+    if not isinstance(new_labels, list) or any(
+        not isinstance(l, str) for l in new_labels
+    ):
+        raise error("new-label table is not a list of strings")
+    if at != len(payload):
+        raise error(
+            f"probe reply length mismatch: {len(payload) - at} trailing "
+            f"byte(s) after the tables"
+        )
+    return {
+        "request_id": request_id,
+        "store_version": store_version,
+        "match_counts": match_counts,
+        "label_ids": label_ids,
+        "label_counts": label_counts,
+        "new_labels": new_labels,
+    }
+
+
+# -- filters: per-shard Bloom sidecars for the client's mirrors --------------
+
+def encode_filters_request(request_id: int, shards: Sequence[int]) -> bytes:
+    body = _U32.pack(len(shards)) + np.asarray(
+        sorted(shards), dtype="<u4"
+    ).tobytes()
+    return _v2_frame(V2_OP_FILTERS, 0, request_id, body)
+
+
+def decode_filters_request(
+    payload: bytes, *, error: Type[FramingError] = FramingError
+) -> Tuple[int, List[int]]:
+    op, _flags, request_id, at = v2_header(payload, error=error)
+    if op != V2_OP_FILTERS:
+        raise error(f"expected a filters request, got v2 op {op}")
+    n, at = _take_u32(payload, at, "shard count", error=error)
+    shards, at = _take_array(
+        payload, at, "<u4", n, "shard list", error=error
+    )
+    if at != len(payload):
+        raise error("filters request length mismatch")
+    return request_id, [int(s) for s in shards]
+
+
+def encode_filters_reply(
+    request_id: int,
+    store_version: int,
+    blobs: Sequence[Tuple[int, bytes]],
+    tables: dict,
+) -> bytes:
+    """Per-shard serialized :class:`~repro.engine.keyfilter.KeyFilter`
+    blobs plus the interned metric/interval tables they hash against."""
+    parts = [_U64.pack(int(store_version)), _U32.pack(len(blobs))]
+    for shard, blob in blobs:
+        parts.append(_U32.pack(int(shard)))
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    parts.append(_json_tail(tables))
+    return _v2_frame(V2_OP_FILTERS_REPLY, 0, request_id, b"".join(parts))
+
+
+def decode_filters_reply(
+    payload: bytes, *, error: Type[FramingError] = FramingError
+) -> dict:
+    op, _flags, request_id, at = v2_header(payload, error=error)
+    if op != V2_OP_FILTERS_REPLY:
+        raise error(f"expected a filters reply, got v2 op {op}")
+    store_version, at = _take_u64(payload, at, "store version", error=error)
+    n, at = _take_u32(payload, at, "filter count", error=error)
+    blobs: List[Tuple[int, bytes]] = []
+    for i in range(n):
+        shard, at = _take_u32(payload, at, f"filter {i} shard", error=error)
+        size, at = _take_u32(payload, at, f"filter {i} size", error=error)
+        blob, at = _take(payload, at, size, f"filter {i} blob", error=error)
+        blobs.append((shard, bytes(blob)))
+    tables, at = _take_json(payload, at, "filter tables", error=error)
+    if not isinstance(tables, dict):
+        raise error("filter tables are not a JSON object")
+    if at != len(payload):
+        raise error("filters reply length mismatch")
+    return {
+        "request_id": request_id,
+        "store_version": store_version,
+        "filters": blobs,
+        "tables": tables,
+    }

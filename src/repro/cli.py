@@ -246,6 +246,18 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--remote-breaker-reset", type=float, default=1.0,
                    help="seconds an open breaker waits before one "
                         "half-open probe call")
+    p.add_argument("--remote-pool-size", type=int, default=4,
+                   help="persistent connections kept per shard host")
+    p.add_argument("--remote-pipeline-chunk", type=int, default=4096,
+                   help="keys per binary v2 probe frame; larger buckets "
+                        "pipeline multiple frames per connection")
+    p.add_argument("--remote-no-filter-mirrors", action="store_true",
+                   help="disable the client-side Bloom filter mirrors "
+                        "(every probe then crosses the wire)")
+    p.add_argument("--remote-protocol", choices=("auto", "json"),
+                   default="auto",
+                   help="'auto' negotiates binary protocol v2 (falling "
+                        "back to JSON against v1 servers); 'json' pins v1")
     p.add_argument("--input", default="-",
                    help="JSONL sample stream: a file path, or '-' for stdin "
                         "(ignored with --demo/--listen/--uds)")
@@ -994,6 +1006,10 @@ def _serve_remote_backend(args: argparse.Namespace):
             hedge_percentile=args.remote_hedge_percentile,
             breaker_failures=args.remote_breaker_failures,
             breaker_reset=args.remote_breaker_reset,
+            pool_size=args.remote_pool_size,
+            pipeline_chunk=args.remote_pipeline_chunk,
+            filter_mirrors=not args.remote_no_filter_mirrors,
+            protocol=args.remote_protocol,
         )
     except (ValueError, RemoteError) as exc:
         raise SystemExit(f"efd serve: {exc}")
@@ -1250,6 +1266,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         remote_hedge_percentile=args.remote_hedge_percentile,
         remote_breaker_failures=args.remote_breaker_failures,
         remote_breaker_reset=args.remote_breaker_reset,
+        remote_pool_size=args.remote_pool_size,
+        remote_pipeline_chunk=args.remote_pipeline_chunk,
+        remote_filter_mirrors=not args.remote_no_filter_mirrors,
+        remote_protocol=args.remote_protocol,
         family_mode=args.family,
         family_coarse_depth=args.family_coarse_depth,
         family_spec_path=args.family_spec,

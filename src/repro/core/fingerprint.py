@@ -45,6 +45,26 @@ class Fingerprint:
             )
         if self.value != self.value:
             raise ValueError("fingerprint value must not be NaN")
+        object.__setattr__(self, "_hash", hash(
+            (self.metric, self.node, self.interval, self.value)
+        ))
+
+    def __hash__(self) -> int:
+        # Cached at construction: fingerprints are dictionary keys, and
+        # the hot paths (store probes, client-side dedup/route/merge)
+        # hash the same key several times per probe.
+        try:
+            return self._hash
+        except AttributeError:  # unpickled (see __getstate__)
+            h = hash((self.metric, self.node, self.interval, self.value))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __getstate__(self):
+        # str hashes are salted per process: never ship the cache.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
     def __str__(self) -> str:
         start, end = self.interval

@@ -216,6 +216,31 @@ class KeyFilter:
                 )
         return cls(words, n_hashes, n, seed=seed)
 
+    def insert(self, hashes: np.ndarray) -> None:
+        """Add keys to a live filter (the remote client's mirror keeps
+        tracking writes made through it without a refetch).
+
+        Inserting can only set bits, so the no-false-negative guarantee
+        is preserved and existing "might contain" answers never flip to
+        "absent".  The words array is copied on first insert when it is
+        a read-only ``from_bytes`` view.
+        """
+        hashes = np.asarray(hashes, dtype=np.uint64)
+        if not len(hashes):
+            return
+        if not self.words.flags.writeable:
+            self.words = self.words.copy()
+        m = np.uint64(self.n_bits)
+        h2 = _mix64(hashes) | _ONE
+        for j in range(self.n_hashes):
+            idx = (hashes + np.uint64(j) * h2) % m
+            np.bitwise_or.at(
+                self.words,
+                (idx >> np.uint64(6)).astype(np.int64),
+                _ONE << (idx & np.uint64(63)),
+            )
+        self.n_keys += len(hashes)
+
     def might_contain(self, hashes: np.ndarray) -> np.ndarray:
         """Boolean per hash: False is exact (never a false negative)."""
         hashes = np.asarray(hashes, dtype=np.uint64)

@@ -86,6 +86,15 @@ class EngineStats:
     remote_hedges_lost: int = 0       # hedges beaten by the primary after all
     remote_breaker_opens: int = 0     # circuit breakers tripped open
     remote_degraded: int = 0          # keys resolved with a degraded verdict
+    remote_bytes_sent: int = 0        # wire bytes shipped to shard hosts
+    remote_bytes_received: int = 0    # wire bytes received from shard hosts
+    remote_encode_s: float = 0.0      # wall seconds spent encoding requests
+    remote_decode_s: float = 0.0      # wall seconds spent decoding replies
+    remote_pool_checkouts: int = 0    # pooled-connection checkouts
+    remote_pool_reuses: int = 0       # checkouts served by a live socket
+    remote_pool_redials: int = 0      # checkouts that had to dial fresh
+    filter_mirror_hits: int = 0       # probes resolved by a local filter
+                                      # mirror (no wire round trip)
     # -- family-cascade counters (fed by repro.family.FamilyCascade) ----------
     family_coarse_hits: int = 0       # probes the coarse tier answered
     family_shortcircuits: int = 0     # probes rejected without touching the
@@ -258,6 +267,32 @@ class EngineStats:
         because every host of their shard was unreachable."""
         self.remote_degraded += n_keys
 
+    def record_remote_wire(self, sent: int = 0, received: int = 0) -> None:
+        """Wire bytes moved by one remote exchange (both directions)."""
+        self.remote_bytes_sent += sent
+        self.remote_bytes_received += received
+
+    def record_remote_codec(
+        self, encode_s: float = 0.0, decode_s: float = 0.0
+    ) -> None:
+        """Wall time one exchange spent in the probe codec."""
+        self.remote_encode_s += encode_s
+        self.remote_decode_s += decode_s
+
+    def record_pool_checkout(self, reused: bool) -> None:
+        """One pooled-connection checkout (``reused`` = a live socket
+        answered; otherwise the pool had to dial)."""
+        self.remote_pool_checkouts += 1
+        if reused:
+            self.remote_pool_reuses += 1
+        else:
+            self.remote_pool_redials += 1
+
+    def record_filter_mirror_hits(self, n_keys: int = 1) -> None:
+        """``n_keys`` probes resolved locally by a shard's Bloom-filter
+        mirror — definite misses that never crossed the wire."""
+        self.filter_mirror_hits += n_keys
+
     # -- family-cascade recorder (fed by repro.family.FamilyCascade) ----------
     def record_cascade(
         self,
@@ -334,7 +369,9 @@ class EngineStats:
             self.remote_calls or self.remote_keys or self.remote_timeouts
             or self.remote_errors or self.remote_retries
             or self.remote_hedges or self.remote_breaker_opens
-            or self.remote_degraded
+            or self.remote_degraded or self.remote_bytes_sent
+            or self.remote_bytes_received or self.remote_pool_checkouts
+            or self.filter_mirror_hits
         )
 
     @property
@@ -408,6 +445,14 @@ class EngineStats:
             "remote_hedges_lost": self.remote_hedges_lost,
             "remote_breaker_opens": self.remote_breaker_opens,
             "remote_degraded": self.remote_degraded,
+            "remote_bytes_sent": self.remote_bytes_sent,
+            "remote_bytes_received": self.remote_bytes_received,
+            "remote_encode_s": self.remote_encode_s,
+            "remote_decode_s": self.remote_decode_s,
+            "remote_pool_checkouts": self.remote_pool_checkouts,
+            "remote_pool_reuses": self.remote_pool_reuses,
+            "remote_pool_redials": self.remote_pool_redials,
+            "filter_mirror_hits": self.filter_mirror_hits,
             "family_coarse_hits": self.family_coarse_hits,
             "family_shortcircuits": self.family_shortcircuits,
             "family_refinements": self.family_refinements,
@@ -470,6 +515,14 @@ class EngineStats:
             remote_hedges_lost=_i("remote_hedges_lost"),
             remote_breaker_opens=_i("remote_breaker_opens"),
             remote_degraded=_i("remote_degraded"),
+            remote_bytes_sent=_i("remote_bytes_sent"),
+            remote_bytes_received=_i("remote_bytes_received"),
+            remote_encode_s=float(payload.get("remote_encode_s", 0.0)),
+            remote_decode_s=float(payload.get("remote_decode_s", 0.0)),
+            remote_pool_checkouts=_i("remote_pool_checkouts"),
+            remote_pool_reuses=_i("remote_pool_reuses"),
+            remote_pool_redials=_i("remote_pool_redials"),
+            filter_mirror_hits=_i("filter_mirror_hits"),
             family_coarse_hits=_i("family_coarse_hits"),
             family_shortcircuits=_i("family_shortcircuits"),
             family_refinements=_i("family_refinements"),
@@ -549,6 +602,18 @@ class EngineStats:
                 f"lost={self.remote_hedges_lost}), "
                 f"breaker_opens={self.remote_breaker_opens}, "
                 f"degraded={self.remote_degraded}"
+            )
+            lines.append(
+                f"remote wire : sent={self.remote_bytes_sent} B, "
+                f"received={self.remote_bytes_received} B, "
+                f"encode={self.remote_encode_s * 1e3:.1f}ms, "
+                f"decode={self.remote_decode_s * 1e3:.1f}ms"
+            )
+            lines.append(
+                f"remote pool : checkouts={self.remote_pool_checkouts} "
+                f"(reused={self.remote_pool_reuses}, "
+                f"redialed={self.remote_pool_redials}), "
+                f"mirror_hits={self.filter_mirror_hits}"
             )
         if self.cascading:
             lines.append(

@@ -149,6 +149,22 @@ class ServeConfig:
     remote_breaker_reset:
         Seconds an open breaker waits before admitting one half-open
         probe call; the probe's success closes it, failure re-opens it.
+    remote_pool_size:
+        Persistent connections kept per shard host.  Checked out per
+        call, evicted on any transport fault, redialed lazily behind
+        the retry ladder's backoff.
+    remote_pipeline_chunk:
+        Keys per binary v2 probe frame; a bucket larger than this is
+        split into pipelined chunks with a bounded in-flight window.
+    remote_filter_mirrors:
+        Mirror each shard's Bloom key filter client-side (fetched in
+        the background, refreshed when a reply reveals a new store
+        version).  Definitely-absent keys then resolve locally —
+        unknown-heavy traffic mostly never crosses the wire.
+    remote_protocol:
+        ``"auto"`` negotiates protocol v2 via the hello handshake
+        (falling back to framed JSON against v1 servers);
+        ``"json"`` pins v1 and skips the handshake.
     family_mode:
         Serve verdicts through a :class:`~repro.family.FamilyCascade`
         fronting the engine's dictionary: a coarse family tier at
@@ -194,6 +210,10 @@ class ServeConfig:
     remote_hedge_percentile: float = 0.95
     remote_breaker_failures: int = 3
     remote_breaker_reset: float = 1.0
+    remote_pool_size: int = 4
+    remote_pipeline_chunk: int = 4096
+    remote_filter_mirrors: bool = True
+    remote_protocol: str = "auto"
     family_mode: bool = False
     family_coarse_depth: int = 1
     family_spec_path: Optional[str] = None
@@ -315,6 +335,20 @@ class ServeConfig:
             raise ValueError(
                 f"remote_breaker_reset must be positive, "
                 f"got {self.remote_breaker_reset}"
+            )
+        if self.remote_pool_size < 1:
+            raise ValueError(
+                f"remote_pool_size must be >= 1, got {self.remote_pool_size}"
+            )
+        if self.remote_pipeline_chunk < 1:
+            raise ValueError(
+                f"remote_pipeline_chunk must be >= 1, "
+                f"got {self.remote_pipeline_chunk}"
+            )
+        if self.remote_protocol not in ("auto", "json"):
+            raise ValueError(
+                f"remote_protocol must be 'auto' or 'json', "
+                f"got {self.remote_protocol!r}"
             )
         if self.family_coarse_depth < 1:
             raise ValueError(

@@ -510,8 +510,14 @@ class TestRemoteFaultSweep:
                     ]
 
                     def run():
+                        # Mirrors off: the background filter fetch
+                        # would race the probe fan-out for the proxy's
+                        # frame-0-armed fault, making the retry
+                        # counters nondeterministic.  Mirror recovery
+                        # is covered by the killed-host test below.
                         remote = self._client(
                             specs, deadline=10.0, try_timeout=0.5, retries=3,
+                            filter_mirrors=False,
                         )
                         verdicts = remote.probe_many(probes)
                         remote.close()
@@ -535,9 +541,11 @@ class TestRemoteFaultSweep:
             assert stats.remote_hedges == 0  # one host per shard: no replica
             assert stats.remote_calls == self.N_SHARDS + stats.remote_retries
             if mode == "duplicate":
-                # One reply per fresh connection: the extra frame is
-                # never read, so nothing needed recovering.
-                assert stats.remote_retries == 0
+                # On a pooled pipelined connection the duplicated reply
+                # shows up where the next reply (or the hello ack) was
+                # expected: a request-id desync, retried on a fresh
+                # socket rather than trusted.
+                assert stats.remote_retries >= 1
             elif mode == "stall":
                 assert stats.remote_timeouts >= 1
                 assert stats.remote_retries >= 1
@@ -644,22 +652,30 @@ class TestRemoteFaultSweep:
                 flat.lookup(p) for p in probes
             ]
             assert remote.last_degraded == {}
+            assert remote.warm_filter_mirrors()
 
             proc.kill()  # SIGKILL: no goodbye frame, just dead sockets
             proc.wait(timeout=30)
 
             verdicts = remote.probe_many(probes)
             dead = {p for p in probes if shard_index(p, self.N_SHARDS) == 1}
+            dead_stored = {p for p in dead if flat.lookup(p)}
             marked = {p for p, v in zip(probes, verdicts) if v.degraded}
-            assert marked == dead
-            assert set(remote.last_degraded) == dead
+            # Keys the dead shard actually stored must cross the wire
+            # (Bloom filters have no false negatives) and so degrade;
+            # dead-shard *misses* resolve locally from the warmed
+            # mirrors and stay exact — modulo the odd false positive,
+            # which degrades harmlessly.
+            assert dead_stored <= marked <= dead
+            assert set(remote.last_degraded) == marked
             for probe, verdict in zip(probes, verdicts):
                 if verdict.degraded:
                     assert verdict.labels == [] and verdict.reason
                 else:
                     assert verdict.labels == flat.lookup(probe)
             stats = remote.engine_stats
-            assert stats.remote_degraded == len(dead)
+            assert stats.remote_degraded == len(marked)
+            assert stats.filter_mirror_hits >= len(dead) - len(marked)
             assert stats.remote_errors + stats.remote_timeouts >= 1
             assert stats.remote_hedges == (
                 stats.remote_hedges_won + stats.remote_hedges_lost

@@ -429,21 +429,33 @@ class TestMalformedReplies:
         listener = socket.socket()
         listener.bind(("127.0.0.1", 0))
         listener.listen(8)
+        listener.settimeout(0.1)  # so closing the listener ends serve()
         port = listener.getsockname()[1]
         rogue = json.dumps({"labels": [["app0_X"]]}).encode("utf-8")
 
+        def answer(conn):
+            with conn:
+                try:
+                    framing.recv_frame_sock(conn)
+                    framing.send_frame_sock(conn, rogue)
+                except (OSError, framing.FramingError):
+                    pass
+
         def serve():
+            # One thread per connection: the pooled client dials
+            # concurrently (probe path + background mirror fetch), and
+            # a serial accept loop would starve one exchange into a
+            # timeout instead of the malformed reply under test.
             while True:
                 try:
                     conn, _ = listener.accept()
+                except socket.timeout:
+                    continue  # re-check: listener may have closed
                 except OSError:
                     return  # listener closed: test over
-                with conn:
-                    try:
-                        framing.recv_frame_sock(conn)
-                        framing.send_frame_sock(conn, rogue)
-                    except (OSError, framing.FramingError):
-                        pass
+                conn.settimeout(5.0)
+                threading.Thread(target=answer, args=(conn,),
+                                 daemon=True).start()
 
         thread = threading.Thread(target=serve, daemon=True)
         thread.start()
